@@ -1,0 +1,94 @@
+//! Benchmarks of the simulation engine itself: epoch throughput, spawn
+//! cost (page placement), and migration drain rate.
+
+use bwap_topology::{machines, NodeSet};
+use criterion::{criterion_group, criterion_main, Criterion};
+use numasim::{MemPolicy, SimConfig, Simulator};
+
+fn saturating_sim() -> Simulator {
+    let m = machines::machine_a();
+    let mut sim = Simulator::new(m.clone(), SimConfig::default());
+    let spec = bwap_workloads::streamcluster();
+    sim.spawn(
+        spec.profile_for(&m),
+        m.best_worker_set(2),
+        None,
+        MemPolicy::Interleave(m.all_nodes()),
+    )
+    .expect("spawn");
+    let sw = bwap_workloads::swaptions();
+    sim.spawn(sw.profile_for(&m), NodeSet::from_nodes([bwap_topology::NodeId(4)]), None, MemPolicy::FirstTouch)
+        .expect("spawn");
+    sim
+}
+
+fn bench_epoch_step(c: &mut Criterion) {
+    let mut sim = saturating_sim();
+    c.bench_function("engine_step_2_procs_machine_a", |b| b.iter(|| sim.step()));
+}
+
+fn bench_run_one_second(c: &mut Criterion) {
+    c.bench_function("engine_1s_sim_time", |b| {
+        b.iter_batched(
+            saturating_sim,
+            |mut sim| sim.run_for(1.0),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_spawn_with_placement(c: &mut Criterion) {
+    let m = machines::machine_b();
+    let spec = bwap_workloads::ocean_cp();
+    c.bench_function("spawn_place_650k_pages", |b| {
+        b.iter_batched(
+            || Simulator::new(m.clone(), SimConfig::default()),
+            |mut sim| {
+                sim.spawn(
+                    spec.profile_for(&m),
+                    m.best_worker_set(2),
+                    None,
+                    MemPolicy::Interleave(m.all_nodes()),
+                )
+                .expect("spawn")
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mbind_rebind(c: &mut Criterion) {
+    let m = machines::machine_b();
+    c.bench_function("mbind_rebind_160k_pages", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(m.clone(), SimConfig::default());
+                let pid = sim
+                    .spawn(
+                        bwap_workloads::streamcluster().profile_for(&m),
+                        m.best_worker_set(1),
+                        None,
+                        MemPolicy::FirstTouch,
+                    )
+                    .expect("spawn");
+                (sim, pid)
+            },
+            |(mut sim, pid)| {
+                let seg = sim.process(pid).expect("proc").shared_seg;
+                let len = sim.process(pid).expect("proc").aspace.segment(seg).expect("seg").len();
+                sim.mbind(pid, seg, 0, len, MemPolicy::Interleave(m.all_nodes()), true)
+                    .expect("mbind")
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_epoch_step,
+    bench_run_one_second,
+    bench_spawn_with_placement,
+    bench_mbind_rebind
+);
+criterion_main!(benches);

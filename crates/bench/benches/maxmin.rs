@@ -1,0 +1,42 @@
+//! Micro-benchmarks of the weighted max-min fair solver — the inner loop
+//! of every simulation epoch.
+
+use bwap_fabric::{solve_maxmin, Bundle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A synthetic contention problem: `nb` bundles over `nr` resources, each
+/// bundle touching 4 resources deterministically.
+fn problem(nb: usize, nr: usize) -> (Vec<f64>, Vec<Bundle>) {
+    let capacities: Vec<f64> = (0..nr).map(|r| 5.0 + (r % 7) as f64).collect();
+    let bundles: Vec<Bundle> = (0..nb)
+        .map(|b| {
+            let usage: Vec<(usize, f64)> =
+                (0..4).map(|k| ((b * 3 + k * 5) % nr, 0.5 + (k as f64) * 0.25)).collect();
+            Bundle::new(usage, if b % 3 == 0 { 1.0 } else { f64::INFINITY }, 1.0 + (b % 4) as f64)
+        })
+        .collect();
+    (capacities, bundles)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin_solve");
+    for &nb in &[8usize, 32, 128, 512] {
+        let (caps, bundles) = problem(nb, 120);
+        group.bench_with_input(BenchmarkId::from_parameter(nb), &nb, |bench, _| {
+            bench.iter(|| solve_maxmin(std::hint::black_box(&caps), std::hint::black_box(&bundles)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_epoch_sized_solve(c: &mut Criterion) {
+    // The shape one epoch of machine A with two co-scheduled apps needs:
+    // ~16 bundles over ~126 resources.
+    let (caps, bundles) = problem(16, 126);
+    c.bench_function("maxmin_epoch_sized", |b| {
+        b.iter(|| solve_maxmin(std::hint::black_box(&caps), std::hint::black_box(&bundles)))
+    });
+}
+
+criterion_group!(benches, bench_solver, bench_epoch_sized_solve);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of placement plumbing: Algorithm 1 planning, the
+//! kernel weighted-interleave target function, and plan realization.
+
+use bwap::{realized_weights, user_level_plan, WeightDistribution};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numasim::MemPolicy;
+use bwap_topology::NodeId;
+
+fn weights(n: usize) -> WeightDistribution {
+    WeightDistribution::from_raw((1..=n).map(|i| i as f64).collect()).unwrap()
+}
+
+fn bench_user_level_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_plan");
+    for &n in &[4usize, 8, 16] {
+        let w = weights(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| user_level_plan(std::hint::black_box(1 << 20), std::hint::black_box(&w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_realized_weights(c: &mut Criterion) {
+    let w = weights(8);
+    c.bench_function("realized_weights_8n", |b| {
+        b.iter(|| realized_weights(std::hint::black_box(1 << 20), std::hint::black_box(&w)))
+    });
+}
+
+fn bench_weighted_interleave_target(c: &mut Criterion) {
+    // Per-page placement decision of the kernel policy: the hot loop of
+    // segment creation (one call per page).
+    let policy = MemPolicy::WeightedInterleave(weights(8).to_vec());
+    c.bench_function("weighted_target_node_1k_pages", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1024u64 {
+                acc += policy
+                    .target_node(std::hint::black_box(i), 1024, NodeId(0))
+                    .0 as u32;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_user_level_plan,
+    bench_realized_weights,
+    bench_weighted_interleave_target
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! End-to-end scenario benchmarks: how fast the simulator reproduces a
+//! complete paper experiment (useful to size parameter sweeps).
+
+use bwap::BwapConfig;
+use bwap_runtime::{run_coscheduled, run_standalone, PlacementPolicy, ProfileBook};
+use bwap_topology::machines;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_standalone_run(c: &mut Criterion) {
+    let m = machines::machine_b();
+    let spec = bwap_workloads::streamcluster().scaled_down(16.0);
+    let workers = m.best_worker_set(2);
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+    group.bench_function("standalone_sc_quick_uniform_workers", |b| {
+        b.iter(|| {
+            run_standalone(&m, &spec, workers, &PlacementPolicy::UniformWorkers).expect("run")
+        })
+    });
+    group.finish();
+}
+
+fn bench_coscheduled_bwap_run(c: &mut Criterion) {
+    let m = machines::machine_a();
+    let spec = bwap_workloads::streamcluster().scaled_down(16.0);
+    let workers = m.best_worker_set(2);
+    // Pre-warm the canonical profile so the benchmark measures the run,
+    // not the one-off installation profiling.
+    let _ = ProfileBook::canonical_weights(&m, workers);
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+    group.bench_function("coscheduled_sc_quick_bwap", |b| {
+        b.iter(|| {
+            run_coscheduled(&m, &spec, workers, &PlacementPolicy::Bwap(BwapConfig::default()))
+                .expect("run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_standalone_run, bench_coscheduled_bwap_run);
+criterion_main!(benches);

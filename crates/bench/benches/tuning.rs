@@ -1,0 +1,65 @@
+//! Benchmarks of BWAP's decision logic: canonical weights, DWP
+//! arithmetic, tuner stepping and bandwidth profiling.
+
+use bwap::dwp::{DwpTuner, DwpTunerConfig};
+use bwap::{apply_dwp, canonical_weights};
+use bwap_runtime::profile_bandwidth;
+use bwap_topology::{machines, NodeId, NodeSet};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_canonical_weights(c: &mut Criterion) {
+    let m = machines::machine_a();
+    let workers = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+    c.bench_function("canonical_weights_eq5", |b| {
+        b.iter(|| canonical_weights(std::hint::black_box(m.path_caps()), workers))
+    });
+}
+
+fn bench_apply_dwp(c: &mut Criterion) {
+    let m = machines::machine_a();
+    let workers = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+    let canonical = canonical_weights(m.path_caps(), workers).unwrap();
+    c.bench_function("apply_dwp", |b| {
+        b.iter(|| apply_dwp(std::hint::black_box(&canonical), workers, 0.4))
+    });
+}
+
+fn bench_tuner_sampling(c: &mut Criterion) {
+    let m = machines::machine_a();
+    let workers = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+    let canonical = canonical_weights(m.path_caps(), workers).unwrap();
+    c.bench_function("dwp_tuner_1k_samples", |b| {
+        b.iter_batched(
+            || DwpTuner::new(canonical.clone(), workers, DwpTunerConfig::default()).unwrap(),
+            |mut tuner| {
+                for i in 0..1000u32 {
+                    let _ = tuner.on_sample(100.0 + (i % 17) as f64);
+                }
+                tuner.dwp()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_profile_bandwidth(c: &mut Criterion) {
+    // The canonical tuner's installation-time profiling run (1.2 s of
+    // simulated time on machine A).
+    let m = machines::machine_a();
+    let workers = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    group.bench_function("profile_bandwidth_machine_a", |b| {
+        b.iter(|| profile_bandwidth(std::hint::black_box(&m), workers))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_canonical_weights,
+    bench_apply_dwp,
+    bench_tuner_sampling,
+    bench_profile_bandwidth
+);
+criterion_main!(benches);

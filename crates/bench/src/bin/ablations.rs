@@ -1,0 +1,33 @@
+//! Ablations of BWAP's design choices and of the simulation model (see
+//! DESIGN.md §6): kernel vs user-level interleaving, tuner overhead,
+//! model components, step size, migration budget.
+//!
+//! Usage: `cargo run --release -p bwap-bench --bin ablations [-- --quick]`
+
+use bwap_bench::{experiments, save_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    let t = experiments::ablation_interleave_mode(quick);
+    println!("{t}");
+    println!("(paper: enabling the kernel-level variant changed results by at most 3%)\n");
+    save_csv("ablation_interleave.csv", &t.to_csv()).expect("write");
+
+    let t = experiments::ablation_tuner_overhead(quick);
+    println!("{t}");
+    println!("(paper: maximum measured tuner overhead 4%)\n");
+    save_csv("ablation_overhead.csv", &t.to_csv()).expect("write");
+
+    let t = experiments::ablation_model(quick);
+    println!("{t}");
+    save_csv("ablation_model.csv", &t.to_csv()).expect("write");
+
+    let t = experiments::ablation_step_size(quick);
+    println!("{t}");
+    save_csv("ablation_step.csv", &t.to_csv()).expect("write");
+
+    let t = experiments::ablation_migration_budget(quick);
+    println!("{t}");
+    save_csv("ablation_migration.csv", &t.to_csv()).expect("write");
+}

@@ -1,0 +1,16 @@
+//! Figure 1a: node-to-node bandwidth matrix of machine A, measured by
+//! single-flow probes, compared against the paper's published matrix.
+//!
+//! Usage: `cargo run --release -p bwap-bench --bin fig1a`
+
+use bwap_bench::{experiments, save_csv};
+
+fn main() {
+    let (probed, err) = experiments::fig1a();
+    println!("== Fig. 1a: probed node-to-node BW matrix (GB/s), machine A ==");
+    println!("{probed}");
+    println!("max relative error vs paper's Fig. 1a: {:.2e}", err);
+    println!("amplitude (max/min): {:.2} (paper: 5.8x)", probed.amplitude());
+    let path = save_csv("fig1a_matrix.csv", &probed.to_csv()).expect("write results");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,18 @@
+//! Figure 1b: common placement policies versus the offline N-dimensional
+//! hill-climbing search (machine A, 2 worker nodes, stand-alone).
+//!
+//! Usage: `cargo run --release -p bwap-bench --bin fig1b [-- --quick]`
+//! Quick mode shrinks workloads and the search budget.
+
+use bwap_bench::{experiments, save_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iterations = if quick { 40 } else { 180 };
+    let table = experiments::fig1b(quick, iterations);
+    println!("{table}");
+    println!("(1.0 = matches the search; the paper reports first-touch far below,");
+    println!(" uniform-workers/uniform-all at roughly 0.7-0.95 depending on benchmark)");
+    let path = save_csv("fig1b_normalized.csv", &table.to_csv()).expect("write results");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,27 @@
+//! Figure 2: co-scheduled scenario on machine A — speedup of every policy
+//! versus uniform-workers, for 1, 2 and 4 worker nodes (panels a, b, c).
+//!
+//! Usage: `cargo run --release -p bwap-bench --bin fig2 [-- --quick]`
+
+use bwap_bench::{experiments, save_csv};
+use bwap_topology::machines;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let machine = machines::machine_a();
+    for (panel, workers) in [('a', 1usize), ('b', 2), ('c', 4)] {
+        let (times, dwps) = experiments::cosched_panel(&machine, workers, quick);
+        println!("== Fig. 2{panel} ==");
+        println!("{times}");
+        let speedups = times.normalized_to("uniform-workers");
+        println!("{speedups}");
+        print!("bwap DWP chosen: ");
+        for (name, d) in &dwps {
+            print!("{name}={:.0}%  ", d * 100.0);
+        }
+        println!("\n");
+        let path = save_csv(&format!("fig2_{workers}w_speedup.csv"), &speedups.to_csv())
+            .expect("write results");
+        println!("wrote {}", path.display());
+    }
+}

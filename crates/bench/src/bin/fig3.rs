@@ -1,0 +1,40 @@
+//! Figure 3: (a, b) co-scheduled scenario on machine B with 1 and 2
+//! workers; (c, d) stand-alone scenario at each benchmark's optimal worker
+//! count on machines A and B. All normalized against uniform-workers.
+//!
+//! Usage: `cargo run --release -p bwap-bench --bin fig3 [-- --quick]`
+
+use bwap_bench::{experiments, save_csv};
+use bwap_topology::machines;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // Panels a, b: machine B co-scheduled.
+    let machine_b = machines::machine_b();
+    for (panel, workers) in [('a', 1usize), ('b', 2)] {
+        let (times, dwps) = experiments::cosched_panel(&machine_b, workers, quick);
+        println!("== Fig. 3{panel} ==");
+        let speedups = times.normalized_to("uniform-workers");
+        println!("{speedups}");
+        print!("bwap DWP chosen: ");
+        for (name, d) in &dwps {
+            print!("{name}={:.0}%  ", d * 100.0);
+        }
+        println!("\n");
+        let path = save_csv(&format!("fig3{panel}_speedup.csv"), &speedups.to_csv())
+            .expect("write results");
+        println!("wrote {}", path.display());
+    }
+
+    // Panels c, d: stand-alone at optimal worker counts.
+    for (panel, machine) in [('c', machines::machine_a()), ('d', machine_b)] {
+        let times = experiments::standalone_optimal(&machine, quick);
+        println!("== Fig. 3{panel} ==");
+        let speedups = times.normalized_to("uniform-workers");
+        println!("{speedups}");
+        let path = save_csv(&format!("fig3{panel}_speedup.csv"), &speedups.to_csv())
+            .expect("write results");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,25 @@
+//! Figure 4: static-DWP sweep for Streamcluster on machine A (1 and 2
+//! workers) — normalized execution time and stall rate per DWP, plus the
+//! point the online tuner picks (the paper shows the tuner lands within
+//! one step of the static optimum, and the stall-rate curve tracks the
+//! execution-time curve).
+//!
+//! Usage: `cargo run --release -p bwap-bench --bin fig4 [-- --quick]`
+
+use bwap_bench::{experiments, save_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for (i, (table, online_dwp, online_time)) in experiments::fig4(quick).into_iter().enumerate()
+    {
+        println!("{table}");
+        println!(
+            "online tuner: chose DWP = {:.0}%, normalized exec time {:.3}\n",
+            online_dwp * 100.0,
+            online_time
+        );
+        let path = save_csv(&format!("fig4_{}w.csv", 1 << i), &table.to_csv())
+            .expect("write results");
+        println!("wrote {}", path.display());
+    }
+}

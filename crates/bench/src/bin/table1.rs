@@ -1,0 +1,23 @@
+//! Table I: memory-access characterization of the benchmark suite on
+//! machine B (one full worker node), paper-vs-measured.
+//!
+//! Usage: `cargo run --release -p bwap-bench --bin table1 [-- --quick]`
+
+use bwap_bench::{experiments, save_csv};
+use bwap_workloads::table1_reference;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let measured = experiments::table1(quick);
+    println!("{measured}");
+    println!("== paper reference ==");
+    println!("{:<6} {:>11} {:>12} {:>10} {:>9}", "", "reads MB/s", "writes MB/s", "private %", "shared %");
+    for row in table1_reference() {
+        println!(
+            "{:<6} {:>11.0} {:>12.0} {:>10.1} {:>9.1}",
+            row.name, row.reads_mbps, row.writes_mbps, row.private_pct, row.shared_pct
+        );
+    }
+    let path = save_csv("table1_measured.csv", &measured.to_csv()).expect("write results");
+    println!("wrote {}", path.display());
+}

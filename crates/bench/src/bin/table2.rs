@@ -1,0 +1,17 @@
+//! Table II: the DWP value BWAP's iterative search settles on for every
+//! benchmark and co-scheduled configuration on both machines.
+//!
+//! Usage: `cargo run --release -p bwap-bench --bin table2 [-- --quick]`
+
+use bwap_bench::{experiments, save_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let table = experiments::table2(quick);
+    println!("{table}");
+    println!("(Paper Table II for comparison, %: SC 48/0/23.8 on A, 100/100 on B;");
+    println!(" OC 14.1/0/0 A, 0/0 B; ON 14.1/16/0 A, 0/0 B; SP.B 0/0/0 A,");
+    println!(" 15.2/22.2 B; FT.C 0/16.3/0 A, 30.3/0 B)");
+    let path = save_csv("table2_dwp.csv", &table.to_csv()).expect("write results");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,568 @@
+//! Implementations of every experiment in the paper's evaluation, shared
+//! by the per-figure binaries and the all-in-one `paper` binary.
+//!
+//! Each function returns [`ResultTable`]s ready for printing and CSV
+//! export. `quick` scales workloads down ~8x for fast smoke runs.
+
+use crate::report::ResultTable;
+use crate::runner::run_parallel;
+use bwap::BwapConfig;
+use bwap_fabric::probe_matrix;
+use bwap_runtime::{
+    dwp_sweep, run_coscheduled, run_coscheduled_with, run_standalone, sweep_worker_counts,
+    PlacementPolicy, ProfileBook, RunResult,
+};
+use bwap_search::{hill_climb, HillClimbConfig, SimEvaluator};
+use bwap_topology::{machines, MachineTopology};
+use bwap_workloads::WorkloadSpec;
+use numasim::{MemPolicy, SimConfig, Simulator};
+
+/// Scale factor applied to workloads in quick mode.
+const QUICK_FACTOR: f64 = 8.0;
+
+fn suite(quick: bool) -> Vec<WorkloadSpec> {
+    bwap_workloads::suite()
+        .into_iter()
+        .map(|w| if quick { w.scaled_down(QUICK_FACTOR) } else { w })
+        .collect()
+}
+
+/// Fig. 1a: the machine-A node-to-node bandwidth matrix, measured by
+/// single-flow probes, plus its deviation from the paper's published
+/// matrix (zero by calibration).
+pub fn fig1a() -> (bwap_topology::BwMatrix, f64) {
+    let m = machines::machine_a();
+    let probed = probe_matrix(&m);
+    let err = probed
+        .max_rel_error(&machines::fig1a_matrix())
+        .expect("same dimensions");
+    (probed, err)
+}
+
+/// Fig. 1b: first-touch / uniform-workers / uniform-all on machine A with
+/// 2 worker nodes, normalized against the offline N-dimensional
+/// hill-climbing search (top-10 average). Returns the normalized table
+/// (values < 1 mean slower than the search's placement, as in the paper).
+pub fn fig1b(quick: bool, search_iterations: usize) -> ResultTable {
+    let m = machines::machine_a();
+    let workers = m.best_worker_set(2);
+    let apps = suite(quick);
+    let jobs: Vec<_> = apps
+        .iter()
+        .map(|app| {
+            let m = m.clone();
+            let app = app.clone();
+            move || {
+                let policies = [
+                    PlacementPolicy::FirstTouch,
+                    PlacementPolicy::UniformWorkers,
+                    PlacementPolicy::UniformAll,
+                ];
+                let mut times: Vec<f64> = policies
+                    .iter()
+                    .map(|p| {
+                        run_standalone(&m, &app, workers, p).expect("scenario").exec_time_s
+                    })
+                    .collect();
+                // Offline search, starting from uniform-workers as in §II.
+                let start = bwap::WeightDistribution::uniform_over(workers, m.node_count())
+                    .expect("workers valid");
+                let mut evaluator = SimEvaluator::new(m.clone(), app.clone(), workers);
+                let cfg = HillClimbConfig {
+                    iterations: search_iterations,
+                    ..HillClimbConfig::default()
+                };
+                let outcome = hill_climb(&mut evaluator, start, &cfg);
+                times.push(outcome.top_k_mean_time);
+                times
+            }
+        })
+        .collect();
+    let rows = run_parallel(jobs);
+    let mut t = ResultTable::new(
+        "Fig. 1b: normalized execution time vs n-dim search (machine A, 2 workers)",
+        vec![
+            "first-touch".into(),
+            "uniform-workers".into(),
+            "uniform-all".into(),
+            "n-dim-search".into(),
+        ],
+    );
+    for (app, times) in apps.iter().zip(rows) {
+        // Paper plots hillclimb/time: 1.0 = as good as the search.
+        let reference = times[3];
+        t.push_row(app.name, times.iter().map(|x| reference / x).collect());
+    }
+    t
+}
+
+/// Table I: memory-access characterization measured on machine B with one
+/// full worker node. Columns: reads MB/s, writes MB/s, private %, shared %.
+pub fn table1(quick: bool) -> ResultTable {
+    let m = machines::machine_b();
+    let workers = m.best_worker_set(1);
+    let apps = suite(quick);
+    let jobs: Vec<_> = apps
+        .iter()
+        .map(|app| {
+            let m = m.clone();
+            let app = app.clone();
+            move || {
+                let mut sim = Simulator::new(m.clone(), SimConfig::default());
+                let pid = sim
+                    .spawn(app.profile_for(&m), workers, None, MemPolicy::FirstTouch)
+                    .expect("spawn");
+                let t = sim.run_until_finished(pid, 3600.0).expect("finishes");
+                let pc = sim.counters().process(pid);
+                let reads: f64 = (0..m.node_count())
+                    .flat_map(|s| (0..m.node_count()).map(move |d| (s, d)))
+                    .map(|(s, d)| sim.counters().flow_read_bytes(pid, s, d))
+                    .sum();
+                let writes = pc.traffic_bytes - reads;
+                [
+                    reads / t / 1e6,
+                    writes / t / 1e6,
+                    app.private_frac * 100.0,
+                    (1.0 - app.private_frac) * 100.0,
+                ]
+            }
+        })
+        .collect();
+    let rows = run_parallel(jobs);
+    let mut t = ResultTable::new(
+        "Table I: characterization (machine B, 1 full worker node)",
+        vec!["reads MB/s".into(), "writes MB/s".into(), "private %".into(), "shared %".into()],
+    );
+    t.precision = 1;
+    for (app, vals) in apps.iter().zip(rows) {
+        t.push_row(app.name, vals.to_vec());
+    }
+    t
+}
+
+/// One co-scheduled panel: every policy x every benchmark at a fixed
+/// worker count. Returns `(exec-time table, chosen DWP per app)`.
+pub fn cosched_panel(
+    machine: &MachineTopology,
+    workers: usize,
+    quick: bool,
+) -> (ResultTable, Vec<(String, f64)>) {
+    let worker_set = machine.best_worker_set(workers);
+    let _ = ProfileBook::canonical_weights(machine, worker_set);
+    let policies = PlacementPolicy::evaluation_set();
+    let apps = suite(quick);
+    let machine_ref = &machine;
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            policies.iter().map(move |policy| {
+                let machine = (*machine_ref).clone();
+                let app = app.clone();
+                let policy = policy.clone();
+                move || run_coscheduled(&machine, &app, worker_set, &policy).expect("scenario")
+            })
+        })
+        .collect();
+    let results = run_parallel(jobs);
+    let mut table = ResultTable::new(
+        &format!(
+            "exec time [s], {}, {} worker(s), co-scheduled",
+            machine.name(),
+            workers
+        ),
+        policies.iter().map(|p| p.label()).collect(),
+    );
+    let mut dwps = Vec::new();
+    for (ai, app) in apps.iter().enumerate() {
+        let row: Vec<f64> =
+            (0..policies.len()).map(|pi| results[ai * policies.len() + pi].exec_time_s).collect();
+        table.push_row(app.name, row);
+        if let Some(d) = results[ai * policies.len() + policies.len() - 1].chosen_dwp {
+            dwps.push((app.name.to_string(), d));
+        }
+    }
+    (table, dwps)
+}
+
+/// Fig. 3c/d: stand-alone scenario at each application's optimal worker
+/// count. The optimum is determined per application under uniform-workers
+/// (the incumbent policy), then every policy runs at that count. Returns
+/// the exec-time table; row labels carry the chosen worker count.
+pub fn standalone_optimal(machine: &MachineTopology, quick: bool) -> ResultTable {
+    let candidates: Vec<usize> = (0..=machine.node_count().trailing_zeros())
+        .map(|p| 1usize << p)
+        .collect();
+    let policies = PlacementPolicy::evaluation_set();
+    let apps = suite(quick);
+    let machine_ref = &machine;
+    let candidates_ref = &candidates;
+    // Stage 1: optimal worker count per app (parallel over apps).
+    let optima: Vec<usize> = run_parallel(
+        apps.iter()
+            .map(|app| {
+                let machine = (*machine_ref).clone();
+                let app = app.clone();
+                move || {
+                    let runs = sweep_worker_counts(
+                        &machine,
+                        &app,
+                        &PlacementPolicy::UniformWorkers,
+                        candidates_ref,
+                    )
+                    .expect("sweep");
+                    runs.iter()
+                        .min_by(|a, b| a.exec_time_s.partial_cmp(&b.exec_time_s).unwrap())
+                        .expect("non-empty")
+                        .workers
+                }
+            })
+            .collect(),
+    );
+    // Stage 2: all policies at the per-app optimum.
+    let jobs: Vec<_> = apps
+        .iter()
+        .zip(&optima)
+        .flat_map(|(app, &k)| {
+            policies.iter().map(move |policy| {
+                let machine = (*machine_ref).clone();
+                let app = app.clone();
+                let policy = policy.clone();
+                move || {
+                    let workers = machine.best_worker_set(k);
+                    run_standalone(&machine, &app, workers, &policy).expect("scenario")
+                }
+            })
+        })
+        .collect();
+    let results: Vec<RunResult> = run_parallel(jobs);
+    let mut table = ResultTable::new(
+        &format!("exec time [s], {}, stand-alone at optimal workers", machine.name()),
+        policies.iter().map(|p| p.label()).collect(),
+    );
+    for (ai, (app, &k)) in apps.iter().zip(&optima).enumerate() {
+        let row: Vec<f64> =
+            (0..policies.len()).map(|pi| results[ai * policies.len() + pi].exec_time_s).collect();
+        table.push_row(&format!("{} {}W", app.name, k), row);
+    }
+    table
+}
+
+/// Table II: DWP chosen by the iterative search, co-scheduled scenario,
+/// all worker counts on both machines. Values in percent.
+pub fn table2(quick: bool) -> ResultTable {
+    let configs: Vec<(MachineTopology, usize)> = vec![
+        (machines::machine_a(), 1),
+        (machines::machine_a(), 2),
+        (machines::machine_a(), 4),
+        (machines::machine_b(), 1),
+        (machines::machine_b(), 2),
+    ];
+    let apps = suite(quick);
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            configs.iter().map(move |(machine, k)| {
+                let machine = machine.clone();
+                let app = app.clone();
+                let k = *k;
+                move || {
+                    let workers = machine.best_worker_set(k);
+                    let policy = PlacementPolicy::Bwap(BwapConfig::default());
+                    run_coscheduled(&machine, &app, workers, &policy)
+                        .expect("scenario")
+                        .chosen_dwp
+                        .expect("bwap reports dwp")
+                        * 100.0
+                }
+            })
+        })
+        .collect();
+    let values = run_parallel(jobs);
+    let mut t = ResultTable::new(
+        "Table II: DWP chosen by BWAP's iterative search (co-scheduled), %",
+        vec!["A 1W".into(), "A 2W".into(), "A 4W".into(), "B 1W".into(), "B 2W".into()],
+    );
+    t.precision = 1;
+    for (ai, app) in apps.iter().enumerate() {
+        t.push_row(app.name, values[ai * configs.len()..(ai + 1) * configs.len()].to_vec());
+    }
+    t
+}
+
+/// Fig. 4: static-DWP sweep for Streamcluster on machine A (1 and 2
+/// workers, co-scheduled), plus the point the online tuner picks.
+/// Returns one table per worker count with columns: exec time, stall
+/// fraction (both normalized to the DWP=0 point as in the paper's
+/// normalized axes), and the online tuner's `(dwp, exec time)`.
+pub fn fig4(quick: bool) -> Vec<(ResultTable, f64, f64)> {
+    let m = machines::machine_a();
+    let spec = if quick {
+        bwap_workloads::streamcluster().scaled_down(QUICK_FACTOR)
+    } else {
+        bwap_workloads::streamcluster()
+    };
+    let dwps: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let mut out = Vec::new();
+    for k in [1usize, 2] {
+        let workers = m.best_worker_set(k);
+        let points = dwp_sweep(&m, &spec, workers, &dwps, true).expect("sweep");
+        let online =
+            run_coscheduled(&m, &spec, workers, &PlacementPolicy::Bwap(BwapConfig::default()))
+                .expect("scenario");
+        let (t0, s0) = (points[0].exec_time_s, points[0].stall_frac);
+        let mut table = ResultTable::new(
+            &format!("Fig. 4: SC on machine A, {k} worker(s): normalized vs DWP"),
+            vec!["norm exec time".into(), "norm stall rate".into()],
+        );
+        for p in &points {
+            table.push_row(
+                &format!("DWP={:3.0}%", p.dwp * 100.0),
+                vec![p.exec_time_s / t0, p.stall_frac / s0],
+            );
+        }
+        out.push((table, online.chosen_dwp.unwrap_or(0.0), online.exec_time_s / t0));
+    }
+    out
+}
+
+/// Ablation 1: kernel-level vs user-level weighted interleaving, full
+/// BWAP, co-scheduled 2 workers on both machines. Values: exec-time ratio
+/// user/kernel (paper reports the gap is at most ~3%).
+pub fn ablation_interleave_mode(quick: bool) -> ResultTable {
+    let apps = suite(quick);
+    let machines_ = [machines::machine_a(), machines::machine_b()];
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            machines_.iter().map(move |m| {
+                let m = m.clone();
+                let app = app.clone();
+                move || {
+                    let workers = m.best_worker_set(2);
+                    let kernel = run_coscheduled(
+                        &m,
+                        &app,
+                        workers,
+                        &PlacementPolicy::Bwap(BwapConfig::kernel_mode()),
+                    )
+                    .expect("scenario");
+                    let user = run_coscheduled(
+                        &m,
+                        &app,
+                        workers,
+                        &PlacementPolicy::Bwap(BwapConfig::default()),
+                    )
+                    .expect("scenario");
+                    user.exec_time_s / kernel.exec_time_s
+                }
+            })
+        })
+        .collect();
+    let ratios = run_parallel(jobs);
+    let mut t = ResultTable::new(
+        "Ablation: user-level (Algorithm 1) / kernel-level exec-time ratio",
+        vec!["machine A".into(), "machine B".into()],
+    );
+    for (ai, app) in apps.iter().enumerate() {
+        t.push_row(app.name, ratios[ai * 2..ai * 2 + 2].to_vec());
+    }
+    t
+}
+
+/// Ablation 2: online-tuner overhead and accuracy — BWAP with the online
+/// search versus the *best* static DWP found by a full sweep (the paper's
+/// accuracy/overhead analysis, §IV-B: tuner within one step of optimum,
+/// <= 4 % overhead).
+pub fn ablation_tuner_overhead(quick: bool) -> ResultTable {
+    let m = machines::machine_a();
+    let workers = m.best_worker_set(2);
+    let apps = suite(quick);
+    let dwps: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let jobs: Vec<_> = apps
+        .iter()
+        .map(|app| {
+            let m = m.clone();
+            let app = app.clone();
+            let dwps = dwps.clone();
+            move || {
+                let online =
+                    run_coscheduled(&m, &app, workers, &PlacementPolicy::Bwap(BwapConfig::default()))
+                        .expect("scenario");
+                let sweep =
+                    bwap_runtime::dwp_sweep(&m, &app, workers, &dwps, true).expect("sweep");
+                let best = sweep
+                    .iter()
+                    .min_by(|a, b| a.exec_time_s.partial_cmp(&b.exec_time_s).unwrap())
+                    .expect("non-empty");
+                [
+                    online.exec_time_s,
+                    best.exec_time_s,
+                    (online.exec_time_s / best.exec_time_s - 1.0) * 100.0,
+                    online.chosen_dwp.expect("bwap") * 100.0,
+                    best.dwp * 100.0,
+                ]
+            }
+        })
+        .collect();
+    let rows = run_parallel(jobs);
+    let mut t = ResultTable::new(
+        "Ablation: DWP tuner vs best static (machine A, 2 workers, co-scheduled)",
+        vec![
+            "online [s]".into(),
+            "best static [s]".into(),
+            "overhead %".into(),
+            "chosen DWP %".into(),
+            "best DWP %".into(),
+        ],
+    );
+    t.precision = 2;
+    for (app, vals) in apps.iter().zip(rows) {
+        t.push_row(app.name, vals.to_vec());
+    }
+    t
+}
+
+/// Ablation 3: model components — write amplification and loaded-latency
+/// inflation switched off, effect on the headline comparison (bwap vs
+/// uniform-workers speedup, SC machine A 2W co-scheduled).
+pub fn ablation_model(quick: bool) -> ResultTable {
+    let m = machines::machine_a();
+    let workers = m.best_worker_set(2);
+    let spec = if quick {
+        bwap_workloads::streamcluster().scaled_down(QUICK_FACTOR)
+    } else {
+        bwap_workloads::streamcluster()
+    };
+    let variants: Vec<(&str, SimConfig)> = vec![
+        ("full model", SimConfig::default()),
+        (
+            "no write amplification",
+            SimConfig { ctrl_model: bwap_fabric::ControllerModel::symmetric(), ..SimConfig::default() },
+        ),
+        (
+            "no loaded latency",
+            SimConfig { latency_inflation: (0.0, 4.0), ..SimConfig::default() },
+        ),
+    ];
+    let jobs: Vec<_> = variants
+        .iter()
+        .map(|(_, cfg)| {
+            let m = m.clone();
+            let spec = spec.clone();
+            let cfg = cfg.clone();
+            move || {
+                let uw = run_coscheduled_with(
+                    &m,
+                    &spec,
+                    workers,
+                    &PlacementPolicy::UniformWorkers,
+                    cfg.clone(),
+                )
+                .expect("scenario");
+                let bw = run_coscheduled_with(
+                    &m,
+                    &spec,
+                    workers,
+                    &PlacementPolicy::Bwap(BwapConfig::default()),
+                    cfg,
+                )
+                .expect("scenario");
+                let ft = run_coscheduled_with(
+                    &m,
+                    &spec,
+                    workers,
+                    &PlacementPolicy::FirstTouch,
+                    SimConfig::default(),
+                )
+                .expect("scenario");
+                [uw.exec_time_s / bw.exec_time_s, uw.exec_time_s / ft.exec_time_s]
+            }
+        })
+        .collect();
+    let rows = run_parallel(jobs);
+    let mut t = ResultTable::new(
+        "Ablation: model components (SC, machine A, 2W): speedups vs uniform-workers",
+        vec!["bwap speedup".into(), "first-touch speedup".into()],
+    );
+    for ((label, _), vals) in variants.iter().zip(rows) {
+        t.push_row(label, vals.to_vec());
+    }
+    t
+}
+
+/// Ablation 4: hill-climb step-size sensitivity (SC machine A 1W).
+pub fn ablation_step_size(quick: bool) -> ResultTable {
+    let m = machines::machine_a();
+    let workers = m.best_worker_set(1);
+    let spec = if quick {
+        bwap_workloads::streamcluster().scaled_down(QUICK_FACTOR)
+    } else {
+        bwap_workloads::streamcluster()
+    };
+    let steps = [0.05, 0.10, 0.20];
+    let jobs: Vec<_> = steps
+        .iter()
+        .map(|&step| {
+            let m = m.clone();
+            let spec = spec.clone();
+            move || {
+                let mut cfg = BwapConfig::default();
+                cfg.tuner.step = step;
+                let r = run_coscheduled(&m, &spec, workers, &PlacementPolicy::Bwap(cfg))
+                    .expect("scenario");
+                [r.chosen_dwp.unwrap_or(0.0) * 100.0, r.exec_time_s]
+            }
+        })
+        .collect();
+    let rows = run_parallel(jobs);
+    let mut t = ResultTable::new(
+        "Ablation: DWP step size (SC, machine A, 1W, co-scheduled)",
+        vec!["chosen DWP %".into(), "exec time [s]".into()],
+    );
+    for (step, vals) in steps.iter().zip(rows) {
+        t.push_row(&format!("x = {:.0}%", step * 100.0), vals.to_vec());
+    }
+    t
+}
+
+/// Ablation 5: migration-bandwidth sensitivity of the tuner (SC machine A
+/// 1W): convergence cost at different kernel page-copy budgets.
+pub fn ablation_migration_budget(quick: bool) -> ResultTable {
+    let m = machines::machine_a();
+    let workers = m.best_worker_set(1);
+    let spec = if quick {
+        bwap_workloads::streamcluster().scaled_down(QUICK_FACTOR)
+    } else {
+        bwap_workloads::streamcluster()
+    };
+    let budgets = [0.5, 2.0, 8.0];
+    let jobs: Vec<_> = budgets
+        .iter()
+        .map(|&gbps| {
+            let m = m.clone();
+            let spec = spec.clone();
+            move || {
+                let cfg = SimConfig { migration_gbps: gbps, ..SimConfig::default() };
+                let r = run_coscheduled_with(
+                    &m,
+                    &spec,
+                    workers,
+                    &PlacementPolicy::Bwap(BwapConfig::default()),
+                    cfg,
+                )
+                .expect("scenario");
+                [r.exec_time_s, r.migrated_pages as f64, r.chosen_dwp.unwrap_or(0.0) * 100.0]
+            }
+        })
+        .collect();
+    let rows = run_parallel(jobs);
+    let mut t = ResultTable::new(
+        "Ablation: migration budget (SC, machine A, 1W, co-scheduled)",
+        vec!["exec time [s]".into(), "pages migrated".into(), "chosen DWP %".into()],
+    );
+    t.precision = 1;
+    for (gbps, vals) in budgets.iter().zip(rows) {
+        t.push_row(&format!("{gbps} GB/s"), vals.to_vec());
+    }
+    t
+}

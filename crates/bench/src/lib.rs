@@ -1,0 +1,46 @@
+//! Experiment harness: shared reporting and parallel-execution utilities
+//! for the per-figure/table binaries (see `src/bin/`).
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use report::ResultTable;
+pub use runner::run_parallel;
+
+use std::path::PathBuf;
+
+/// Directory where binaries drop CSV artifacts (`results/` at the repo
+/// root, overridable with `BWAP_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BWAP_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // The harness binaries run from the workspace root via `cargo run`.
+    PathBuf::from("results")
+}
+
+/// Write a CSV artifact, creating the results directory if needed.
+/// Returns the path written.
+pub fn save_csv(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("bwap-bench-test");
+        std::env::set_var("BWAP_RESULTS_DIR", &dir);
+        let p = save_csv("probe.csv", "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(p).unwrap(), "a,b\n1,2\n");
+        std::env::remove_var("BWAP_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,82 @@
+//! Parallel execution of independent scenario runs.
+//!
+//! Every evaluation run builds its own `Simulator`, so runs are perfectly
+//! independent; the harness fans them out over the host's cores with
+//! crossbeam's scoped threads and returns results in submission order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run all `jobs` (in parallel, bounded by available cores) and return
+/// their results in the original order. A panicking job aborts the whole
+/// batch.
+pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n_jobs = jobs.len();
+    if n_jobs == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n_jobs);
+    let job_slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let result_slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_jobs {
+                    break;
+                }
+                let job = job_slots[i].lock().expect("job lock").take().expect("job runs once");
+                let result = job();
+                *result_slots[i].lock().expect("result lock") = Some(result);
+            });
+        }
+    })
+    .expect("a benchmark job panicked");
+    result_slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let jobs: Vec<_> = (0..64).map(|i| move || i * 2).collect();
+        let out = run_parallel(jobs);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let out: Vec<i32> = run_parallel(Vec::<fn() -> i32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_parallel_under_load() {
+        // Not a strict timing test — just exercise > worker-count jobs.
+        let jobs: Vec<_> = (0..100)
+            .map(|i| {
+                move || {
+                    let mut acc = 0u64;
+                    for k in 0..10_000u64 {
+                        acc = acc.wrapping_add(k ^ i);
+                    }
+                    acc
+                }
+            })
+            .collect();
+        assert_eq!(run_parallel(jobs).len(), 100);
+    }
+}

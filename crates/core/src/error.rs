@@ -1,0 +1,40 @@
+//! Error type for BWAP decision logic.
+
+use std::fmt;
+
+/// Errors from weight computation and tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BwapError {
+    /// Weights were empty, negative, non-finite, or all zero.
+    InvalidWeights(String),
+    /// The worker set was empty or outside the machine.
+    InvalidWorkers(String),
+    /// A DWP value outside `[0, 1]`.
+    InvalidDwp(f64),
+    /// Sampler/tuner configuration inconsistency.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for BwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BwapError::InvalidWeights(s) => write!(f, "invalid weights: {s}"),
+            BwapError::InvalidWorkers(s) => write!(f, "invalid workers: {s}"),
+            BwapError::InvalidDwp(v) => write!(f, "DWP {v} outside [0,1]"),
+            BwapError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BwapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(BwapError::InvalidDwp(1.5).to_string().contains("1.5"));
+        assert!(BwapError::InvalidConfig("n<2c".into()).to_string().contains("n<2c"));
+    }
+}

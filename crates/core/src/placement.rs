@@ -1,0 +1,253 @@
+//! User-level weighted interleaving — the paper's Algorithm 1.
+//!
+//! Mainstream kernels lack a weighted-interleave policy, so BWAP's portable
+//! mode approximates one with the tools `libnuma` has: split the segment
+//! into contiguous sub-ranges and `mbind` each with *uniform* interleaving
+//! over a shrinking node set. Visiting nodes in ascending weight order and
+//! sizing sub-range `k` as `|nodes_k| * (w_k - w_{k-1}) * len` makes the
+//! aggregate per-node page ratios equal the weights, with only
+//! `O(#nodes)` mbind calls.
+
+use crate::error::BwapError;
+use crate::weights::WeightDistribution;
+use bwap_topology::{NodeId, NodeSet};
+
+/// One `mbind(range, MPOL_INTERLEAVE, nodes)` call of the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MbindCall {
+    /// First page of the sub-range (relative to the segment).
+    pub start_page: u64,
+    /// Sub-range length in pages.
+    pub len_pages: u64,
+    /// Node set to uniformly interleave the sub-range over.
+    pub nodes: NodeSet,
+}
+
+/// Compute the user-level plan for a segment of `total_pages` pages
+/// (paper Algorithm 1). Zero-weight nodes are excluded; zero-length
+/// sub-ranges are omitted. The calls partition `[0, total_pages)`.
+///
+/// ```
+/// use bwap::{user_level_plan, WeightDistribution};
+///
+/// let w = WeightDistribution::from_raw(vec![1.0, 1.0, 2.0]).unwrap();
+/// let plan = user_level_plan(1000, &w).unwrap();
+/// // First sub-range interleaves over all three nodes, the last one is
+/// // dedicated to the heaviest node.
+/// assert_eq!(plan.first().unwrap().nodes.len(), 3);
+/// assert_eq!(plan.last().unwrap().nodes.len(), 1);
+/// ```
+pub fn user_level_plan(
+    total_pages: u64,
+    weights: &WeightDistribution,
+) -> Result<Vec<MbindCall>, BwapError> {
+    if total_pages == 0 {
+        return Ok(Vec::new());
+    }
+    if !weights.is_normalized() {
+        return Err(BwapError::InvalidWeights("not normalized".into()));
+    }
+    // Nodes with positive weight, ascending weight (id tie-break for
+    // determinism).
+    let mut nodes: Vec<(NodeId, f64)> = weights
+        .as_slice()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &w)| w > 0.0)
+        .map(|(i, &w)| (NodeId(i as u16), w))
+        .collect();
+    nodes.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+
+    let mut plan = Vec::new();
+    let mut cursor = 0u64; // pages emitted so far
+    let mut exact = 0.0f64; // exact (fractional) pages emitted so far
+    let mut weight_prev = 0.0f64;
+    let mut active: Vec<(NodeId, f64)> = nodes;
+    while !active.is_empty() {
+        let (min_node, min_weight) = active[0];
+        let delta = min_weight - weight_prev;
+        let exact_size = active.len() as f64 * delta * total_pages as f64;
+        exact += exact_size;
+        // Cumulative rounding keeps total error under one page per call.
+        let boundary = if active.len() == 1 {
+            total_pages // last call absorbs residual rounding
+        } else {
+            (exact.round() as u64).min(total_pages)
+        };
+        let len = boundary.saturating_sub(cursor);
+        if len > 0 {
+            plan.push(MbindCall {
+                start_page: cursor,
+                len_pages: len,
+                nodes: NodeSet::from_nodes(active.iter().map(|&(n, _)| n)),
+            });
+            cursor += len;
+        }
+        weight_prev = min_weight;
+        active.retain(|&(n, _)| n != min_node);
+    }
+    debug_assert_eq!(cursor, total_pages);
+    Ok(plan)
+}
+
+/// Expected pages per node if every call of `plan` interleaved its
+/// sub-range perfectly uniformly (fractional; used to verify the
+/// approximation quality against the target weights).
+pub fn expected_node_counts(plan: &[MbindCall], node_count: usize) -> Vec<f64> {
+    let mut counts = vec![0.0f64; node_count];
+    for call in plan {
+        let share = call.len_pages as f64 / call.nodes.len() as f64;
+        for n in call.nodes.iter() {
+            counts[n.idx()] += share;
+        }
+    }
+    counts
+}
+
+/// The weight distribution a user-level plan *actually realizes* for a
+/// segment of `total_pages` pages (including sub-range rounding). Useful
+/// to pre-compute the placement `mbind`-before-first-touch would produce,
+/// and to quantify Algorithm 1's approximation against the exact kernel
+/// policy.
+pub fn realized_weights(
+    total_pages: u64,
+    weights: &WeightDistribution,
+) -> Result<WeightDistribution, BwapError> {
+    if total_pages == 0 {
+        return Ok(weights.clone());
+    }
+    let plan = user_level_plan(total_pages, weights)?;
+    WeightDistribution::from_raw(expected_node_counts(&plan, weights.len()))
+}
+
+/// Worst-case per-node deviation (fraction of pages) between the plan's
+/// expected placement and the target weights.
+pub fn plan_error(plan: &[MbindCall], weights: &WeightDistribution, total_pages: u64) -> f64 {
+    if total_pages == 0 {
+        return 0.0;
+    }
+    let counts = expected_node_counts(plan, weights.len());
+    counts
+        .iter()
+        .zip(weights.as_slice())
+        .map(|(c, w)| (c / total_pages as f64 - w).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(raw: Vec<f64>) -> WeightDistribution {
+        WeightDistribution::from_raw(raw).unwrap()
+    }
+
+    #[test]
+    fn uniform_weights_give_single_call() {
+        let plan = user_level_plan(100, &w(vec![1.0, 1.0, 1.0, 1.0])).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].len_pages, 100);
+        assert_eq!(plan[0].nodes.len(), 4);
+    }
+
+    #[test]
+    fn plan_partitions_the_segment() {
+        let plan = user_level_plan(997, &w(vec![1.0, 2.0, 3.0, 4.0])).unwrap();
+        let mut cursor = 0;
+        for call in &plan {
+            assert_eq!(call.start_page, cursor);
+            cursor += call.len_pages;
+        }
+        assert_eq!(cursor, 997);
+    }
+
+    #[test]
+    fn node_sets_shrink_by_ascending_weight() {
+        let plan = user_level_plan(1000, &w(vec![4.0, 1.0, 2.0, 3.0])).unwrap();
+        // sets: {all} -> minus node1 -> minus node2 -> minus node3
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[0].nodes.len(), 4);
+        assert!(!plan[1].nodes.contains(bwap_topology::NodeId(1)));
+        assert!(!plan[2].nodes.contains(bwap_topology::NodeId(2)));
+        assert_eq!(plan[3].nodes.to_vec(), vec![bwap_topology::NodeId(0)]);
+    }
+
+    #[test]
+    fn expected_counts_match_weights() {
+        let weights = w(vec![1.0, 2.0, 3.0, 4.0]);
+        let plan = user_level_plan(100_000, &weights).unwrap();
+        let err = plan_error(&plan, &weights, 100_000);
+        assert!(err < 1e-4, "plan error {err}");
+    }
+
+    #[test]
+    fn exact_algebra_small_example() {
+        // weights .25/.75 over 100 pages: call 1 = 2 nodes * .25 * 100 = 50
+        // pages over both; call 2 = 50 pages on the heavy node.
+        // Node0: 25, node1: 25 + 50 = 75. Exact.
+        let weights = w(vec![1.0, 3.0]);
+        let plan = user_level_plan(100, &weights).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].len_pages, 50);
+        assert_eq!(plan[1].len_pages, 50);
+        let counts = expected_node_counts(&plan, 2);
+        assert_eq!(counts, vec![25.0, 75.0]);
+    }
+
+    #[test]
+    fn zero_weight_nodes_receive_nothing() {
+        let weights = w(vec![0.0, 1.0, 1.0, 0.0]);
+        let plan = user_level_plan(1000, &weights).unwrap();
+        for call in &plan {
+            assert!(!call.nodes.contains(bwap_topology::NodeId(0)));
+            assert!(!call.nodes.contains(bwap_topology::NodeId(3)));
+        }
+        let counts = expected_node_counts(&plan, 4);
+        assert_eq!(counts[0], 0.0);
+        assert_eq!(counts[3], 0.0);
+        assert_eq!(counts[1] + counts[2], 1000.0);
+    }
+
+    #[test]
+    fn single_node_degenerates_to_bind() {
+        let plan = user_level_plan(42, &w(vec![0.0, 1.0])).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].len_pages, 42);
+        assert_eq!(plan[0].nodes.to_vec(), vec![bwap_topology::NodeId(1)]);
+    }
+
+    #[test]
+    fn empty_segment_empty_plan() {
+        assert!(user_level_plan(0, &w(vec![1.0, 1.0])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn call_count_bounded_by_distinct_weights() {
+        // Many equal weights collapse into few calls.
+        let weights = w(vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+        let plan = user_level_plan(10_000, &weights).unwrap();
+        assert!(plan.len() <= 8, "{} calls", plan.len());
+        let err = plan_error(&plan, &weights, 10_000);
+        assert!(err < 1e-3, "plan error {err}");
+    }
+
+    #[test]
+    fn realized_weights_close_to_target() {
+        let weights = w(vec![5.5, 5.5, 2.9, 1.8, 1.8, 2.8, 1.8, 2.8]);
+        let realized = realized_weights(65_536, &weights).unwrap();
+        assert!(realized.max_abs_diff(&weights) < 1e-3);
+        assert!(realized.is_normalized());
+        // zero pages: identity
+        assert_eq!(realized_weights(0, &weights).unwrap(), weights);
+    }
+
+    #[test]
+    fn tiny_segments_still_partition() {
+        for pages in 1..20u64 {
+            let weights = w(vec![1.0, 2.0, 3.0]);
+            let plan = user_level_plan(pages, &weights).unwrap();
+            let total: u64 = plan.iter().map(|c| c.len_pages).sum();
+            assert_eq!(total, pages);
+        }
+    }
+}

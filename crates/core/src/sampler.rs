@@ -1,0 +1,105 @@
+//! Outlier-trimmed stall-rate sampling (paper §III-B1: "we collect n
+//! measurements over an interval of t seconds. We then sort and discard the
+//! first and the last c measurements to filter outliers").
+
+use crate::error::BwapError;
+
+/// Collects `n` samples, then yields their trimmed mean (sorted, `trim`
+/// dropped at each end).
+#[derive(Debug, Clone)]
+pub struct TrimmedSampler {
+    n: usize,
+    trim: usize,
+    buf: Vec<f64>,
+}
+
+impl TrimmedSampler {
+    /// `n` samples per window, `trim` discarded at each end. Requires
+    /// `n > 2 * trim`.
+    pub fn new(n: usize, trim: usize) -> Result<Self, BwapError> {
+        if n == 0 || n <= 2 * trim {
+            return Err(BwapError::InvalidConfig(format!(
+                "need n > 2*trim, got n={n}, trim={trim}"
+            )));
+        }
+        Ok(TrimmedSampler { n, trim, buf: Vec::with_capacity(n) })
+    }
+
+    /// Samples still needed before the window completes.
+    pub fn remaining(&self) -> usize {
+        self.n - self.buf.len()
+    }
+
+    /// Push one measurement; returns the trimmed mean when the window
+    /// fills (and resets for the next window).
+    pub fn push(&mut self, v: f64) -> Option<f64> {
+        self.buf.push(v);
+        if self.buf.len() < self.n {
+            return None;
+        }
+        self.buf.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let kept = &self.buf[self.trim..self.n - self.trim];
+        let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+        self.buf.clear();
+        Some(mean)
+    }
+
+    /// Drop any partial window (used when the tuner restarts a phase).
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(TrimmedSampler::new(0, 0).is_err());
+        assert!(TrimmedSampler::new(10, 5).is_err());
+        assert!(TrimmedSampler::new(10, 4).is_ok());
+    }
+
+    #[test]
+    fn trimmed_mean_filters_outliers() {
+        // Paper defaults: n=20, c=5.
+        let mut s = TrimmedSampler::new(20, 5).unwrap();
+        let mut result = None;
+        for i in 0..20 {
+            let v = match i {
+                0 => 1e12,  // spike
+                1 => 0.0,   // dropout
+                _ => 100.0, // steady state
+            };
+            result = s.push(v);
+            if i < 19 {
+                assert!(result.is_none());
+            }
+        }
+        assert_eq!(result, Some(100.0));
+        // window reset
+        assert_eq!(s.remaining(), 20);
+    }
+
+    #[test]
+    fn mean_of_clean_window() {
+        let mut s = TrimmedSampler::new(4, 1).unwrap();
+        s.push(1.0);
+        s.push(2.0);
+        s.push(3.0);
+        let m = s.push(4.0).unwrap();
+        assert!((m - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_discards_partial() {
+        let mut s = TrimmedSampler::new(3, 0).unwrap();
+        s.push(5.0);
+        s.reset();
+        assert_eq!(s.remaining(), 3);
+        s.push(1.0);
+        s.push(1.0);
+        assert_eq!(s.push(1.0), Some(1.0));
+    }
+}

@@ -1,0 +1,196 @@
+//! Normalized per-node weight distributions.
+
+use crate::error::BwapError;
+use bwap_topology::{NodeId, NodeSet};
+use std::fmt;
+
+/// A page-placement weight distribution: `weights[i]` is the fraction of
+/// pages node `i` should hold (the paper's `D = {w_1 ... w_N}`,
+/// `Σ w_i = 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightDistribution {
+    w: Vec<f64>,
+}
+
+impl WeightDistribution {
+    /// Normalize raw non-negative values into a distribution.
+    pub fn from_raw(raw: Vec<f64>) -> Result<Self, BwapError> {
+        if raw.is_empty() {
+            return Err(BwapError::InvalidWeights("empty".into()));
+        }
+        if raw.iter().any(|&x| !(x.is_finite() && x >= 0.0)) {
+            return Err(BwapError::InvalidWeights(format!("negative/non-finite in {raw:?}")));
+        }
+        let sum: f64 = raw.iter().sum();
+        if sum <= 0.0 {
+            return Err(BwapError::InvalidWeights("all zero".into()));
+        }
+        Ok(WeightDistribution { w: raw.into_iter().map(|x| x / sum).collect() })
+    }
+
+    /// Uniform over all `n` nodes (the `uniform-all` baseline).
+    pub fn uniform(n: usize) -> Self {
+        WeightDistribution { w: vec![1.0 / n as f64; n] }
+    }
+
+    /// Uniform over a node subset, zero elsewhere (the `uniform-workers`
+    /// baseline when `set` is the worker set).
+    pub fn uniform_over(set: NodeSet, n: usize) -> Result<Self, BwapError> {
+        if set.is_empty() {
+            return Err(BwapError::InvalidWorkers("empty set".into()));
+        }
+        if !set.is_subset(NodeSet::first(n)) {
+            return Err(BwapError::InvalidWorkers(format!("{set} exceeds {n} nodes")));
+        }
+        let share = 1.0 / set.len() as f64;
+        let mut w = vec![0.0; n];
+        for node in set.iter() {
+            w[node.idx()] = share;
+        }
+        Ok(WeightDistribution { w })
+    }
+
+    /// All pages on one node (first-touch's asymptotic shared-page
+    /// behaviour).
+    pub fn delta(node: NodeId, n: usize) -> Self {
+        let mut w = vec![0.0; n];
+        w[node.idx()] = 1.0;
+        WeightDistribution { w }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True when there are no entries (never for a valid distribution).
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Weight of node `i`.
+    pub fn get(&self, i: NodeId) -> f64 {
+        self.w[i.idx()]
+    }
+
+    /// Raw slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Owned vector (for policy construction).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.w.clone()
+    }
+
+    /// Sum of weights over a node set (e.g. the aggregate worker weight the
+    /// DWP factor controls).
+    pub fn mass(&self, set: NodeSet) -> f64 {
+        set.iter().map(|n| self.get(n)).sum()
+    }
+
+    /// Largest absolute per-node difference to another distribution.
+    pub fn max_abs_diff(&self, other: &WeightDistribution) -> f64 {
+        self.w
+            .iter()
+            .zip(&other.w)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Coefficient of variation of the weights restricted to `set`
+    /// (Observation 3's similarity metric).
+    pub fn coefficient_of_variation(&self, set: NodeSet) -> f64 {
+        let vals: Vec<f64> = set.iter().map(|n| self.get(n)).collect();
+        if vals.len() < 2 {
+            return 0.0;
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Check invariants (used by tests and debug assertions).
+    pub fn is_normalized(&self) -> bool {
+        (self.w.iter().sum::<f64>() - 1.0).abs() < 1e-9
+            && self.w.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x))
+    }
+}
+
+impl fmt::Display for WeightDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.w.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{:.3}", v)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_raw_normalizes() {
+        let d = WeightDistribution::from_raw(vec![2.0, 6.0]).unwrap();
+        assert_eq!(d.as_slice(), &[0.25, 0.75]);
+        assert!(d.is_normalized());
+    }
+
+    #[test]
+    fn invalid_raw_rejected() {
+        assert!(WeightDistribution::from_raw(vec![]).is_err());
+        assert!(WeightDistribution::from_raw(vec![0.0, 0.0]).is_err());
+        assert!(WeightDistribution::from_raw(vec![-1.0, 2.0]).is_err());
+        assert!(WeightDistribution::from_raw(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn uniform_variants() {
+        let u = WeightDistribution::uniform(4);
+        assert!(u.is_normalized());
+        assert_eq!(u.get(NodeId(2)), 0.25);
+        let set = NodeSet::from_nodes([NodeId(1), NodeId(2)]);
+        let uw = WeightDistribution::uniform_over(set, 4).unwrap();
+        assert_eq!(uw.as_slice(), &[0.0, 0.5, 0.5, 0.0]);
+        assert!(WeightDistribution::uniform_over(NodeSet::EMPTY, 4).is_err());
+        assert!(WeightDistribution::uniform_over(NodeSet::first(5), 4).is_err());
+    }
+
+    #[test]
+    fn delta_and_mass() {
+        let d = WeightDistribution::delta(NodeId(1), 3);
+        assert_eq!(d.as_slice(), &[0.0, 1.0, 0.0]);
+        let set = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+        assert_eq!(d.mass(set), 1.0);
+        assert_eq!(d.mass(NodeSet::single(NodeId(2))), 0.0);
+    }
+
+    #[test]
+    fn cv_zero_for_uniform() {
+        let u = WeightDistribution::uniform(4);
+        assert_eq!(u.coefficient_of_variation(NodeSet::first(4)), 0.0);
+        let skew = WeightDistribution::from_raw(vec![1.0, 3.0]).unwrap();
+        assert!(skew.coefficient_of_variation(NodeSet::first(2)) > 0.4);
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = WeightDistribution::uniform(2);
+        let b = WeightDistribution::from_raw(vec![1.0, 3.0]).unwrap();
+        assert!((a.max_abs_diff(&b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_compact() {
+        let d = WeightDistribution::uniform(2);
+        assert_eq!(format!("{d}"), "[0.500 0.500]");
+    }
+}

@@ -1,0 +1,72 @@
+//! Single-flow bandwidth probing — the simulated analogue of a
+//! `memcpy`-style point-to-point bandwidth benchmark.
+
+use crate::controller::ControllerModel;
+use crate::network::{DemandSet, FlowDemand, GroupSpec};
+use crate::resource::ResourceTable;
+use bwap_topology::{BwMatrix, MachineTopology, NodeId};
+
+/// Measure the machine's node-to-node read bandwidth matrix by running one
+/// open-loop flow per ordered pair, one pair at a time (no cross-pair
+/// contention). On the reference machines this returns the calibrated
+/// matrix exactly — for machine A, the paper's Fig. 1a.
+pub fn probe_matrix(machine: &MachineTopology) -> BwMatrix {
+    let resources = ResourceTable::from_machine(machine);
+    let ctrl_model = ControllerModel::default();
+    let n = machine.node_count();
+    let mut out = BwMatrix::zeros(n);
+    for s in 0..n {
+        for d in 0..n {
+            let (src, dst) = (NodeId(s as u16), NodeId(d as u16));
+            let mut ds = DemandSet::new();
+            ds.push(GroupSpec {
+                id: 0,
+                weight: 1.0,
+                cap: f64::INFINITY,
+                flows: vec![FlowDemand { mem: src, cpu: dst, read_gbps: 1.0, write_gbps: 0.0 }],
+            });
+            let r = ds.solve(machine, &resources, &ctrl_model);
+            out.set(src, dst, r.outcomes[0].activity);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwap_topology::machines;
+
+    #[test]
+    fn machine_a_probe_reproduces_fig1a_exactly() {
+        let m = machines::machine_a();
+        let probed = probe_matrix(&m);
+        let err = probed.max_rel_error(&machines::fig1a_matrix()).unwrap();
+        assert!(err < 1e-9, "max relative error {err}");
+    }
+
+    #[test]
+    fn machine_b_probe_reproduces_calibration() {
+        let m = machines::machine_b();
+        let probed = probe_matrix(&m);
+        let err = probed.max_rel_error(m.path_caps()).unwrap();
+        assert!(err < 1e-9, "max relative error {err}");
+    }
+
+    #[test]
+    fn probe_amplitude_matches_paper() {
+        assert!((probe_matrix(&machines::machine_a()).amplitude() - 5.83).abs() < 0.01);
+        assert!((probe_matrix(&machines::machine_b()).amplitude() - 2.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn symmetric_machine_probes_symmetric() {
+        let m = machines::symmetric_quad();
+        let p = probe_matrix(&m);
+        for s in 0..4u16 {
+            for d in 0..4u16 {
+                assert_eq!(p.get(NodeId(s), NodeId(d)), p.get(NodeId(d), NodeId(s)));
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! AutoNUMA: the Linux locality-driven page-placement daemon the paper
+//! compares against (§IV, baseline `autonuma`).
+//!
+//! Real AutoNUMA unmaps pages periodically and uses the resulting NUMA
+//! hinting faults to migrate each page toward the node that accesses it.
+//! The emergent behaviour (documented by the paper and by Dashti et al.'s
+//! Carrefour study) is:
+//!
+//! * thread-private pages converge to their accessor's node;
+//! * pages shared by threads on several nodes bounce between, and end up
+//!   spread over, the *worker* nodes only — AutoNUMA never exploits
+//!   non-worker bandwidth and ignores interconnect asymmetry.
+//!
+//! We model that converged behaviour directly: each scan period the daemon
+//! nudges private pages home and shared pages toward a uniform spread over
+//! the worker set, both rate-limited like the kernel's NUMA-balancing
+//! migration budget.
+
+use crate::daemon::Daemon;
+use crate::engine::Simulator;
+use crate::mem::migrate::PendingMove;
+use crate::process::ProcessId;
+use bwap_topology::{NodeId, PAGE_SIZE};
+
+/// Configuration of the AutoNUMA daemon.
+#[derive(Debug, Clone)]
+pub struct AutoNumaConfig {
+    /// Scan period (seconds); the daemon fires once per period.
+    pub scan_period: f64,
+    /// Migration budget per scan, in bytes (the kernel rate-limits NUMA
+    /// balancing to ~256 MB/s by default).
+    pub bytes_per_scan: f64,
+}
+
+impl Default for AutoNumaConfig {
+    fn default() -> Self {
+        AutoNumaConfig { scan_period: 0.1, bytes_per_scan: 256e6 * 0.1 }
+    }
+}
+
+/// The daemon. Register with
+/// `sim.add_daemon(Box::new(auto_numa), cfg.scan_period, cfg.scan_period)`.
+#[derive(Debug)]
+pub struct AutoNuma {
+    cfg: AutoNumaConfig,
+    /// Processes to balance; empty = all running processes.
+    scope: Vec<ProcessId>,
+}
+
+impl AutoNuma {
+    /// Balance every running process.
+    pub fn new(cfg: AutoNumaConfig) -> Self {
+        AutoNuma { cfg, scope: Vec::new() }
+    }
+
+    /// Balance only the given processes.
+    pub fn for_processes(cfg: AutoNumaConfig, pids: Vec<ProcessId>) -> Self {
+        AutoNuma { cfg, scope: pids }
+    }
+
+    /// Scan period for daemon registration.
+    pub fn period(&self) -> f64 {
+        self.cfg.scan_period
+    }
+
+    fn balance_process(&self, sim: &mut Simulator, pid: ProcessId, budget_pages: &mut u64) {
+        let Ok(p) = sim.process(pid) else { return };
+        if !p.is_running() || *budget_pages == 0 {
+            return;
+        }
+        let n = sim.machine().node_count();
+        let mut moves: Vec<PendingMove> = Vec::new();
+
+        // 1. Private pages home to their owner's node.
+        for &(owner, seg) in &p.private_segs {
+            if *budget_pages == moves.len() as u64 {
+                break;
+            }
+            let segment = p.aspace.segment(seg).expect("segment exists");
+            if segment.node_counts()[owner.idx()] == segment.len() {
+                continue;
+            }
+            for page in 0..segment.len() {
+                if moves.len() as u64 >= *budget_pages {
+                    break;
+                }
+                let at = segment.node_of(page);
+                if at != owner {
+                    moves.push(PendingMove { segment: seg, page, from: at, to: owner });
+                }
+            }
+        }
+
+        // 2. Shared pages toward a uniform spread over worker nodes: move
+        // pages off non-workers (and off over-weight workers) onto the
+        // most underweight workers.
+        let workers = p.workers;
+        let shared = p.shared_seg;
+        let segment = p.aspace.segment(shared).expect("shared segment");
+        let len = segment.len();
+        if len > 0 && (moves.len() as u64) < *budget_pages {
+            let target_per_worker = len as f64 / workers.len() as f64;
+            // Deficit per worker node.
+            let mut deficit: Vec<(NodeId, f64)> = workers
+                .iter()
+                .map(|w| (w, target_per_worker - segment.node_counts()[w.idx()] as f64))
+                .filter(|&(_, d)| d > 0.5)
+                .collect();
+            deficit.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+            if !deficit.is_empty() {
+                // Sources: nodes holding pages beyond their target (target
+                // is zero for non-workers).
+                let mut over: Vec<bool> = (0..n)
+                    .map(|i| {
+                        let tgt = if workers.contains(NodeId(i as u16)) {
+                            target_per_worker
+                        } else {
+                            0.0
+                        };
+                        segment.node_counts()[i] as f64 > tgt + 0.5
+                    })
+                    .collect();
+                let mut di = 0usize;
+                let mut remaining: Vec<f64> = deficit.iter().map(|&(_, d)| d).collect();
+                for page in 0..len {
+                    if moves.len() as u64 >= *budget_pages || di >= deficit.len() {
+                        break;
+                    }
+                    let at = segment.node_of(page);
+                    if !over[at.idx()] {
+                        continue;
+                    }
+                    let (to, _) = deficit[di];
+                    if at == to {
+                        continue;
+                    }
+                    moves.push(PendingMove { segment: shared, page, from: at, to });
+                    remaining[di] -= 1.0;
+                    if remaining[di] <= 0.0 {
+                        di += 1;
+                    }
+                    let _ = &mut over;
+                }
+            }
+        }
+
+        *budget_pages = budget_pages.saturating_sub(moves.len() as u64);
+        if !moves.is_empty() {
+            let _ = sim.enqueue_moves(pid, moves);
+        }
+    }
+}
+
+impl Daemon for AutoNuma {
+    fn name(&self) -> &str {
+        "autonuma"
+    }
+
+    fn tick(&mut self, sim: &mut Simulator) {
+        let mut budget = (self.cfg.bytes_per_scan / PAGE_SIZE as f64) as u64;
+        let pids: Vec<ProcessId> = if self.scope.is_empty() {
+            (0..usize::MAX)
+                .map_while(|i| sim.process(ProcessId(i)).ok().map(|p| p.id))
+                .collect()
+        } else {
+            self.scope.clone()
+        };
+        for pid in pids {
+            // Skip processes that still have queued migrations from the
+            // previous scan: re-queuing the same pages would double-move.
+            if sim.pending_migrations(pid) > 0 {
+                continue;
+            }
+            self.balance_process(sim, pid, &mut budget);
+            if budget == 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AppProfile, SimConfig, Simulator};
+    use crate::mem::policy::MemPolicy;
+    use bwap_topology::{machines, NodeSet};
+
+    fn profile() -> AppProfile {
+        AppProfile {
+            name: "app".into(),
+            read_gbps_per_thread: 1.0,
+            write_gbps_per_thread: 0.0,
+            private_frac: 0.3,
+            latency_sensitivity: 0.1,
+            serial_frac: 0.0,
+            multinode_penalty: 0.0,
+            shared_pages: 8_000,
+            private_pages_per_thread: 100,
+            total_traffic_gb: f64::INFINITY,
+            open_loop: false,
+        }
+    }
+
+    #[test]
+    fn autonuma_spreads_shared_pages_over_workers_only() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let workers = NodeSet::from_nodes([NodeId(1), NodeId(2)]);
+        // Start with everything bound to node 0 (a non-worker).
+        let pid = sim.spawn(profile(), workers, None, MemPolicy::Bind(NodeId(0))).unwrap();
+        let an = AutoNuma::new(AutoNumaConfig::default());
+        let period = an.period();
+        sim.add_daemon(Box::new(an), period, period);
+        sim.run_for(20.0);
+        let d = sim.shared_distribution(pid).unwrap();
+        assert!(d[0] < 0.02, "non-worker drained: {d:?}");
+        assert!((d[1] - 0.5).abs() < 0.05, "{d:?}");
+        assert!((d[2] - 0.5).abs() < 0.05, "{d:?}");
+        // Private pages went home.
+        let full = sim.full_distribution(pid).unwrap();
+        assert!(full[0] < 0.02, "{full:?}");
+    }
+
+    #[test]
+    fn autonuma_is_rate_limited() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let workers = NodeSet::from_nodes([NodeId(1), NodeId(2)]);
+        let pid = sim.spawn(profile(), workers, None, MemPolicy::Bind(NodeId(0))).unwrap();
+        let cfg = AutoNumaConfig { scan_period: 0.1, bytes_per_scan: 40.0 * 4096.0 };
+        let an = AutoNuma::new(cfg);
+        sim.add_daemon(Box::new(an), 0.1, 0.1);
+        sim.run_for(0.35);
+        // At most 3 scans x 40 pages have been queued/moved.
+        let moved = sim.migrated_pages(pid) + sim.pending_migrations(pid) as u64;
+        assert!(moved <= 120, "moved {moved}");
+        assert!(moved > 0);
+    }
+
+    #[test]
+    fn autonuma_scoped_to_processes() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let w1 = NodeSet::single(NodeId(1));
+        let w2 = NodeSet::single(NodeId(2));
+        let a = sim.spawn(profile(), w1, None, MemPolicy::Bind(NodeId(0))).unwrap();
+        let b = sim.spawn(profile(), w2, None, MemPolicy::Bind(NodeId(0))).unwrap();
+        let an = AutoNuma::for_processes(AutoNumaConfig::default(), vec![a]);
+        sim.add_daemon(Box::new(an), 0.1, 0.1);
+        sim.run_for(10.0);
+        let da = sim.shared_distribution(a).unwrap();
+        let db = sim.shared_distribution(b).unwrap();
+        assert!(da[1] > 0.9, "scoped process balanced: {da:?}");
+        assert!((db[0] - 1.0).abs() < 1e-9, "unscoped untouched: {db:?}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Translating processes and page placements into fabric demand.
+//!
+//! # Execution model
+//!
+//! An application processes abstract *work* that requires memory traffic.
+//! Per thread, at the reference latency `L0` and with no bandwidth
+//! starvation, the workload demands `D0 = read + write` GB/s. Placement
+//! affects execution through two channels:
+//!
+//! * **Latency**: a fraction `alpha` of the serial critical path is
+//!   latency-bound memory accesses (dependent loads). With average access
+//!   latency `L(w)` — placement-weighted over the latency matrix — the
+//!   serial time per unit of work scales by
+//!   `latency_factor = (1 - alpha) + alpha * L(w)/L0`, so the unstalled
+//!   demand becomes `D = D0 / latency_factor`.
+//! * **Bandwidth**: the fabric allocates each `(process, worker node)`
+//!   group a lock-step utilization `u ∈ [0, 1]` of its demand vector
+//!   (the paper's Eq. 1/3 pacing: progress follows the slowest parallel
+//!   transfer).
+//!
+//! Progress per thread is `u * D` bytes of traffic per second; stall
+//! cycles follow `stall_frac = 1 - u * (1 - alpha) / latency_factor`
+//! (at `u = 1` and local-like latency this is `alpha`, the workload's
+//! intrinsic memory-stall share). Parallel efficiency (Amdahl serial
+//! fraction plus a per-extra-worker-node penalty) scales demand and
+//! progress identically, so poorly scaling applications gain nothing from
+//! extra nodes — reproducing the paper's stand-alone scenario where some
+//! applications peak below the machine size (Fig. 3c/d).
+
+use crate::engine::AppProfile;
+use crate::process::SimProcess;
+use crate::REFERENCE_LATENCY_NS;
+use bwap_fabric::{FlowDemand, GroupSpec};
+use bwap_topology::{MachineTopology, NodeId};
+
+/// Post-solve context for one application group.
+#[derive(Debug, Clone)]
+pub(crate) struct GroupMeta {
+    /// Worker node index.
+    pub node: usize,
+    /// Thread count for cycle accounting (open-loop workloads split a
+    /// node's threads across flow groups).
+    pub cycle_threads: f64,
+    /// Aggregate unstalled demand of the node's threads (GB/s), efficiency
+    /// and latency adjusted.
+    pub demand_gbps: f64,
+    /// Serial-time scaling from average access latency.
+    pub latency_factor: f64,
+    /// Traffic share per memory node.
+    pub share: Vec<f64>,
+}
+
+/// Parallel efficiency per thread for `threads` total threads over
+/// `worker_nodes` nodes (Amdahl + multi-node communication penalty).
+pub(crate) fn parallel_efficiency(profile: &AppProfile, threads: u32, worker_nodes: usize) -> f64 {
+    if threads == 0 {
+        return 0.0;
+    }
+    let t = threads as f64;
+    let f = profile.serial_frac;
+    let speedup = 1.0 / (f + (1.0 - f) / t);
+    let node_penalty = 1.0 + profile.multinode_penalty * (worker_nodes.saturating_sub(1)) as f64;
+    (speedup / t) / node_penalty
+}
+
+/// Queueing-delay inflation of DRAM access latency as a controller
+/// approaches saturation: `1 + a * rho^b` with `rho` the controller's
+/// utilization in the previous epoch. The shape (flat until ~70 %, then a
+/// steep knee toward ~3x at saturation with the default `a = 2, b = 4`)
+/// follows measured loaded-latency curves; exact constants only scale the
+/// effect, never its direction.
+pub(crate) fn latency_inflation(rho: f64, a: f64, b: f64) -> f64 {
+    1.0 + a * rho.clamp(0.0, 1.0).powf(b)
+}
+
+/// Build the demand groups for one running process. Returns parallel
+/// vectors of fabric groups and their metadata. `ctrl_util` is each
+/// node controller's utilization in the previous epoch (for loaded
+/// latency); `lat_infl` the `(a, b)` inflation parameters.
+pub(crate) fn build_app_groups(
+    proc_: &SimProcess,
+    machine: &MachineTopology,
+    ctrl_util: &[f64],
+    lat_infl: (f64, f64),
+    make_id: impl Fn(usize) -> u64,
+) -> (Vec<GroupSpec>, Vec<GroupMeta>) {
+    let n = machine.node_count();
+    let profile = &proc_.profile;
+    let shared_dist = proc_
+        .aspace
+        .segment(proc_.shared_seg)
+        .expect("shared segment exists")
+        .distribution();
+    let total_threads = proc_.total_threads();
+    let eff = parallel_efficiency(profile, total_threads, proc_.worker_count());
+    let d0_thread = profile.read_gbps_per_thread + profile.write_gbps_per_thread;
+    let read_frac = if d0_thread > 0.0 {
+        profile.read_gbps_per_thread / d0_thread
+    } else {
+        1.0
+    };
+    let mut groups = Vec::new();
+    let mut metas = Vec::new();
+    for w in 0..n {
+        let t_w = proc_.threads_per_node[w];
+        if t_w == 0 {
+            continue;
+        }
+        // Private-page distribution of this node's threads.
+        let mut priv_dist = vec![0.0f64; n];
+        let mut priv_segs = 0usize;
+        for &(owner, seg) in &proc_.private_segs {
+            if owner.idx() == w {
+                let d = proc_.aspace.segment(seg).expect("private segment exists").distribution();
+                for i in 0..n {
+                    priv_dist[i] += d[i];
+                }
+                priv_segs += 1;
+            }
+        }
+        if priv_segs > 0 {
+            for v in &mut priv_dist {
+                *v /= priv_segs as f64;
+            }
+        }
+        let p = profile.private_frac;
+        let share: Vec<f64> = (0..n)
+            .map(|i| p * priv_dist[i] + (1.0 - p) * shared_dist[i])
+            .collect();
+        // Average access latency seen from node w, inflated by queueing
+        // delay at loaded controllers.
+        let lat_w: f64 = (0..n)
+            .map(|i| {
+                share[i]
+                    * machine.latency_ns().get(NodeId(i as u16), NodeId(w as u16))
+                    * latency_inflation(ctrl_util[i], lat_infl.0, lat_infl.1)
+            })
+            .sum();
+        let alpha = profile.latency_sensitivity;
+        let latency_factor = (1.0 - alpha) + alpha * lat_w / REFERENCE_LATENCY_NS;
+        let demand_gbps = t_w as f64 * eff * d0_thread / latency_factor;
+        let mk_flow = |i: usize| FlowDemand {
+            mem: NodeId(i as u16),
+            cpu: NodeId(w as u16),
+            read_gbps: demand_gbps * share[i] * read_frac,
+            write_gbps: demand_gbps * share[i] * (1.0 - read_frac),
+        };
+        if profile.open_loop {
+            // One independent bundle per memory node: fast paths deliver
+            // their full share even while slow paths starve. A thread
+            // with many outstanding requests turns over slots on a fast
+            // path proportionally faster, so when a *shared* resource
+            // (core ingress, a controller) binds, per-path throughput
+            // splits proportionally to path speed — modelled by weighting
+            // each bundle with its path bandwidth. Cycle accounting splits
+            // the node's threads across its flow groups so totals stay
+            // correct.
+            let active: Vec<usize> =
+                (0..n).filter(|&i| share[i] > 1e-12 && demand_gbps > 0.0).collect();
+            let cycle_share = t_w as f64 / active.len().max(1) as f64;
+            for &i in &active {
+                let mut one_hot = vec![0.0; n];
+                one_hot[i] = 1.0;
+                let path_bw = machine.path_caps().get(NodeId(i as u16), NodeId(w as u16));
+                groups.push(GroupSpec {
+                    id: make_id(w),
+                    weight: t_w as f64 * path_bw,
+                    cap: 1.0,
+                    flows: vec![mk_flow(i)],
+                });
+                metas.push(GroupMeta {
+                    node: w,
+                    cycle_threads: cycle_share,
+                    demand_gbps: demand_gbps * share[i],
+                    latency_factor,
+                    share: one_hot,
+                });
+            }
+        } else {
+            let flows: Vec<FlowDemand> =
+                (0..n).filter(|&i| share[i] > 1e-12 && demand_gbps > 0.0).map(mk_flow).collect();
+            groups.push(GroupSpec { id: make_id(w), weight: t_w as f64, cap: 1.0, flows });
+            metas.push(GroupMeta {
+                node: w,
+                cycle_threads: t_w as f64,
+                demand_gbps,
+                latency_factor,
+                share,
+            });
+        }
+    }
+    (groups, metas)
+}
+
+/// Stall fraction of threads running at utilization `u` with the given
+/// latency factor and latency sensitivity `alpha`.
+pub(crate) fn stall_fraction(u: f64, alpha: f64, latency_factor: f64) -> f64 {
+    (1.0 - u * (1.0 - alpha) / latency_factor).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(alpha: f64, serial: f64, penalty: f64) -> AppProfile {
+        AppProfile {
+            name: "t".into(),
+            read_gbps_per_thread: 2.0,
+            write_gbps_per_thread: 1.0,
+            private_frac: 0.0,
+            latency_sensitivity: alpha,
+            serial_frac: serial,
+            multinode_penalty: penalty,
+            shared_pages: 100,
+            private_pages_per_thread: 10,
+            total_traffic_gb: 10.0,
+            open_loop: false,
+        }
+    }
+
+    #[test]
+    fn efficiency_perfect_scaling() {
+        let p = profile(0.0, 0.0, 0.0);
+        assert!((parallel_efficiency(&p, 1, 1) - 1.0).abs() < 1e-12);
+        assert!((parallel_efficiency(&p, 16, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_amdahl_limits() {
+        let p = profile(0.0, 0.5, 0.0);
+        // speedup(4) = 1/(0.5+0.125) = 1.6; eff = 0.4
+        assert!((parallel_efficiency(&p, 4, 1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_multinode_penalty() {
+        let p = profile(0.0, 0.0, 0.25);
+        assert!((parallel_efficiency(&p, 8, 2) - 1.0 / 1.25).abs() < 1e-12);
+        assert!((parallel_efficiency(&p, 8, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_fraction_baseline_is_alpha() {
+        // u = 1, local latency (factor 1): stall share equals alpha.
+        assert!((stall_fraction(1.0, 0.3, 1.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_inflation_shape() {
+        // flat at idle, ~3x at saturation with defaults
+        assert!((latency_inflation(0.0, 2.0, 4.0) - 1.0).abs() < 1e-12);
+        assert!(latency_inflation(0.5, 2.0, 4.0) < 1.2);
+        assert!((latency_inflation(1.0, 2.0, 4.0) - 3.0).abs() < 1e-12);
+        // monotone
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let v = latency_inflation(i as f64 / 10.0, 2.0, 4.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+        // ablated
+        assert_eq!(latency_inflation(0.9, 0.0, 4.0), 1.0);
+    }
+
+    #[test]
+    fn stall_fraction_grows_with_starvation_and_latency() {
+        let base = stall_fraction(1.0, 0.3, 1.0);
+        assert!(stall_fraction(0.5, 0.3, 1.0) > base);
+        assert!(stall_fraction(1.0, 0.3, 1.5) > base);
+        assert_eq!(stall_fraction(0.0, 0.3, 1.0), 1.0);
+    }
+}

@@ -1,0 +1,879 @@
+//! The epoch-based simulation engine.
+//!
+//! Each epoch (`SimConfig::epoch_dt` of simulated time) the engine:
+//!
+//! 1. converts every running process's page placement and workload profile
+//!    into lock-step demand groups (one per worker node — see [`demand`]);
+//! 2. adds rate-limited migration traffic for pending page moves;
+//! 3. lets `bwap-fabric` allocate bandwidth (weighted demand-bounded
+//!    max-min over the machine's controllers, links, path caps and ingress
+//!    limits);
+//! 4. advances progress, accounts stall cycles and per-flow counters, and
+//!    completes migrations;
+//! 5. fires due daemons (AutoNUMA, tuners, monitors).
+//!
+//! Everything is deterministic: identical inputs give identical traces.
+
+pub(crate) mod demand;
+
+use crate::daemon::Daemon;
+use crate::error::SimError;
+use crate::mem::address_space::AddressSpace;
+use crate::mem::frames::FramePools;
+use crate::mem::migrate::{MigrationQueue, PendingMove};
+use crate::mem::policy::MemPolicy;
+use crate::mem::segment::{SegmentId, SegmentKind};
+use crate::perf::{PerfCounters, ProcessSample};
+use crate::process::{ProcessId, ProcessState, SimProcess};
+use crate::CLOCK_HZ;
+use bwap_fabric::{ControllerModel, DemandSet, FlowDemand, GroupSpec, ResourceTable};
+use bwap_topology::{MachineTopology, NodeId, NodeSet, PAGE_SIZE};
+
+/// Workload characterization of an application (the simulated analogue of
+/// the paper's Table I plus scalability traits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Application name (diagnostics, reports).
+    pub name: String,
+    /// Read demand per thread at reference latency, unstalled (GB/s).
+    pub read_gbps_per_thread: f64,
+    /// Write demand per thread (GB/s).
+    pub write_gbps_per_thread: f64,
+    /// Fraction of traffic addressing thread-private pages (Table I
+    /// "private accesses").
+    pub private_frac: f64,
+    /// Fraction of the serial critical path that is latency-bound memory
+    /// access (`alpha`): 0 = pure bandwidth streaming, 1 = pure pointer
+    /// chasing.
+    pub latency_sensitivity: f64,
+    /// Amdahl serial fraction (limits thread scaling).
+    pub serial_frac: f64,
+    /// Relative slowdown per additional worker node (synchronization /
+    /// sharing traffic across nodes).
+    pub multinode_penalty: f64,
+    /// Shared segment size in pages.
+    pub shared_pages: u64,
+    /// Private segment size per thread, pages.
+    pub private_pages_per_thread: u64,
+    /// Total traffic to process before completion, GB (`f64::INFINITY`
+    /// for continuously running services).
+    pub total_traffic_gb: f64,
+    /// `false` (normal applications): each worker node's transfers pace
+    /// each other in lock-step — progress follows the slowest parallel
+    /// transfer (the paper's Eq. 1/3). `true` (bandwidth probes such as
+    /// the canonical tuner's reference workload): every `(memory node,
+    /// worker)` flow fills its path independently, so per-path counters
+    /// expose the asymmetric path bandwidths.
+    pub open_loop: bool,
+}
+
+impl AppProfile {
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |m: String| Err(SimError::InvalidWeights(m));
+        if !(self.read_gbps_per_thread >= 0.0 && self.read_gbps_per_thread.is_finite()) {
+            return bad(format!("read_gbps {}", self.read_gbps_per_thread));
+        }
+        if !(self.write_gbps_per_thread >= 0.0 && self.write_gbps_per_thread.is_finite()) {
+            return bad(format!("write_gbps {}", self.write_gbps_per_thread));
+        }
+        for (name, v) in [
+            ("private_frac", self.private_frac),
+            ("latency_sensitivity", self.latency_sensitivity),
+            ("serial_frac", self.serial_frac),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return bad(format!("{name} {v} outside [0,1]"));
+            }
+        }
+        if self.serial_frac >= 1.0 {
+            return bad("serial_frac must be < 1".into());
+        }
+        if !(self.multinode_penalty >= 0.0 && self.multinode_penalty.is_finite()) {
+            return bad(format!("multinode_penalty {}", self.multinode_penalty));
+        }
+        if self.shared_pages == 0 {
+            return bad("shared_pages must be > 0".into());
+        }
+        if !(self.total_traffic_gb > 0.0) {
+            return bad(format!("total_traffic_gb {}", self.total_traffic_gb));
+        }
+        Ok(())
+    }
+
+    /// Whether the application runs forever (service-style).
+    pub fn runs_forever(&self) -> bool {
+        self.total_traffic_gb.is_infinite()
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Epoch length, simulated seconds.
+    pub epoch_dt: f64,
+    /// Per-process migration engine bandwidth cap (GB/s) — the kernel's
+    /// page-copy throughput budget.
+    pub migration_gbps: f64,
+    /// Memory-controller behaviour.
+    pub ctrl_model: ControllerModel,
+    /// Loaded-latency inflation `(a, b)`: access latency to a node scales
+    /// by `1 + a * rho^b` with `rho` its controller's utilization (see
+    /// `demand::latency_inflation`). Set `a = 0` to ablate queueing
+    /// delay.
+    pub latency_inflation: (f64, f64),
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            epoch_dt: 0.005,
+            migration_gbps: 2.0,
+            ctrl_model: ControllerModel::default(),
+            latency_inflation: (2.0, 4.0),
+        }
+    }
+}
+
+struct DaemonSlot {
+    next_fire: f64,
+    period: f64,
+    daemon: Option<Box<dyn Daemon>>,
+}
+
+/// The simulated machine + OS. See module docs.
+pub struct Simulator {
+    machine: MachineTopology,
+    resources: ResourceTable,
+    cfg: SimConfig,
+    frames: FramePools,
+    fallback: Vec<Vec<NodeId>>,
+    procs: Vec<SimProcess>,
+    daemons: Vec<DaemonSlot>,
+    clock: f64,
+    counters: PerfCounters,
+    /// Controller utilization per node in the previous epoch (drives the
+    /// loaded-latency feedback).
+    ctrl_util: Vec<f64>,
+}
+
+impl Simulator {
+    /// Boot a machine.
+    pub fn new(machine: MachineTopology, cfg: SimConfig) -> Self {
+        assert!(cfg.epoch_dt > 0.0, "epoch must be positive");
+        cfg.ctrl_model.validate().expect("valid controller model");
+        let resources = ResourceTable::from_machine(&machine);
+        let frames = FramePools::from_machine(&machine);
+        let n = machine.node_count();
+        // Allocation spill order: nearest (lowest latency) first.
+        let fallback: Vec<Vec<NodeId>> = (0..n)
+            .map(|t| {
+                let mut others: Vec<NodeId> = (0..n)
+                    .filter(|&i| i != t)
+                    .map(|i| NodeId(i as u16))
+                    .collect();
+                others.sort_by(|a, b| {
+                    machine
+                        .latency_ns()
+                        .get(*a, NodeId(t as u16))
+                        .partial_cmp(&machine.latency_ns().get(*b, NodeId(t as u16)))
+                        .unwrap()
+                        .then(a.0.cmp(&b.0))
+                });
+                others
+            })
+            .collect();
+        Simulator {
+            counters: PerfCounters::new(n),
+            machine,
+            resources,
+            cfg,
+            frames,
+            fallback,
+            procs: Vec::new(),
+            daemons: Vec::new(),
+            clock: 0.0,
+            ctrl_util: vec![0.0; n],
+        }
+    }
+
+    /// Controller utilization per node during the previous epoch.
+    pub fn controller_utilization(&self) -> &[f64] {
+        &self.ctrl_util
+    }
+
+    /// The machine being simulated.
+    pub fn machine(&self) -> &MachineTopology {
+        &self.machine
+    }
+
+    /// Current simulated time, seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Performance counters.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Launch a process: pin `threads_per_node` threads (default: every
+    /// core) on each worker node, allocate and first-touch its memory under
+    /// `policy` (applied to all segments, like `numactl`).
+    ///
+    /// Shared pages are touched by the master thread on the first worker
+    /// node; private pages by their owning thread — so under
+    /// [`MemPolicy::FirstTouch`] shared data centralizes on one node, the
+    /// pathology the paper's Fig. 1b demonstrates.
+    pub fn spawn(
+        &mut self,
+        profile: AppProfile,
+        workers: NodeSet,
+        threads_per_node: Option<u16>,
+        policy: MemPolicy,
+    ) -> Result<ProcessId, SimError> {
+        profile.validate()?;
+        policy.validate(self.machine.node_count())?;
+        if workers.is_empty() {
+            return Err(SimError::InvalidNodes("empty worker set".into()));
+        }
+        if !workers.is_subset(self.machine.all_nodes()) {
+            return Err(SimError::InvalidNodes(format!("workers {workers} exceed machine")));
+        }
+        let min_cores = workers
+            .iter()
+            .map(|w| self.machine.node(w).cores)
+            .min()
+            .expect("non-empty workers");
+        let tpn = threads_per_node.unwrap_or(min_cores);
+        if tpn == 0 || tpn > min_cores {
+            return Err(SimError::InvalidNodes(format!(
+                "threads per node {tpn} exceeds cores {min_cores}"
+            )));
+        }
+        let pid = ProcessId(self.procs.len());
+        let mut threads_per_node_vec = vec![0u16; self.machine.node_count()];
+        for w in workers.iter() {
+            threads_per_node_vec[w.idx()] = tpn;
+        }
+        let master = workers.min().expect("non-empty workers");
+        let mut aspace = AddressSpace::new();
+        let shared_seg = aspace.create_segment(
+            SegmentKind::Shared,
+            profile.shared_pages,
+            &policy,
+            master,
+            &mut self.frames,
+            &self.fallback,
+        )?;
+        let mut private_segs = Vec::new();
+        let mut thread_idx = 0usize;
+        for w in workers.iter() {
+            for _ in 0..tpn {
+                let seg = aspace.create_segment(
+                    SegmentKind::Private { thread: thread_idx },
+                    profile.private_pages_per_thread.max(1),
+                    &policy,
+                    w,
+                    &mut self.frames,
+                    &self.fallback,
+                )?;
+                private_segs.push((w, seg));
+                thread_idx += 1;
+            }
+        }
+        self.counters.register_process(pid);
+        self.procs.push(SimProcess {
+            id: pid,
+            profile,
+            workers,
+            threads_per_node: threads_per_node_vec,
+            aspace,
+            shared_seg,
+            private_segs,
+            work_done_gb: 0.0,
+            state: ProcessState::Running,
+            started_at: self.clock,
+            migrations: MigrationQueue::new(),
+            migration_credit: 0.0,
+        });
+        Ok(pid)
+    }
+
+    /// Borrow a process.
+    pub fn process(&self, pid: ProcessId) -> Result<&SimProcess, SimError> {
+        self.procs.get(pid.0).ok_or(SimError::NoSuchProcess(pid.0))
+    }
+
+    fn process_mut(&mut self, pid: ProcessId) -> Result<&mut SimProcess, SimError> {
+        self.procs.get_mut(pid.0).ok_or(SimError::NoSuchProcess(pid.0))
+    }
+
+    /// `mbind(2)` analogue: apply `policy` to `[start, start+len)` of a
+    /// segment. With `move_pages` (the `MPOL_MF_MOVE | MPOL_MF_STRICT`
+    /// combination the paper uses), queues migration of non-complying
+    /// pages; they move at the migration engine's rate over the following
+    /// epochs. Returns the number of queued moves.
+    pub fn mbind(
+        &mut self,
+        pid: ProcessId,
+        seg: SegmentId,
+        start: u64,
+        len: u64,
+        policy: MemPolicy,
+        move_pages: bool,
+    ) -> Result<usize, SimError> {
+        policy.validate(self.machine.node_count())?;
+        let pending: Vec<PendingMove> = {
+            let proc_ = self.process(pid)?;
+            let master = proc_.master_node();
+            let segment = proc_.aspace.segment(seg)?;
+            let moves = segment.non_complying(start, len, &policy, master)?;
+            if !move_pages {
+                return Ok(0);
+            }
+            moves
+                .into_iter()
+                .map(|(page, to)| PendingMove {
+                    segment: seg,
+                    page,
+                    from: segment.node_of(page),
+                    to,
+                })
+                .collect()
+        };
+        // A new mbind over the range supersedes any moves still queued for
+        // it (the latest policy wins, as with Linux's synchronous mbind).
+        let proc_ = self.process_mut(pid)?;
+        proc_.migrations.cancel_range(seg, start, len);
+        let count = pending.len();
+        proc_.migrations.enqueue(pending);
+        Ok(count)
+    }
+
+    /// Apply one policy across every segment of the process (shared and
+    /// private), as `numactl` does for a whole address space. Returns total
+    /// queued moves.
+    pub fn apply_policy_all_segments(
+        &mut self,
+        pid: ProcessId,
+        policy: &MemPolicy,
+        move_pages: bool,
+    ) -> Result<usize, SimError> {
+        let segs: Vec<(SegmentId, u64)> = self
+            .process(pid)?
+            .aspace
+            .iter()
+            .map(|(id, s)| (id, s.len()))
+            .collect();
+        let mut total = 0;
+        for (id, len) in segs {
+            total += self.mbind(pid, id, 0, len, policy.clone(), move_pages)?;
+        }
+        Ok(total)
+    }
+
+    /// Directly enqueue page moves (used by AutoNUMA and tests).
+    pub fn enqueue_moves(&mut self, pid: ProcessId, moves: Vec<PendingMove>) -> Result<(), SimError> {
+        self.process_mut(pid)?.migrations.enqueue(moves);
+        Ok(())
+    }
+
+    /// Number of queued-but-unfinished page moves.
+    pub fn pending_migrations(&self, pid: ProcessId) -> usize {
+        self.procs.get(pid.0).map_or(0, |p| p.migrations.pending())
+    }
+
+    /// Pages migrated so far on behalf of `pid`.
+    pub fn migrated_pages(&self, pid: ProcessId) -> u64 {
+        self.procs.get(pid.0).map_or(0, |p| p.migrations.migrated_total)
+    }
+
+    /// Replace a running process's workload characterization mid-run —
+    /// the simulated analogue of an application entering a new execution
+    /// phase (different demand, read/write mix, latency sensitivity).
+    /// Memory layout (segment sizes) is kept; only demand characteristics
+    /// change. Total work continues counting against the *new* profile's
+    /// `total_traffic_gb`.
+    pub fn set_profile(&mut self, pid: ProcessId, profile: AppProfile) -> Result<(), SimError> {
+        profile.validate()?;
+        let p = self.process_mut(pid)?;
+        if !p.is_running() {
+            return Err(SimError::ProcessFinished(pid.0));
+        }
+        p.profile = profile;
+        Ok(())
+    }
+
+    /// Snapshot of a process's cycle/stall/traffic counters.
+    pub fn sample(&self, pid: ProcessId) -> Result<ProcessSample, SimError> {
+        let pc = self
+            .procs
+            .get(pid.0)
+            .ok_or(SimError::NoSuchProcess(pid.0))
+            .map(|_| self.counters.process(pid))?;
+        Ok(ProcessSample {
+            time: self.clock,
+            cycles: pc.cycles,
+            stall_cycles: pc.stall_cycles,
+            traffic_bytes: pc.traffic_bytes,
+        })
+    }
+
+    /// Current page distribution of the shared segment (fractions per
+    /// node).
+    pub fn shared_distribution(&self, pid: ProcessId) -> Result<Vec<f64>, SimError> {
+        let p = self.process(pid)?;
+        Ok(p.aspace.segment(p.shared_seg)?.distribution())
+    }
+
+    /// Aggregate page distribution over the whole address space.
+    pub fn full_distribution(&self, pid: ProcessId) -> Result<Vec<f64>, SimError> {
+        let p = self.process(pid)?;
+        let counts = p.aspace.node_counts(self.machine.node_count());
+        let total: u64 = counts.iter().sum();
+        Ok(counts.iter().map(|&c| c as f64 / total.max(1) as f64).collect())
+    }
+
+    /// Register a periodic daemon; first fire at `clock + phase`, then
+    /// every `period`.
+    pub fn add_daemon(&mut self, daemon: Box<dyn Daemon>, period: f64, phase: f64) {
+        assert!(period > 0.0, "daemon period must be positive");
+        self.daemons.push(DaemonSlot {
+            next_fire: self.clock + phase,
+            period,
+            daemon: Some(daemon),
+        });
+    }
+
+    /// Execution time of a finished process.
+    pub fn execution_time(&self, pid: ProcessId) -> Option<f64> {
+        self.procs.get(pid.0).and_then(|p| p.execution_time())
+    }
+
+    /// Advance one epoch.
+    pub fn step(&mut self) {
+        let dt = self.cfg.epoch_dt;
+        let n = self.machine.node_count();
+
+        // 1-2. Assemble demand.
+        let mut ds = DemandSet::new();
+        let mut app_meta: Vec<(ProcessId, demand::GroupMeta)> = Vec::new();
+        for p in &self.procs {
+            if !p.is_running() {
+                continue;
+            }
+            let pid = p.id;
+            let (groups, metas) = demand::build_app_groups(
+                p,
+                &self.machine,
+                &self.ctrl_util,
+                self.cfg.latency_inflation,
+                |w| (pid.0 as u64) << 16 | w as u64,
+            );
+            for (g, m) in groups.into_iter().zip(metas) {
+                ds.push(g);
+                app_meta.push((pid, m));
+            }
+        }
+        let app_groups = ds.groups.len();
+        struct MigAttempt {
+            pid: ProcessId,
+            pages: usize,
+        }
+        let mut mig_meta: Vec<MigAttempt> = Vec::new();
+        for p in &self.procs {
+            if p.migrations.is_empty() {
+                continue;
+            }
+            let budget_pages =
+                ((self.cfg.migration_gbps * 1e9 * dt) / PAGE_SIZE as f64).ceil() as usize;
+            let attempt = budget_pages.min(p.migrations.pending()).max(1);
+            // Aggregate attempted moves by (from, to).
+            let mut per_pair: Vec<((u16, u16), usize)> = Vec::new();
+            for mv in p.migrations.peek(attempt) {
+                let key = (mv.from.0, mv.to.0);
+                match per_pair.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, c)) => *c += 1,
+                    None => per_pair.push((key, 1)),
+                }
+            }
+            let flows: Vec<FlowDemand> = per_pair
+                .iter()
+                .flat_map(|&((from, to), count)| {
+                    let rate = count as f64 * PAGE_SIZE as f64 / dt / 1e9;
+                    [
+                        // Read the page from its current node...
+                        FlowDemand {
+                            mem: NodeId(from),
+                            cpu: NodeId(to),
+                            read_gbps: rate,
+                            write_gbps: 0.0,
+                        },
+                        // ...and write it into the destination node.
+                        FlowDemand {
+                            mem: NodeId(to),
+                            cpu: NodeId(to),
+                            read_gbps: 0.0,
+                            write_gbps: rate,
+                        },
+                    ]
+                })
+                .collect();
+            ds.push(GroupSpec {
+                id: (1u64 << 63) | p.id.0 as u64,
+                weight: 1.0,
+                cap: 1.0,
+                flows,
+            });
+            mig_meta.push(MigAttempt { pid: p.id, pages: attempt });
+        }
+
+        // 3. Allocate bandwidth.
+        let solved = ds.solve(&self.machine, &self.resources, &self.cfg.ctrl_model);
+        for i in 0..n {
+            let r = self.resources.ctrl(NodeId(i as u16));
+            self.ctrl_util[i] = solved.allocation.utilization(self.resources.capacities(), r);
+        }
+
+        // 4. Progress, stalls, counters.
+        // Group app outcomes per process.
+        let mut per_proc: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.procs.len()];
+        for (gi, (pid, _)) in app_meta.iter().enumerate() {
+            per_proc[pid.0].push((gi, solved.outcomes[gi].activity));
+        }
+        for pid_idx in 0..self.procs.len() {
+            if per_proc[pid_idx].is_empty() {
+                continue;
+            }
+            let rate_gbps: f64 = per_proc[pid_idx]
+                .iter()
+                .map(|&(gi, u)| u * app_meta[gi].1.demand_gbps)
+                .sum();
+            let p = &self.procs[pid_idx];
+            let remaining = p.profile.total_traffic_gb - p.work_done_gb;
+            let frac = if rate_gbps * dt >= remaining && remaining.is_finite() {
+                (remaining / (rate_gbps * dt)).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            let dt_eff = dt * frac;
+            let alpha = p.profile.latency_sensitivity;
+            let pid = p.id;
+            for &(gi, u) in &per_proc[pid_idx] {
+                let meta = &app_meta[gi].1;
+                let stall = demand::stall_fraction(u, alpha, meta.latency_factor);
+                let cycles = meta.cycle_threads * CLOCK_HZ * dt_eff;
+                self.counters.record_cycles(pid, cycles, stall * cycles);
+                let node_bytes = u * meta.demand_gbps * 1e9 * dt_eff;
+                let read_frac = {
+                    let pr = &self.procs[pid_idx].profile;
+                    let tot = pr.read_gbps_per_thread + pr.write_gbps_per_thread;
+                    if tot > 0.0 {
+                        pr.read_gbps_per_thread / tot
+                    } else {
+                        1.0
+                    }
+                };
+                for i in 0..n {
+                    let share = meta.share[i];
+                    if share > 1e-12 {
+                        self.counters.record_flow(
+                            pid,
+                            i,
+                            meta.node,
+                            node_bytes * share * read_frac,
+                            node_bytes * share * (1.0 - read_frac),
+                        );
+                    }
+                }
+            }
+            let p = &mut self.procs[pid_idx];
+            p.work_done_gb += rate_gbps * dt_eff;
+            if frac < 1.0 {
+                p.state = ProcessState::Finished { at: self.clock + dt_eff };
+                p.migrations.clear();
+            }
+        }
+
+        // 5. Complete migrations.
+        for (mi, att) in mig_meta.iter().enumerate() {
+            let u = solved.outcomes[app_groups + mi].activity;
+            let pid = att.pid;
+            self.procs[pid.0].migration_credit += u * att.pages as f64;
+            let completed = (self.procs[pid.0].migration_credit + 1e-9).floor() as usize;
+            if completed == 0 {
+                continue;
+            }
+            self.procs[pid.0].migration_credit -= completed as f64;
+            let moves = self.procs[pid.0].migrations.complete(completed);
+            for mv in moves {
+                // A later mbind may have re-queued this page while this
+                // move was pending: trust the page table, not the stale
+                // `from` recorded at enqueue time.
+                let current = self.procs[pid.0]
+                    .aspace
+                    .segment(mv.segment)
+                    .expect("segment exists")
+                    .node_of(mv.page);
+                if current == mv.to {
+                    continue;
+                }
+                // Best-effort: drop the move if the destination is full.
+                if self.frames.alloc(mv.to, 1).is_ok() {
+                    self.frames.release(current, 1);
+                    self.procs[pid.0]
+                        .aspace
+                        .segment_mut(mv.segment)
+                        .expect("segment exists")
+                        .relocate(mv.page, mv.to);
+                    self.counters.record_flow(
+                        pid,
+                        current.idx(),
+                        mv.to.idx(),
+                        PAGE_SIZE as f64,
+                        0.0,
+                    );
+                    self.counters.record_flow(pid, mv.to.idx(), mv.to.idx(), 0.0, PAGE_SIZE as f64);
+                }
+            }
+        }
+
+        // 6-7. Advance time, fire daemons.
+        self.clock += dt;
+        let mut i = 0;
+        while i < self.daemons.len() {
+            if self.clock + 1e-12 >= self.daemons[i].next_fire {
+                if let Some(mut d) = self.daemons[i].daemon.take() {
+                    d.tick(self);
+                    let done = d.done();
+                    self.daemons[i].next_fire += self.daemons[i].period;
+                    if !done {
+                        self.daemons[i].daemon = Some(d);
+                    }
+                }
+            }
+            i += 1;
+        }
+        self.daemons.retain(|s| s.daemon.is_some());
+    }
+
+    /// Run for a fixed amount of simulated time.
+    pub fn run_for(&mut self, seconds: f64) {
+        let end = self.clock + seconds;
+        while self.clock + 1e-12 < end {
+            self.step();
+        }
+    }
+
+    /// Run until `pid` finishes (or `max_seconds` of simulated time pass).
+    /// Returns the process's execution time.
+    pub fn run_until_finished(&mut self, pid: ProcessId, max_seconds: f64) -> Result<f64, SimError> {
+        let deadline = self.clock + max_seconds;
+        loop {
+            match self.process(pid)?.state {
+                ProcessState::Finished { .. } => {
+                    return Ok(self.execution_time(pid).expect("finished"));
+                }
+                ProcessState::Running => {
+                    if self.clock >= deadline {
+                        return Err(SimError::Timeout { pid: pid.0, deadline });
+                    }
+                    self.step();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwap_topology::machines;
+
+    fn profile(total_gb: f64) -> AppProfile {
+        AppProfile {
+            name: "stream".into(),
+            read_gbps_per_thread: 2.0,
+            write_gbps_per_thread: 0.0,
+            private_frac: 0.0,
+            latency_sensitivity: 0.0,
+            serial_frac: 0.0,
+            multinode_penalty: 0.0,
+            shared_pages: 10_000,
+            private_pages_per_thread: 16,
+            total_traffic_gb: total_gb,
+            open_loop: false,
+        }
+    }
+
+    #[test]
+    fn single_node_unconstrained_runs_at_demand() {
+        // 7 threads x 2 GB/s = 14 GB/s < 28 GB/s controller: exec time =
+        // 14 GB / 14 GB/s = 1 s.
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let pid = sim
+            .spawn(profile(14.0), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+            .unwrap();
+        let t = sim.run_until_finished(pid, 100.0).unwrap();
+        assert!((t - 1.0).abs() < 0.02, "exec time {t}");
+    }
+
+    #[test]
+    fn controller_saturation_slows_down() {
+        // Demand 42 GB/s against a 28 GB/s controller: u = 2/3, so the
+        // 42 GB of work takes 1.5 s.
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let mut p = profile(42.0);
+        p.read_gbps_per_thread = 6.0;
+        let pid = sim
+            .spawn(p, NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+            .unwrap();
+        let t = sim.run_until_finished(pid, 100.0).unwrap();
+        assert!((t - 1.5).abs() < 0.03, "exec time {t}");
+    }
+
+    #[test]
+    fn interleave_across_two_nodes_beats_saturated_local() {
+        let m = machines::machine_b();
+        // Saturating workload: 7 threads x 6 = 42 GB/s demand.
+        let mk = |policy| {
+            let mut sim = Simulator::new(m.clone(), SimConfig::default());
+            let mut p = profile(42.0);
+            p.read_gbps_per_thread = 6.0;
+            let pid = sim.spawn(p, NodeSet::single(NodeId(0)), None, policy).unwrap();
+            sim.run_until_finished(pid, 100.0).unwrap()
+        };
+        let local = mk(MemPolicy::FirstTouch);
+        let spread =
+            mk(MemPolicy::Interleave(NodeSet::from_nodes([NodeId(0), NodeId(1)])));
+        assert!(
+            spread < local * 0.85,
+            "interleaving should relieve the controller: local {local}, spread {spread}"
+        );
+    }
+
+    #[test]
+    fn first_touch_centralizes_shared_pages_on_master() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let workers = NodeSet::from_nodes([NodeId(1), NodeId(2)]);
+        let pid = sim.spawn(profile(10.0), workers, None, MemPolicy::FirstTouch).unwrap();
+        let d = sim.shared_distribution(pid).unwrap();
+        assert!((d[1] - 1.0).abs() < 1e-12, "master node holds all shared pages: {d:?}");
+        // private pages are local to each thread's node
+        let full = sim.full_distribution(pid).unwrap();
+        assert!(full[2] > 0.0);
+    }
+
+    #[test]
+    fn mbind_migrates_pages_over_time() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let pid = sim
+            .spawn(profile(1e6), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+            .unwrap();
+        let seg = sim.process(pid).unwrap().shared_seg;
+        let queued = sim
+            .mbind(pid, seg, 0, 10_000, MemPolicy::Bind(NodeId(3)), true)
+            .unwrap();
+        assert_eq!(queued, 10_000);
+        assert_eq!(sim.pending_migrations(pid), 10_000);
+        sim.run_for(0.5);
+        // 2 GB/s * 0.5 s / 4 KiB ≈ 244k pages of budget: all 10k done.
+        assert_eq!(sim.pending_migrations(pid), 0);
+        let d = sim.shared_distribution(pid).unwrap();
+        assert!((d[3] - 1.0).abs() < 1e-12, "{d:?}");
+        assert_eq!(sim.migrated_pages(pid), 10_000);
+    }
+
+    #[test]
+    fn mbind_without_move_only_counts_zero() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let pid = sim
+            .spawn(profile(10.0), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+            .unwrap();
+        let seg = sim.process(pid).unwrap().shared_seg;
+        let queued = sim
+            .mbind(pid, seg, 0, 100, MemPolicy::Bind(NodeId(1)), false)
+            .unwrap();
+        assert_eq!(queued, 0);
+        assert_eq!(sim.pending_migrations(pid), 0);
+    }
+
+    #[test]
+    fn stall_rate_rises_under_saturation() {
+        let m = machines::machine_b();
+        let measure = |read_gbps: f64| {
+            let mut sim = Simulator::new(m.clone(), SimConfig::default());
+            let mut p = profile(f64::INFINITY);
+            p.read_gbps_per_thread = read_gbps;
+            let pid = sim.spawn(p, NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch).unwrap();
+            let s0 = sim.sample(pid).unwrap();
+            sim.run_for(1.0);
+            let s1 = sim.sample(pid).unwrap();
+            s1.stall_rate_since(&s0)
+        };
+        let light = measure(1.0); // 7 GB/s demand, no contention
+        let heavy = measure(10.0); // 70 GB/s demand, heavily starved
+        assert!(heavy > light * 2.0, "light {light}, heavy {heavy}");
+    }
+
+    #[test]
+    fn two_processes_contend_for_one_controller() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let mut p = profile(28.0);
+        p.read_gbps_per_thread = 6.0; // 42 GB/s per process demand
+        let a = sim.spawn(p.clone(), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch).unwrap();
+        // Second process binds its memory to node 0 as well.
+        let b = sim
+            .spawn(p, NodeSet::single(NodeId(1)), None, MemPolicy::Bind(NodeId(0)))
+            .unwrap();
+        let ta = sim.run_until_finished(a, 100.0).unwrap();
+        let tb = sim.run_until_finished(b, 100.0).unwrap();
+        // Alone each would take 28/28=1.0s at full controller; sharing the
+        // controller they take about double, and within 10% of each other.
+        assert!(ta > 1.6 && tb > 1.6, "ta {ta}, tb {tb}");
+        assert!((ta - tb).abs() < 0.4, "ta {ta}, tb {tb}");
+    }
+
+    #[test]
+    fn invalid_spawns_rejected() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        assert!(sim
+            .spawn(profile(1.0), NodeSet::EMPTY, None, MemPolicy::FirstTouch)
+            .is_err());
+        assert!(sim
+            .spawn(profile(1.0), NodeSet::single(NodeId(9)), None, MemPolicy::FirstTouch)
+            .is_err());
+        assert!(sim
+            .spawn(profile(1.0), NodeSet::single(NodeId(0)), Some(99), MemPolicy::FirstTouch)
+            .is_err());
+        let mut bad = profile(1.0);
+        bad.serial_frac = 1.5;
+        assert!(sim.spawn(bad, NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch).is_err());
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_trace() {
+        let run = || {
+            let mut sim = Simulator::new(machines::machine_a(), SimConfig::default());
+            let mut p = profile(30.0);
+            p.read_gbps_per_thread = 3.0;
+            p.private_frac = 0.4;
+            let pid = sim
+                .spawn(
+                    p,
+                    NodeSet::from_nodes([NodeId(0), NodeId(1)]),
+                    None,
+                    MemPolicy::Interleave(NodeSet::from_nodes([NodeId(0), NodeId(1)])),
+                )
+                .unwrap();
+            sim.run_until_finished(pid, 200.0).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

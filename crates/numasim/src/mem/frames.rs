@@ -1,0 +1,134 @@
+//! Physical frame accounting per node.
+
+use crate::error::SimError;
+use bwap_topology::{MachineTopology, NodeId};
+
+/// Tracks free/used physical page frames on every node.
+#[derive(Debug, Clone)]
+pub struct FramePools {
+    capacity: Vec<u64>,
+    used: Vec<u64>,
+}
+
+impl FramePools {
+    /// Pools sized from the machine's per-node memory.
+    pub fn from_machine(m: &MachineTopology) -> Self {
+        let capacity: Vec<u64> = m.nodes().iter().map(|n| n.mem_pages).collect();
+        FramePools { used: vec![0; capacity.len()], capacity }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Free pages on `n`.
+    pub fn free(&self, n: NodeId) -> u64 {
+        self.capacity[n.idx()] - self.used[n.idx()]
+    }
+
+    /// Used pages on `n`.
+    pub fn used(&self, n: NodeId) -> u64 {
+        self.used[n.idx()]
+    }
+
+    /// Total capacity of `n` in pages.
+    pub fn capacity(&self, n: NodeId) -> u64 {
+        self.capacity[n.idx()]
+    }
+
+    /// Allocate `count` pages on `n`; fails without side effects if the
+    /// node lacks room.
+    pub fn alloc(&mut self, n: NodeId, count: u64) -> Result<(), SimError> {
+        if self.free(n) < count {
+            return Err(SimError::OutOfMemory);
+        }
+        self.used[n.idx()] += count;
+        Ok(())
+    }
+
+    /// Allocate one page on `preferred`, spilling to the fallback nodes in
+    /// the given order when full (Linux zone-fallback analogue). Returns
+    /// the node that actually supplied the frame.
+    pub fn alloc_with_fallback(
+        &mut self,
+        preferred: NodeId,
+        fallback: &[NodeId],
+    ) -> Result<NodeId, SimError> {
+        if self.alloc(preferred, 1).is_ok() {
+            return Ok(preferred);
+        }
+        for &f in fallback {
+            if self.alloc(f, 1).is_ok() {
+                return Ok(f);
+            }
+        }
+        Err(SimError::OutOfMemory)
+    }
+
+    /// Release `count` pages on `n`.
+    pub fn release(&mut self, n: NodeId, count: u64) {
+        assert!(self.used[n.idx()] >= count, "releasing more pages than used");
+        self.used[n.idx()] -= count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwap_topology::machines;
+
+    #[test]
+    fn alloc_and_release() {
+        let m = machines::machine_b();
+        let mut p = FramePools::from_machine(&m);
+        let n0 = NodeId(0);
+        let cap = p.capacity(n0);
+        assert_eq!(p.free(n0), cap);
+        p.alloc(n0, 100).unwrap();
+        assert_eq!(p.used(n0), 100);
+        assert_eq!(p.free(n0), cap - 100);
+        p.release(n0, 40);
+        assert_eq!(p.used(n0), 60);
+    }
+
+    #[test]
+    fn alloc_fails_when_full_without_side_effects() {
+        let m = machines::twin();
+        let mut p = FramePools::from_machine(&m);
+        let n0 = NodeId(0);
+        let cap = p.capacity(n0);
+        p.alloc(n0, cap).unwrap();
+        assert!(p.alloc(n0, 1).is_err());
+        assert_eq!(p.used(n0), cap);
+    }
+
+    #[test]
+    fn fallback_spills_in_order() {
+        let m = machines::twin();
+        let mut p = FramePools::from_machine(&m);
+        let (n0, n1) = (NodeId(0), NodeId(1));
+        p.alloc(n0, p.capacity(n0)).unwrap();
+        let got = p.alloc_with_fallback(n0, &[n1]).unwrap();
+        assert_eq!(got, n1);
+        assert_eq!(p.used(n1), 1);
+    }
+
+    #[test]
+    fn fallback_exhausted_errors() {
+        let m = machines::twin();
+        let mut p = FramePools::from_machine(&m);
+        for n in [NodeId(0), NodeId(1)] {
+            p.alloc(n, p.capacity(n)).unwrap();
+        }
+        assert!(p.alloc_with_fallback(NodeId(0), &[NodeId(1)]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more pages")]
+    fn over_release_panics() {
+        let m = machines::twin();
+        let mut p = FramePools::from_machine(&m);
+        p.release(NodeId(0), 1);
+    }
+}

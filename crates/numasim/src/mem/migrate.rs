@@ -1,0 +1,158 @@
+//! Rate-limited page migration.
+//!
+//! Migrations queue up (from `mbind` with move semantics, or from the
+//! AutoNUMA daemon) and drain each epoch at a bounded rate, consuming
+//! memory-controller and interconnect bandwidth through the fabric: a
+//! migration reads the page from its source node and writes it to its
+//! destination. This is what makes the DWP tuner's incremental migration
+//! *cost* something, reproducing the paper's <= 4 % tuner overhead.
+
+use crate::mem::segment::SegmentId;
+use bwap_topology::NodeId;
+use std::collections::VecDeque;
+
+/// One queued page move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingMove {
+    /// Segment the page belongs to.
+    pub segment: SegmentId,
+    /// Page index within the segment.
+    pub page: u64,
+    /// Current node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+}
+
+/// FIFO queue of page moves for one process.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationQueue {
+    queue: VecDeque<PendingMove>,
+    /// Total pages ever enqueued (stat).
+    pub enqueued_total: u64,
+    /// Total pages ever migrated (stat).
+    pub migrated_total: u64,
+}
+
+impl MigrationQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        MigrationQueue::default()
+    }
+
+    /// Append moves (deterministic FIFO order).
+    pub fn enqueue(&mut self, moves: impl IntoIterator<Item = PendingMove>) {
+        for m in moves {
+            self.queue.push_back(m);
+            self.enqueued_total += 1;
+        }
+    }
+
+    /// Pending page count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no moves are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Peek at the first `k` moves without removing them (the demand the
+    /// migration engine will attempt this epoch).
+    pub fn peek(&self, k: usize) -> impl Iterator<Item = &PendingMove> {
+        self.queue.iter().take(k)
+    }
+
+    /// Remove and return the first `k` moves (those that completed).
+    pub fn complete(&mut self, k: usize) -> Vec<PendingMove> {
+        let k = k.min(self.queue.len());
+        self.migrated_total += k as u64;
+        self.queue.drain(..k).collect()
+    }
+
+    /// Drop all pending moves (e.g. when the process exits).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Drop pending moves for pages of `segment` in `[start, start+len)`.
+    /// A fresh `mbind` over a range supersedes queued moves for it — the
+    /// latest policy wins, as with Linux's synchronous `mbind`. Returns
+    /// how many moves were cancelled.
+    pub fn cancel_range(&mut self, segment: SegmentId, start: u64, len: u64) -> usize {
+        let before = self.queue.len();
+        self.queue
+            .retain(|m| !(m.segment == segment && m.page >= start && m.page < start + len));
+        before - self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(page: u64, from: u16, to: u16) -> PendingMove {
+        PendingMove { segment: SegmentId(0), page, from: NodeId(from), to: NodeId(to) }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = MigrationQueue::new();
+        q.enqueue([mv(0, 0, 1), mv(1, 0, 1), mv(2, 1, 0)]);
+        assert_eq!(q.pending(), 3);
+        let done = q.complete(2);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].page, 0);
+        assert_eq!(done[1].page, 1);
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.migrated_total, 2);
+        assert_eq!(q.enqueued_total, 3);
+    }
+
+    #[test]
+    fn complete_more_than_pending_is_safe() {
+        let mut q = MigrationQueue::new();
+        q.enqueue([mv(0, 0, 1)]);
+        let done = q.complete(10);
+        assert_eq!(done.len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = MigrationQueue::new();
+        q.enqueue([mv(0, 0, 1), mv(1, 1, 2)]);
+        let peeked: Vec<_> = q.peek(5).copied().collect();
+        assert_eq!(peeked.len(), 2);
+        assert_eq!(q.pending(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = MigrationQueue::new();
+        q.enqueue([mv(0, 0, 1)]);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_range_is_segment_and_range_scoped() {
+        let mut q = MigrationQueue::new();
+        q.enqueue([mv(0, 0, 1), mv(5, 0, 1), mv(10, 0, 1)]);
+        q.enqueue([PendingMove {
+            segment: SegmentId(1),
+            page: 5,
+            from: NodeId(0),
+            to: NodeId(1),
+        }]);
+        // cancel pages [0, 8) of segment 0
+        let cancelled = q.cancel_range(SegmentId(0), 0, 8);
+        assert_eq!(cancelled, 2);
+        assert_eq!(q.pending(), 2);
+        // segment 1's move and segment 0's page 10 survive
+        let rest: Vec<_> = q.complete(10);
+        assert!(rest.iter().any(|m| m.segment == SegmentId(1)));
+        assert!(rest.iter().any(|m| m.page == 10 && m.segment == SegmentId(0)));
+    }
+}

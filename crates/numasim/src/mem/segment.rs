@@ -1,0 +1,322 @@
+//! Virtual memory segments and their page-to-node mapping.
+
+use crate::error::SimError;
+use crate::mem::frames::FramePools;
+use crate::mem::policy::MemPolicy;
+use bwap_topology::NodeId;
+
+/// Identifier of a segment within one process's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub usize);
+
+/// What a segment holds, which decides who accesses it in the demand model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Shared data accessed uniformly by all threads (the paper's shared
+    /// pages assumption).
+    Shared,
+    /// Thread-private data of one thread (index within the process).
+    Private {
+        /// Index of the owning thread.
+        thread: usize,
+    },
+}
+
+/// A contiguous range of virtual pages, each mapped to a physical node.
+/// All pages are populated at creation (the paper's applications touch
+/// their full working set during initialization, before `BWAP-init`).
+#[derive(Debug, Clone)]
+pub struct Segment {
+    kind: SegmentKind,
+    /// Node holding each page.
+    pages: Vec<u16>,
+    /// Cached histogram: pages per node.
+    node_counts: Vec<u64>,
+    /// Policy the segment was created under (later `mbind`s move pages but
+    /// the creation policy records provenance for debugging).
+    creation_policy: MemPolicy,
+}
+
+impl Segment {
+    /// Allocate and place `len` pages under `policy`. `toucher` is the node
+    /// of the first-touching thread (the master thread for shared segments,
+    /// the owner for private ones). `fallback` gives the spill order when
+    /// the target node is full (nearest-first, like Linux zone fallback).
+    pub fn place(
+        kind: SegmentKind,
+        len: u64,
+        policy: &MemPolicy,
+        toucher: NodeId,
+        frames: &mut FramePools,
+        fallback: &[Vec<NodeId>],
+    ) -> Result<Self, SimError> {
+        let node_count = frames.node_count();
+        policy.validate(node_count)?;
+        let mut pages = Vec::with_capacity(len as usize);
+        let mut node_counts = vec![0u64; node_count];
+        for i in 0..len {
+            let target = policy.target_node(i, len, toucher);
+            let got = frames.alloc_with_fallback(target, &fallback[target.idx()])?;
+            pages.push(got.0);
+            node_counts[got.idx()] += 1;
+        }
+        Ok(Segment { kind, pages, node_counts, creation_policy: policy.clone() })
+    }
+
+    /// Segment kind.
+    pub fn kind(&self) -> SegmentKind {
+        self.kind
+    }
+
+    /// Length in pages.
+    pub fn len(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Whether the segment has no pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Node currently holding page `i`.
+    pub fn node_of(&self, i: u64) -> NodeId {
+        NodeId(self.pages[i as usize])
+    }
+
+    /// Pages per node.
+    pub fn node_counts(&self) -> &[u64] {
+        &self.node_counts
+    }
+
+    /// Fraction of pages per node (all zeros for an empty segment).
+    pub fn distribution(&self) -> Vec<f64> {
+        let total = self.pages.len() as f64;
+        if total == 0.0 {
+            return vec![0.0; self.node_counts.len()];
+        }
+        self.node_counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Policy the segment was created under.
+    pub fn creation_policy(&self) -> &MemPolicy {
+        &self.creation_policy
+    }
+
+    /// Move page `i` to `to`, updating the histogram. The caller is
+    /// responsible for frame accounting (this keeps migration atomic with
+    /// respect to [`FramePools`] in one place, the migration engine).
+    pub fn relocate(&mut self, i: u64, to: NodeId) {
+        let from = self.pages[i as usize];
+        if from == to.0 {
+            return;
+        }
+        self.node_counts[from as usize] -= 1;
+        self.node_counts[to.idx()] += 1;
+        self.pages[i as usize] = to.0;
+    }
+
+    /// Pages in `[start, start+len)` that are **not** on the node `policy`
+    /// assigns them (relative to this range), paired with their target.
+    /// This is the page set an `MPOL_MF_MOVE` `mbind` migrates.
+    pub fn non_complying(
+        &self,
+        start: u64,
+        len: u64,
+        policy: &MemPolicy,
+        toucher: NodeId,
+    ) -> Result<Vec<(u64, NodeId)>, SimError> {
+        if start + len > self.len() {
+            return Err(SimError::RangeOutOfBounds { start, len, segment_len: self.len() });
+        }
+        let mut moves = Vec::new();
+        if matches!(policy, MemPolicy::FirstTouch) {
+            // First-touch never migrates existing pages.
+            return Ok(moves);
+        }
+        for rel in 0..len {
+            let abs = start + rel;
+            let target = policy.target_node(rel, len, toucher);
+            if self.node_of(abs) != target {
+                moves.push((abs, target));
+            }
+        }
+        Ok(moves)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwap_topology::{machines, NodeSet};
+
+    fn frames() -> FramePools {
+        FramePools::from_machine(&machines::machine_b())
+    }
+
+    fn no_fallback(n: usize) -> Vec<Vec<NodeId>> {
+        vec![Vec::new(); n]
+    }
+
+    #[test]
+    fn first_touch_places_on_toucher() {
+        let mut f = frames();
+        let s = Segment::place(
+            SegmentKind::Shared,
+            100,
+            &MemPolicy::FirstTouch,
+            NodeId(2),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        assert_eq!(s.node_counts()[2], 100);
+        assert_eq!(f.used(NodeId(2)), 100);
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn interleave_places_round_robin() {
+        let mut f = frames();
+        let set = NodeSet::from_nodes([NodeId(0), NodeId(3)]);
+        let s = Segment::place(
+            SegmentKind::Shared,
+            10,
+            &MemPolicy::Interleave(set),
+            NodeId(1),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        assert_eq!(s.node_counts(), &[5, 0, 0, 5]);
+        assert_eq!(s.node_of(0), NodeId(0));
+        assert_eq!(s.node_of(1), NodeId(3));
+    }
+
+    #[test]
+    fn weighted_places_proportionally() {
+        let mut f = frames();
+        let s = Segment::place(
+            SegmentKind::Shared,
+            1000,
+            &MemPolicy::WeightedInterleave(vec![0.1, 0.2, 0.3, 0.4]),
+            NodeId(0),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        assert_eq!(s.node_counts(), &[100, 200, 300, 400]);
+        let d = s.distribution();
+        assert!((d[3] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spill_when_node_full() {
+        let m = machines::twin();
+        let mut f = FramePools::from_machine(&m);
+        let cap0 = f.capacity(NodeId(0));
+        f.alloc(NodeId(0), cap0 - 10).unwrap();
+        let fallback = vec![vec![NodeId(1)], vec![NodeId(0)]];
+        let s = Segment::place(
+            SegmentKind::Shared,
+            30,
+            &MemPolicy::FirstTouch,
+            NodeId(0),
+            &mut f,
+            &fallback,
+        )
+        .unwrap();
+        assert_eq!(s.node_counts(), &[10, 20]);
+    }
+
+    #[test]
+    fn relocate_updates_histogram() {
+        let mut f = frames();
+        let mut s = Segment::place(
+            SegmentKind::Private { thread: 0 },
+            4,
+            &MemPolicy::FirstTouch,
+            NodeId(0),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        s.relocate(1, NodeId(3));
+        assert_eq!(s.node_counts(), &[3, 0, 0, 1]);
+        assert_eq!(s.node_of(1), NodeId(3));
+        // no-op relocate
+        s.relocate(1, NodeId(3));
+        assert_eq!(s.node_counts(), &[3, 0, 0, 1]);
+    }
+
+    #[test]
+    fn non_complying_lists_moves() {
+        let mut f = frames();
+        let s = Segment::place(
+            SegmentKind::Shared,
+            8,
+            &MemPolicy::FirstTouch,
+            NodeId(0),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        let set = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+        let moves = s.non_complying(0, 8, &MemPolicy::Interleave(set), NodeId(0)).unwrap();
+        // round-robin targets: 0,1,0,1,... -> odd indices move to node 1
+        assert_eq!(moves, vec![(1, NodeId(1)), (3, NodeId(1)), (5, NodeId(1)), (7, NodeId(1))]);
+    }
+
+    #[test]
+    fn non_complying_sub_range_uses_relative_indices() {
+        let mut f = frames();
+        let s = Segment::place(
+            SegmentKind::Shared,
+            8,
+            &MemPolicy::FirstTouch,
+            NodeId(1),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        let moves = s
+            .non_complying(4, 4, &MemPolicy::Bind(NodeId(1)), NodeId(0))
+            .unwrap();
+        assert!(moves.is_empty()); // already on node 1
+        let moves = s
+            .non_complying(4, 4, &MemPolicy::Bind(NodeId(2)), NodeId(0))
+            .unwrap();
+        assert_eq!(moves.len(), 4);
+        assert_eq!(moves[0], (4, NodeId(2)));
+    }
+
+    #[test]
+    fn non_complying_rejects_bad_range() {
+        let mut f = frames();
+        let s = Segment::place(
+            SegmentKind::Shared,
+            8,
+            &MemPolicy::FirstTouch,
+            NodeId(0),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        assert!(s.non_complying(5, 4, &MemPolicy::Bind(NodeId(1)), NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn first_touch_mbind_never_moves() {
+        let mut f = frames();
+        let s = Segment::place(
+            SegmentKind::Shared,
+            8,
+            &MemPolicy::Bind(NodeId(2)),
+            NodeId(0),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        let moves = s.non_complying(0, 8, &MemPolicy::FirstTouch, NodeId(0)).unwrap();
+        assert!(moves.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Simulated processes and their threads.
+
+use crate::engine::AppProfile;
+use crate::mem::address_space::AddressSpace;
+use crate::mem::migrate::MigrationQueue;
+use crate::mem::segment::SegmentId;
+use bwap_topology::{NodeId, NodeSet};
+
+/// Identifier of a process within one simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub usize);
+
+/// Lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProcessState {
+    /// Still executing.
+    Running,
+    /// Completed its total work at the given simulated time.
+    Finished {
+        /// Simulated completion time (seconds).
+        at: f64,
+    },
+}
+
+/// A running application: pinned threads, an address space, progress.
+#[derive(Debug, Clone)]
+pub struct SimProcess {
+    /// Identifier.
+    pub id: ProcessId,
+    /// Workload characterization.
+    pub profile: AppProfile,
+    /// Worker nodes hosting threads.
+    pub workers: NodeSet,
+    /// Threads pinned per node (indexed by node id; zero off-workers). The
+    /// paper pins one thread per core and distributes threads evenly over
+    /// worker nodes.
+    pub threads_per_node: Vec<u16>,
+    /// The process's memory.
+    pub aspace: AddressSpace,
+    /// Shared segment id (cached).
+    pub shared_seg: SegmentId,
+    /// Private segment per thread: `(owner node, segment)`, in thread
+    /// order.
+    pub private_segs: Vec<(NodeId, SegmentId)>,
+    /// Work completed so far, in GB of traffic processed.
+    pub work_done_gb: f64,
+    /// Lifecycle.
+    pub state: ProcessState,
+    /// Simulated spawn time.
+    pub started_at: f64,
+    /// Pending page migrations.
+    pub migrations: MigrationQueue,
+    /// Fractional page-migration credit carried between epochs, so slow
+    /// trickles of bandwidth still complete whole pages eventually.
+    pub migration_credit: f64,
+}
+
+impl SimProcess {
+    /// Total thread count.
+    pub fn total_threads(&self) -> u32 {
+        self.threads_per_node.iter().map(|&t| t as u32).sum()
+    }
+
+    /// Number of worker nodes.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the process is still running.
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, ProcessState::Running)
+    }
+
+    /// Execution time if finished.
+    pub fn execution_time(&self) -> Option<f64> {
+        match self.state {
+            ProcessState::Finished { at } => Some(at - self.started_at),
+            ProcessState::Running => None,
+        }
+    }
+
+    /// The node of the master thread (thread 0): the first worker node.
+    /// Under first-touch, shared pages land here — the pathology the paper
+    /// describes for multi-worker runs.
+    pub fn master_node(&self) -> NodeId {
+        self.workers.min().expect("process has at least one worker")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_and_timing() {
+        let state = ProcessState::Finished { at: 12.5 };
+        assert_eq!(state, ProcessState::Finished { at: 12.5 });
+    }
+}

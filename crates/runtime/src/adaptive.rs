@@ -1,0 +1,254 @@
+//! Dynamic re-tuning for phase-changing applications — the first item on
+//! the paper's future-work list (§VI: "extend BWAP to dynamically adjust
+//! its weight distribution throughout the application's execution time,
+//! in order to obtain improved performance for applications whose access
+//! patterns change over time").
+//!
+//! The adaptive daemon wraps the ordinary DWP search with a watchdog:
+//! after the search converges it keeps sampling; when the trimmed stall
+//! rate departs from the converged level by more than a configurable
+//! relative band, it declares a phase change, re-installs the canonical
+//! placement (our simulated `mbind` migrates in both directions, lifting
+//! the one-way restriction the paper works around) and restarts the hill
+//! climb from DWP = 0.
+
+use crate::apply::apply_weights;
+use crate::bwap_daemon::TunerHandle;
+use crate::error::RuntimeError;
+use crate::profiling::ProfileBook;
+use bwap::dwp::{DwpTuner, TunerAction};
+use bwap::sampler::TrimmedSampler;
+use bwap::{apply_dwp, BwapConfig, WeightDistribution};
+use numasim::{Daemon, ProcessId, ProcessSample, Simulator};
+
+/// Configuration of the watchdog around the DWP search.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// The inner BWAP configuration (tuner parameters, interleave mode).
+    pub bwap: BwapConfig,
+    /// Relative stall-rate deviation from the converged level that
+    /// triggers a re-tune (e.g. 0.25 = 25 %).
+    pub retune_threshold: f64,
+    /// Maximum number of automatic re-tunes (guards against oscillating
+    /// workloads thrashing the migration engine).
+    pub max_retunes: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig { bwap: BwapConfig::default(), retune_threshold: 0.15, max_retunes: 4 }
+    }
+}
+
+enum Mode {
+    Tuning(DwpTuner),
+    Watching { converged_stall: f64, watcher: TrimmedSampler },
+    Idle,
+}
+
+/// The adaptive stand-alone BWAP daemon.
+pub struct AdaptiveBwapDaemon {
+    pid: ProcessId,
+    cfg: AdaptiveConfig,
+    canonical: WeightDistribution,
+    mode: Mode,
+    prev: Option<ProcessSample>,
+    retunes: usize,
+    handle: TunerHandle,
+}
+
+impl AdaptiveBwapDaemon {
+    /// `BWAP-init` with phase adaptation. See
+    /// [`crate::BwapDaemon::init`] for `apply_initial`.
+    pub fn init(
+        sim: &mut Simulator,
+        pid: ProcessId,
+        cfg: &AdaptiveConfig,
+        apply_initial: bool,
+    ) -> Result<(AdaptiveBwapDaemon, TunerHandle), RuntimeError> {
+        let workers = sim.process(pid)?.workers;
+        let n = sim.machine().node_count();
+        let canonical = if cfg.bwap.uniform_canonical {
+            WeightDistribution::uniform(n)
+        } else {
+            ProfileBook::canonical_weights(sim.machine(), workers)
+        };
+        let initial = apply_dwp(&canonical, workers, 0.0)?;
+        let queued = if apply_initial {
+            apply_weights(sim, pid, &initial, cfg.bwap.mode)?
+        } else {
+            0
+        };
+        let handle = TunerHandle::default();
+        handle.update(|r| r.pages_applied = queued as u64);
+        let tuner = DwpTuner::new(canonical.clone(), workers, cfg.bwap.tuner.clone())?;
+        Ok((
+            AdaptiveBwapDaemon {
+                pid,
+                cfg: cfg.clone(),
+                canonical,
+                mode: Mode::Tuning(tuner),
+                prev: None,
+                retunes: 0,
+                handle: handle.clone(),
+            },
+            handle,
+        ))
+    }
+
+    /// Register at the tuner's sampling cadence.
+    pub fn register(self, sim: &mut Simulator) {
+        let interval = self.cfg.bwap.tuner.sample_interval_s;
+        sim.add_daemon(Box::new(self), interval, interval);
+    }
+
+    /// How many phase changes have been handled so far.
+    pub fn retunes(&self) -> usize {
+        self.retunes
+    }
+
+    fn watcher(&self) -> TrimmedSampler {
+        TrimmedSampler::new(
+            self.cfg.bwap.tuner.samples_per_iteration,
+            self.cfg.bwap.tuner.trim,
+        )
+        .expect("validated at construction")
+    }
+}
+
+impl Daemon for AdaptiveBwapDaemon {
+    fn name(&self) -> &str {
+        "bwap-adaptive-tuner"
+    }
+
+    fn tick(&mut self, sim: &mut Simulator) {
+        let running = sim.process(self.pid).map(|p| p.is_running()).unwrap_or(false);
+        if !running {
+            self.mode = Mode::Idle;
+            return;
+        }
+        let sample = sim.sample(self.pid).expect("process exists");
+        let Some(prev) = self.prev.replace(sample) else {
+            return;
+        };
+        let stall_rate = sample.stall_rate_since(&prev);
+        match &mut self.mode {
+            Mode::Tuning(tuner) => match tuner.on_sample(stall_rate) {
+                TunerAction::Continue => {}
+                TunerAction::Apply { dwp, weights } => {
+                    let queued = apply_weights(sim, self.pid, &weights, self.cfg.bwap.mode)
+                        .expect("placement apply");
+                    self.handle.update(|r| {
+                        r.dwp = dwp;
+                        r.pages_applied += queued as u64;
+                        r.history = tuner.history().to_vec();
+                    });
+                }
+                TunerAction::Finished => {
+                    let converged_stall =
+                        tuner.history().last().map(|&(_, s)| s).unwrap_or(stall_rate);
+                    self.handle.update(|r| {
+                        r.finished = true;
+                        r.dwp = tuner.dwp();
+                        r.history = tuner.history().to_vec();
+                    });
+                    self.mode =
+                        Mode::Watching { converged_stall, watcher: self.watcher() };
+                }
+            },
+            Mode::Watching { converged_stall, watcher } => {
+                let Some(mean) = watcher.push(stall_rate) else { return };
+                let deviation = (mean - *converged_stall).abs() / converged_stall.max(1e-9);
+                if deviation <= self.cfg.retune_threshold {
+                    return;
+                }
+                if self.retunes >= self.cfg.max_retunes {
+                    self.mode = Mode::Idle;
+                    return;
+                }
+                // Phase change: back to the canonical spread, fresh climb.
+                self.retunes += 1;
+                let workers = sim.process(self.pid).expect("exists").workers;
+                let initial =
+                    apply_dwp(&self.canonical, workers, 0.0).expect("valid canonical");
+                let queued = apply_weights(sim, self.pid, &initial, self.cfg.bwap.mode)
+                    .expect("placement apply");
+                self.handle.update(|r| {
+                    r.finished = false;
+                    r.dwp = 0.0;
+                    r.pages_applied += queued as u64;
+                });
+                let tuner = DwpTuner::new(
+                    self.canonical.clone(),
+                    workers,
+                    self.cfg.bwap.tuner.clone(),
+                )
+                .expect("validated at construction");
+                self.mode = Mode::Tuning(tuner);
+            }
+            Mode::Idle => {}
+        }
+    }
+
+    fn done(&self) -> bool {
+        matches!(self.mode, Mode::Idle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwap_topology::{machines, NodeSet};
+    use numasim::{MemPolicy, SimConfig};
+
+    #[test]
+    fn adaptive_daemon_retunes_on_phase_change() {
+        let m = machines::machine_b();
+        let mut sim = Simulator::new(m.clone(), SimConfig::default());
+        let workers = m.best_worker_set(1);
+        // Phase 1: latency-bound (wants high DWP on machine B).
+        let mut spec = bwap_workloads::streamcluster();
+        spec.total_traffic_gb = f64::INFINITY;
+        let pid = sim
+            .spawn(spec.profile_for(&m), workers, None, MemPolicy::FirstTouch)
+            .unwrap();
+        let cfg = AdaptiveConfig::default();
+        let (daemon, handle) = AdaptiveBwapDaemon::init(&mut sim, pid, &cfg, true).unwrap();
+        daemon.register(&mut sim);
+        sim.run_for(80.0);
+        assert!(handle.finished(), "first search should converge");
+        let dwp_phase1 = handle.dwp();
+        assert!(dwp_phase1 > 0.5, "SC on machine B climbs high: {dwp_phase1}");
+
+        // Phase 2: bandwidth-hungry streaming (saturates the worker's
+        // controller; wants pages spread out, i.e. low DWP).
+        let mut hungry = bwap_workloads::stream_probe().profile_for(&m);
+        hungry.open_loop = false;
+        hungry.read_gbps_per_thread = 12.0; // 84 GB/s per node: heavy saturation
+        hungry.shared_pages = spec.shared_pages; // layout unchanged
+        sim.set_profile(pid, hungry).unwrap();
+        sim.run_for(120.0);
+        // The watchdog saw the stall shift and restarted at least once.
+        let d = sim.shared_distribution(pid).unwrap();
+        assert!(
+            d[workers.min().unwrap().idx()] < 0.9,
+            "after the bandwidth phase, pages spread out again: {d:?}"
+        );
+    }
+
+    #[test]
+    fn set_profile_rejects_finished_and_invalid() {
+        let m = machines::machine_b();
+        let mut sim = Simulator::new(m.clone(), SimConfig::default());
+        let mut spec = bwap_workloads::streamcluster().scaled_down(64.0);
+        spec.total_traffic_gb = 0.5;
+        let pid = sim
+            .spawn(spec.profile_for(&m), NodeSet::single(bwap_topology::NodeId(0)), None, MemPolicy::FirstTouch)
+            .unwrap();
+        let mut bad = spec.profile_for(&m);
+        bad.serial_frac = 2.0;
+        assert!(sim.set_profile(pid, bad).is_err());
+        sim.run_until_finished(pid, 600.0).unwrap();
+        assert!(sim.set_profile(pid, spec.profile_for(&m)).is_err());
+    }
+}

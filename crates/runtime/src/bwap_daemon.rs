@@ -1,0 +1,247 @@
+//! The BWAP library as a runtime daemon (stand-alone variant).
+//!
+//! `BWAP-init` (paper §III-B): once the application has allocated its
+//! initial shared structures, BWAP places its pages at the canonical
+//! distribution (DWP = 0) and starts the online hill climb — every
+//! `t = 0.2 s` it samples the stall-rate counter, and each full window of
+//! `n = 20` samples decides whether to raise DWP by `x = 10 %` through
+//! incremental migration.
+
+use crate::apply::apply_weights;
+use crate::error::RuntimeError;
+use crate::profiling::ProfileBook;
+use bwap::dwp::{DwpTuner, TunerAction};
+use bwap::{apply_dwp, BwapConfig, WeightDistribution};
+use numasim::{Daemon, ProcessId, ProcessSample, Simulator};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Snapshot of a tuner's final state, shared with the scenario runner
+/// (the daemon itself is owned by the simulator once registered).
+#[derive(Debug, Default)]
+pub struct TunerReport {
+    /// Current / final DWP.
+    pub dwp: f64,
+    /// Whether the search completed.
+    pub finished: bool,
+    /// `(dwp, trimmed stall rate)` per iteration.
+    pub history: Vec<(f64, f64)>,
+    /// Pages queued for migration by the tuner's placement changes.
+    pub pages_applied: u64,
+}
+
+/// Cloneable handle onto a [`TunerReport`].
+#[derive(Debug, Clone, Default)]
+pub struct TunerHandle {
+    inner: Arc<Mutex<TunerReport>>,
+}
+
+impl TunerHandle {
+    /// Current DWP.
+    pub fn dwp(&self) -> f64 {
+        self.inner.lock().dwp
+    }
+
+    /// Whether the search finished.
+    pub fn finished(&self) -> bool {
+        self.inner.lock().finished
+    }
+
+    /// Iteration history.
+    pub fn history(&self) -> Vec<(f64, f64)> {
+        self.inner.lock().history.clone()
+    }
+
+    /// Total pages the tuner asked to migrate.
+    pub fn pages_applied(&self) -> u64 {
+        self.inner.lock().pages_applied
+    }
+
+    pub(crate) fn update(&self, f: impl FnOnce(&mut TunerReport)) {
+        f(&mut self.inner.lock());
+    }
+}
+
+/// The stand-alone BWAP daemon. Create with [`BwapDaemon::init`], then
+/// register with [`BwapDaemon::register`].
+pub struct BwapDaemon {
+    pid: ProcessId,
+    cfg: BwapConfig,
+    tuner: Option<DwpTuner>,
+    prev: Option<ProcessSample>,
+    handle: TunerHandle,
+    done: bool,
+}
+
+impl BwapDaemon {
+    /// `BWAP-init`: profile (or fetch) the canonical distribution for the
+    /// process's worker set, install the initial placement, and prepare
+    /// the online tuner. Returns the daemon and a handle for inspecting
+    /// the search afterwards.
+    ///
+    /// Pass `apply_initial = false` when the process was already launched
+    /// under the canonical placement (the common real-world flow: the
+    /// paper's `BWAP-init` runs right after allocation, so `mbind` applies
+    /// before pages are faulted in and the initial placement is free).
+    /// With `apply_initial = true` the existing pages migrate to the
+    /// canonical distribution instead.
+    pub fn init(
+        sim: &mut Simulator,
+        pid: ProcessId,
+        cfg: &BwapConfig,
+        apply_initial: bool,
+    ) -> Result<(BwapDaemon, TunerHandle), RuntimeError> {
+        let workers = sim.process(pid)?.workers;
+        let n = sim.machine().node_count();
+        let canonical = if cfg.uniform_canonical {
+            WeightDistribution::uniform(n)
+        } else {
+            ProfileBook::canonical_weights(sim.machine(), workers)
+        };
+        let initial = apply_dwp(&canonical, workers, cfg.fixed_dwp)?;
+        let queued =
+            if apply_initial { apply_weights(sim, pid, &initial, cfg.mode)? } else { 0 };
+        let handle = TunerHandle::default();
+        handle.update(|r| {
+            r.dwp = cfg.fixed_dwp;
+            r.pages_applied = queued as u64;
+            r.finished = !cfg.online_tuning;
+        });
+        let tuner = if cfg.online_tuning {
+            // The online search always starts at DWP = 0 in the paper; we
+            // honour cfg.fixed_dwp = 0 for it and treat nonzero fixed_dwp
+            // with online tuning as a configuration error.
+            if cfg.fixed_dwp != 0.0 {
+                return Err(RuntimeError::Scenario(
+                    "online tuning starts at DWP = 0; use static_dwp for fixed placements"
+                        .into(),
+                ));
+            }
+            Some(DwpTuner::new(canonical, workers, cfg.tuner.clone())?)
+        } else {
+            None
+        };
+        Ok((
+            BwapDaemon { pid, cfg: cfg.clone(), tuner, prev: None, handle: handle.clone(), done: !cfg.online_tuning },
+            handle,
+        ))
+    }
+
+    /// Register with the simulator at the tuner's sampling cadence.
+    pub fn register(self, sim: &mut Simulator) {
+        let interval = self.cfg.tuner.sample_interval_s;
+        sim.add_daemon(Box::new(self), interval, interval);
+    }
+}
+
+impl Daemon for BwapDaemon {
+    fn name(&self) -> &str {
+        "bwap-dwp-tuner"
+    }
+
+    fn tick(&mut self, sim: &mut Simulator) {
+        if self.done {
+            return;
+        }
+        let Some(tuner) = self.tuner.as_mut() else {
+            self.done = true;
+            return;
+        };
+        let Ok(proc_) = sim.process(self.pid) else {
+            self.done = true;
+            return;
+        };
+        if !proc_.is_running() {
+            self.done = true;
+            return;
+        }
+        let sample = sim.sample(self.pid).expect("process exists");
+        let Some(prev) = self.prev.replace(sample) else {
+            return; // first tick only seeds the window
+        };
+        let stall_rate = sample.stall_rate_since(&prev);
+        match tuner.on_sample(stall_rate) {
+            TunerAction::Continue => {}
+            TunerAction::Apply { dwp, weights } => {
+                let queued = apply_weights(sim, self.pid, &weights, self.cfg.mode)
+                    .expect("placement apply");
+                self.handle.update(|r| {
+                    r.dwp = dwp;
+                    r.history = tuner.history().to_vec();
+                    r.pages_applied += queued as u64;
+                });
+            }
+            TunerAction::Finished => {
+                self.handle.update(|r| {
+                    r.finished = true;
+                    r.dwp = tuner.dwp();
+                    r.history = tuner.history().to_vec();
+                });
+                self.done = true;
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwap_topology::{machines, NodeId, NodeSet};
+    use numasim::{MemPolicy, SimConfig};
+
+    fn saturating_app() -> numasim::AppProfile {
+        bwap_workloads::streamcluster().scaled_down(8.0).profile_for(&machines::machine_b())
+    }
+
+    #[test]
+    fn init_applies_canonical_placement() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let workers = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+        let pid = sim.spawn(saturating_app(), workers, None, MemPolicy::FirstTouch).unwrap();
+        let cfg = BwapConfig::static_dwp(0.0);
+        let (daemon, handle) = BwapDaemon::init(&mut sim, pid, &cfg, true).unwrap();
+        assert!(daemon.done());
+        assert!(handle.finished());
+        assert!(handle.pages_applied() > 0);
+        sim.run_for(2.0);
+        // Placement matches the canonical distribution of this worker set.
+        let canonical = ProfileBook::canonical_weights(sim.machine(), workers);
+        let d = sim.shared_distribution(pid).unwrap();
+        for i in 0..4 {
+            assert!(
+                (d[i] - canonical.as_slice()[i]).abs() < 0.03,
+                "node {i}: placed {d:?} vs canonical {canonical}"
+            );
+        }
+    }
+
+    #[test]
+    fn online_tuner_runs_and_finishes() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let workers = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+        let mut app = saturating_app();
+        app.total_traffic_gb = f64::INFINITY;
+        let pid = sim.spawn(app, workers, None, MemPolicy::FirstTouch).unwrap();
+        let (daemon, handle) = BwapDaemon::init(&mut sim, pid, &BwapConfig::default(), true).unwrap();
+        daemon.register(&mut sim);
+        sim.run_for(120.0);
+        assert!(handle.finished(), "tuner should converge within 120 s");
+        assert!(!handle.history().is_empty());
+        // SC on machine B is latency-bound: DWP should climb high.
+        assert!(handle.dwp() > 0.5, "dwp {}", handle.dwp());
+    }
+
+    #[test]
+    fn online_with_nonzero_fixed_dwp_rejected() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let pid = sim
+            .spawn(saturating_app(), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+            .unwrap();
+        let cfg = BwapConfig { fixed_dwp: 0.3, ..BwapConfig::default() };
+        assert!(BwapDaemon::init(&mut sim, pid, &cfg, true).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Unified error type for runtime operations.
+
+use std::fmt;
+
+/// Anything that can go wrong while driving a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// OS-level failure.
+    Sim(numasim::SimError),
+    /// Decision-logic failure.
+    Bwap(bwap::BwapError),
+    /// Scenario configuration problem.
+    Scenario(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Sim(e) => write!(f, "simulator: {e}"),
+            RuntimeError::Bwap(e) => write!(f, "bwap: {e}"),
+            RuntimeError::Scenario(s) => write!(f, "scenario: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<numasim::SimError> for RuntimeError {
+    fn from(e: numasim::SimError) -> Self {
+        RuntimeError::Sim(e)
+    }
+}
+
+impl From<bwap::BwapError> for RuntimeError {
+    fn from(e: bwap::BwapError) -> Self {
+        RuntimeError::Bwap(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RuntimeError = numasim::SimError::OutOfMemory.into();
+        assert!(e.to_string().contains("simulator"));
+        let e: RuntimeError = bwap::BwapError::InvalidDwp(2.0).into();
+        assert!(e.to_string().contains("bwap"));
+    }
+}

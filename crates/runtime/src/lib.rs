@@ -1,0 +1,47 @@
+//! BWAP runtime: wires the pure decision logic of the `bwap` crate to the
+//! simulated OS of `numasim`.
+//!
+//! * [`profiling`] — the canonical tuner's installation-time procedure:
+//!   run the reference bandwidth benchmark under uniform-all interleaving
+//!   and read per-path throughput counters (paper §III-A3). Results are
+//!   cached per `(machine, worker set)` in a global [`ProfileBook`].
+//! * [`apply`] — enforce a weight distribution on a process, either with
+//!   the kernel-level weighted-interleave policy or with the user-level
+//!   Algorithm 1 plan (a few uniform-interleave `mbind` calls).
+//! * [`bwap_daemon`] / [`cosched_daemon`] — the online DWP tuner as a
+//!   periodic daemon: samples stall rates every `t` seconds, feeds the
+//!   hill climber, applies the placements it requests through incremental
+//!   migration.
+//! * [`baselines`] — the placement policies the paper compares against
+//!   (first-touch, uniform-workers, uniform-all, AutoNUMA) plus BWAP and
+//!   its ablation variants, behind one [`baselines::PlacementPolicy`]
+//!   enum.
+//! * [`adaptive`] — dynamic re-tuning for phase-changing applications
+//!   (the paper's first future-work item, §VI).
+//! * [`scenario`] — the paper's two evaluation scenarios (stand-alone and
+//!   co-scheduled, §IV-A) as reusable runners, and the worker-count sweep
+//!   behind Fig. 3c/d.
+//! * [`sweep`] — static-DWP sweeps (Fig. 4).
+
+pub mod adaptive;
+pub mod apply;
+pub mod baselines;
+pub mod bwap_daemon;
+pub mod cosched_daemon;
+pub mod error;
+pub mod profiling;
+pub mod scenario;
+pub mod sweep;
+
+pub use adaptive::{AdaptiveBwapDaemon, AdaptiveConfig};
+pub use apply::apply_weights;
+pub use baselines::PlacementPolicy;
+pub use bwap_daemon::{BwapDaemon, TunerHandle};
+pub use cosched_daemon::CoschedDaemon;
+pub use error::RuntimeError;
+pub use profiling::{profile_bandwidth, ProfileBook};
+pub use scenario::{
+    run_coscheduled, run_coscheduled_with, run_standalone, run_standalone_with,
+    sweep_worker_counts, RunResult,
+};
+pub use sweep::{dwp_sweep, SweepPoint};

@@ -1,0 +1,310 @@
+//! The paper's two evaluation scenarios (§IV-A) as reusable runners.
+//!
+//! * **Stand-alone**: the machine belongs to one application, deployed on
+//!   its (separately tuned) worker set; non-worker nodes are idle memory.
+//! * **Co-scheduled**: a CPU-bound high-priority application A (Swaptions)
+//!   occupies the remaining nodes while the memory-intensive application B
+//!   runs on the worker set; B may place pages on A's nodes but must not
+//!   degrade A.
+
+use crate::baselines::PlacementPolicy;
+use crate::bwap_daemon::BwapDaemon;
+use crate::cosched_daemon::CoschedDaemon;
+use crate::error::RuntimeError;
+use bwap_topology::{MachineTopology, NodeSet};
+use bwap_workloads::WorkloadSpec;
+use numasim::{ProcessId, SimConfig, Simulator};
+
+/// Hard ceiling on simulated time per run: generous versus the ~10-60 s
+/// workloads, small enough to catch accidental livelock in tests.
+const MAX_SIM_S: f64 = 3600.0;
+
+/// Outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Policy label.
+    pub policy: String,
+    /// Workload name.
+    pub workload: String,
+    /// Worker count of B.
+    pub workers: usize,
+    /// Execution time of the measured application, simulated seconds.
+    pub exec_time_s: f64,
+    /// DWP the tuner settled on (BWAP policies only).
+    pub chosen_dwp: Option<f64>,
+    /// Pages migrated on behalf of the measured application.
+    pub migrated_pages: u64,
+    /// Average stall fraction of the measured application over its run.
+    pub stall_frac: f64,
+    /// Average stall fraction of the co-scheduled high-priority
+    /// application over B's run (co-scheduled scenario only).
+    pub a_stall_frac: Option<f64>,
+}
+
+fn stall_frac_between(
+    sim: &Simulator,
+    pid: ProcessId,
+    start: &numasim::ProcessSample,
+) -> f64 {
+    let end = sim.sample(pid).expect("process exists");
+    let cycles = end.cycles - start.cycles;
+    if cycles <= 0.0 {
+        0.0
+    } else {
+        (end.stall_cycles - start.stall_cycles) / cycles
+    }
+}
+
+/// Launch the measured application under `policy` (B in the co-scheduled
+/// scenario), attaching whatever daemons the policy needs.
+///
+/// BWAP processes launch with their pages *already at* the canonical
+/// distribution: `BWAP-init` runs right after allocation, so its `mbind`
+/// applies before pages are faulted in — placement is free, exactly as on
+/// Linux. Under the user-level mode the launch placement is what
+/// Algorithm 1's sub-range plan realizes (including its rounding error)
+/// rather than the exact weights.
+fn launch_measured(
+    sim: &mut Simulator,
+    machine: &MachineTopology,
+    spec: &WorkloadSpec,
+    workers: NodeSet,
+    policy: &PlacementPolicy,
+    cosched_a: Option<ProcessId>,
+) -> Result<(ProcessId, Option<crate::bwap_daemon::TunerHandle>), RuntimeError> {
+    let launch_policy = match policy {
+        PlacementPolicy::Bwap(cfg) => {
+            let canonical = if cfg.uniform_canonical {
+                bwap::WeightDistribution::uniform(machine.node_count())
+            } else {
+                crate::profiling::ProfileBook::canonical_weights(machine, workers)
+            };
+            let initial = bwap::apply_dwp(&canonical, workers, cfg.fixed_dwp)?;
+            let placed = match cfg.mode {
+                bwap::InterleaveMode::Kernel => initial,
+                bwap::InterleaveMode::UserLevel => {
+                    bwap::realized_weights(spec.shared_pages, &initial)?
+                }
+            };
+            numasim::MemPolicy::WeightedInterleave(placed.to_vec())
+        }
+        _ => policy.launch_policy(workers, machine.all_nodes()),
+    };
+    let pid = sim.spawn(spec.profile_for(machine), workers, None, launch_policy)?;
+    policy.attach_autonuma(sim, pid);
+    let handle = if let PlacementPolicy::Bwap(cfg) = policy {
+        match cosched_a {
+            Some(a) => {
+                let (daemon, handle) = CoschedDaemon::init(sim, pid, a, cfg, false)?;
+                if cfg.online_tuning {
+                    daemon.register(sim);
+                }
+                Some(handle)
+            }
+            None => {
+                let (daemon, handle) = BwapDaemon::init(sim, pid, cfg, false)?;
+                if cfg.online_tuning {
+                    daemon.register(sim);
+                }
+                Some(handle)
+            }
+        }
+    } else {
+        None
+    };
+    Ok((pid, handle))
+}
+
+/// Run `spec` alone on `workers` of `machine` under `policy`.
+pub fn run_standalone(
+    machine: &MachineTopology,
+    spec: &WorkloadSpec,
+    workers: NodeSet,
+    policy: &PlacementPolicy,
+) -> Result<RunResult, RuntimeError> {
+    run_standalone_with(machine, spec, workers, policy, SimConfig::default())
+}
+
+/// [`run_standalone`] with an explicit engine configuration (used by the
+/// model ablations).
+pub fn run_standalone_with(
+    machine: &MachineTopology,
+    spec: &WorkloadSpec,
+    workers: NodeSet,
+    policy: &PlacementPolicy,
+    sim_cfg: SimConfig,
+) -> Result<RunResult, RuntimeError> {
+    let mut sim = Simulator::new(machine.clone(), sim_cfg);
+    let (pid, handle) = launch_measured(&mut sim, machine, spec, workers, policy, None)?;
+    let start = sim.sample(pid)?;
+    let exec_time_s = sim.run_until_finished(pid, MAX_SIM_S)?;
+    Ok(RunResult {
+        policy: policy.label(),
+        workload: spec.name.to_string(),
+        workers: workers.len(),
+        exec_time_s,
+        chosen_dwp: handle.as_ref().map(|h| h.dwp()),
+        migrated_pages: sim.migrated_pages(pid),
+        stall_frac: stall_frac_between(&sim, pid, &start),
+        a_stall_frac: None,
+    })
+}
+
+/// Run the co-scheduled scenario: Swaptions (A) on the complement of
+/// `workers`, `spec` (B) on `workers` under `policy`.
+pub fn run_coscheduled(
+    machine: &MachineTopology,
+    spec: &WorkloadSpec,
+    workers: NodeSet,
+    policy: &PlacementPolicy,
+) -> Result<RunResult, RuntimeError> {
+    run_coscheduled_with(machine, spec, workers, policy, SimConfig::default())
+}
+
+/// [`run_coscheduled`] with an explicit engine configuration (used by the
+/// model ablations).
+pub fn run_coscheduled_with(
+    machine: &MachineTopology,
+    spec: &WorkloadSpec,
+    workers: NodeSet,
+    policy: &PlacementPolicy,
+    sim_cfg: SimConfig,
+) -> Result<RunResult, RuntimeError> {
+    let n = machine.node_count();
+    let workers_a = workers.complement(n);
+    if workers_a.is_empty() {
+        return Err(RuntimeError::Scenario(
+            "co-scheduled scenario needs at least one non-worker node for A".into(),
+        ));
+    }
+    let mut sim = Simulator::new(machine.clone(), sim_cfg);
+    let a = sim.spawn(
+        bwap_workloads::swaptions().profile_for(machine),
+        workers_a,
+        None,
+        numasim::MemPolicy::FirstTouch,
+    )?;
+    let (b, handle) = launch_measured(&mut sim, machine, spec, workers, policy, Some(a))?;
+    let start_a = sim.sample(a)?;
+    let start_b = sim.sample(b)?;
+    let exec_time_s = sim.run_until_finished(b, MAX_SIM_S)?;
+    Ok(RunResult {
+        policy: policy.label(),
+        workload: spec.name.to_string(),
+        workers: workers.len(),
+        exec_time_s,
+        chosen_dwp: handle.as_ref().map(|h| h.dwp()),
+        migrated_pages: sim.migrated_pages(b),
+        stall_frac: stall_frac_between(&sim, b, &start_b),
+        a_stall_frac: Some(stall_frac_between(&sim, a, &start_a)),
+    })
+}
+
+/// Sweep worker counts in the stand-alone scenario (the search behind
+/// Fig. 3c/d's "optimal number of workers"). Returns one result per
+/// candidate count, using the machine's rule-of-thumb worker set for each.
+pub fn sweep_worker_counts(
+    machine: &MachineTopology,
+    spec: &WorkloadSpec,
+    policy: &PlacementPolicy,
+    counts: &[usize],
+) -> Result<Vec<RunResult>, RuntimeError> {
+    counts
+        .iter()
+        .map(|&k| run_standalone(machine, spec, machine.best_worker_set(k), policy))
+        .collect()
+}
+
+/// The count from `counts` minimizing execution time under `policy`.
+pub fn optimal_worker_count(
+    machine: &MachineTopology,
+    spec: &WorkloadSpec,
+    policy: &PlacementPolicy,
+    counts: &[usize],
+) -> Result<(usize, f64), RuntimeError> {
+    let results = sweep_worker_counts(machine, spec, policy, counts)?;
+    let best = results
+        .iter()
+        .min_by(|a, b| a.exec_time_s.partial_cmp(&b.exec_time_s).expect("finite times"))
+        .ok_or_else(|| RuntimeError::Scenario("empty worker-count sweep".into()))?;
+    Ok((best.workers, best.exec_time_s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwap_topology::machines;
+
+    fn fast_sc() -> WorkloadSpec {
+        bwap_workloads::streamcluster().scaled_down(8.0)
+    }
+
+    #[test]
+    fn standalone_two_workers_interleave_beats_first_touch() {
+        // The motivation result: first-touch centralizes shared pages and
+        // loses badly for a shared-heavy workload on two workers.
+        let m = machines::machine_b();
+        let workers = m.best_worker_set(2);
+        let ft =
+            run_standalone(&m, &fast_sc(), workers, &PlacementPolicy::FirstTouch).unwrap();
+        let uw =
+            run_standalone(&m, &fast_sc(), workers, &PlacementPolicy::UniformWorkers).unwrap();
+        assert!(
+            uw.exec_time_s < ft.exec_time_s,
+            "uniform-workers {} vs first-touch {}",
+            uw.exec_time_s,
+            ft.exec_time_s
+        );
+    }
+
+    #[test]
+    fn coscheduled_runs_and_reports_a_stats() {
+        let m = machines::machine_b();
+        let workers = m.best_worker_set(1);
+        let r = run_coscheduled(&m, &fast_sc(), workers, &PlacementPolicy::UniformAll).unwrap();
+        assert!(r.exec_time_s > 0.0);
+        let a_stall = r.a_stall_frac.expect("cosched reports A");
+        assert!((0.0..=1.0).contains(&a_stall));
+        assert_eq!(r.workers, 1);
+    }
+
+    #[test]
+    fn coscheduled_on_full_machine_rejected() {
+        let m = machines::machine_b();
+        let r = run_coscheduled(&m, &fast_sc(), m.all_nodes(), &PlacementPolicy::UniformAll);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn worker_sweep_returns_all_counts() {
+        let m = machines::machine_b();
+        let rs = sweep_worker_counts(
+            &m,
+            &fast_sc(),
+            &PlacementPolicy::UniformWorkers,
+            &[1, 2, 4],
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].workers, 1);
+        assert_eq!(rs[2].workers, 4);
+        let (k, t) = optimal_worker_count(
+            &m,
+            &fast_sc(),
+            &PlacementPolicy::UniformWorkers,
+            &[1, 2, 4],
+        )
+        .unwrap();
+        assert!(t > 0.0);
+        assert!([1usize, 2, 4].contains(&k));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let m = machines::machine_b();
+        let workers = m.best_worker_set(2);
+        let a = run_standalone(&m, &fast_sc(), workers, &PlacementPolicy::UniformAll).unwrap();
+        let b = run_standalone(&m, &fast_sc(), workers, &PlacementPolicy::UniformAll).unwrap();
+        assert_eq!(a.exec_time_s, b.exec_time_s);
+    }
+}

@@ -1,0 +1,90 @@
+//! Static-DWP sweeps (paper Fig. 4): deploy the application at fixed DWP
+//! values, measure execution time and average stall rate, and compare the
+//! curve's minimum with what the online tuner picks.
+
+use crate::baselines::PlacementPolicy;
+use crate::error::RuntimeError;
+use crate::scenario::{run_coscheduled, run_standalone};
+use bwap::BwapConfig;
+use bwap_topology::{MachineTopology, NodeSet};
+use bwap_workloads::WorkloadSpec;
+
+/// One point of the sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The static DWP of this run.
+    pub dwp: f64,
+    /// Execution time, simulated seconds.
+    pub exec_time_s: f64,
+    /// Average stall fraction over the run (proportional to the paper's
+    /// stalled-cycles-per-second signal).
+    pub stall_frac: f64,
+}
+
+/// Run `spec` at each static DWP in `dwps`. With `coscheduled`, B shares
+/// the machine with Swaptions as in Fig. 4's setup.
+pub fn dwp_sweep(
+    machine: &MachineTopology,
+    spec: &WorkloadSpec,
+    workers: NodeSet,
+    dwps: &[f64],
+    coscheduled: bool,
+) -> Result<Vec<SweepPoint>, RuntimeError> {
+    dwps.iter()
+        .map(|&dwp| {
+            let policy = PlacementPolicy::Bwap(BwapConfig::static_dwp(dwp));
+            let r = if coscheduled {
+                run_coscheduled(machine, spec, workers, &policy)?
+            } else {
+                run_standalone(machine, spec, workers, &policy)?
+            };
+            Ok(SweepPoint { dwp, exec_time_s: r.exec_time_s, stall_frac: r.stall_frac })
+        })
+        .collect()
+}
+
+/// The DWP minimizing execution time in a sweep.
+pub fn sweep_optimum(points: &[SweepPoint]) -> Option<&SweepPoint> {
+    points
+        .iter()
+        .min_by(|a, b| a.exec_time_s.partial_cmp(&b.exec_time_s).expect("finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwap_topology::machines;
+
+    #[test]
+    fn sweep_produces_requested_points() {
+        let m = machines::machine_b();
+        let spec = bwap_workloads::streamcluster().scaled_down(16.0);
+        let workers = m.best_worker_set(1);
+        let points = dwp_sweep(&m, &spec, workers, &[0.0, 0.5, 1.0], false).unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].dwp, 0.0);
+        assert!(points.iter().all(|p| p.exec_time_s > 0.0));
+        assert!(sweep_optimum(&points).is_some());
+    }
+
+    #[test]
+    fn stall_rate_tracks_execution_time() {
+        // Paper: "stall rate is effectively correlated to execution time".
+        let m = machines::machine_b();
+        let spec = bwap_workloads::streamcluster().scaled_down(16.0);
+        let workers = m.best_worker_set(1);
+        let points = dwp_sweep(&m, &spec, workers, &[0.0, 0.5, 1.0], false).unwrap();
+        // Order by time and by stall fraction: ranks must agree.
+        let by_time = {
+            let mut v: Vec<usize> = (0..points.len()).collect();
+            v.sort_by(|&a, &b| points[a].exec_time_s.partial_cmp(&points[b].exec_time_s).unwrap());
+            v
+        };
+        let by_stall = {
+            let mut v: Vec<usize> = (0..points.len()).collect();
+            v.sort_by(|&a, &b| points[a].stall_frac.partial_cmp(&points[b].stall_frac).unwrap());
+            v
+        };
+        assert_eq!(by_time, by_stall, "{points:?}");
+    }
+}

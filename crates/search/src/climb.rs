@@ -1,0 +1,219 @@
+//! The hill-climbing loop over the weight simplex.
+
+use crate::evaluator::Evaluator;
+use bwap::WeightDistribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Search parameters (paper defaults: ~180 iterations, top-10 averaging).
+#[derive(Debug, Clone)]
+pub struct HillClimbConfig {
+    /// Total candidate evaluations (including the starting point).
+    pub iterations: usize,
+    /// Largest mass moved between two nodes per perturbation; each
+    /// proposal draws a step uniformly from `(0, step]`, mixing coarse
+    /// exploration with fine refinement.
+    pub step: f64,
+    /// How many best candidates the summary averages over.
+    pub top_k: usize,
+    /// RNG seed (the search is otherwise deterministic).
+    pub seed: u64,
+}
+
+impl Default for HillClimbConfig {
+    fn default() -> Self {
+        HillClimbConfig { iterations: 180, step: 0.20, top_k: 10, seed: 0x1b_5eed }
+    }
+}
+
+/// Result of one search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best distribution found.
+    pub best_weights: WeightDistribution,
+    /// Its cost (execution time).
+    pub best_time: f64,
+    /// Mean cost of the `top_k` best distinct candidates — the number the
+    /// paper normalizes Fig. 1b against.
+    pub top_k_mean_time: f64,
+    /// Every `(candidate, cost)` evaluated, in order.
+    pub evaluations: Vec<(WeightDistribution, f64)>,
+}
+
+/// Move `step` of probability mass from node `from` to node `to`,
+/// clamping at zero and renormalizing. Returns `None` for a no-op.
+fn perturb(
+    weights: &WeightDistribution,
+    from: usize,
+    to: usize,
+    step: f64,
+) -> Option<WeightDistribution> {
+    if from == to {
+        return None;
+    }
+    let mut w = weights.to_vec();
+    let moved = step.min(w[from]);
+    if moved <= 1e-12 {
+        return None;
+    }
+    w[from] -= moved;
+    w[to] += moved;
+    WeightDistribution::from_raw(w).ok()
+}
+
+/// Move `step/2` from each of two sources to one target. Single-pair moves
+/// cannot descend the plateaus the weighted max-min landscape exhibits:
+/// when several nodes bind equally (the paper's Eq. 1 water-filling
+/// structure), *all* of their weights must drop together before execution
+/// time improves, so the neighborhood needs correlated moves.
+fn perturb2(
+    weights: &WeightDistribution,
+    from_a: usize,
+    from_b: usize,
+    to: usize,
+    step: f64,
+) -> Option<WeightDistribution> {
+    if from_a == from_b || from_a == to || from_b == to {
+        return None;
+    }
+    let mut w = weights.to_vec();
+    let m_a = (step / 2.0).min(w[from_a]);
+    let m_b = (step / 2.0).min(w[from_b]);
+    if m_a + m_b <= 1e-12 {
+        return None;
+    }
+    w[from_a] -= m_a;
+    w[from_b] -= m_b;
+    w[to] += m_a + m_b;
+    WeightDistribution::from_raw(w).ok()
+}
+
+/// Greedy hill climbing from `start`: each iteration proposes a random
+/// single-pair mass move and keeps it only if the evaluator reports an
+/// improvement.
+pub fn hill_climb(
+    evaluator: &mut dyn Evaluator,
+    start: WeightDistribution,
+    cfg: &HillClimbConfig,
+) -> SearchOutcome {
+    assert!(cfg.iterations >= 1, "need at least the starting evaluation");
+    assert!(cfg.top_k >= 1, "top_k must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = start.len();
+    let mut evaluations = Vec::with_capacity(cfg.iterations);
+    let mut current = start;
+    let mut current_cost = evaluator.evaluate(&current);
+    evaluations.push((current.clone(), current_cost));
+    let mut stalls = 0usize; // proposals without a viable candidate
+    while evaluations.len() < cfg.iterations {
+        let step = rng.gen_range(0.0..cfg.step).max(1e-3);
+        let to = rng.gen_range(0..n);
+        let candidate = if rng.gen_bool(0.5) {
+            perturb(&current, rng.gen_range(0..n), to, step)
+        } else {
+            perturb2(&current, rng.gen_range(0..n), rng.gen_range(0..n), to, step)
+        };
+        let Some(candidate) = candidate else {
+            stalls += 1;
+            assert!(stalls < 100_000, "search cannot generate proposals");
+            continue;
+        };
+        stalls = 0;
+        let cost = evaluator.evaluate(&candidate);
+        evaluations.push((candidate.clone(), cost));
+        if cost < current_cost {
+            current = candidate;
+            current_cost = cost;
+        }
+    }
+    let mut sorted: Vec<&(WeightDistribution, f64)> = evaluations.iter().collect();
+    sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    let k = cfg.top_k.min(sorted.len());
+    let top_k_mean_time = sorted[..k].iter().map(|e| e.1).sum::<f64>() / k as f64;
+    SearchOutcome {
+        best_weights: sorted[0].0.clone(),
+        best_time: sorted[0].1,
+        top_k_mean_time,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::FnEvaluator;
+
+    /// Quadratic bowl with minimum at the given target distribution.
+    fn bowl(target: Vec<f64>) -> impl FnMut(&WeightDistribution) -> f64 {
+        move |w: &WeightDistribution| {
+            w.as_slice()
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+        }
+    }
+
+    #[test]
+    fn converges_toward_known_optimum() {
+        let target = vec![0.4, 0.3, 0.2, 0.1];
+        let mut ev = FnEvaluator(bowl(target.clone()));
+        let start = WeightDistribution::uniform(4);
+        let cfg = HillClimbConfig { iterations: 400, step: 0.05, top_k: 10, seed: 7 };
+        let out = hill_climb(&mut ev, start, &cfg);
+        for (i, &t) in target.iter().enumerate() {
+            let got = out.best_weights.as_slice()[i];
+            assert!((got - t).abs() < 0.08, "node {i}: {got} vs {t}");
+        }
+        assert!(out.best_time < 0.01);
+        assert_eq!(out.evaluations.len(), 400);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            let mut ev = FnEvaluator(bowl(vec![0.7, 0.3]));
+            hill_climb(
+                &mut ev,
+                WeightDistribution::uniform(2),
+                &HillClimbConfig { iterations: 50, step: 0.1, top_k: 5, seed: 42 },
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best_weights, b.best_weights);
+        assert_eq!(a.top_k_mean_time, b.top_k_mean_time);
+    }
+
+    #[test]
+    fn top_k_mean_at_least_best() {
+        let mut ev = FnEvaluator(bowl(vec![0.5, 0.5]));
+        let out = hill_climb(
+            &mut ev,
+            WeightDistribution::from_raw(vec![0.9, 0.1]).unwrap(),
+            &HillClimbConfig { iterations: 60, step: 0.1, top_k: 10, seed: 1 },
+        );
+        assert!(out.top_k_mean_time >= out.best_time);
+    }
+
+    #[test]
+    fn never_produces_invalid_weights() {
+        let mut ev = FnEvaluator(|_: &WeightDistribution| 1.0); // flat: nothing accepted
+        let out = hill_climb(
+            &mut ev,
+            WeightDistribution::from_raw(vec![1.0, 0.0, 0.0]).unwrap(),
+            &HillClimbConfig { iterations: 100, step: 0.5, top_k: 3, seed: 3 },
+        );
+        for (w, _) in &out.evaluations {
+            assert!(w.is_normalized(), "{w}");
+        }
+    }
+
+    #[test]
+    fn perturb_edge_cases() {
+        let w = WeightDistribution::from_raw(vec![1.0, 0.0]).unwrap();
+        assert!(perturb(&w, 0, 0, 0.1).is_none()); // same node
+        assert!(perturb(&w, 1, 0, 0.1).is_none()); // nothing to move
+        let moved = perturb(&w, 0, 1, 0.25).unwrap();
+        assert_eq!(moved.as_slice(), &[0.75, 0.25]);
+    }
+}

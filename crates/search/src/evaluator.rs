@@ -1,0 +1,69 @@
+//! Cost evaluators for the weight search.
+
+use bwap::WeightDistribution;
+use bwap_topology::{MachineTopology, NodeSet};
+use bwap_workloads::WorkloadSpec;
+use numasim::{MemPolicy, SimConfig, Simulator};
+
+/// Anything that maps a weight distribution to a cost (execution time).
+pub trait Evaluator {
+    /// Cost of one candidate; lower is better.
+    fn evaluate(&mut self, weights: &WeightDistribution) -> f64;
+}
+
+/// Evaluate by running the workload in a fresh simulator with the pages
+/// placed by the kernel weighted-interleave policy.
+pub struct SimEvaluator {
+    machine: MachineTopology,
+    spec: WorkloadSpec,
+    workers: NodeSet,
+    max_sim_s: f64,
+}
+
+impl SimEvaluator {
+    /// Stand-alone evaluation of `spec` on `workers`.
+    pub fn new(machine: MachineTopology, spec: WorkloadSpec, workers: NodeSet) -> Self {
+        SimEvaluator { machine, spec, workers, max_sim_s: 3600.0 }
+    }
+}
+
+impl Evaluator for SimEvaluator {
+    fn evaluate(&mut self, weights: &WeightDistribution) -> f64 {
+        let mut sim = Simulator::new(self.machine.clone(), SimConfig::default());
+        let pid = sim
+            .spawn(
+                self.spec.profile_for(&self.machine),
+                self.workers,
+                None,
+                MemPolicy::WeightedInterleave(weights.to_vec()),
+            )
+            .expect("valid spawn");
+        sim.run_until_finished(pid, self.max_sim_s).expect("run completes")
+    }
+}
+
+/// Evaluate with a closure (unit tests, synthetic landscapes).
+pub struct FnEvaluator<F: FnMut(&WeightDistribution) -> f64>(pub F);
+
+impl<F: FnMut(&WeightDistribution) -> f64> Evaluator for FnEvaluator<F> {
+    fn evaluate(&mut self, weights: &WeightDistribution) -> f64 {
+        (self.0)(weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwap_topology::machines;
+
+    #[test]
+    fn sim_evaluator_prefers_spreading_for_saturating_workload() {
+        let m = machines::machine_b();
+        let spec = bwap_workloads::ocean_cp().scaled_down(16.0);
+        let workers = m.best_worker_set(2);
+        let mut ev = SimEvaluator::new(m, spec, workers);
+        let centralized = WeightDistribution::from_raw(vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        let spread = WeightDistribution::uniform(4);
+        assert!(ev.evaluate(&spread) < ev.evaluate(&centralized));
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline N-dimensional hill-climbing search over weight distributions —
+//! the oracle the paper uses to motivate BWAP (§II, Fig. 1b).
+//!
+//! "The search used the hill climbing technique to explore the
+//! 8-dimensional space of possible solutions. The starting point was
+//! uniform-workers. Each search covered approximately 180 iterations
+//! [...]. The values discussed are averages over a selection of the
+//! top-10 best performing distributions."
+//!
+//! Each candidate weight distribution is evaluated with a *fresh run* of
+//! the application placed by the kernel weighted-interleave policy (no
+//! migration noise). On the real machine this took >15 hours per
+//! application; on the simulator it takes seconds — which is the point of
+//! having a simulator.
+
+pub mod climb;
+pub mod evaluator;
+
+pub use climb::{hill_climb, HillClimbConfig, SearchOutcome};
+pub use evaluator::{Evaluator, FnEvaluator, SimEvaluator};

@@ -1,0 +1,346 @@
+//! Ergonomic construction of [`MachineTopology`] values.
+
+use crate::error::TopologyError;
+use crate::link::{Link, LinkId};
+use crate::machine::MachineTopology;
+use crate::matrix::BwMatrix;
+use crate::node::{NodeId, NodeSpec};
+use crate::route::{Hop, Route, RoutingTable};
+
+/// Builder for custom machines. Reference machines in
+/// [`crate::machines`] are built with this too.
+///
+/// ```
+/// use bwap_topology::{TopologyBuilder, NodeSpec, NodeId};
+///
+/// let m = TopologyBuilder::new("twin")
+///     .node(NodeSpec::new(4, 4.0, 10.0, 16.0))
+///     .node(NodeSpec::new(4, 4.0, 10.0, 16.0))
+///     .symmetric_link(NodeId(0), NodeId(1), 6.0)
+///     .auto_routes()
+///     .default_path_caps()
+///     .hop_latencies(90.0, 60.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(m.node_count(), 2);
+/// assert_eq!(m.path_bw(NodeId(0), NodeId(1)), 6.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    name: String,
+    nodes: Vec<NodeSpec>,
+    links: Vec<Link>,
+    routes: Option<RoutingTable>,
+    path_caps: Option<BwMatrix>,
+    latency_ns: Option<BwMatrix>,
+}
+
+impl TopologyBuilder {
+    /// Start building a machine with the given name.
+    pub fn new(name: &str) -> Self {
+        TopologyBuilder {
+            name: name.to_string(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            routes: None,
+            path_caps: None,
+            latency_ns: None,
+        }
+    }
+
+    /// Add a node; nodes receive ids in insertion order.
+    pub fn node(mut self, spec: NodeSpec) -> Self {
+        self.nodes.push(spec);
+        self
+    }
+
+    /// Add `count` identical nodes.
+    pub fn nodes(mut self, count: usize, spec: NodeSpec) -> Self {
+        for _ in 0..count {
+            self.nodes.push(spec.clone());
+        }
+        self
+    }
+
+    /// Add a link with independent per-direction capacities.
+    pub fn link(mut self, a: NodeId, b: NodeId, cap_ab: f64, cap_ba: f64) -> Self {
+        self.links.push(Link { a, b, cap_ab, cap_ba });
+        self
+    }
+
+    /// Add a link with equal capacity both ways.
+    pub fn symmetric_link(self, a: NodeId, b: NodeId, cap: f64) -> Self {
+        self.link(a, b, cap, cap)
+    }
+
+    /// Set an explicit route for an ordered pair (node ids as u16 for
+    /// brevity); hops are given as `(link_index, from_node)` pairs resolved
+    /// against the links added so far.
+    pub fn route_via(mut self, src: u16, dst: u16, intermediates: &[u16]) -> Self {
+        let routes = self
+            .routes
+            .get_or_insert_with(|| RoutingTable::all_local(self.nodes.len()));
+        let mut hops = Vec::new();
+        let mut at = NodeId(src);
+        for &next in intermediates.iter().chain(std::iter::once(&dst)) {
+            let next = NodeId(next);
+            let (idx, link) = self
+                .links
+                .iter()
+                .enumerate()
+                .find(|(_, l)| l.touches(at) && l.touches(next))
+                .unwrap_or_else(|| panic!("no link between {at} and {next}"));
+            hops.push(Hop { link: LinkId(idx), dir: link.direction_from(at).unwrap() });
+            at = next;
+        }
+        routes.set(NodeId(src), NodeId(dst), Route::new(hops));
+        self
+    }
+
+    /// Compute routes for every pair lacking one: BFS shortest path by hop
+    /// count, tie-broken by the larger bottleneck capacity, then by lower
+    /// intermediate node ids (deterministic).
+    pub fn auto_routes(mut self) -> Self {
+        let n = self.nodes.len();
+        let mut routes = self
+            .routes
+            .take()
+            .unwrap_or_else(|| RoutingTable::all_local(n));
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let (src, dst) = (NodeId(s as u16), NodeId(d as u16));
+                if !routes.get(src, dst).is_local() {
+                    continue; // explicit route provided
+                }
+                if let Some(route) = self.bfs_route(src, dst) {
+                    routes.set(src, dst, route);
+                }
+            }
+        }
+        self.routes = Some(routes);
+        self
+    }
+
+    fn bfs_route(&self, src: NodeId, dst: NodeId) -> Option<Route> {
+        // Breadth-first search over nodes; for equal-depth candidates keep
+        // the path with the larger bottleneck, then lexicographically
+        // smaller node sequence.
+        #[derive(Clone)]
+        struct Path {
+            at: NodeId,
+            hops: Vec<Hop>,
+            bottleneck: f64,
+            seq: Vec<u16>,
+        }
+        let mut frontier = vec![Path {
+            at: src,
+            hops: Vec::new(),
+            bottleneck: f64::INFINITY,
+            seq: vec![src.0],
+        }];
+        let mut visited_depth = vec![usize::MAX; self.nodes.len()];
+        visited_depth[src.idx()] = 0;
+        for depth in 1..=self.nodes.len() {
+            let mut best_done: Option<Path> = None;
+            let mut next_frontier: Vec<Path> = Vec::new();
+            for path in &frontier {
+                for (idx, link) in self.links.iter().enumerate() {
+                    let Some(dir) = link.direction_from(path.at) else { continue };
+                    let to = link.other_end(path.at).unwrap();
+                    if path.seq.contains(&to.0) {
+                        continue;
+                    }
+                    let mut cand = path.clone();
+                    cand.at = to;
+                    cand.hops.push(Hop { link: LinkId(idx), dir });
+                    cand.bottleneck = cand.bottleneck.min(link.capacity(dir));
+                    cand.seq.push(to.0);
+                    if to == dst {
+                        let better = match &best_done {
+                            None => true,
+                            Some(b) => {
+                                cand.bottleneck > b.bottleneck + 1e-12
+                                    || ((cand.bottleneck - b.bottleneck).abs() <= 1e-12
+                                        && cand.seq < b.seq)
+                            }
+                        };
+                        if better {
+                            best_done = Some(cand);
+                        }
+                    } else if visited_depth[to.idx()] >= depth {
+                        visited_depth[to.idx()] = depth;
+                        next_frontier.push(cand);
+                    }
+                }
+            }
+            if let Some(done) = best_done {
+                return Some(Route::new(done.hops));
+            }
+            frontier = next_frontier;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Provide the calibrated single-flow bandwidth matrix explicitly
+    /// (diagonal must equal each node's `ctrl_bw`).
+    pub fn path_caps(mut self, m: BwMatrix) -> Self {
+        self.path_caps = Some(m);
+        self
+    }
+
+    /// Derive path caps from the physical structure: local = controller
+    /// bandwidth; remote = weakest link on the route, discounted 10 % per
+    /// extra hop (protocol overhead), never above the source controller.
+    pub fn default_path_caps(mut self) -> Self {
+        let n = self.nodes.len();
+        let routes = self.routes.as_ref().expect("routes before default_path_caps");
+        let mut m = BwMatrix::zeros(n);
+        for s in 0..n {
+            for d in 0..n {
+                let (src, dst) = (NodeId(s as u16), NodeId(d as u16));
+                let v = if s == d {
+                    self.nodes[s].ctrl_bw
+                } else {
+                    let route = routes.get(src, dst);
+                    let hops = route.hop_count().max(1);
+                    let link_cap = route.min_link_capacity(&self.links);
+                    (link_cap * 0.9f64.powi(hops as i32 - 1)).min(self.nodes[s].ctrl_bw)
+                };
+                m.set(src, dst, v);
+            }
+        }
+        self.path_caps = Some(m);
+        self
+    }
+
+    /// Provide the latency matrix explicitly.
+    pub fn latencies(mut self, m: BwMatrix) -> Self {
+        self.latency_ns = Some(m);
+        self
+    }
+
+    /// Derive latencies as `local_ns + per_hop_ns * hops`.
+    pub fn hop_latencies(mut self, local_ns: f64, per_hop_ns: f64) -> Self {
+        let n = self.nodes.len();
+        let routes = self.routes.as_ref().expect("routes before hop_latencies");
+        let mut m = BwMatrix::zeros(n);
+        for s in 0..n {
+            for d in 0..n {
+                let (src, dst) = (NodeId(s as u16), NodeId(d as u16));
+                let hops = routes.get(src, dst).hop_count();
+                m.set(src, dst, local_ns + per_hop_ns * hops as f64);
+            }
+        }
+        self.latency_ns = Some(m);
+        self
+    }
+
+    /// Finish and validate.
+    pub fn build(self) -> Result<MachineTopology, TopologyError> {
+        let n = self.nodes.len();
+        let routes = self.routes.unwrap_or_else(|| RoutingTable::all_local(n));
+        let path_caps = self.path_caps.ok_or(TopologyError::DimensionMismatch {
+            expected: n,
+            got: 0,
+        })?;
+        let latency_ns = self.latency_ns.ok_or(TopologyError::DimensionMismatch {
+            expected: n,
+            got: 0,
+        })?;
+        MachineTopology::new(self.name, self.nodes, self.links, routes, path_caps, latency_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad() -> TopologyBuilder {
+        // ring of 4 nodes
+        TopologyBuilder::new("ring4")
+            .nodes(4, NodeSpec::new(4, 4.0, 10.0, 16.0))
+            .symmetric_link(NodeId(0), NodeId(1), 6.0)
+            .symmetric_link(NodeId(1), NodeId(2), 6.0)
+            .symmetric_link(NodeId(2), NodeId(3), 6.0)
+            .symmetric_link(NodeId(3), NodeId(0), 6.0)
+    }
+
+    #[test]
+    fn auto_routes_pick_shortest() {
+        let m = quad().auto_routes().default_path_caps().hop_latencies(90.0, 50.0).build().unwrap();
+        assert_eq!(m.routes().get(NodeId(0), NodeId(1)).hop_count(), 1);
+        assert_eq!(m.routes().get(NodeId(0), NodeId(2)).hop_count(), 2);
+        // 2-hop path discounted by 10%
+        assert!((m.path_bw(NodeId(0), NodeId(2)) - 5.4).abs() < 1e-9);
+        assert!((m.latency_ns().get(NodeId(0), NodeId(2)) - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auto_routes_prefer_fatter_bottleneck_on_tie() {
+        let m = TopologyBuilder::new("tri")
+            .nodes(3, NodeSpec::new(2, 1.0, 10.0, 16.0))
+            .symmetric_link(NodeId(0), NodeId(1), 2.0) // thin direct
+            .symmetric_link(NodeId(0), NodeId(2), 8.0)
+            .symmetric_link(NodeId(2), NodeId(1), 8.0)
+            .auto_routes()
+            .default_path_caps()
+            .hop_latencies(90.0, 50.0)
+            .build()
+            .unwrap();
+        // shortest (1 hop) wins even though 2-hop has fatter bottleneck
+        assert_eq!(m.routes().get(NodeId(0), NodeId(1)).hop_count(), 1);
+        assert!((m.path_bw(NodeId(0), NodeId(1)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_route_respected_by_auto_routes() {
+        let m = quad()
+            .route_via(0, 2, &[1])
+            .auto_routes()
+            .default_path_caps()
+            .hop_latencies(90.0, 50.0)
+            .build()
+            .unwrap();
+        let r = m.routes().get(NodeId(0), NodeId(2));
+        assert_eq!(r.hop_count(), 2);
+        // goes through node 1: first hop is link 0 (0<->1)
+        assert_eq!(r.hops()[0].link, LinkId(0));
+    }
+
+    #[test]
+    fn missing_matrices_error() {
+        let r = quad().auto_routes().build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn disconnected_machine_fails_validation() {
+        let r = TopologyBuilder::new("islands")
+            .nodes(2, NodeSpec::new(2, 1.0, 10.0, 16.0))
+            .auto_routes()
+            .default_path_caps()
+            .hop_latencies(90.0, 50.0)
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn doc_example_builds() {
+        let m = TopologyBuilder::new("twin")
+            .node(NodeSpec::new(4, 4.0, 10.0, 16.0))
+            .node(NodeSpec::new(4, 4.0, 10.0, 16.0))
+            .symmetric_link(NodeId(0), NodeId(1), 6.0)
+            .auto_routes()
+            .default_path_caps()
+            .hop_latencies(90.0, 60.0)
+            .build()
+            .unwrap();
+        assert_eq!(m.path_bw(NodeId(1), NodeId(0)), 6.0);
+    }
+}

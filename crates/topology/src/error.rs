@@ -1,0 +1,74 @@
+//! Error type for topology construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::MachineTopology`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode(u16),
+    /// A link id referenced a link that does not exist.
+    UnknownLink(usize),
+    /// A bandwidth or capacity value was non-positive or non-finite.
+    BadBandwidth { what: &'static str, value: f64 },
+    /// The machine has no nodes.
+    Empty,
+    /// More nodes than [`crate::NodeSet`] can hold (64).
+    TooManyNodes(usize),
+    /// A route references a link that does not connect its hops.
+    BrokenRoute { src: u16, dst: u16, detail: String },
+    /// The routing table is missing an ordered pair.
+    MissingRoute { src: u16, dst: u16 },
+    /// A matrix had the wrong dimensions.
+    DimensionMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node id {n}"),
+            TopologyError::UnknownLink(l) => write!(f, "unknown link id {l}"),
+            TopologyError::BadBandwidth { what, value } => {
+                write!(f, "bad bandwidth for {what}: {value}")
+            }
+            TopologyError::Empty => write!(f, "machine has no nodes"),
+            TopologyError::TooManyNodes(n) => {
+                write!(f, "machine has {n} nodes; NodeSet supports at most 64")
+            }
+            TopologyError::BrokenRoute { src, dst, detail } => {
+                write!(f, "broken route {src}->{dst}: {detail}")
+            }
+            TopologyError::MissingRoute { src, dst } => {
+                write!(f, "missing route {src}->{dst}")
+            }
+            TopologyError::DimensionMismatch { expected, got } => {
+                write!(f, "matrix dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TopologyError::BrokenRoute {
+            src: 1,
+            dst: 2,
+            detail: "link 3 does not touch node 1".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("1->2"));
+        assert!(s.contains("link 3"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(TopologyError::Empty);
+        assert_eq!(e.to_string(), "machine has no nodes");
+    }
+}

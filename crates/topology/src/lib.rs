@@ -1,0 +1,41 @@
+//! NUMA topology model for the BWAP reproduction suite.
+//!
+//! This crate describes *machines*: sets of NUMA nodes (CPU cores + a local
+//! memory controller), the directed interconnect links between them, the
+//! routes data takes between every ordered pair of nodes, and the calibrated
+//! per-pair bandwidth caps and latencies.
+//!
+//! Two reference machines mirror the paper's testbeds:
+//!
+//! * [`machines::machine_a`] — an 8-node, strongly asymmetric topology
+//!   calibrated so single-flow probes reproduce the paper's Fig. 1a
+//!   bandwidth matrix (4-socket AMD Opteron 6272, 5.8x amplitude).
+//! * [`machines::machine_b`] — a 4-node, 2-socket Cluster-on-Die topology
+//!   with a 2.3x amplitude (Intel Xeon E5-2660 v4).
+//!
+//! Bandwidths are in GB/s (1e9 bytes per second), latencies in nanoseconds.
+//! The crate is purely descriptive: contention/allocation lives in
+//! `bwap-fabric`, and the simulated OS in `numasim`.
+
+pub mod builder;
+pub mod error;
+pub mod link;
+pub mod machine;
+pub mod machines;
+pub mod matrix;
+pub mod node;
+pub mod route;
+
+pub use builder::TopologyBuilder;
+pub use error::TopologyError;
+pub use link::{Direction, Link, LinkId};
+pub use machine::MachineTopology;
+pub use matrix::BwMatrix;
+pub use node::{NodeId, NodeSet, NodeSpec};
+pub use route::{Hop, Route, RoutingTable};
+
+/// Size of a simulated OS page in bytes (the Linux default the paper uses).
+pub const PAGE_SIZE: usize = 4096;
+
+/// One gigabyte per second, in bytes per second.
+pub const GB: f64 = 1e9;

@@ -1,0 +1,135 @@
+//! Physical interconnect links.
+//!
+//! A link joins two nodes and has an independent capacity per direction,
+//! because contemporary interconnects (HyperTransport, QPI) are frequently
+//! asymmetric — the paper's Fig. 1a shows "possibly distinct BWs for each
+//! communication direction".
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// Index of a link within a machine's link table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// Direction of traversal over a [`Link`]: `AtoB` carries data from
+/// `Link::a` to `Link::b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// From endpoint `a` to endpoint `b`.
+    AtoB,
+    /// From endpoint `b` to endpoint `a`.
+    BtoA,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::AtoB => Direction::BtoA,
+            Direction::BtoA => Direction::AtoB,
+        }
+    }
+}
+
+/// A bidirectional physical link with per-direction capacities in GB/s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// First endpoint.
+    pub a: NodeId,
+    /// Second endpoint.
+    pub b: NodeId,
+    /// Capacity for data flowing `a -> b`.
+    pub cap_ab: f64,
+    /// Capacity for data flowing `b -> a`.
+    pub cap_ba: f64,
+}
+
+impl Link {
+    /// Symmetric link with the same capacity in both directions.
+    pub fn symmetric(a: NodeId, b: NodeId, cap: f64) -> Self {
+        Link { a, b, cap_ab: cap, cap_ba: cap }
+    }
+
+    /// Capacity when traversed in `dir`.
+    pub fn capacity(&self, dir: Direction) -> f64 {
+        match dir {
+            Direction::AtoB => self.cap_ab,
+            Direction::BtoA => self.cap_ba,
+        }
+    }
+
+    /// Whether the link touches `n`.
+    pub fn touches(&self, n: NodeId) -> bool {
+        self.a == n || self.b == n
+    }
+
+    /// Given a source endpoint, the direction that leaves it, if the link
+    /// touches that node.
+    pub fn direction_from(&self, src: NodeId) -> Option<Direction> {
+        if self.a == src {
+            Some(Direction::AtoB)
+        } else if self.b == src {
+            Some(Direction::BtoA)
+        } else {
+            None
+        }
+    }
+
+    /// The endpoint reached when entering from `src`.
+    pub fn other_end(&self, src: NodeId) -> Option<NodeId> {
+        if self.a == src {
+            Some(self.b)
+        } else if self.b == src {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}<->{} ({:.1}/{:.1} GB/s)",
+            self.a, self.b, self.cap_ab, self.cap_ba
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_reverse_roundtrip() {
+        assert_eq!(Direction::AtoB.reverse(), Direction::BtoA);
+        assert_eq!(Direction::AtoB.reverse().reverse(), Direction::AtoB);
+    }
+
+    #[test]
+    fn capacity_per_direction() {
+        let l = Link { a: NodeId(0), b: NodeId(1), cap_ab: 4.0, cap_ba: 2.9 };
+        assert_eq!(l.capacity(Direction::AtoB), 4.0);
+        assert_eq!(l.capacity(Direction::BtoA), 2.9);
+    }
+
+    #[test]
+    fn endpoints_and_directions() {
+        let l = Link::symmetric(NodeId(2), NodeId(5), 5.4);
+        assert!(l.touches(NodeId(2)));
+        assert!(!l.touches(NodeId(3)));
+        assert_eq!(l.direction_from(NodeId(2)), Some(Direction::AtoB));
+        assert_eq!(l.direction_from(NodeId(5)), Some(Direction::BtoA));
+        assert_eq!(l.direction_from(NodeId(0)), None);
+        assert_eq!(l.other_end(NodeId(5)), Some(NodeId(2)));
+        assert_eq!(l.other_end(NodeId(1)), None);
+    }
+
+    #[test]
+    fn display_format() {
+        let l = Link::symmetric(NodeId(0), NodeId(1), 5.5);
+        assert_eq!(format!("{l}"), "N1<->N2 (5.5/5.5 GB/s)");
+    }
+}

@@ -1,0 +1,344 @@
+//! A complete machine description: nodes, links, routes, calibrated per-pair
+//! bandwidth caps and latencies.
+
+use crate::error::TopologyError;
+use crate::link::Link;
+use crate::matrix::BwMatrix;
+use crate::node::{NodeId, NodeSet, NodeSpec};
+use crate::route::RoutingTable;
+
+/// A cache-coherent NUMA machine, as assumed by the paper's system model
+/// (§III-A1): `N` nodes, each with cores and a local memory controller,
+/// fully connected through an (asymmetric) interconnect.
+///
+/// Besides the physical structure (links + routes, used for congestion
+/// modelling), the machine carries a calibrated `path_caps` matrix: the
+/// bandwidth a *single* uncontended flow achieves between each ordered node
+/// pair. For the reference machines this matrix reproduces the paper's
+/// measured matrices (Fig. 1a for machine A); the fabric uses it to model
+/// per-hop protocol overheads that make end-to-end bandwidth lower than any
+/// individual link's nominal capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineTopology {
+    name: String,
+    nodes: Vec<NodeSpec>,
+    links: Vec<Link>,
+    routes: RoutingTable,
+    path_caps: BwMatrix,
+    latency_ns: BwMatrix,
+}
+
+impl MachineTopology {
+    /// Assemble and validate a machine. Prefer [`crate::TopologyBuilder`].
+    pub fn new(
+        name: String,
+        nodes: Vec<NodeSpec>,
+        links: Vec<Link>,
+        routes: RoutingTable,
+        path_caps: BwMatrix,
+        latency_ns: BwMatrix,
+    ) -> Result<Self, TopologyError> {
+        let m = MachineTopology { name, nodes, links, routes, path_caps, latency_ns };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Machine name (e.g. `"machine-a"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of NUMA nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All nodes as a set.
+    pub fn all_nodes(&self) -> NodeSet {
+        NodeSet::first(self.node_count())
+    }
+
+    /// Per-node hardware specs.
+    pub fn node(&self, n: NodeId) -> &NodeSpec {
+        &self.nodes[n.idx()]
+    }
+
+    /// All node specs.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Physical links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// All-pairs routing table.
+    pub fn routes(&self) -> &RoutingTable {
+        &self.routes
+    }
+
+    /// Calibrated single-flow bandwidth caps, GB/s.
+    pub fn path_caps(&self) -> &BwMatrix {
+        &self.path_caps
+    }
+
+    /// Unloaded access latency, nanoseconds.
+    pub fn latency_ns(&self) -> &BwMatrix {
+        &self.latency_ns
+    }
+
+    /// Total hardware threads across the machine (the paper's `C x N`).
+    pub fn total_cores(&self) -> usize {
+        self.nodes.iter().map(|n| n.cores as usize).sum()
+    }
+
+    /// The single-flow bandwidth cap for a `dst`-resident thread reading
+    /// from memory on `src` — the paper's `bw(n_src -> n_dst)` under no
+    /// contention.
+    pub fn path_bw(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.path_caps.get(src, dst)
+    }
+
+    /// Sum of pairwise path bandwidth among distinct members of `set`, both
+    /// directions. The paper's thread-placement rule of thumb (borrowed from
+    /// AsymSched) groups threads on the worker set maximizing this.
+    pub fn aggregate_interworker_bw(&self, set: NodeSet) -> f64 {
+        let nodes = set.to_vec();
+        let mut total = 0.0;
+        for &a in &nodes {
+            for &b in &nodes {
+                if a != b {
+                    total += self.path_bw(a, b);
+                }
+            }
+        }
+        total
+    }
+
+    /// Pick the `k`-node worker set per the paper's rule of thumb: maximize
+    /// aggregate inter-worker bandwidth; for `k == 1` pick the node with the
+    /// highest local bandwidth. Ties break toward lower node ids, making the
+    /// choice deterministic.
+    pub fn best_worker_set(&self, k: usize) -> NodeSet {
+        assert!(k >= 1 && k <= self.node_count(), "worker count out of range");
+        if k == 1 {
+            let best = (0..self.node_count())
+                .map(|i| NodeId(i as u16))
+                .max_by(|a, b| {
+                    let (fa, fb) = (self.node(*a).ctrl_bw, self.node(*b).ctrl_bw);
+                    fa.partial_cmp(&fb)
+                        .unwrap()
+                        .then(b.0.cmp(&a.0)) // prefer lower id on ties
+                })
+                .unwrap();
+            return NodeSet::single(best);
+        }
+        let n = self.node_count();
+        let mut best_set = NodeSet::EMPTY;
+        let mut best_score = f64::NEG_INFINITY;
+        // Enumerate all k-subsets of up to 64 nodes; reference machines have
+        // at most 8 nodes so this is tiny.
+        let mut subset: Vec<usize> = (0..k).collect();
+        loop {
+            let set = NodeSet::from_nodes(subset.iter().map(|&i| NodeId(i as u16)));
+            let score = self.aggregate_interworker_bw(set);
+            if score > best_score + 1e-12 {
+                best_score = score;
+                best_set = set;
+            }
+            // next combination
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return best_set;
+                }
+                i -= 1;
+                if subset[i] != i + n - k {
+                    subset[i] += 1;
+                    for j in i + 1..k {
+                        subset[j] = subset[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Full consistency validation.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        let n = self.node_count();
+        if n == 0 {
+            return Err(TopologyError::Empty);
+        }
+        if n > 64 {
+            return Err(TopologyError::TooManyNodes(n));
+        }
+        if self.path_caps.node_count() != n {
+            return Err(TopologyError::DimensionMismatch {
+                expected: n,
+                got: self.path_caps.node_count(),
+            });
+        }
+        if self.latency_ns.node_count() != n {
+            return Err(TopologyError::DimensionMismatch {
+                expected: n,
+                got: self.latency_ns.node_count(),
+            });
+        }
+        if self.routes.node_count() != n {
+            return Err(TopologyError::DimensionMismatch {
+                expected: n,
+                got: self.routes.node_count(),
+            });
+        }
+        for (i, spec) in self.nodes.iter().enumerate() {
+            for (what, v) in [
+                ("ctrl_bw", spec.ctrl_bw),
+                ("ingress_bw", spec.ingress_bw),
+            ] {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(TopologyError::BadBandwidth { what, value: v });
+                }
+            }
+            if spec.cores == 0 {
+                return Err(TopologyError::BadBandwidth { what: "cores", value: 0.0 });
+            }
+            let _ = i;
+        }
+        for link in &self.links {
+            if link.a.idx() >= n {
+                return Err(TopologyError::UnknownNode(link.a.0));
+            }
+            if link.b.idx() >= n {
+                return Err(TopologyError::UnknownNode(link.b.0));
+            }
+            for (what, v) in [("link cap_ab", link.cap_ab), ("link cap_ba", link.cap_ba)] {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(TopologyError::BadBandwidth { what, value: v });
+                }
+            }
+        }
+        self.routes.validate(&self.links)?;
+        // Path caps must be physically realizable and positive; the diagonal
+        // must equal the node's controller bandwidth.
+        const EPS: f64 = 1e-9;
+        for s in 0..n {
+            for d in 0..n {
+                let (src, dst) = (NodeId(s as u16), NodeId(d as u16));
+                let cap = self.path_caps.get(src, dst);
+                if !(cap.is_finite() && cap > 0.0) {
+                    return Err(TopologyError::BadBandwidth { what: "path cap", value: cap });
+                }
+                let lat = self.latency_ns.get(src, dst);
+                if !(lat.is_finite() && lat > 0.0) {
+                    return Err(TopologyError::BadBandwidth { what: "latency", value: lat });
+                }
+                if s == d {
+                    if (cap - self.nodes[s].ctrl_bw).abs() > EPS {
+                        return Err(TopologyError::BadBandwidth {
+                            what: "diagonal path cap != ctrl_bw",
+                            value: cap,
+                        });
+                    }
+                } else {
+                    let route = self.routes.get(src, dst);
+                    let link_cap = route.min_link_capacity(&self.links);
+                    if cap > link_cap + EPS {
+                        return Err(TopologyError::BrokenRoute {
+                            src: src.0,
+                            dst: dst.0,
+                            detail: format!(
+                                "path cap {cap} exceeds weakest link {link_cap}"
+                            ),
+                        });
+                    }
+                    if cap > self.nodes[s].ctrl_bw + EPS {
+                        return Err(TopologyError::BrokenRoute {
+                            src: src.0,
+                            dst: dst.0,
+                            detail: format!(
+                                "path cap {cap} exceeds source controller {}",
+                                self.nodes[s].ctrl_bw
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn machine_a_validates() {
+        let m = machines::machine_a();
+        assert_eq!(m.node_count(), 8);
+        assert_eq!(m.total_cores(), 64);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn machine_b_validates() {
+        let m = machines::machine_b();
+        assert_eq!(m.node_count(), 4);
+        assert_eq!(m.total_cores(), 28);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn machine_a_amplitude_matches_paper() {
+        // Paper §IV: lowest BW 5.8x lower than local (highest) on machine A.
+        let m = machines::machine_a();
+        let amp = m.path_caps().amplitude();
+        assert!((amp - 5.8).abs() < 0.1, "amplitude {amp}");
+    }
+
+    #[test]
+    fn machine_b_amplitude_matches_paper() {
+        // Paper §IV: amplitude 2.3x on machine B.
+        let m = machines::machine_b();
+        let amp = m.path_caps().amplitude();
+        assert!((amp - 2.3).abs() < 0.05, "amplitude {amp}");
+    }
+
+    #[test]
+    fn best_single_worker_prefers_high_local_bw() {
+        let m = machines::machine_a();
+        // Nodes N5..N8 have 10.5 GB/s local; ties break to the lowest id.
+        assert_eq!(m.best_worker_set(1).to_vec(), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn best_pair_is_an_intra_package_pair() {
+        let m = machines::machine_a();
+        let w = m.best_worker_set(2);
+        let v = w.to_vec();
+        assert_eq!(v.len(), 2);
+        // Intra-package pairs have 5.4/5.5 GB/s links; any other pair is
+        // strictly worse on aggregate BW.
+        let bw = m.path_bw(v[0], v[1]) + m.path_bw(v[1], v[0]);
+        assert!(bw >= 10.8, "picked {w} with aggregate {bw}");
+    }
+
+    #[test]
+    fn aggregate_interworker_bw_monotone_in_set_growth() {
+        let m = machines::machine_b();
+        let two = m.best_worker_set(2);
+        let four = m.all_nodes();
+        assert!(m.aggregate_interworker_bw(four) > m.aggregate_interworker_bw(two));
+    }
+
+    #[test]
+    fn path_bw_orientation_matches_fig1a() {
+        // Fig. 1a row N3, column N1 is 2.9; row N1 column N3 is 4.0.
+        let m = machines::machine_a();
+        assert!((m.path_bw(NodeId(2), NodeId(0)) - 2.9).abs() < 1e-9);
+        assert!((m.path_bw(NodeId(0), NodeId(2)) - 4.0).abs() < 1e-9);
+    }
+}

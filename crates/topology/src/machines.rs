@@ -1,0 +1,288 @@
+//! Reference machines mirroring the paper's testbeds, plus small synthetic
+//! machines used by tests and examples.
+
+use crate::builder::TopologyBuilder;
+use crate::machine::MachineTopology;
+use crate::matrix::BwMatrix;
+use crate::node::{NodeId, NodeSpec};
+
+/// The paper's Fig. 1a: measured node-to-node bandwidths (GB/s) on the
+/// 8-node AMD Opteron 6272 (machine A). Row = source (memory) node, column
+/// = destination (CPU) node.
+pub fn fig1a_matrix() -> BwMatrix {
+    BwMatrix::from_rows(&[
+        &[9.2, 5.5, 4.0, 3.6, 2.8, 1.8, 2.7, 1.8],
+        &[5.5, 9.2, 3.6, 4.0, 1.8, 2.8, 1.8, 2.8],
+        &[2.9, 3.6, 9.3, 5.5, 4.0, 1.8, 2.9, 1.8],
+        &[1.8, 4.0, 5.5, 9.3, 3.6, 2.9, 1.8, 2.9],
+        &[4.0, 1.8, 2.9, 1.8, 10.5, 5.4, 2.9, 3.5],
+        &[3.6, 2.8, 1.9, 2.9, 5.4, 10.5, 1.8, 4.0],
+        &[4.0, 1.8, 2.9, 3.6, 2.9, 1.8, 10.5, 5.4],
+        &[3.5, 2.8, 1.8, 4.0, 1.9, 2.8, 5.4, 10.5],
+    ])
+    .expect("static matrix is square")
+}
+
+/// Machine A: 4-socket AMD Opteron 6272 — 8 NUMA nodes (two dies per
+/// package), 8 cores and 8 GiB per node, strongly asymmetric HyperTransport
+/// interconnect. Packages pair nodes (N1,N2), (N3,N4), (N5,N6), (N7,N8).
+///
+/// Single-flow path capacities reproduce Fig. 1a exactly; the link graph
+/// (intra-package links plus the direct HT links implied by the >= 2.7 GB/s
+/// entries) provides the sharing structure for congestion. Node pairs whose
+/// measured bandwidth is 1.8-1.9 GB/s in *both* directions have no direct
+/// link and route through the source's package peer.
+pub fn machine_a() -> MachineTopology {
+    let m = fig1a_matrix();
+    let ctrl = [9.2, 9.2, 9.3, 9.3, 10.5, 10.5, 10.5, 10.5];
+    let mut b = TopologyBuilder::new("machine-a");
+    for c in ctrl {
+        // Ingress cap at 1.6x local controller: an 8-core node can absorb
+        // more than its local controller supplies by pulling over HT links,
+        // but not the full sum of all incoming paths.
+        b = b.node(NodeSpec::new(8, 8.0, c, 1.6 * c));
+    }
+    // Direct links: every unordered pair with at least one direction
+    // measured >= 2.7 GB/s. Per-direction capacities are the Fig. 1a
+    // entries themselves.
+    let direct_pairs: &[(u16, u16)] = &[
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (0, 5),
+        (0, 6),
+        (0, 7),
+        (1, 2),
+        (1, 3),
+        (1, 5),
+        (1, 7),
+        (2, 3),
+        (2, 4),
+        (2, 6),
+        (3, 4),
+        (3, 5),
+        (3, 6),
+        (3, 7),
+        (4, 5),
+        (4, 6),
+        (4, 7),
+        (5, 7),
+        (6, 7),
+    ];
+    for &(a, bb) in direct_pairs {
+        let cap_ab = m.get(NodeId(a), NodeId(bb));
+        let cap_ba = m.get(NodeId(bb), NodeId(a));
+        b = b.link(NodeId(a), NodeId(bb), cap_ab, cap_ba);
+    }
+    // Two-hop pairs (both directions measured at 1.8-1.9 GB/s) route
+    // through a package peer with direct connectivity to the destination.
+    b = b
+        .route_via(1, 4, &[0])
+        .route_via(4, 1, &[5])
+        .route_via(1, 6, &[0])
+        .route_via(6, 1, &[7])
+        .route_via(2, 5, &[3])
+        .route_via(5, 2, &[4])
+        .route_via(2, 7, &[3])
+        .route_via(7, 2, &[6])
+        .route_via(5, 6, &[4])
+        .route_via(6, 5, &[7]);
+    let lat = latency_from_classes(
+        8,
+        |s, d| {
+            if s == d {
+                LatClass::Local
+            } else if s / 2 == d / 2 {
+                LatClass::OneHopNear
+            } else if is_two_hop_a(s, d) {
+                LatClass::TwoHop
+            } else {
+                LatClass::OneHopFar
+            }
+        },
+        [100.0, 136.0, 190.0, 280.0],
+    );
+    b.auto_routes()
+        .path_caps(m)
+        .latencies(lat)
+        .build()
+        .expect("machine A is statically valid")
+}
+
+fn is_two_hop_a(s: usize, d: usize) -> bool {
+    const TWO_HOP: [(usize, usize); 5] = [(1, 4), (1, 6), (2, 5), (2, 7), (5, 6)];
+    TWO_HOP
+        .iter()
+        .any(|&(a, b)| (s, d) == (a, b) || (s, d) == (b, a))
+}
+
+/// Machine B: 2-socket Intel Xeon E5-2660 v4 in Cluster-on-Die mode — 4
+/// NUMA nodes (two per socket), 7 cores and 8 GiB per node. Sockets pair
+/// nodes (N1,N2) and (N3,N4); one QPI link joins the sockets and is shared
+/// by all cross-socket traffic. Bandwidth amplitude is 2.3x, matching the
+/// paper's characterization.
+pub fn machine_b() -> MachineTopology {
+    let caps = BwMatrix::from_rows(&[
+        &[28.0, 21.0, 13.5, 12.6],
+        &[21.0, 28.0, 12.6, 12.2],
+        &[13.5, 12.6, 28.0, 21.0],
+        &[12.6, 12.2, 21.0, 28.0],
+    ])
+    .expect("static matrix is square");
+    let lat = BwMatrix::from_rows(&[
+        &[85.0, 105.0, 140.0, 150.0],
+        &[105.0, 85.0, 150.0, 160.0],
+        &[140.0, 150.0, 85.0, 105.0],
+        &[150.0, 160.0, 105.0, 85.0],
+    ])
+    .expect("static matrix is square");
+    TopologyBuilder::new("machine-b")
+        .nodes(4, NodeSpec::new(7, 8.0, 28.0, 42.0))
+        .symmetric_link(NodeId(0), NodeId(1), 21.0) // intra socket 0
+        .symmetric_link(NodeId(2), NodeId(3), 21.0) // intra socket 1
+        .symmetric_link(NodeId(0), NodeId(2), 16.0) // shared QPI
+        .route_via(0, 3, &[2])
+        .route_via(3, 0, &[2])
+        .route_via(1, 2, &[0])
+        .route_via(2, 1, &[0])
+        .route_via(1, 3, &[0, 2])
+        .route_via(3, 1, &[2, 0])
+        .auto_routes()
+        .path_caps(caps)
+        .latencies(lat)
+        .build()
+        .expect("machine B is statically valid")
+}
+
+/// A 2-node fully symmetric machine: useful to test that on symmetric
+/// hardware BWAP's canonical weights degenerate to uniform.
+pub fn twin() -> MachineTopology {
+    TopologyBuilder::new("twin")
+        .nodes(2, NodeSpec::new(4, 4.0, 10.0, 16.0))
+        .symmetric_link(NodeId(0), NodeId(1), 6.0)
+        .auto_routes()
+        .default_path_caps()
+        .hop_latencies(90.0, 60.0)
+        .build()
+        .expect("twin is statically valid")
+}
+
+/// A 4-node fully connected symmetric machine.
+pub fn symmetric_quad() -> MachineTopology {
+    let mut b = TopologyBuilder::new("symmetric-quad").nodes(4, NodeSpec::new(4, 4.0, 10.0, 16.0));
+    for a in 0..4u16 {
+        for c in (a + 1)..4u16 {
+            b = b.symmetric_link(NodeId(a), NodeId(c), 6.0);
+        }
+    }
+    b.auto_routes()
+        .default_path_caps()
+        .hop_latencies(90.0, 60.0)
+        .build()
+        .expect("symmetric quad is statically valid")
+}
+
+enum LatClass {
+    Local,
+    OneHopNear,
+    OneHopFar,
+    TwoHop,
+}
+
+fn latency_from_classes(
+    n: usize,
+    class: impl Fn(usize, usize) -> LatClass,
+    values: [f64; 4],
+) -> BwMatrix {
+    let mut m = BwMatrix::zeros(n);
+    for s in 0..n {
+        for d in 0..n {
+            let v = match class(s, d) {
+                LatClass::Local => values[0],
+                LatClass::OneHopNear => values[1],
+                LatClass::OneHopFar => values[2],
+                LatClass::TwoHop => values[3],
+            };
+            m.set(NodeId(s as u16), NodeId(d as u16), v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_matrix_matches_paper_spot_checks() {
+        let m = fig1a_matrix();
+        assert_eq!(m.get(NodeId(0), NodeId(0)), 9.2);
+        assert_eq!(m.get(NodeId(4), NodeId(4)), 10.5);
+        assert_eq!(m.get(NodeId(0), NodeId(1)), 5.5);
+        assert_eq!(m.get(NodeId(7), NodeId(4)), 1.9);
+        assert_eq!(m.get(NodeId(5), NodeId(2)), 1.9);
+    }
+
+    #[test]
+    fn machine_a_path_caps_equal_fig1a() {
+        let m = machine_a();
+        assert_eq!(m.path_caps(), &fig1a_matrix());
+    }
+
+    #[test]
+    fn machine_a_two_hop_pairs_have_two_hop_routes() {
+        let m = machine_a();
+        for (s, d) in [(1u16, 4u16), (4, 1), (1, 6), (6, 1), (2, 5), (5, 2), (2, 7), (7, 2), (5, 6), (6, 5)] {
+            assert_eq!(
+                m.routes().get(NodeId(s), NodeId(d)).hop_count(),
+                2,
+                "{s}->{d} should be 2 hops"
+            );
+        }
+        // and a couple of direct pairs
+        assert_eq!(m.routes().get(NodeId(0), NodeId(5)).hop_count(), 1);
+        assert_eq!(m.routes().get(NodeId(3), NodeId(4)).hop_count(), 1);
+    }
+
+    #[test]
+    fn machine_a_latencies_ordered() {
+        let m = machine_a();
+        let lat = m.latency_ns();
+        assert!(lat.get(NodeId(0), NodeId(0)) < lat.get(NodeId(0), NodeId(1)));
+        assert!(lat.get(NodeId(0), NodeId(1)) < lat.get(NodeId(0), NodeId(4)));
+        assert!(lat.get(NodeId(0), NodeId(4)) < lat.get(NodeId(1), NodeId(4)));
+    }
+
+    #[test]
+    fn machine_b_qpi_is_shared() {
+        let m = machine_b();
+        // all four cross-socket ordered pairs traverse link 2 (the QPI)
+        use crate::link::LinkId;
+        for (s, d) in [(0u16, 2u16), (0, 3), (1, 2), (1, 3), (2, 0), (3, 0), (2, 1), (3, 1)] {
+            let r = m.routes().get(NodeId(s), NodeId(d));
+            assert!(
+                r.hops().iter().any(|h| h.link == LinkId(2)),
+                "{s}->{d} must cross the QPI"
+            );
+        }
+    }
+
+    #[test]
+    fn twin_and_quad_are_symmetric() {
+        for m in [twin(), symmetric_quad()] {
+            let caps = m.path_caps();
+            let n = m.node_count();
+            for s in 0..n as u16 {
+                for d in 0..n as u16 {
+                    assert_eq!(
+                        caps.get(NodeId(s), NodeId(d)),
+                        caps.get(NodeId(d), NodeId(s)),
+                        "{} not symmetric at ({s},{d})",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+}

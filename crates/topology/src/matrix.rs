@@ -1,0 +1,178 @@
+//! Dense node-to-node bandwidth (or latency) matrices.
+
+use crate::error::TopologyError;
+use crate::node::NodeId;
+use std::fmt;
+
+/// A dense `N x N` matrix of per-pair values, row = source (memory) node,
+/// column = destination (CPU) node, matching the paper's Fig. 1a layout.
+/// Values are GB/s for bandwidth matrices and nanoseconds for latency
+/// matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BwMatrix {
+    n: usize,
+    data: Vec<f64>, // row-major
+}
+
+impl BwMatrix {
+    /// Zero matrix for `n` nodes.
+    pub fn zeros(n: usize) -> Self {
+        BwMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Build from row-major data.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, TopologyError> {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
+        for row in rows {
+            if row.len() != n {
+                return Err(TopologyError::DimensionMismatch { expected: n, got: row.len() });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(BwMatrix { n, data })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Value for `(src, dst)`.
+    #[inline]
+    pub fn get(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.data[src.idx() * self.n + dst.idx()]
+    }
+
+    /// Set value for `(src, dst)`.
+    #[inline]
+    pub fn set(&mut self, src: NodeId, dst: NodeId, v: f64) {
+        self.data[src.idx() * self.n + dst.idx()] = v;
+    }
+
+    /// The diagonal (local bandwidth per node).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.data[i * self.n + i]).collect()
+    }
+
+    /// Largest entry.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest entry.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Ratio between highest (local) and lowest bandwidth — the paper quotes
+    /// 5.8x for machine A and 2.3x for machine B.
+    pub fn amplitude(&self) -> f64 {
+        self.max() / self.min()
+    }
+
+    /// Maximum relative error versus another matrix (for calibration tests).
+    pub fn max_rel_error(&self, other: &BwMatrix) -> Result<f64, TopologyError> {
+        if self.n != other.n {
+            return Err(TopologyError::DimensionMismatch { expected: self.n, got: other.n });
+        }
+        let mut worst = 0.0f64;
+        for (a, b) in self.data.iter().zip(other.data.iter()) {
+            if *b != 0.0 {
+                worst = worst.max(((a - b) / b).abs());
+            } else if *a != 0.0 {
+                worst = f64::INFINITY;
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Render as a CSV block (header row of destination nodes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("src");
+        for d in 0..self.n {
+            out.push_str(&format!(",{}", NodeId(d as u16)));
+        }
+        out.push('\n');
+        for s in 0..self.n {
+            out.push_str(&format!("{}", NodeId(s as u16)));
+            for d in 0..self.n {
+                out.push_str(&format!(",{:.2}", self.data[s * self.n + d]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for BwMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "      ")?;
+        for d in 0..self.n {
+            write!(f, "{:>6}", format!("{}", NodeId(d as u16)))?;
+        }
+        writeln!(f)?;
+        for s in 0..self.n {
+            write!(f, "{:>6}", format!("{}", NodeId(s as u16)))?;
+            for d in 0..self.n {
+                write!(f, "{:>6.1}", self.data[s * self.n + d])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_get() {
+        let m = BwMatrix::from_rows(&[&[9.0, 5.0], &[4.0, 9.0]]).unwrap();
+        assert_eq!(m.get(NodeId(0), NodeId(1)), 5.0);
+        assert_eq!(m.get(NodeId(1), NodeId(0)), 4.0);
+        assert_eq!(m.diagonal(), vec![9.0, 9.0]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(BwMatrix::from_rows(&[&[1.0, 2.0], &[3.0]]).is_err());
+    }
+
+    #[test]
+    fn amplitude() {
+        let m = BwMatrix::from_rows(&[&[10.0, 2.0], &[5.0, 10.0]]).unwrap();
+        assert!((m.amplitude() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_error() {
+        let a = BwMatrix::from_rows(&[&[10.0, 2.0], &[5.0, 10.0]]).unwrap();
+        let mut b = a.clone();
+        b.set(NodeId(0), NodeId(1), 2.2);
+        // we perturbed one entry by 10% of its new-reference value:
+        // |2.0-2.2|/2.2 = 0.0909..
+        let err = a.max_rel_error(&b).unwrap();
+        assert!((err - 0.2 / 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_and_display_render() {
+        let m = BwMatrix::from_rows(&[&[9.0, 5.0], &[4.0, 9.0]]).unwrap();
+        let csv = m.to_csv();
+        assert!(csv.starts_with("src,N1,N2\n"));
+        assert!(csv.contains("N2,4.00,9.00"));
+        let disp = format!("{m}");
+        assert!(disp.contains("9.0"));
+    }
+
+    #[test]
+    fn set_and_zeros() {
+        let mut m = BwMatrix::zeros(3);
+        m.set(NodeId(2), NodeId(0), 7.5);
+        assert_eq!(m.get(NodeId(2), NodeId(0)), 7.5);
+        assert_eq!(m.get(NodeId(0), NodeId(2)), 0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Node identifiers, node sets, and per-node hardware specifications.
+
+use std::fmt;
+
+/// Identifier of a NUMA node within one machine. Nodes are numbered densely
+/// from zero; the paper's `N1..N8` map to `NodeId(0)..NodeId(7)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Index usable for vectors sized by node count.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Match the paper's 1-based naming in human-facing output.
+        write!(f, "N{}", self.0 + 1)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A set of NUMA nodes, stored as a 64-bit mask. Machines are limited to 64
+/// nodes, far beyond the 8 of the paper's largest testbed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NodeSet(u64);
+
+impl NodeSet {
+    /// The empty set.
+    pub const EMPTY: NodeSet = NodeSet(0);
+
+    /// Set containing a single node.
+    pub fn single(n: NodeId) -> Self {
+        NodeSet(1u64 << n.0)
+    }
+
+    /// Set containing nodes `0..count`.
+    pub fn first(count: usize) -> Self {
+        assert!(count <= 64, "NodeSet supports at most 64 nodes");
+        if count == 64 {
+            NodeSet(u64::MAX)
+        } else {
+            NodeSet((1u64 << count) - 1)
+        }
+    }
+
+    /// Build from an iterator of node ids.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut s = NodeSet::EMPTY;
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+
+    /// Insert a node.
+    pub fn insert(&mut self, n: NodeId) {
+        self.0 |= 1u64 << n.0;
+    }
+
+    /// Remove a node; returns whether it was present.
+    pub fn remove(&mut self, n: NodeId) -> bool {
+        let had = self.contains(n);
+        self.0 &= !(1u64 << n.0);
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.0 & (1u64 << n.0) != 0
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union.
+    pub fn union(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    pub fn intersection(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & !other.0)
+    }
+
+    /// Complement within a machine of `node_count` nodes.
+    pub fn complement(self, node_count: usize) -> NodeSet {
+        NodeSet(NodeSet::first(node_count).0 & !self.0)
+    }
+
+    /// Whether `self` is a subset of `other`.
+    pub fn is_subset(self, other: NodeSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterate over members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let bits = self.0;
+        (0..64u16).filter(move |i| bits & (1u64 << i) != 0).map(NodeId)
+    }
+
+    /// Collect members into a vector (ascending id order).
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+
+    /// The lowest-numbered member, if any.
+    pub fn min(&self) -> Option<NodeId> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(NodeId(self.0.trailing_zeros() as u16))
+        }
+    }
+
+    /// Raw mask (for hashing/caching keyed by worker set).
+    pub fn mask(&self) -> u64 {
+        self.0
+    }
+}
+
+impl NodeSet {
+    fn fmt_members(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for n in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_members(f)
+    }
+}
+
+impl fmt::Display for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_members(f)
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        NodeSet::from_nodes(iter)
+    }
+}
+
+/// Hardware description of one NUMA node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Number of hardware threads (the paper pins one software thread per
+    /// core, so cores == usable hardware threads).
+    pub cores: u16,
+    /// Local memory capacity in 4 KiB pages.
+    pub mem_pages: u64,
+    /// Peak local memory-controller bandwidth in GB/s (the diagonal of the
+    /// machine's bandwidth matrix). All channels of the node are abstracted
+    /// as one aggregate controller, as in the paper's system model.
+    pub ctrl_bw: f64,
+    /// Cap on the total bandwidth the node's cores can absorb from all
+    /// sources combined (load/store unit + LFB limit), in GB/s.
+    pub ingress_bw: f64,
+}
+
+impl NodeSpec {
+    /// Convenience constructor with validation-friendly defaults.
+    pub fn new(cores: u16, mem_gib: f64, ctrl_bw: f64, ingress_bw: f64) -> Self {
+        NodeSpec {
+            cores,
+            mem_pages: ((mem_gib * (1u64 << 30) as f64) / crate::PAGE_SIZE as f64) as u64,
+            ctrl_bw,
+            ingress_bw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodeset_basic_ops() {
+        let mut s = NodeSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(NodeId(3));
+        s.insert(NodeId(0));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId(3)));
+        assert!(!s.contains(NodeId(1)));
+        assert_eq!(s.to_vec(), vec![NodeId(0), NodeId(3)]);
+        assert!(s.remove(NodeId(3)));
+        assert!(!s.remove(NodeId(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn nodeset_first_and_complement() {
+        let s = NodeSet::first(4);
+        assert_eq!(s.len(), 4);
+        let w = NodeSet::from_nodes([NodeId(1), NodeId(2)]);
+        let c = w.complement(4);
+        assert_eq!(c.to_vec(), vec![NodeId(0), NodeId(3)]);
+        assert_eq!(w.union(c), s);
+        assert!(w.intersection(c).is_empty());
+    }
+
+    #[test]
+    fn nodeset_subset_and_difference() {
+        let a = NodeSet::from_nodes([NodeId(0), NodeId(1), NodeId(2)]);
+        let b = NodeSet::from_nodes([NodeId(1)]);
+        assert!(b.is_subset(a));
+        assert!(!a.is_subset(b));
+        assert_eq!(a.difference(b).to_vec(), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn nodeset_64_nodes() {
+        let s = NodeSet::first(64);
+        assert_eq!(s.len(), 64);
+        assert!(s.contains(NodeId(63)));
+    }
+
+    #[test]
+    fn nodeset_display_matches_paper_naming() {
+        let s = NodeSet::from_nodes([NodeId(0), NodeId(2)]);
+        assert_eq!(format!("{s}"), "{N1,N3}");
+        assert_eq!(format!("{}", NodeId(7)), "N8");
+    }
+
+    #[test]
+    fn nodeset_min() {
+        assert_eq!(NodeSet::EMPTY.min(), None);
+        let s = NodeSet::from_nodes([NodeId(5), NodeId(2)]);
+        assert_eq!(s.min(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn nodespec_page_math() {
+        let spec = NodeSpec::new(8, 8.0, 9.2, 15.0);
+        // 8 GiB / 4 KiB = 2 Mi pages
+        assert_eq!(spec.mem_pages, 2 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,262 @@
+//! Routes: the sequence of directed link hops data takes between two nodes.
+
+use crate::error::TopologyError;
+use crate::link::{Direction, Link, LinkId};
+use crate::node::NodeId;
+
+/// One traversal of a physical link in a specific direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hop {
+    /// Which link is traversed.
+    pub link: LinkId,
+    /// In which direction.
+    pub dir: Direction,
+}
+
+/// An ordered sequence of hops from a source (memory) node to a destination
+/// (CPU) node. The local route (src == dst) has no hops.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Route {
+    hops: Vec<Hop>,
+}
+
+impl Route {
+    /// The empty (local) route.
+    pub fn local() -> Self {
+        Route { hops: Vec::new() }
+    }
+
+    /// Route over the given hops.
+    pub fn new(hops: Vec<Hop>) -> Self {
+        Route { hops }
+    }
+
+    /// Hops in traversal order.
+    pub fn hops(&self) -> &[Hop] {
+        &self.hops
+    }
+
+    /// Number of link traversals.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether this is the local (zero-hop) route.
+    pub fn is_local(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Verify the route is a connected path `src -> dst` over `links`.
+    pub fn validate(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        links: &[Link],
+    ) -> Result<(), TopologyError> {
+        let mut at = src;
+        for hop in &self.hops {
+            let link = links.get(hop.link.0).ok_or(TopologyError::UnknownLink(hop.link.0))?;
+            let expected_dir = link.direction_from(at).ok_or_else(|| TopologyError::BrokenRoute {
+                src: src.0,
+                dst: dst.0,
+                detail: format!("link {} does not leave node {at}", hop.link.0),
+            })?;
+            if expected_dir != hop.dir {
+                return Err(TopologyError::BrokenRoute {
+                    src: src.0,
+                    dst: dst.0,
+                    detail: format!("hop over link {} has wrong direction", hop.link.0),
+                });
+            }
+            at = link.other_end(at).expect("direction_from succeeded");
+        }
+        if at != dst {
+            return Err(TopologyError::BrokenRoute {
+                src: src.0,
+                dst: dst.0,
+                detail: format!("route ends at {at}, not {dst}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// The tightest link capacity along the route (infinite for local).
+    pub fn min_link_capacity(&self, links: &[Link]) -> f64 {
+        self.hops
+            .iter()
+            .map(|h| links[h.link.0].capacity(h.dir))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// All-pairs routing table. Entry `(src, dst)` is the path data flows when a
+/// thread on `dst` reads memory resident on `src` (matching the paper's
+/// `bw(n_src -> n_dst)` orientation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTable {
+    n: usize,
+    routes: Vec<Route>, // row-major [src][dst]
+}
+
+impl RoutingTable {
+    /// Table of local-only routes for `n` nodes (valid for fully local
+    /// machines or as a starting point for the builder).
+    pub fn all_local(n: usize) -> Self {
+        RoutingTable { n, routes: vec![Route::local(); n * n] }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Set the route for an ordered pair.
+    pub fn set(&mut self, src: NodeId, dst: NodeId, route: Route) {
+        let idx = self.index(src, dst);
+        self.routes[idx] = route;
+    }
+
+    /// The route for an ordered pair.
+    pub fn get(&self, src: NodeId, dst: NodeId) -> &Route {
+        &self.routes[self.index(src, dst)]
+    }
+
+    fn index(&self, src: NodeId, dst: NodeId) -> usize {
+        assert!(src.idx() < self.n && dst.idx() < self.n, "node id out of range");
+        src.idx() * self.n + dst.idx()
+    }
+
+    /// Validate every pair: off-diagonal routes must connect src to dst;
+    /// diagonal routes must be local.
+    pub fn validate(&self, links: &[Link]) -> Result<(), TopologyError> {
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let (src, dst) = (NodeId(s as u16), NodeId(d as u16));
+                let route = self.get(src, dst);
+                if s == d && !route.is_local() {
+                    return Err(TopologyError::BrokenRoute {
+                        src: src.0,
+                        dst: dst.0,
+                        detail: "diagonal route must be local".into(),
+                    });
+                }
+                if s != d && route.is_local() {
+                    return Err(TopologyError::MissingRoute { src: src.0, dst: dst.0 });
+                }
+                route.validate(src, dst, links)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Link;
+
+    fn three_node_links() -> Vec<Link> {
+        vec![
+            Link::symmetric(NodeId(0), NodeId(1), 5.0), // link 0
+            Link::symmetric(NodeId(1), NodeId(2), 3.0), // link 1
+        ]
+    }
+
+    #[test]
+    fn local_route_is_valid_and_infinite() {
+        let links = three_node_links();
+        let r = Route::local();
+        assert!(r.validate(NodeId(0), NodeId(0), &links).is_ok());
+        assert_eq!(r.min_link_capacity(&links), f64::INFINITY);
+        assert!(r.is_local());
+    }
+
+    #[test]
+    fn two_hop_route_validates_and_caps() {
+        let links = three_node_links();
+        let r = Route::new(vec![
+            Hop { link: LinkId(0), dir: Direction::AtoB },
+            Hop { link: LinkId(1), dir: Direction::AtoB },
+        ]);
+        assert!(r.validate(NodeId(0), NodeId(2), &links).is_ok());
+        assert_eq!(r.min_link_capacity(&links), 3.0);
+        assert_eq!(r.hop_count(), 2);
+    }
+
+    #[test]
+    fn wrong_direction_rejected() {
+        let links = three_node_links();
+        let r = Route::new(vec![Hop { link: LinkId(0), dir: Direction::BtoA }]);
+        assert!(matches!(
+            r.validate(NodeId(0), NodeId(1), &links),
+            Err(TopologyError::BrokenRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_route_rejected() {
+        let links = three_node_links();
+        let r = Route::new(vec![Hop { link: LinkId(0), dir: Direction::AtoB }]);
+        // ends at node 1, not node 2
+        assert!(matches!(
+            r.validate(NodeId(0), NodeId(2), &links),
+            Err(TopologyError::BrokenRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_link_rejected() {
+        let links = three_node_links();
+        let r = Route::new(vec![Hop { link: LinkId(9), dir: Direction::AtoB }]);
+        assert!(matches!(
+            r.validate(NodeId(0), NodeId(1), &links),
+            Err(TopologyError::UnknownLink(9))
+        ));
+    }
+
+    #[test]
+    fn routing_table_roundtrip_and_validate() {
+        let links = three_node_links();
+        let mut rt = RoutingTable::all_local(3);
+        rt.set(
+            NodeId(0),
+            NodeId(1),
+            Route::new(vec![Hop { link: LinkId(0), dir: Direction::AtoB }]),
+        );
+        // missing routes for other pairs -> invalid
+        assert!(rt.validate(&links).is_err());
+        rt.set(
+            NodeId(1),
+            NodeId(0),
+            Route::new(vec![Hop { link: LinkId(0), dir: Direction::BtoA }]),
+        );
+        rt.set(
+            NodeId(1),
+            NodeId(2),
+            Route::new(vec![Hop { link: LinkId(1), dir: Direction::AtoB }]),
+        );
+        rt.set(
+            NodeId(2),
+            NodeId(1),
+            Route::new(vec![Hop { link: LinkId(1), dir: Direction::BtoA }]),
+        );
+        rt.set(
+            NodeId(0),
+            NodeId(2),
+            Route::new(vec![
+                Hop { link: LinkId(0), dir: Direction::AtoB },
+                Hop { link: LinkId(1), dir: Direction::AtoB },
+            ]),
+        );
+        rt.set(
+            NodeId(2),
+            NodeId(0),
+            Route::new(vec![
+                Hop { link: LinkId(1), dir: Direction::BtoA },
+                Hop { link: LinkId(0), dir: Direction::BtoA },
+            ]),
+        );
+        assert!(rt.validate(&links).is_ok());
+        assert_eq!(rt.get(NodeId(0), NodeId(2)).hop_count(), 2);
+    }
+}

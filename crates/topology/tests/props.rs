@@ -1,0 +1,64 @@
+//! Property tests over topology invariants.
+
+use bwap_topology::{machines, NodeId, NodeSet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// NodeSet behaves like a set of small integers.
+    #[test]
+    fn nodeset_set_algebra(a in 0u64..256, b in 0u64..256) {
+        let sa = NodeSet::from_nodes((0..8u16).filter(|i| a & (1 << i) != 0).map(NodeId));
+        let sb = NodeSet::from_nodes((0..8u16).filter(|i| b & (1 << i) != 0).map(NodeId));
+        prop_assert_eq!(sa.union(sb).len() + sa.intersection(sb).len(), sa.len() + sb.len());
+        prop_assert!(sa.intersection(sb).is_subset(sa));
+        prop_assert!(sa.difference(sb).intersection(sb).is_empty());
+        prop_assert_eq!(
+            sa.difference(sb).len() + sa.intersection(sb).len(),
+            sa.len()
+        );
+        // complement within 8 nodes partitions the universe
+        let c = sa.complement(8);
+        prop_assert!(sa.intersection(c).is_empty());
+        prop_assert_eq!(sa.union(c), NodeSet::first(8));
+        // iteration ascends
+        let v = sa.to_vec();
+        prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Every route of the reference machines is a connected path whose
+    /// weakest link dominates the calibrated path cap.
+    #[test]
+    fn reference_routes_physical(machine_b in any::<bool>(), s in 0u16..8, d in 0u16..8) {
+        let m = if machine_b { machines::machine_b() } else { machines::machine_a() };
+        let n = m.node_count() as u16;
+        let (s, d) = (s % n, d % n);
+        let (src, dst) = (NodeId(s), NodeId(d));
+        let route = m.routes().get(src, dst);
+        prop_assert!(route.validate(src, dst, m.links()).is_ok());
+        if s != d {
+            let cap = m.path_bw(src, dst);
+            prop_assert!(cap <= route.min_link_capacity(m.links()) + 1e-9);
+            prop_assert!(cap <= m.node(src).ctrl_bw + 1e-9);
+            prop_assert!(cap > 0.0);
+        }
+    }
+
+    /// best_worker_set returns a set of the requested size whose aggregate
+    /// inter-worker bandwidth is maximal among all candidates of that size.
+    #[test]
+    fn best_worker_set_is_argmax(k in 1usize..=4) {
+        let m = machines::machine_b();
+        let best = m.best_worker_set(k);
+        prop_assert_eq!(best.len(), k);
+        let score = m.aggregate_interworker_bw(best);
+        // exhaustive check over all k-subsets of 4 nodes
+        for mask in 1u64..16 {
+            let set = NodeSet::from_nodes((0..4u16).filter(|i| mask & (1 << i) != 0).map(NodeId));
+            if set.len() == k && k > 1 {
+                prop_assert!(m.aggregate_interworker_bw(set) <= score + 1e-9);
+            }
+        }
+    }
+}

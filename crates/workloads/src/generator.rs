@@ -1,0 +1,81 @@
+//! Randomized workload generation for property tests and robustness
+//! sweeps.
+
+use crate::spec::WorkloadSpec;
+use rand::Rng;
+
+/// Bounds for random workload generation.
+#[derive(Debug, Clone)]
+pub struct GeneratorBounds {
+    /// Per-node demand range, MB/s (reads + writes).
+    pub demand_mbps: (f64, f64),
+    /// Write share range.
+    pub write_frac: (f64, f64),
+    /// Private traffic share range.
+    pub private_frac: (f64, f64),
+    /// Latency sensitivity range.
+    pub latency_sensitivity: (f64, f64),
+    /// Shared segment pages range.
+    pub shared_pages: (u64, u64),
+}
+
+impl Default for GeneratorBounds {
+    fn default() -> Self {
+        GeneratorBounds {
+            demand_mbps: (2_000.0, 30_000.0),
+            write_frac: (0.0, 0.45),
+            private_frac: (0.0, 0.95),
+            latency_sensitivity: (0.0, 0.6),
+            shared_pages: (4_096, 262_144),
+        }
+    }
+}
+
+/// Draw a random (but always valid) workload from the given bounds.
+pub fn random_workload<R: Rng>(rng: &mut R, bounds: &GeneratorBounds) -> WorkloadSpec {
+    let demand = rng.gen_range(bounds.demand_mbps.0..=bounds.demand_mbps.1);
+    let wf = rng.gen_range(bounds.write_frac.0..=bounds.write_frac.1);
+    WorkloadSpec {
+        name: "random",
+        reads_mbps: demand * (1.0 - wf),
+        writes_mbps: demand * wf,
+        private_frac: rng.gen_range(bounds.private_frac.0..=bounds.private_frac.1),
+        latency_sensitivity: rng
+            .gen_range(bounds.latency_sensitivity.0..=bounds.latency_sensitivity.1),
+        serial_frac: rng.gen_range(0.0..0.1),
+        multinode_penalty: rng.gen_range(0.0..0.3),
+        shared_pages: rng.gen_range(bounds.shared_pages.0..=bounds.shared_pages.1),
+        private_pages_per_thread: rng.gen_range(64..=8_192),
+        total_traffic_gb: rng.gen_range(20.0..200.0),
+        machine_a_scale: rng.gen_range(0.3..1.5),
+        open_loop: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwap_topology::machines;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_workloads_always_validate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let bounds = GeneratorBounds::default();
+        for m in [machines::machine_a(), machines::machine_b()] {
+            for _ in 0..200 {
+                let w = random_workload(&mut rng, &bounds);
+                w.profile_for(&m).validate().expect("generated workload must be valid");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let bounds = GeneratorBounds::default();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(random_workload(&mut a, &bounds), random_workload(&mut b, &bounds));
+    }
+}

@@ -1,0 +1,50 @@
+//! The paper's Table I reference values, for paper-vs-measured reporting.
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Benchmark abbreviation.
+    pub name: &'static str,
+    /// Reads, MB/s.
+    pub reads_mbps: f64,
+    /// Writes, MB/s.
+    pub writes_mbps: f64,
+    /// Private accesses, percent.
+    pub private_pct: f64,
+    /// Shared accesses, percent.
+    pub shared_pct: f64,
+}
+
+/// Table I as printed in the paper (machine B, one full worker node).
+pub fn table1_reference() -> Vec<Table1Row> {
+    vec![
+        Table1Row { name: "OC", reads_mbps: 17576.0, writes_mbps: 6492.0, private_pct: 79.3, shared_pct: 20.7 },
+        Table1Row { name: "ON", reads_mbps: 16053.0, writes_mbps: 5578.0, private_pct: 86.7, shared_pct: 13.3 },
+        Table1Row { name: "SP.B", reads_mbps: 11962.0, writes_mbps: 5352.0, private_pct: 19.9, shared_pct: 80.1 },
+        Table1Row { name: "SC", reads_mbps: 10055.0, writes_mbps: 70.0, private_pct: 0.2, shared_pct: 99.8 },
+        Table1Row { name: "FT.C", reads_mbps: 5585.0, writes_mbps: 4715.0, private_pct: 95.0, shared_pct: 5.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+
+    #[test]
+    fn reference_consistent_with_specs() {
+        for row in table1_reference() {
+            let spec = apps::by_name(row.name).unwrap();
+            assert_eq!(spec.reads_mbps, row.reads_mbps, "{}", row.name);
+            assert_eq!(spec.writes_mbps, row.writes_mbps, "{}", row.name);
+            assert!((spec.private_frac * 100.0 - row.private_pct).abs() < 0.05, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn percents_sum_to_hundred() {
+        for row in table1_reference() {
+            assert!((row.private_pct + row.shared_pct - 100.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Capacity planning: how many worker nodes should an application get?
+//!
+//! The paper's stand-alone scenario (Fig. 3c/d) shows that page placement
+//! and parallelism interact: applications that stop scaling benefit most
+//! from bandwidth-aware placement, because idle nodes' bandwidth is free.
+//! This example sweeps worker counts for a well-scaling workload (Ocean)
+//! and a poorly-scaling one (SP.B) under uniform-workers and under BWAP,
+//! and prints the resulting "how many nodes do I need" tables.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use bwap_suite::prelude::*;
+
+fn main() {
+    let machine = machines::machine_a();
+    let counts = [1usize, 2, 4, 8];
+    for spec in [workloads::ocean_cp().scaled_down(8.0), workloads::sp_b().scaled_down(8.0)] {
+        println!("== {} on {} ==", spec.name, machine.name());
+        println!(
+            "{:<8} {:>22} {:>16} {:>10}",
+            "workers", "uniform-workers [s]", "bwap [s]", "bwap DWP"
+        );
+        let mut best: Option<(usize, f64)> = None;
+        for &k in &counts {
+            let workers = machine.best_worker_set(k);
+            let uw = run_standalone(&machine, &spec, workers, &PlacementPolicy::UniformWorkers)
+                .expect("scenario");
+            let bw = run_standalone(
+                &machine,
+                &spec,
+                workers,
+                &PlacementPolicy::Bwap(BwapConfig::default()),
+            )
+            .expect("scenario");
+            println!(
+                "{k:<8} {:>22.2} {:>16.2} {:>10}",
+                uw.exec_time_s,
+                bw.exec_time_s,
+                bw.chosen_dwp.map_or("-".into(), |d| format!("{:.0}%", d * 100.0))
+            );
+            if best.map_or(true, |(_, t)| bw.exec_time_s < t) {
+                best = Some((k, bw.exec_time_s));
+            }
+        }
+        let (k, t) = best.expect("swept at least one count");
+        println!("-> provision {k} worker node(s) under BWAP ({t:.2} s)\n");
+    }
+}

@@ -1,0 +1,62 @@
+//! Bring your own machine: describe a custom NUMA topology, profile it,
+//! and inspect the canonical weights and the Algorithm 1 mbind plan BWAP
+//! would use on it.
+//!
+//! The machine here is a 6-node "fat ring": two fast central nodes and
+//! four slower peripherals, with one weak shortcut — nothing like the
+//! reference machines, which is the point.
+//!
+//! Run with: `cargo run --release --example custom_topology`
+
+use bwap_suite::prelude::*;
+
+fn main() {
+    // 1. Describe the machine.
+    let mut b = TopologyBuilder::new("fat-ring-6")
+        .nodes(2, NodeSpec::new(8, 8.0, 24.0, 36.0)) // central nodes 0, 1
+        .nodes(4, NodeSpec::new(4, 8.0, 12.0, 20.0)); // peripherals 2..5
+    // central backbone
+    b = b.symmetric_link(NodeId(0), NodeId(1), 18.0);
+    // each central node feeds two peripherals
+    b = b
+        .symmetric_link(NodeId(0), NodeId(2), 9.0)
+        .symmetric_link(NodeId(0), NodeId(3), 9.0)
+        .symmetric_link(NodeId(1), NodeId(4), 9.0)
+        .symmetric_link(NodeId(1), NodeId(5), 9.0)
+        // a weak shortcut between two peripherals
+        .symmetric_link(NodeId(3), NodeId(4), 3.0);
+    let machine = b
+        .auto_routes()
+        .default_path_caps()
+        .hop_latencies(95.0, 55.0)
+        .build()
+        .expect("valid machine");
+
+    println!("single-flow bandwidth matrix (GB/s):");
+    println!("{}", bwap_suite::fabric::probe_matrix(&machine));
+
+    // 2. Profile + canonical weights for a 2-worker deployment on the
+    // central nodes.
+    let workers = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+    let canonical = ProfileBook::canonical_weights(&machine, workers);
+    println!("canonical weights for workers {workers}: {canonical}");
+
+    // 3. The DWP dial: where pages sit as data-to-worker proximity rises.
+    for dwp in [0.0, 0.5, 1.0] {
+        let w = apply_dwp(&canonical, workers, dwp).expect("valid dwp");
+        println!("DWP {:>3.0}% -> {w}", dwp * 100.0);
+    }
+
+    // 4. The portable enforcement plan (paper Algorithm 1) for a 1 GiB
+    // segment at DWP = 0.
+    let plan = user_level_plan(262_144, &canonical).expect("plan");
+    println!("\nAlgorithm 1 plan for a 262144-page segment:");
+    for call in &plan {
+        println!(
+            "  mbind(pages {:>7}..{:>7}, MPOL_INTERLEAVE, nodes {})",
+            call.start_page,
+            call.start_page + call.len_pages,
+            call.nodes
+        );
+    }
+}

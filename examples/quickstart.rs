@@ -1,0 +1,50 @@
+//! Quickstart: compare BWAP against the standard placement policies for
+//! one memory-intensive application on the paper's 8-node machine A.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bwap_suite::prelude::*;
+
+fn main() {
+    // The paper's strongly asymmetric 8-node AMD Opteron (Fig. 1a).
+    let machine = machines::machine_a();
+    println!(
+        "machine: {} ({} nodes, {} cores)",
+        machine.name(),
+        machine.node_count(),
+        machine.total_cores()
+    );
+
+    // Streamcluster, characterized per the paper's Table I (scaled down
+    // ~8x so the example finishes in a couple of seconds of wall time).
+    let spec = workloads::streamcluster().scaled_down(8.0);
+
+    // Deploy on the best 2-node worker set (max aggregate inter-worker
+    // bandwidth, the paper's thread-placement rule of thumb); the other
+    // six nodes host a CPU-bound co-scheduled application.
+    let workers = machine.best_worker_set(2);
+    println!("worker set: {workers}\n");
+
+    let mut uniform_workers_time = None;
+    println!("{:<18} {:>12} {:>14}", "policy", "exec time", "DWP chosen");
+    let mut results = Vec::new();
+    for policy in PlacementPolicy::evaluation_set() {
+        let r = run_coscheduled(&machine, &spec, workers, &policy).expect("scenario runs");
+        if r.policy == "uniform-workers" {
+            uniform_workers_time = Some(r.exec_time_s);
+        }
+        println!(
+            "{:<18} {:>10.2} s {:>14}",
+            r.policy,
+            r.exec_time_s,
+            r.chosen_dwp.map_or("-".to_string(), |d| format!("{:.0}%", d * 100.0)),
+        );
+        results.push(r);
+    }
+
+    let reference = uniform_workers_time.expect("uniform-workers in evaluation set");
+    println!("\nspeedup vs uniform-workers (the state-of-the-art strategy):");
+    for r in &results {
+        println!("  {:<16} {:.2}x", r.policy, reference / r.exec_time_s);
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-crate OS semantics: policies, `mbind`, migration and counters
+//! behave like the Linux facilities they model.
+
+use bwap_suite::prelude::*;
+use bwap_suite::sim::SegmentId;
+
+fn small_app(shared_pages: u64) -> AppProfile {
+    AppProfile {
+        name: "app".into(),
+        read_gbps_per_thread: 1.0,
+        write_gbps_per_thread: 0.2,
+        private_frac: 0.3,
+        latency_sensitivity: 0.2,
+        serial_frac: 0.0,
+        multinode_penalty: 0.0,
+        shared_pages,
+        private_pages_per_thread: 64,
+        total_traffic_gb: f64::INFINITY,
+        open_loop: false,
+    }
+}
+
+#[test]
+fn numactl_style_launch_policies() {
+    let m = machines::machine_b();
+    let mut sim = Simulator::new(m.clone(), SimConfig::default());
+    let workers = NodeSet::from_nodes([NodeId(1), NodeId(2)]);
+
+    // interleave=all applies to every segment, like numactl.
+    let pid = sim
+        .spawn(small_app(8000), workers, None, MemPolicy::Interleave(m.all_nodes()))
+        .unwrap();
+    let d = sim.full_distribution(pid).unwrap();
+    for (i, &f) in d.iter().enumerate() {
+        assert!((f - 0.25).abs() < 0.01, "node {i}: {d:?}");
+    }
+}
+
+#[test]
+fn mbind_strict_move_converges_and_counts() {
+    let m = machines::machine_b();
+    let mut sim = Simulator::new(m.clone(), SimConfig::default());
+    let pid = sim
+        .spawn(small_app(10_000), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+        .unwrap();
+    let seg = sim.process(pid).unwrap().shared_seg;
+    // Rebind half the segment to node 3.
+    let queued = sim.mbind(pid, seg, 0, 5_000, MemPolicy::Bind(NodeId(3)), true).unwrap();
+    assert_eq!(queued, 5_000);
+    sim.run_for(1.0);
+    let d = sim.shared_distribution(pid).unwrap();
+    assert!((d[3] - 0.5).abs() < 1e-9, "{d:?}");
+    assert!((d[0] - 0.5).abs() < 1e-9, "{d:?}");
+    assert_eq!(sim.migrated_pages(pid), 5_000);
+    // Counters saw the migration traffic: node 3 absorbed ~5000 pages of
+    // writes.
+    let written = sim.counters().node_write_bytes(3);
+    assert!(written >= 5_000.0 * 4096.0, "written {written}");
+}
+
+#[test]
+fn overlapping_mbinds_keep_page_accounting_consistent() {
+    // Re-binding a range while earlier moves are still queued must not
+    // corrupt frame accounting (regression test for the stale-move bug).
+    let m = machines::machine_b();
+    let mut sim = Simulator::new(m.clone(), SimConfig::default());
+    let pid = sim
+        .spawn(small_app(20_000), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+        .unwrap();
+    let seg = sim.process(pid).unwrap().shared_seg;
+    sim.mbind(pid, seg, 0, 20_000, MemPolicy::Bind(NodeId(1)), true).unwrap();
+    sim.step(); // partially drained
+    sim.mbind(pid, seg, 0, 20_000, MemPolicy::Bind(NodeId(2)), true).unwrap();
+    sim.step();
+    sim.mbind(pid, seg, 0, 20_000, MemPolicy::Interleave(m.all_nodes()), true).unwrap();
+    sim.run_for(2.0);
+    let counts: u64 = {
+        let p = sim.process(pid).unwrap();
+        p.aspace.segment(seg).unwrap().node_counts().iter().sum()
+    };
+    assert_eq!(counts, 20_000, "pages conserved");
+    // The last mbind wins: the final placement is the uniform interleave,
+    // not a mix of the superseded binds.
+    let d = sim.shared_distribution(pid).unwrap();
+    for (i, &f) in d.iter().enumerate() {
+        assert!((f - 0.25).abs() < 0.01, "node {i}: {d:?}");
+    }
+}
+
+#[test]
+fn weighted_interleave_policy_is_exact_at_spawn() {
+    let m = machines::machine_a();
+    let mut sim = Simulator::new(m.clone(), SimConfig::default());
+    let weights = vec![0.30, 0.20, 0.10, 0.10, 0.10, 0.10, 0.05, 0.05];
+    let pid = sim
+        .spawn(
+            small_app(20_000),
+            NodeSet::single(NodeId(0)),
+            None,
+            MemPolicy::WeightedInterleave(weights.clone()),
+        )
+        .unwrap();
+    let d = sim.shared_distribution(pid).unwrap();
+    for i in 0..8 {
+        assert!((d[i] - weights[i]).abs() < 1e-3, "node {i}: {d:?}");
+    }
+}
+
+#[test]
+fn stall_counters_track_contention() {
+    let m = machines::machine_b();
+    let mut sim = Simulator::new(m.clone(), SimConfig::default());
+    let mut hungry = small_app(8000);
+    hungry.read_gbps_per_thread = 8.0; // 56 GB/s per node: saturates
+    let pid = sim.spawn(hungry, NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch).unwrap();
+    let s0 = sim.sample(pid).unwrap();
+    sim.run_for(1.0);
+    let s1 = sim.sample(pid).unwrap();
+    let stall_frac = (s1.stall_cycles - s0.stall_cycles) / (s1.cycles - s0.cycles);
+    assert!(stall_frac > 0.4, "saturated workload should stall hard: {stall_frac}");
+    let throughput = s1.throughput_since(&s0);
+    // Achieved throughput is bounded by the controller.
+    assert!(throughput < 29e9, "throughput {throughput}");
+    assert!(throughput > 20e9, "throughput {throughput}");
+}
+
+#[test]
+fn segment_ranges_validated() {
+    let m = machines::machine_b();
+    let mut sim = Simulator::new(m, SimConfig::default());
+    let pid = sim
+        .spawn(small_app(100), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+        .unwrap();
+    let seg = sim.process(pid).unwrap().shared_seg;
+    assert!(sim.mbind(pid, seg, 50, 100, MemPolicy::Bind(NodeId(1)), true).is_err());
+    assert!(sim
+        .mbind(pid, SegmentId(999), 0, 10, MemPolicy::Bind(NodeId(1)), true)
+        .is_err());
+    // invalid weights rejected
+    assert!(sim
+        .mbind(pid, seg, 0, 10, MemPolicy::WeightedInterleave(vec![0.5; 3]), true)
+        .is_err());
+}

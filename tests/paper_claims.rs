@@ -1,0 +1,166 @@
+//! The paper's headline claims, asserted at reduced scale. Each test names
+//! the claim it covers; `EXPERIMENTS.md` records the full-scale numbers.
+
+use bwap_suite::prelude::*;
+use bwap_suite::runtime::{dwp_sweep, sweep::sweep_optimum};
+
+#[test]
+fn claim_fig1a_probe_matches_measured_matrix_exactly() {
+    // §II: the Fig. 1a matrix is machine A's ground truth; our probe
+    // reproduces it bit-exactly by calibration.
+    let m = machines::machine_a();
+    let probed = bwap_suite::fabric::probe_matrix(&m);
+    assert!(probed.max_rel_error(&machines::fig1a_matrix()).unwrap() < 1e-9);
+    assert!((probed.amplitude() - 5.83).abs() < 0.01);
+}
+
+#[test]
+fn claim_canonical_weights_follow_eq5() {
+    // §III-A2, Eq. 5, hand-checked against Fig. 1a.
+    let m = machines::machine_a();
+    let w = canonical_weights(m.path_caps(), NodeSet::from_nodes([NodeId(0), NodeId(1)]))
+        .unwrap();
+    let expected = [5.5, 5.5, 2.9, 1.8, 1.8, 2.8, 1.8, 2.8];
+    let sum: f64 = expected.iter().sum();
+    for i in 0..8 {
+        assert!((w.get(NodeId(i as u16)) - expected[i as usize] / sum).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn claim_dwp_curve_convex_and_stall_tracks_time() {
+    // §IV-B / Fig. 4: "stall rate is effectively correlated to execution
+    // time and its variation with DWP is essentially convex".
+    let m = machines::machine_a();
+    let spec = workloads::streamcluster().scaled_down(16.0);
+    let workers = m.best_worker_set(1);
+    let dwps: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let points = dwp_sweep(&m, &spec, workers, &dwps, true).unwrap();
+    // Stall ranks must equal time ranks (correlation).
+    let rank = |key: fn(&bwap_suite::runtime::SweepPoint) -> f64| {
+        let mut idx: Vec<usize> = (0..points.len()).collect();
+        idx.sort_by(|&a, &b| key(&points[a]).partial_cmp(&key(&points[b])).unwrap());
+        idx
+    };
+    assert_eq!(rank(|p| p.exec_time_s), rank(|p| p.stall_frac));
+    // Quasi-convexity: times fall to the optimum, then rise.
+    let opt = points
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.exec_time_s.partial_cmp(&b.1.exec_time_s).unwrap())
+        .unwrap()
+        .0;
+    for w in points[..=opt].windows(2) {
+        assert!(w[1].exec_time_s <= w[0].exec_time_s + 1e-9, "not decreasing before optimum");
+    }
+    for w in points[opt..].windows(2) {
+        assert!(w[1].exec_time_s >= w[0].exec_time_s - 1e-9, "not increasing after optimum");
+    }
+}
+
+#[test]
+fn claim_tuner_lands_within_two_steps_of_static_optimum() {
+    // §IV-B: "the DWP tuner was able to successfully find the optimal DWP
+    // by a maximum error margin of 1 iterative step" (stand-alone tuner);
+    // the co-scheduled variant adds at most one more probe step.
+    let m = machines::machine_a();
+    let spec = workloads::streamcluster().scaled_down(4.0);
+    let workers = m.best_worker_set(1);
+    let dwps: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let points = dwp_sweep(&m, &spec, workers, &dwps, true).unwrap();
+    let best = sweep_optimum(&points).unwrap();
+    let online = run_coscheduled(
+        &m,
+        &spec,
+        workers,
+        &PlacementPolicy::Bwap(BwapConfig::default()),
+    )
+    .unwrap();
+    let chosen = online.chosen_dwp.unwrap();
+    assert!(
+        (chosen - best.dwp).abs() <= 0.2 + 1e-9,
+        "chosen {chosen} vs static best {}",
+        best.dwp
+    );
+}
+
+#[test]
+fn claim_kernel_and_user_level_agree_within_3_percent() {
+    // §IV: "by enabling the kernel-level variant, we observed only
+    // marginal gains (at most 3%)".
+    let m = machines::machine_b();
+    let spec = workloads::streamcluster().scaled_down(16.0);
+    let workers = m.best_worker_set(2);
+    let kernel = run_coscheduled(
+        &m,
+        &spec,
+        workers,
+        &PlacementPolicy::Bwap(BwapConfig::kernel_mode()),
+    )
+    .unwrap();
+    let user = run_coscheduled(
+        &m,
+        &spec,
+        workers,
+        &PlacementPolicy::Bwap(BwapConfig::default()),
+    )
+    .unwrap();
+    let gap = (user.exec_time_s / kernel.exec_time_s - 1.0).abs();
+    assert!(gap < 0.03, "kernel/user gap {gap}");
+}
+
+#[test]
+fn claim_first_touch_speedup_up_to_4x_shape() {
+    // §I: "up to 4x speedup compared to the Linux default first-touch".
+    // At reduced scale the exact factor differs; assert the strong-shape
+    // version: bwap >= 1.8x over first-touch somewhere in the co-scheduled
+    // matrix (the full-scale harness reports the headline value).
+    let m = machines::machine_a();
+    let spec = workloads::streamcluster().scaled_down(16.0);
+    let workers = m.best_worker_set(4);
+    let ft = run_coscheduled(&m, &spec, workers, &PlacementPolicy::FirstTouch).unwrap();
+    let bw = run_coscheduled(
+        &m,
+        &spec,
+        workers,
+        &PlacementPolicy::Bwap(BwapConfig::default()),
+    )
+    .unwrap();
+    let speedup = ft.exec_time_s / bw.exec_time_s;
+    assert!(speedup > 1.8, "bwap vs first-touch speedup {speedup}");
+}
+
+#[test]
+fn claim_symmetric_machine_degenerates_to_uniform() {
+    // BWAP's asymmetry-awareness should cost nothing on symmetric
+    // hardware: canonical weights collapse to uniform.
+    let m = machines::symmetric_quad();
+    let w = canonical_weights(m.path_caps(), NodeSet::from_nodes([NodeId(0), NodeId(1)]))
+        .unwrap();
+    assert!(w.max_abs_diff(&WeightDistribution::uniform(4)) < 1e-12);
+}
+
+#[test]
+fn claim_observation3_scaling_reduces_variance() {
+    // §II Observation 3: scaling worker / non-worker subsets of two
+    // applications' optimal distributions onto a common mass makes the
+    // per-node weights nearly coincide. We verify the mechanism BWAP
+    // builds on it: two different DWP values of the same canonical
+    // distribution have *identical* within-set relative weights.
+    let m = machines::machine_a();
+    let workers = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+    let canonical = canonical_weights(m.path_caps(), workers).unwrap();
+    let low = apply_dwp(&canonical, workers, 0.2).unwrap();
+    let high = apply_dwp(&canonical, workers, 0.7).unwrap();
+    // Rescale `high`'s worker subset to `low`'s worker mass: per-node
+    // values must match exactly.
+    let scale = low.mass(workers) / high.mass(workers);
+    for node in workers.iter() {
+        assert!((high.get(node) * scale - low.get(node)).abs() < 1e-12);
+    }
+    let non_workers = workers.complement(8);
+    let scale = low.mass(non_workers) / high.mass(non_workers);
+    for node in non_workers.iter() {
+        assert!((high.get(node) * scale - low.get(node)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end integration: the complete BWAP pipeline against every
+//! baseline, spanning all workspace crates. Workloads are scaled down so
+//! the suite also runs quickly in debug builds.
+
+use bwap_suite::prelude::*;
+
+fn sc() -> workloads::WorkloadSpec {
+    workloads::streamcluster().scaled_down(32.0)
+}
+
+fn oc() -> workloads::WorkloadSpec {
+    workloads::ocean_cp().scaled_down(32.0)
+}
+
+#[test]
+fn policy_ordering_machine_a_two_workers_cosched() {
+    // The paper's central comparison (Fig. 2b): first-touch is the worst,
+    // uniform-workers in the middle, spreading policies on top, BWAP at
+    // least as good as uniform-workers by a clear margin.
+    let m = machines::machine_a();
+    let workers = m.best_worker_set(2);
+    let time = |p: &PlacementPolicy| {
+        run_coscheduled(&m, &sc(), workers, p).expect("scenario").exec_time_s
+    };
+    let ft = time(&PlacementPolicy::FirstTouch);
+    let uw = time(&PlacementPolicy::UniformWorkers);
+    let ua = time(&PlacementPolicy::UniformAll);
+    let bw = time(&PlacementPolicy::Bwap(BwapConfig::default()));
+    assert!(ft > uw, "first-touch {ft} should trail uniform-workers {uw}");
+    assert!(ua < uw, "uniform-all {ua} should beat uniform-workers {uw}");
+    assert!(bw < uw * 0.85, "bwap {bw} should clearly beat uniform-workers {uw}");
+}
+
+#[test]
+fn bwap_uniform_sits_between_uniform_all_and_bwap() {
+    // The ablation ordering of §IV-B: canonical tuner adds on top of the
+    // DWP tuner; both variants at least match uniform-all on machine A.
+    let m = machines::machine_a();
+    let workers = m.best_worker_set(1);
+    let time = |p: &PlacementPolicy| {
+        run_coscheduled(&m, &oc(), workers, p).expect("scenario").exec_time_s
+    };
+    let ua = time(&PlacementPolicy::UniformAll);
+    let bu = time(&PlacementPolicy::Bwap(BwapConfig::bwap_uniform()));
+    let bw = time(&PlacementPolicy::Bwap(BwapConfig::default()));
+    assert!(bu <= ua * 1.02, "bwap-uniform {bu} vs uniform-all {ua}");
+    assert!(bw <= bu * 1.02, "bwap {bw} vs bwap-uniform {bu}");
+}
+
+#[test]
+fn autonuma_beats_first_touch_multiworker() {
+    let m = machines::machine_a();
+    let workers = m.best_worker_set(4);
+    let ft = run_coscheduled(&m, &sc(), workers, &PlacementPolicy::FirstTouch)
+        .expect("scenario")
+        .exec_time_s;
+    let an = run_coscheduled(&m, &sc(), workers, &PlacementPolicy::AutoNuma)
+        .expect("scenario")
+        .exec_time_s;
+    assert!(an < ft, "autonuma {an} should improve on first-touch {ft}");
+}
+
+#[test]
+fn gains_shrink_with_more_workers() {
+    // Paper: "the benefits of BWAP over the uniform interleaving
+    // alternatives drop when more workers are involved".
+    let m = machines::machine_a();
+    let speedup = |k: usize| {
+        let workers = m.best_worker_set(k);
+        let uw = run_coscheduled(&m, &sc(), workers, &PlacementPolicy::UniformWorkers)
+            .expect("scenario")
+            .exec_time_s;
+        let bw = run_coscheduled(
+            &m,
+            &sc(),
+            workers,
+            &PlacementPolicy::Bwap(BwapConfig::default()),
+        )
+        .expect("scenario")
+        .exec_time_s;
+        uw / bw
+    };
+    let s1 = speedup(1);
+    let s4 = speedup(4);
+    assert!(s1 > s4, "speedup at 1W ({s1}) should exceed speedup at 4W ({s4})");
+}
+
+#[test]
+fn cosched_protects_high_priority_app() {
+    // B spreading pages onto A's nodes must not blow up A's stalls
+    // (§III-B3; the paper observed no relevant change to Swaptions).
+    let m = machines::machine_b();
+    let workers = m.best_worker_set(1);
+    let r = run_coscheduled(&m, &sc(), workers, &PlacementPolicy::Bwap(BwapConfig::default()))
+        .expect("scenario");
+    let a_stall = r.a_stall_frac.expect("cosched reports A");
+    assert!(a_stall < 0.2, "A's stall fraction {a_stall} too high");
+}
+
+#[test]
+fn standalone_and_cosched_agree_on_direction() {
+    let m = machines::machine_b();
+    let workers = m.best_worker_set(2);
+    for policy in [PlacementPolicy::UniformWorkers, PlacementPolicy::UniformAll] {
+        let st = run_standalone(&m, &oc(), workers, &policy).expect("scenario");
+        let co = run_coscheduled(&m, &oc(), workers, &policy).expect("scenario");
+        // The co-scheduled run shares the machine: it can only be equal or
+        // slower than stand-alone under the same policy.
+        assert!(
+            co.exec_time_s >= st.exec_time_s * 0.999,
+            "{}: cosched {} faster than standalone {}",
+            policy.label(),
+            co.exec_time_s,
+            st.exec_time_s
+        );
+    }
+}
+
+#[test]
+fn results_are_deterministic() {
+    let m = machines::machine_a();
+    let workers = m.best_worker_set(2);
+    let policy = PlacementPolicy::Bwap(BwapConfig::default());
+    let a = run_coscheduled(&m, &sc(), workers, &policy).expect("scenario");
+    let b = run_coscheduled(&m, &sc(), workers, &policy).expect("scenario");
+    assert_eq!(a.exec_time_s, b.exec_time_s);
+    assert_eq!(a.chosen_dwp, b.chosen_dwp);
+    assert_eq!(a.migrated_pages, b.migrated_pages);
+}

@@ -1,0 +1,177 @@
+//! Property-based tests over the suite's core invariants.
+
+use bwap::{apply_dwp, canonical_weights, user_level_plan, WeightDistribution};
+use bwap_fabric::{solve_maxmin, Bundle};
+use bwap_suite::prelude::*;
+use proptest::prelude::*;
+
+fn weight_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10.0, n).prop_filter("positive mass", |v| {
+        v.iter().sum::<f64>() > 0.1
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Max-min allocation never violates a capacity or a demand bound,
+    /// and saturates at least one constraint per unbounded bundle.
+    #[test]
+    fn maxmin_respects_all_constraints(
+        caps in prop::collection::vec(0.5f64..20.0, 3..12),
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let nr = caps.len();
+        let bundles: Vec<Bundle> = (0..rng.gen_range(1..10usize))
+            .map(|_| {
+                let touches = rng.gen_range(1..=nr.min(4));
+                let mut usage: Vec<(usize, f64)> = Vec::new();
+                for _ in 0..touches {
+                    let r = rng.gen_range(0..nr);
+                    if !usage.iter().any(|&(x, _)| x == r) {
+                        usage.push((r, rng.gen_range(0.1..2.0)));
+                    }
+                }
+                let cap = if rng.gen_bool(0.5) { rng.gen_range(0.1..5.0) } else { f64::INFINITY };
+                Bundle::new(usage, cap, rng.gen_range(0.5..4.0))
+            })
+            .collect();
+        let alloc = solve_maxmin(&caps, &bundles);
+        for (r, &c) in caps.iter().enumerate() {
+            prop_assert!(alloc.used[r] <= c * (1.0 + 1e-6), "resource {r} over capacity");
+        }
+        for (i, b) in bundles.iter().enumerate() {
+            prop_assert!(alloc.activity[i] <= b.cap * (1.0 + 1e-6) || b.cap.is_infinite());
+            prop_assert!(alloc.activity[i] >= 0.0);
+            if b.cap.is_infinite() && !b.usage.is_empty() {
+                // Unbounded bundles must be stopped by some saturated
+                // resource they use.
+                let binding = alloc.binding[i];
+                prop_assert!(binding.is_some(), "unbounded bundle {i} unfrozen");
+                let r = binding.unwrap();
+                prop_assert!(alloc.used[r] >= caps[r] * (1.0 - 1e-6));
+            }
+        }
+    }
+
+    /// Algorithm 1 plans partition the segment and realize the target
+    /// weights up to rounding.
+    #[test]
+    fn algorithm1_partitions_and_matches_weights(
+        raw in weight_vec(8),
+        pages in 1u64..200_000,
+    ) {
+        let weights = WeightDistribution::from_raw(raw).unwrap();
+        let plan = user_level_plan(pages, &weights).unwrap();
+        // Partition.
+        let mut cursor = 0;
+        for call in &plan {
+            prop_assert_eq!(call.start_page, cursor);
+            prop_assert!(call.len_pages > 0);
+            cursor += call.len_pages;
+        }
+        prop_assert_eq!(cursor, pages);
+        // Ratio accuracy: within (#calls) pages per node.
+        let err = bwap::placement::plan_error(&plan, &weights, pages);
+        let bound = (plan.len() as f64 + 1.0) / pages as f64 + 1e-9;
+        prop_assert!(err <= bound, "plan error {} > bound {}", err, bound);
+    }
+
+    /// DWP re-balancing keeps distributions normalized, moves worker mass
+    /// monotonically, and preserves within-set ratios.
+    #[test]
+    fn dwp_rebalancing_invariants(
+        raw in weight_vec(8),
+        mask in 1u64..255u64,
+        d1 in 0.0f64..1.0,
+        d2 in 0.0f64..1.0,
+    ) {
+        let canonical = WeightDistribution::from_raw(raw).unwrap();
+        let workers = NodeSet::from_nodes(
+            (0..8u16).filter(|i| mask & (1 << i) != 0).map(NodeId),
+        );
+        prop_assume!(canonical.mass(workers) > 1e-6);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let w_lo = apply_dwp(&canonical, workers, lo).unwrap();
+        let w_hi = apply_dwp(&canonical, workers, hi).unwrap();
+        prop_assert!(w_lo.is_normalized());
+        prop_assert!(w_hi.is_normalized());
+        prop_assert!(w_hi.mass(workers) >= w_lo.mass(workers) - 1e-9);
+        // DWP = 1 puts everything on workers.
+        let w1 = apply_dwp(&canonical, workers, 1.0).unwrap();
+        prop_assert!((w1.mass(workers) - 1.0).abs() < 1e-9);
+    }
+
+    /// Canonical weights (Eq. 5) are a valid distribution dominated by
+    /// worker-reachable bandwidth: enlarging the worker set can only
+    /// lower each node's minimum bandwidth.
+    #[test]
+    fn canonical_weights_monotone_in_worker_set(mask in 1u64..255u64) {
+        let m = machines::machine_a();
+        let workers = NodeSet::from_nodes(
+            (0..8u16).filter(|i| mask & (1 << i) != 0).map(NodeId),
+        );
+        let w = canonical_weights(m.path_caps(), workers).unwrap();
+        prop_assert!(w.is_normalized());
+        let mb_small = bwap::min_bandwidths(m.path_caps(), workers).unwrap();
+        let mb_all = bwap::min_bandwidths(m.path_caps(), m.all_nodes()).unwrap();
+        for i in 0..8 {
+            prop_assert!(mb_all[i] <= mb_small[i] + 1e-12);
+        }
+    }
+
+    /// The kernel weighted-interleave policy places any segment with
+    /// per-node error below one page in a thousand.
+    #[test]
+    fn weighted_policy_placement_accuracy(raw in weight_vec(4)) {
+        let weights = WeightDistribution::from_raw(raw).unwrap();
+        let m = machines::machine_b();
+        let mut sim = Simulator::new(m, SimConfig::default());
+        let app = AppProfile {
+            name: "p".into(),
+            read_gbps_per_thread: 1.0,
+            write_gbps_per_thread: 0.0,
+            private_frac: 0.0,
+            latency_sensitivity: 0.0,
+            serial_frac: 0.0,
+            multinode_penalty: 0.0,
+            shared_pages: 50_000,
+            private_pages_per_thread: 1,
+            total_traffic_gb: f64::INFINITY,
+            open_loop: false,
+        };
+        let pid = sim
+            .spawn(
+                app,
+                NodeSet::single(NodeId(0)),
+                None,
+                MemPolicy::WeightedInterleave(weights.to_vec()),
+            )
+            .unwrap();
+        let d = sim.shared_distribution(pid).unwrap();
+        for i in 0..4 {
+            prop_assert!((d[i] - weights.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    /// Random workloads always run to completion and produce positive,
+    /// finite execution times under every baseline policy.
+    #[test]
+    fn any_workload_any_policy_terminates(seed in 0u64..40) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut spec = bwap_suite::workloads::generator::random_workload(
+            &mut rng,
+            &bwap_suite::workloads::generator::GeneratorBounds::default(),
+        );
+        spec.total_traffic_gb = spec.total_traffic_gb.min(30.0);
+        let m = machines::machine_b();
+        let workers = m.best_worker_set(2);
+        for policy in [PlacementPolicy::FirstTouch, PlacementPolicy::UniformAll] {
+            let r = run_standalone(&m, &spec, workers, &policy).unwrap();
+            prop_assert!(r.exec_time_s.is_finite() && r.exec_time_s > 0.0);
+        }
+    }
+}
