@@ -17,8 +17,13 @@ fn saturating_sim() -> Simulator {
     )
     .expect("spawn");
     let sw = bwap_workloads::swaptions();
-    sim.spawn(sw.profile_for(&m), NodeSet::from_nodes([bwap_topology::NodeId(4)]), None, MemPolicy::FirstTouch)
-        .expect("spawn");
+    sim.spawn(
+        sw.profile_for(&m),
+        NodeSet::from_nodes([bwap_topology::NodeId(4)]),
+        None,
+        MemPolicy::FirstTouch,
+    )
+    .expect("spawn");
     sim
 }
 
@@ -29,11 +34,7 @@ fn bench_epoch_step(c: &mut Criterion) {
 
 fn bench_run_one_second(c: &mut Criterion) {
     c.bench_function("engine_1s_sim_time", |b| {
-        b.iter_batched(
-            saturating_sim,
-            |mut sim| sim.run_for(1.0),
-            criterion::BatchSize::SmallInput,
-        )
+        b.iter_batched(saturating_sim, |mut sim| sim.run_for(1.0), criterion::BatchSize::SmallInput)
     });
 }
 

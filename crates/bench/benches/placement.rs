@@ -2,9 +2,9 @@
 //! kernel weighted-interleave target function, and plan realization.
 
 use bwap::{realized_weights, user_level_plan, WeightDistribution};
+use bwap_topology::NodeId;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use numasim::MemPolicy;
-use bwap_topology::NodeId;
 
 fn weights(n: usize) -> WeightDistribution {
     WeightDistribution::from_raw((1..=n).map(|i| i as f64).collect()).unwrap()
@@ -36,9 +36,7 @@ fn bench_weighted_interleave_target(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u32;
             for i in 0..1024u64 {
-                acc += policy
-                    .target_node(std::hint::black_box(i), 1024, NodeId(0))
-                    .0 as u32;
+                acc += policy.target_node(std::hint::black_box(i), 1024, NodeId(0)).0 as u32;
             }
             acc
         })

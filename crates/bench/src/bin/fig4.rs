@@ -10,16 +10,15 @@ use bwap_bench::{experiments, save_csv};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    for (i, (table, online_dwp, online_time)) in experiments::fig4(quick).into_iter().enumerate()
-    {
+    for (i, (table, online_dwp, online_time)) in experiments::fig4(quick).into_iter().enumerate() {
         println!("{table}");
         println!(
             "online tuner: chose DWP = {:.0}%, normalized exec time {:.3}\n",
             online_dwp * 100.0,
             online_time
         );
-        let path = save_csv(&format!("fig4_{}w.csv", 1 << i), &table.to_csv())
-            .expect("write results");
+        let path =
+            save_csv(&format!("fig4_{}w.csv", 1 << i), &table.to_csv()).expect("write results");
         println!("wrote {}", path.display());
     }
 }

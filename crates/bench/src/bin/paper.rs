@@ -63,8 +63,7 @@ fn main() {
     save_csv("table2_dwp.csv", &t.to_csv()).expect("write");
 
     println!("#### Fig. 4 ####");
-    for (i, (table, online_dwp, online_time)) in experiments::fig4(quick).into_iter().enumerate()
-    {
+    for (i, (table, online_dwp, online_time)) in experiments::fig4(quick).into_iter().enumerate() {
         println!("{table}");
         println!(
             "online tuner: DWP {:.0}%, normalized exec time {:.3}\n",

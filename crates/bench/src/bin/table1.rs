@@ -11,7 +11,10 @@ fn main() {
     let measured = experiments::table1(quick);
     println!("{measured}");
     println!("== paper reference ==");
-    println!("{:<6} {:>11} {:>12} {:>10} {:>9}", "", "reads MB/s", "writes MB/s", "private %", "shared %");
+    println!(
+        "{:<6} {:>11} {:>12} {:>10} {:>9}",
+        "", "reads MB/s", "writes MB/s", "private %", "shared %"
+    );
     for row in table1_reference() {
         println!(
             "{:<6} {:>11.0} {:>12.0} {:>10.1} {:>9.1}",

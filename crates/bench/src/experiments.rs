@@ -33,9 +33,7 @@ fn suite(quick: bool) -> Vec<WorkloadSpec> {
 pub fn fig1a() -> (bwap_topology::BwMatrix, f64) {
     let m = machines::machine_a();
     let probed = probe_matrix(&m);
-    let err = probed
-        .max_rel_error(&machines::fig1a_matrix())
-        .expect("same dimensions");
+    let err = probed.max_rel_error(&machines::fig1a_matrix()).expect("same dimensions");
     (probed, err)
 }
 
@@ -60,18 +58,14 @@ pub fn fig1b(quick: bool, search_iterations: usize) -> ResultTable {
                 ];
                 let mut times: Vec<f64> = policies
                     .iter()
-                    .map(|p| {
-                        run_standalone(&m, &app, workers, p).expect("scenario").exec_time_s
-                    })
+                    .map(|p| run_standalone(&m, &app, workers, p).expect("scenario").exec_time_s)
                     .collect();
                 // Offline search, starting from uniform-workers as in §II.
                 let start = bwap::WeightDistribution::uniform_over(workers, m.node_count())
                     .expect("workers valid");
                 let mut evaluator = SimEvaluator::new(m.clone(), app.clone(), workers);
-                let cfg = HillClimbConfig {
-                    iterations: search_iterations,
-                    ..HillClimbConfig::default()
-                };
+                let cfg =
+                    HillClimbConfig { iterations: search_iterations, ..HillClimbConfig::default() };
                 let outcome = hill_climb(&mut evaluator, start, &cfg);
                 times.push(outcome.top_k_mean_time);
                 times
@@ -165,11 +159,7 @@ pub fn cosched_panel(
         .collect();
     let results = run_parallel(jobs);
     let mut table = ResultTable::new(
-        &format!(
-            "exec time [s], {}, {} worker(s), co-scheduled",
-            machine.name(),
-            workers
-        ),
+        &format!("exec time [s], {}, {} worker(s), co-scheduled", machine.name(), workers),
         policies.iter().map(|p| p.label()).collect(),
     );
     let mut dwps = Vec::new();
@@ -189,9 +179,8 @@ pub fn cosched_panel(
 /// (the incumbent policy), then every policy runs at that count. Returns
 /// the exec-time table; row labels carry the chosen worker count.
 pub fn standalone_optimal(machine: &MachineTopology, quick: bool) -> ResultTable {
-    let candidates: Vec<usize> = (0..=machine.node_count().trailing_zeros())
-        .map(|p| 1usize << p)
-        .collect();
+    let candidates: Vec<usize> =
+        (0..=machine.node_count().trailing_zeros()).map(|p| 1usize << p).collect();
     let policies = PlacementPolicy::evaluation_set();
     let apps = suite(quick);
     let machine_ref = &machine;
@@ -385,11 +374,14 @@ pub fn ablation_tuner_overhead(quick: bool) -> ResultTable {
             let app = app.clone();
             let dwps = dwps.clone();
             move || {
-                let online =
-                    run_coscheduled(&m, &app, workers, &PlacementPolicy::Bwap(BwapConfig::default()))
-                        .expect("scenario");
-                let sweep =
-                    bwap_runtime::dwp_sweep(&m, &app, workers, &dwps, true).expect("sweep");
+                let online = run_coscheduled(
+                    &m,
+                    &app,
+                    workers,
+                    &PlacementPolicy::Bwap(BwapConfig::default()),
+                )
+                .expect("scenario");
+                let sweep = bwap_runtime::dwp_sweep(&m, &app, workers, &dwps, true).expect("sweep");
                 let best = sweep
                     .iter()
                     .min_by(|a, b| a.exec_time_s.partial_cmp(&b.exec_time_s).unwrap())
@@ -437,12 +429,12 @@ pub fn ablation_model(quick: bool) -> ResultTable {
         ("full model", SimConfig::default()),
         (
             "no write amplification",
-            SimConfig { ctrl_model: bwap_fabric::ControllerModel::symmetric(), ..SimConfig::default() },
+            SimConfig {
+                ctrl_model: bwap_fabric::ControllerModel::symmetric(),
+                ..SimConfig::default()
+            },
         ),
-        (
-            "no loaded latency",
-            SimConfig { latency_inflation: (0.0, 4.0), ..SimConfig::default() },
-        ),
+        ("no loaded latency", SimConfig { latency_inflation: (0.0, 4.0), ..SimConfig::default() }),
     ];
     let jobs: Vec<_> = variants
         .iter()

@@ -78,18 +78,10 @@ impl ResultTable {
 impl fmt::Display for ResultTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== {} ==", self.title)?;
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain(std::iter::once(5))
-            .max()
-            .unwrap();
-        let col_w = self
-            .columns
-            .iter()
-            .map(|c| c.len().max(self.precision + 4))
-            .collect::<Vec<_>>();
+        let label_w =
+            self.rows.iter().map(|(l, _)| l.len()).chain(std::iter::once(5)).max().unwrap();
+        let col_w =
+            self.columns.iter().map(|c| c.len().max(self.precision + 4)).collect::<Vec<_>>();
         write!(f, "{:<label_w$}", "")?;
         for (c, w) in self.columns.iter().zip(&col_w) {
             write!(f, "  {c:>w$}")?;

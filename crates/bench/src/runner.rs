@@ -2,7 +2,7 @@
 //!
 //! Every evaluation run builds its own `Simulator`, so runs are perfectly
 //! independent; the harness fans them out over the host's cores with
-//! crossbeam's scoped threads and returns results in submission order.
+//! scoped threads and returns results in submission order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -19,16 +19,14 @@ where
     if n_jobs == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n_jobs);
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n_jobs);
     let job_slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let result_slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    // std scoped threads: a panicking job propagates when the scope joins.
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n_jobs {
                     break;
@@ -38,8 +36,7 @@ where
                 *result_slots[i].lock().expect("result lock") = Some(result);
             });
         }
-    })
-    .expect("a benchmark job panicked");
+    });
     result_slots
         .into_iter()
         .map(|m| m.into_inner().expect("poisoned").expect("job completed"))

@@ -18,12 +18,7 @@ pub fn min_bandwidths(bw: &BwMatrix, workers: NodeSet) -> Result<Vec<f64>, BwapE
         return Err(BwapError::InvalidWorkers(format!("{workers} exceeds {n} nodes")));
     }
     Ok((0..n)
-        .map(|i| {
-            workers
-                .iter()
-                .map(|w| bw.get(NodeId(i as u16), w))
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|i| workers.iter().map(|w| bw.get(NodeId(i as u16), w)).fold(f64::INFINITY, f64::min))
         .collect())
 }
 
@@ -122,9 +117,8 @@ mod tests {
         // the matrix read as bw(i -> N5).
         let m = machines::machine_a();
         let w = canonical_weights(m.path_caps(), NodeSet::single(NodeId(4))).unwrap();
-        let col: Vec<f64> = (0..8)
-            .map(|i| m.path_caps().get(NodeId(i as u16), NodeId(4)))
-            .collect();
+        let col: Vec<f64> =
+            (0..8).map(|i| m.path_caps().get(NodeId(i as u16), NodeId(4))).collect();
         let sum: f64 = col.iter().sum();
         for i in 0..8 {
             assert!((w.get(NodeId(i as u16)) - col[i as usize] / sum).abs() < 1e-12);
@@ -136,8 +130,8 @@ mod tests {
         // On a fully symmetric machine the canonical distribution must
         // degenerate to uniform-all — BWAP's "do no harm" property.
         let m = machines::symmetric_quad();
-        let w = canonical_weights(m.path_caps(), NodeSet::from_nodes([NodeId(0), NodeId(1)]))
-            .unwrap();
+        let w =
+            canonical_weights(m.path_caps(), NodeSet::from_nodes([NodeId(0), NodeId(1)])).unwrap();
         // workers have local bw 10, remote 6: minbw(worker) = 6 (from the
         // other worker), minbw(non-worker) = 6 -> uniform.
         assert!(w.max_abs_diff(&WeightDistribution::uniform(4)) < 1e-12);

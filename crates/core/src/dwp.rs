@@ -197,8 +197,7 @@ impl DwpTuner {
             return TunerAction::Finished;
         }
         self.dwp = (self.dwp + self.cfg.step).min(1.0);
-        let weights =
-            apply_dwp(&self.canonical, self.workers, self.dwp).expect("dwp in range");
+        let weights = apply_dwp(&self.canonical, self.workers, self.dwp).expect("dwp in range");
         TunerAction::Apply { dwp: self.dwp, weights }
     }
 }

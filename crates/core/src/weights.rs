@@ -91,11 +91,7 @@ impl WeightDistribution {
 
     /// Largest absolute per-node difference to another distribution.
     pub fn max_abs_diff(&self, other: &WeightDistribution) -> f64 {
-        self.w
-            .iter()
-            .zip(&other.w)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.w.iter().zip(&other.w).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Coefficient of variation of the weights restricted to `set`

@@ -78,10 +78,8 @@ pub fn solve_maxmin(capacities: &[f64], bundles: &[Bundle]) -> Allocation {
     let mut activity = vec![0.0f64; nb];
     let mut binding: Vec<Option<usize>> = vec![None; nb];
     let mut remaining = capacities.to_vec();
-    let mut active: Vec<bool> = bundles
-        .iter()
-        .map(|b| b.cap > EPS && !b.usage.is_empty())
-        .collect();
+    let mut active: Vec<bool> =
+        bundles.iter().map(|b| b.cap > EPS && !b.usage.is_empty()).collect();
     // Bundles with no usage get their full cap immediately (they consume
     // nothing); bundles with zero cap stay at zero.
     for (i, b) in bundles.iter().enumerate() {
@@ -152,18 +150,15 @@ pub fn solve_maxmin(capacities: &[f64], bundles: &[Bundle]) -> Allocation {
         // A resource counts as saturated if its remaining capacity is
         // negligible relative to its original capacity.
         let saturated: Vec<usize> = (0..nr)
-            .filter(|&r| {
-                load[r] > EPS && remaining[r] <= 1e-9 * capacities[r].max(1.0)
-            })
+            .filter(|&r| load[r] > EPS && remaining[r] <= 1e-9 * capacities[r].max(1.0))
             .collect();
         if !saturated.is_empty() {
             for (i, b) in bundles.iter().enumerate() {
                 if !active[i] {
                     continue;
                 }
-                if let Some(&r) = saturated
-                    .iter()
-                    .find(|&&r| b.usage.iter().any(|&(br, _)| br == r))
+                if let Some(&r) =
+                    saturated.iter().find(|&&r| b.usage.iter().any(|&(br, _)| br == r))
                 {
                     active[i] = false;
                     binding[i] = Some(r);

@@ -144,11 +144,8 @@ fn group_to_bundle(
             }
         }
     }
-    let sparse: Vec<(usize, f64)> = usage
-        .into_iter()
-        .enumerate()
-        .filter(|&(_, c)| c > 0.0)
-        .collect();
+    let sparse: Vec<(usize, f64)> =
+        usage.into_iter().enumerate().filter(|&(_, c)| c > 0.0).collect();
     Bundle::new(sparse, g.cap, g.weight)
 }
 

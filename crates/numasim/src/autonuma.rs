@@ -159,9 +159,7 @@ impl Daemon for AutoNuma {
     fn tick(&mut self, sim: &mut Simulator) {
         let mut budget = (self.cfg.bytes_per_scan / PAGE_SIZE as f64) as u64;
         let pids: Vec<ProcessId> = if self.scope.is_empty() {
-            (0..usize::MAX)
-                .map_while(|i| sim.process(ProcessId(i)).ok().map(|p| p.id))
-                .collect()
+            (0..usize::MAX).map_while(|i| sim.process(ProcessId(i)).ok().map(|p| p.id)).collect()
         } else {
             self.scope.clone()
         };

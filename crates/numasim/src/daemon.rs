@@ -49,11 +49,7 @@ mod tests {
     fn daemons_fire_on_schedule_and_retire() {
         let fires = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulator::new(machines::twin(), SimConfig::default());
-        sim.add_daemon(
-            Box::new(CountingDaemon { fires: fires.clone(), stop_after: 3 }),
-            0.1,
-            0.1,
-        );
+        sim.add_daemon(Box::new(CountingDaemon { fires: fires.clone(), stop_after: 3 }), 0.1, 0.1);
         sim.run_for(1.0);
         let fired = fires.borrow();
         assert_eq!(fired.len(), 3, "daemon should retire after 3 fires: {fired:?}");

@@ -86,19 +86,12 @@ pub(crate) fn build_app_groups(
 ) -> (Vec<GroupSpec>, Vec<GroupMeta>) {
     let n = machine.node_count();
     let profile = &proc_.profile;
-    let shared_dist = proc_
-        .aspace
-        .segment(proc_.shared_seg)
-        .expect("shared segment exists")
-        .distribution();
+    let shared_dist =
+        proc_.aspace.segment(proc_.shared_seg).expect("shared segment exists").distribution();
     let total_threads = proc_.total_threads();
     let eff = parallel_efficiency(profile, total_threads, proc_.worker_count());
     let d0_thread = profile.read_gbps_per_thread + profile.write_gbps_per_thread;
-    let read_frac = if d0_thread > 0.0 {
-        profile.read_gbps_per_thread / d0_thread
-    } else {
-        1.0
-    };
+    let read_frac = if d0_thread > 0.0 { profile.read_gbps_per_thread / d0_thread } else { 1.0 };
     let mut groups = Vec::new();
     let mut metas = Vec::new();
     for w in 0..n {
@@ -124,9 +117,8 @@ pub(crate) fn build_app_groups(
             }
         }
         let p = profile.private_frac;
-        let share: Vec<f64> = (0..n)
-            .map(|i| p * priv_dist[i] + (1.0 - p) * shared_dist[i])
-            .collect();
+        let share: Vec<f64> =
+            (0..n).map(|i| p * priv_dist[i] + (1.0 - p) * shared_dist[i]).collect();
         // Average access latency seen from node w, inflated by queueing
         // delay at loaded controllers.
         let lat_w: f64 = (0..n)

@@ -95,7 +95,7 @@ impl AppProfile {
         if self.shared_pages == 0 {
             return bad("shared_pages must be > 0".into());
         }
-        if !(self.total_traffic_gb > 0.0) {
+        if self.total_traffic_gb.is_nan() || self.total_traffic_gb <= 0.0 {
             return bad(format!("total_traffic_gb {}", self.total_traffic_gb));
         }
         Ok(())
@@ -168,10 +168,8 @@ impl Simulator {
         // Allocation spill order: nearest (lowest latency) first.
         let fallback: Vec<Vec<NodeId>> = (0..n)
             .map(|t| {
-                let mut others: Vec<NodeId> = (0..n)
-                    .filter(|&i| i != t)
-                    .map(|i| NodeId(i as u16))
-                    .collect();
+                let mut others: Vec<NodeId> =
+                    (0..n).filter(|&i| i != t).map(|i| NodeId(i as u16)).collect();
                 others.sort_by(|a, b| {
                     machine
                         .latency_ns()
@@ -245,11 +243,8 @@ impl Simulator {
         if !workers.is_subset(self.machine.all_nodes()) {
             return Err(SimError::InvalidNodes(format!("workers {workers} exceed machine")));
         }
-        let min_cores = workers
-            .iter()
-            .map(|w| self.machine.node(w).cores)
-            .min()
-            .expect("non-empty workers");
+        let min_cores =
+            workers.iter().map(|w| self.machine.node(w).cores).min().expect("non-empty workers");
         let tpn = threads_per_node.unwrap_or(min_cores);
         if tpn == 0 || tpn > min_cores {
             return Err(SimError::InvalidNodes(format!(
@@ -365,12 +360,8 @@ impl Simulator {
         policy: &MemPolicy,
         move_pages: bool,
     ) -> Result<usize, SimError> {
-        let segs: Vec<(SegmentId, u64)> = self
-            .process(pid)?
-            .aspace
-            .iter()
-            .map(|(id, s)| (id, s.len()))
-            .collect();
+        let segs: Vec<(SegmentId, u64)> =
+            self.process(pid)?.aspace.iter().map(|(id, s)| (id, s.len())).collect();
         let mut total = 0;
         for (id, len) in segs {
             total += self.mbind(pid, id, 0, len, policy.clone(), move_pages)?;
@@ -379,7 +370,11 @@ impl Simulator {
     }
 
     /// Directly enqueue page moves (used by AutoNUMA and tests).
-    pub fn enqueue_moves(&mut self, pid: ProcessId, moves: Vec<PendingMove>) -> Result<(), SimError> {
+    pub fn enqueue_moves(
+        &mut self,
+        pid: ProcessId,
+        moves: Vec<PendingMove>,
+    ) -> Result<(), SimError> {
         self.process_mut(pid)?.migrations.enqueue(moves);
         Ok(())
     }
@@ -525,12 +520,7 @@ impl Simulator {
                     ]
                 })
                 .collect();
-            ds.push(GroupSpec {
-                id: (1u64 << 63) | p.id.0 as u64,
-                weight: 1.0,
-                cap: 1.0,
-                flows,
-            });
+            ds.push(GroupSpec { id: (1u64 << 63) | p.id.0 as u64, weight: 1.0, cap: 1.0, flows });
             mig_meta.push(MigAttempt { pid: p.id, pages: attempt });
         }
 
@@ -547,14 +537,12 @@ impl Simulator {
         for (gi, (pid, _)) in app_meta.iter().enumerate() {
             per_proc[pid.0].push((gi, solved.outcomes[gi].activity));
         }
-        for pid_idx in 0..self.procs.len() {
-            if per_proc[pid_idx].is_empty() {
+        for (pid_idx, proc_groups) in per_proc.iter().enumerate() {
+            if proc_groups.is_empty() {
                 continue;
             }
-            let rate_gbps: f64 = per_proc[pid_idx]
-                .iter()
-                .map(|&(gi, u)| u * app_meta[gi].1.demand_gbps)
-                .sum();
+            let rate_gbps: f64 =
+                proc_groups.iter().map(|&(gi, u)| u * app_meta[gi].1.demand_gbps).sum();
             let p = &self.procs[pid_idx];
             let remaining = p.profile.total_traffic_gb - p.work_done_gb;
             let frac = if rate_gbps * dt >= remaining && remaining.is_finite() {
@@ -565,7 +553,7 @@ impl Simulator {
             let dt_eff = dt * frac;
             let alpha = p.profile.latency_sensitivity;
             let pid = p.id;
-            for &(gi, u) in &per_proc[pid_idx] {
+            for &(gi, u) in proc_groups {
                 let meta = &app_meta[gi].1;
                 let stall = demand::stall_fraction(u, alpha, meta.latency_factor);
                 let cycles = meta.cycle_threads * CLOCK_HZ * dt_eff;
@@ -673,7 +661,11 @@ impl Simulator {
 
     /// Run until `pid` finishes (or `max_seconds` of simulated time pass).
     /// Returns the process's execution time.
-    pub fn run_until_finished(&mut self, pid: ProcessId, max_seconds: f64) -> Result<f64, SimError> {
+    pub fn run_until_finished(
+        &mut self,
+        pid: ProcessId,
+        max_seconds: f64,
+    ) -> Result<f64, SimError> {
         let deadline = self.clock + max_seconds;
         loop {
             match self.process(pid)?.state {
@@ -731,9 +723,7 @@ mod tests {
         let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
         let mut p = profile(42.0);
         p.read_gbps_per_thread = 6.0;
-        let pid = sim
-            .spawn(p, NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
-            .unwrap();
+        let pid = sim.spawn(p, NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch).unwrap();
         let t = sim.run_until_finished(pid, 100.0).unwrap();
         assert!((t - 1.5).abs() < 0.03, "exec time {t}");
     }
@@ -750,8 +740,7 @@ mod tests {
             sim.run_until_finished(pid, 100.0).unwrap()
         };
         let local = mk(MemPolicy::FirstTouch);
-        let spread =
-            mk(MemPolicy::Interleave(NodeSet::from_nodes([NodeId(0), NodeId(1)])));
+        let spread = mk(MemPolicy::Interleave(NodeSet::from_nodes([NodeId(0), NodeId(1)])));
         assert!(
             spread < local * 0.85,
             "interleaving should relieve the controller: local {local}, spread {spread}"
@@ -777,9 +766,7 @@ mod tests {
             .spawn(profile(1e6), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
             .unwrap();
         let seg = sim.process(pid).unwrap().shared_seg;
-        let queued = sim
-            .mbind(pid, seg, 0, 10_000, MemPolicy::Bind(NodeId(3)), true)
-            .unwrap();
+        let queued = sim.mbind(pid, seg, 0, 10_000, MemPolicy::Bind(NodeId(3)), true).unwrap();
         assert_eq!(queued, 10_000);
         assert_eq!(sim.pending_migrations(pid), 10_000);
         sim.run_for(0.5);
@@ -797,9 +784,7 @@ mod tests {
             .spawn(profile(10.0), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
             .unwrap();
         let seg = sim.process(pid).unwrap().shared_seg;
-        let queued = sim
-            .mbind(pid, seg, 0, 100, MemPolicy::Bind(NodeId(1)), false)
-            .unwrap();
+        let queued = sim.mbind(pid, seg, 0, 100, MemPolicy::Bind(NodeId(1)), false).unwrap();
         assert_eq!(queued, 0);
         assert_eq!(sim.pending_migrations(pid), 0);
     }
@@ -811,7 +796,8 @@ mod tests {
             let mut sim = Simulator::new(m.clone(), SimConfig::default());
             let mut p = profile(f64::INFINITY);
             p.read_gbps_per_thread = read_gbps;
-            let pid = sim.spawn(p, NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch).unwrap();
+            let pid =
+                sim.spawn(p, NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch).unwrap();
             let s0 = sim.sample(pid).unwrap();
             sim.run_for(1.0);
             let s1 = sim.sample(pid).unwrap();
@@ -827,11 +813,10 @@ mod tests {
         let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
         let mut p = profile(28.0);
         p.read_gbps_per_thread = 6.0; // 42 GB/s per process demand
-        let a = sim.spawn(p.clone(), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch).unwrap();
+        let a =
+            sim.spawn(p.clone(), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch).unwrap();
         // Second process binds its memory to node 0 as well.
-        let b = sim
-            .spawn(p, NodeSet::single(NodeId(1)), None, MemPolicy::Bind(NodeId(0)))
-            .unwrap();
+        let b = sim.spawn(p, NodeSet::single(NodeId(1)), None, MemPolicy::Bind(NodeId(0))).unwrap();
         let ta = sim.run_until_finished(a, 100.0).unwrap();
         let tb = sim.run_until_finished(b, 100.0).unwrap();
         // Alone each would take 28/28=1.0s at full controller; sharing the
@@ -843,9 +828,7 @@ mod tests {
     #[test]
     fn invalid_spawns_rejected() {
         let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
-        assert!(sim
-            .spawn(profile(1.0), NodeSet::EMPTY, None, MemPolicy::FirstTouch)
-            .is_err());
+        assert!(sim.spawn(profile(1.0), NodeSet::EMPTY, None, MemPolicy::FirstTouch).is_err());
         assert!(sim
             .spawn(profile(1.0), NodeSet::single(NodeId(9)), None, MemPolicy::FirstTouch)
             .is_err());

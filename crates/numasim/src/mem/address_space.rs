@@ -60,9 +60,7 @@ impl AddressSpace {
 
     /// The shared segment (processes have exactly one), if created.
     pub fn shared_segment(&self) -> Option<SegmentId> {
-        self.iter()
-            .find(|(_, s)| matches!(s.kind(), SegmentKind::Shared))
-            .map(|(id, _)| id)
+        self.iter().find(|(_, s)| matches!(s.kind(), SegmentKind::Shared)).map(|(id, _)| id)
     }
 
     /// Private segment of a given thread, if created.
@@ -103,7 +101,14 @@ mod tests {
     fn create_and_lookup() {
         let (mut asp, mut f, fb) = fixture();
         let shared = asp
-            .create_segment(SegmentKind::Shared, 100, &MemPolicy::FirstTouch, NodeId(0), &mut f, &fb)
+            .create_segment(
+                SegmentKind::Shared,
+                100,
+                &MemPolicy::FirstTouch,
+                NodeId(0),
+                &mut f,
+                &fb,
+            )
             .unwrap();
         let p0 = asp
             .create_segment(

@@ -82,8 +82,7 @@ impl MigrationQueue {
     /// how many moves were cancelled.
     pub fn cancel_range(&mut self, segment: SegmentId, start: u64, len: u64) -> usize {
         let before = self.queue.len();
-        self.queue
-            .retain(|m| !(m.segment == segment && m.page >= start && m.page < start + len));
+        self.queue.retain(|m| !(m.segment == segment && m.page >= start && m.page < start + len));
         before - self.queue.len()
     }
 }
@@ -140,12 +139,7 @@ mod tests {
     fn cancel_range_is_segment_and_range_scoped() {
         let mut q = MigrationQueue::new();
         q.enqueue([mv(0, 0, 1), mv(5, 0, 1), mv(10, 0, 1)]);
-        q.enqueue([PendingMove {
-            segment: SegmentId(1),
-            page: 5,
-            from: NodeId(0),
-            to: NodeId(1),
-        }]);
+        q.enqueue([PendingMove { segment: SegmentId(1), page: 5, from: NodeId(0), to: NodeId(1) }]);
         // cancel pages [0, 8) of segment 0
         let cancelled = q.cancel_range(SegmentId(0), 0, 8);
         assert_eq!(cancelled, 2);

@@ -278,13 +278,9 @@ mod tests {
             &no_fallback(4),
         )
         .unwrap();
-        let moves = s
-            .non_complying(4, 4, &MemPolicy::Bind(NodeId(1)), NodeId(0))
-            .unwrap();
+        let moves = s.non_complying(4, 4, &MemPolicy::Bind(NodeId(1)), NodeId(0)).unwrap();
         assert!(moves.is_empty()); // already on node 1
-        let moves = s
-            .non_complying(4, 4, &MemPolicy::Bind(NodeId(2)), NodeId(0))
-            .unwrap();
+        let moves = s.non_complying(4, 4, &MemPolicy::Bind(NodeId(2)), NodeId(0)).unwrap();
         assert_eq!(moves.len(), 4);
         assert_eq!(moves[0], (4, NodeId(2)));
     }

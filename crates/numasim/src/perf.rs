@@ -90,7 +90,12 @@ pub struct PerfCounters {
 impl PerfCounters {
     /// Fresh counters for an `n`-node machine.
     pub fn new(n: usize) -> Self {
-        PerfCounters { n, node_read_bytes: vec![0.0; n], node_write_bytes: vec![0.0; n], procs: Vec::new() }
+        PerfCounters {
+            n,
+            node_read_bytes: vec![0.0; n],
+            node_write_bytes: vec![0.0; n],
+            procs: Vec::new(),
+        }
     }
 
     /// Register a new process (called by the engine on spawn).

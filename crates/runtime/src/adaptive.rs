@@ -74,11 +74,8 @@ impl AdaptiveBwapDaemon {
             ProfileBook::canonical_weights(sim.machine(), workers)
         };
         let initial = apply_dwp(&canonical, workers, 0.0)?;
-        let queued = if apply_initial {
-            apply_weights(sim, pid, &initial, cfg.bwap.mode)?
-        } else {
-            0
-        };
+        let queued =
+            if apply_initial { apply_weights(sim, pid, &initial, cfg.bwap.mode)? } else { 0 };
         let handle = TunerHandle::default();
         handle.update(|r| r.pages_applied = queued as u64);
         let tuner = DwpTuner::new(canonical.clone(), workers, cfg.bwap.tuner.clone())?;
@@ -108,11 +105,8 @@ impl AdaptiveBwapDaemon {
     }
 
     fn watcher(&self) -> TrimmedSampler {
-        TrimmedSampler::new(
-            self.cfg.bwap.tuner.samples_per_iteration,
-            self.cfg.bwap.tuner.trim,
-        )
-        .expect("validated at construction")
+        TrimmedSampler::new(self.cfg.bwap.tuner.samples_per_iteration, self.cfg.bwap.tuner.trim)
+            .expect("validated at construction")
     }
 }
 
@@ -152,8 +146,7 @@ impl Daemon for AdaptiveBwapDaemon {
                         r.dwp = tuner.dwp();
                         r.history = tuner.history().to_vec();
                     });
-                    self.mode =
-                        Mode::Watching { converged_stall, watcher: self.watcher() };
+                    self.mode = Mode::Watching { converged_stall, watcher: self.watcher() };
                 }
             },
             Mode::Watching { converged_stall, watcher } => {
@@ -169,8 +162,7 @@ impl Daemon for AdaptiveBwapDaemon {
                 // Phase change: back to the canonical spread, fresh climb.
                 self.retunes += 1;
                 let workers = sim.process(self.pid).expect("exists").workers;
-                let initial =
-                    apply_dwp(&self.canonical, workers, 0.0).expect("valid canonical");
+                let initial = apply_dwp(&self.canonical, workers, 0.0).expect("valid canonical");
                 let queued = apply_weights(sim, self.pid, &initial, self.cfg.bwap.mode)
                     .expect("placement apply");
                 self.handle.update(|r| {
@@ -178,12 +170,9 @@ impl Daemon for AdaptiveBwapDaemon {
                     r.dwp = 0.0;
                     r.pages_applied += queued as u64;
                 });
-                let tuner = DwpTuner::new(
-                    self.canonical.clone(),
-                    workers,
-                    self.cfg.bwap.tuner.clone(),
-                )
-                .expect("validated at construction");
+                let tuner =
+                    DwpTuner::new(self.canonical.clone(), workers, self.cfg.bwap.tuner.clone())
+                        .expect("validated at construction");
                 self.mode = Mode::Tuning(tuner);
             }
             Mode::Idle => {}
@@ -209,9 +198,7 @@ mod tests {
         // Phase 1: latency-bound (wants high DWP on machine B).
         let mut spec = bwap_workloads::streamcluster();
         spec.total_traffic_gb = f64::INFINITY;
-        let pid = sim
-            .spawn(spec.profile_for(&m), workers, None, MemPolicy::FirstTouch)
-            .unwrap();
+        let pid = sim.spawn(spec.profile_for(&m), workers, None, MemPolicy::FirstTouch).unwrap();
         let cfg = AdaptiveConfig::default();
         let (daemon, handle) = AdaptiveBwapDaemon::init(&mut sim, pid, &cfg, true).unwrap();
         daemon.register(&mut sim);
@@ -243,7 +230,12 @@ mod tests {
         let mut spec = bwap_workloads::streamcluster().scaled_down(64.0);
         spec.total_traffic_gb = 0.5;
         let pid = sim
-            .spawn(spec.profile_for(&m), NodeSet::single(bwap_topology::NodeId(0)), None, MemPolicy::FirstTouch)
+            .spawn(
+                spec.profile_for(&m),
+                NodeSet::single(bwap_topology::NodeId(0)),
+                None,
+                MemPolicy::FirstTouch,
+            )
             .unwrap();
         let mut bad = spec.profile_for(&m);
         bad.serial_frac = 2.0;

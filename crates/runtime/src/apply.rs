@@ -25,12 +25,8 @@ pub fn apply_weights(
             Ok(sim.apply_policy_all_segments(pid, &policy, true)?)
         }
         InterleaveMode::UserLevel => {
-            let segments: Vec<(numasim::SegmentId, u64)> = sim
-                .process(pid)?
-                .aspace
-                .iter()
-                .map(|(id, s)| (id, s.len()))
-                .collect();
+            let segments: Vec<(numasim::SegmentId, u64)> =
+                sim.process(pid)?.aspace.iter().map(|(id, s)| (id, s.len())).collect();
             let mut queued = 0;
             for (seg, len) in segments {
                 for call in user_level_plan(len, weights)? {
@@ -93,8 +89,7 @@ mod tests {
     fn user_level_mode_approximates_ratios() {
         let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
         let pid = spawn_app(&mut sim);
-        let queued =
-            apply_weights(&mut sim, pid, &weights(), InterleaveMode::UserLevel).unwrap();
+        let queued = apply_weights(&mut sim, pid, &weights(), InterleaveMode::UserLevel).unwrap();
         assert!(queued > 0);
         sim.run_for(3.0);
         let d = sim.full_distribution(pid).unwrap();

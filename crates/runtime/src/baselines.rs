@@ -93,14 +93,8 @@ mod tests {
     fn labels() {
         assert_eq!(PlacementPolicy::FirstTouch.label(), "first-touch");
         assert_eq!(PlacementPolicy::Bwap(BwapConfig::default()).label(), "bwap");
-        assert_eq!(
-            PlacementPolicy::Bwap(BwapConfig::bwap_uniform()).label(),
-            "bwap-uniform"
-        );
-        assert_eq!(
-            PlacementPolicy::Bwap(BwapConfig::static_dwp(0.4)).label(),
-            "bwap-static(40%)"
-        );
+        assert_eq!(PlacementPolicy::Bwap(BwapConfig::bwap_uniform()).label(), "bwap-uniform");
+        assert_eq!(PlacementPolicy::Bwap(BwapConfig::static_dwp(0.4)).label(), "bwap-static(40%)");
     }
 
     #[test]

@@ -99,8 +99,7 @@ impl BwapDaemon {
             ProfileBook::canonical_weights(sim.machine(), workers)
         };
         let initial = apply_dwp(&canonical, workers, cfg.fixed_dwp)?;
-        let queued =
-            if apply_initial { apply_weights(sim, pid, &initial, cfg.mode)? } else { 0 };
+        let queued = if apply_initial { apply_weights(sim, pid, &initial, cfg.mode)? } else { 0 };
         let handle = TunerHandle::default();
         handle.update(|r| {
             r.dwp = cfg.fixed_dwp;
@@ -113,8 +112,7 @@ impl BwapDaemon {
             // with online tuning as a configuration error.
             if cfg.fixed_dwp != 0.0 {
                 return Err(RuntimeError::Scenario(
-                    "online tuning starts at DWP = 0; use static_dwp for fixed placements"
-                        .into(),
+                    "online tuning starts at DWP = 0; use static_dwp for fixed placements".into(),
                 ));
             }
             Some(DwpTuner::new(canonical, workers, cfg.tuner.clone())?)
@@ -122,7 +120,14 @@ impl BwapDaemon {
             None
         };
         Ok((
-            BwapDaemon { pid, cfg: cfg.clone(), tuner, prev: None, handle: handle.clone(), done: !cfg.online_tuning },
+            BwapDaemon {
+                pid,
+                cfg: cfg.clone(),
+                tuner,
+                prev: None,
+                handle: handle.clone(),
+                done: !cfg.online_tuning,
+            },
             handle,
         ))
     }
@@ -163,8 +168,8 @@ impl Daemon for BwapDaemon {
         match tuner.on_sample(stall_rate) {
             TunerAction::Continue => {}
             TunerAction::Apply { dwp, weights } => {
-                let queued = apply_weights(sim, self.pid, &weights, self.cfg.mode)
-                    .expect("placement apply");
+                let queued =
+                    apply_weights(sim, self.pid, &weights, self.cfg.mode).expect("placement apply");
                 self.handle.update(|r| {
                     r.dwp = dwp;
                     r.history = tuner.history().to_vec();
@@ -226,7 +231,8 @@ mod tests {
         let mut app = saturating_app();
         app.total_traffic_gb = f64::INFINITY;
         let pid = sim.spawn(app, workers, None, MemPolicy::FirstTouch).unwrap();
-        let (daemon, handle) = BwapDaemon::init(&mut sim, pid, &BwapConfig::default(), true).unwrap();
+        let (daemon, handle) =
+            BwapDaemon::init(&mut sim, pid, &BwapConfig::default(), true).unwrap();
         daemon.register(&mut sim);
         sim.run_for(120.0);
         assert!(handle.finished(), "tuner should converge within 120 s");

@@ -46,8 +46,7 @@ impl CoschedDaemon {
             ProfileBook::canonical_weights(sim.machine(), workers)
         };
         let initial = apply_dwp(&canonical, workers, cfg.fixed_dwp)?;
-        let queued =
-            if apply_initial { apply_weights(sim, pid_b, &initial, cfg.mode)? } else { 0 };
+        let queued = if apply_initial { apply_weights(sim, pid_b, &initial, cfg.mode)? } else { 0 };
         let handle = TunerHandle::default();
         handle.update(|r| {
             r.dwp = cfg.fixed_dwp;
@@ -57,8 +56,7 @@ impl CoschedDaemon {
         let tuner = if cfg.online_tuning {
             if cfg.fixed_dwp != 0.0 {
                 return Err(RuntimeError::Scenario(
-                    "online tuning starts at DWP = 0; use static_dwp for fixed placements"
-                        .into(),
+                    "online tuning starts at DWP = 0; use static_dwp for fixed placements".into(),
                 ));
             }
             Some(CoschedTuner::new(canonical, workers, cfg.tuner.clone())?)
@@ -100,10 +98,7 @@ impl Daemon for CoschedDaemon {
             self.done = true;
             return;
         };
-        let running = sim
-            .process(self.pid_b)
-            .map(|p| p.is_running())
-            .unwrap_or(false);
+        let running = sim.process(self.pid_b).map(|p| p.is_running()).unwrap_or(false);
         if !running {
             self.done = true;
             return;
@@ -160,11 +155,10 @@ mod tests {
             .unwrap();
         let mut spec = bwap_workloads::streamcluster().scaled_down(8.0);
         spec.total_traffic_gb = f64::INFINITY;
-        let b = sim
-            .spawn(spec.profile_for(&m), workers_b, None, MemPolicy::FirstTouch)
-            .unwrap();
+        let b = sim.spawn(spec.profile_for(&m), workers_b, None, MemPolicy::FirstTouch).unwrap();
         // A's baseline stall rate, alone-with-B-canonical not yet placed.
-        let (daemon, handle) = CoschedDaemon::init(&mut sim, b, a, &BwapConfig::default(), true).unwrap();
+        let (daemon, handle) =
+            CoschedDaemon::init(&mut sim, b, a, &BwapConfig::default(), true).unwrap();
         daemon.register(&mut sim);
         let a0 = sim.sample(a).unwrap();
         sim.run_for(120.0);

@@ -36,15 +36,13 @@ pub fn profile_bandwidth(machine: &MachineTopology, workers: NodeSet) -> BwMatri
         .expect("probe spawn on validated machine");
     sim.run_for(WARMUP_S);
     let n = machine.node_count();
-    let before: Vec<f64> = (0..n * n)
-        .map(|k| sim.counters().flow_read_bytes(pid, k / n, k % n))
-        .collect();
+    let before: Vec<f64> =
+        (0..n * n).map(|k| sim.counters().flow_read_bytes(pid, k / n, k % n)).collect();
     sim.run_for(WINDOW_S);
     let mut m = BwMatrix::zeros(n);
     for src in 0..n {
         for dst in 0..n {
-            let delta =
-                sim.counters().flow_read_bytes(pid, src, dst) - before[src * n + dst];
+            let delta = sim.counters().flow_read_bytes(pid, src, dst) - before[src * n + dst];
             m.set(NodeId(src as u16), NodeId(dst as u16), delta / WINDOW_S / 1e9);
         }
     }
@@ -68,8 +66,8 @@ impl ProfileBook {
         }
         // Profile outside the lock: it takes a (simulated) second.
         let matrix = profile_bandwidth(machine, workers);
-        let weights = canonical_weights(&matrix, workers)
-            .expect("profiled matrix yields valid weights");
+        let weights =
+            canonical_weights(&matrix, workers).expect("profiled matrix yields valid weights");
         book.lock().insert(key, weights.clone());
         weights
     }
@@ -92,10 +90,7 @@ mod tests {
         let p = profile_bandwidth(&m, workers);
         for src in 0..4u16 {
             for dst in [0u16, 1] {
-                assert!(
-                    p.get(NodeId(src), NodeId(dst)) > 0.1,
-                    "no traffic measured {src}->{dst}"
-                );
+                assert!(p.get(NodeId(src), NodeId(dst)) > 0.1, "no traffic measured {src}->{dst}");
             }
             // non-worker columns unmeasured
             assert_eq!(p.get(NodeId(src), NodeId(2)), 0.0);
@@ -125,10 +120,7 @@ mod tests {
         let workers = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
         let profiled = ProfileBook::canonical_weights(&m, workers);
         let ideal = canonical_weights(m.path_caps(), workers).unwrap();
-        assert!(
-            profiled.max_abs_diff(&ideal) < 0.12,
-            "profiled {profiled} vs ideal {ideal}"
-        );
+        assert!(profiled.max_abs_diff(&ideal) < 0.12, "profiled {profiled} vs ideal {ideal}");
         // Workers keep the heaviest weights in both.
         assert!(profiled.get(NodeId(0)) > profiled.get(NodeId(3)));
     }

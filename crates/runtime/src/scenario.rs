@@ -41,11 +41,7 @@ pub struct RunResult {
     pub a_stall_frac: Option<f64>,
 }
 
-fn stall_frac_between(
-    sim: &Simulator,
-    pid: ProcessId,
-    start: &numasim::ProcessSample,
-) -> f64 {
+fn stall_frac_between(sim: &Simulator, pid: ProcessId, start: &numasim::ProcessSample) -> f64 {
     let end = sim.sample(pid).expect("process exists");
     let cycles = end.cycles - start.cycles;
     if cycles <= 0.0 {
@@ -245,10 +241,8 @@ mod tests {
         // loses badly for a shared-heavy workload on two workers.
         let m = machines::machine_b();
         let workers = m.best_worker_set(2);
-        let ft =
-            run_standalone(&m, &fast_sc(), workers, &PlacementPolicy::FirstTouch).unwrap();
-        let uw =
-            run_standalone(&m, &fast_sc(), workers, &PlacementPolicy::UniformWorkers).unwrap();
+        let ft = run_standalone(&m, &fast_sc(), workers, &PlacementPolicy::FirstTouch).unwrap();
+        let uw = run_standalone(&m, &fast_sc(), workers, &PlacementPolicy::UniformWorkers).unwrap();
         assert!(
             uw.exec_time_s < ft.exec_time_s,
             "uniform-workers {} vs first-touch {}",
@@ -278,23 +272,14 @@ mod tests {
     #[test]
     fn worker_sweep_returns_all_counts() {
         let m = machines::machine_b();
-        let rs = sweep_worker_counts(
-            &m,
-            &fast_sc(),
-            &PlacementPolicy::UniformWorkers,
-            &[1, 2, 4],
-        )
-        .unwrap();
+        let rs = sweep_worker_counts(&m, &fast_sc(), &PlacementPolicy::UniformWorkers, &[1, 2, 4])
+            .unwrap();
         assert_eq!(rs.len(), 3);
         assert_eq!(rs[0].workers, 1);
         assert_eq!(rs[2].workers, 4);
-        let (k, t) = optimal_worker_count(
-            &m,
-            &fast_sc(),
-            &PlacementPolicy::UniformWorkers,
-            &[1, 2, 4],
-        )
-        .unwrap();
+        let (k, t) =
+            optimal_worker_count(&m, &fast_sc(), &PlacementPolicy::UniformWorkers, &[1, 2, 4])
+                .unwrap();
         assert!(t > 0.0);
         assert!([1usize, 2, 4].contains(&k));
     }

@@ -45,9 +45,7 @@ pub fn dwp_sweep(
 
 /// The DWP minimizing execution time in a sweep.
 pub fn sweep_optimum(points: &[SweepPoint]) -> Option<&SweepPoint> {
-    points
-        .iter()
-        .min_by(|a, b| a.exec_time_s.partial_cmp(&b.exec_time_s).expect("finite"))
+    points.iter().min_by(|a, b| a.exec_time_s.partial_cmp(&b.exec_time_s).expect("finite"))
 }
 
 #[cfg(test)]

@@ -146,11 +146,7 @@ mod tests {
     /// Quadratic bowl with minimum at the given target distribution.
     fn bowl(target: Vec<f64>) -> impl FnMut(&WeightDistribution) -> f64 {
         move |w: &WeightDistribution| {
-            w.as_slice()
-                .iter()
-                .zip(&target)
-                .map(|(a, b)| (a - b).powi(2))
-                .sum::<f64>()
+            w.as_slice().iter().zip(&target).map(|(a, b)| (a - b).powi(2)).sum::<f64>()
         }
     }
 

@@ -77,9 +77,7 @@ impl TopologyBuilder {
     /// brevity); hops are given as `(link_index, from_node)` pairs resolved
     /// against the links added so far.
     pub fn route_via(mut self, src: u16, dst: u16, intermediates: &[u16]) -> Self {
-        let routes = self
-            .routes
-            .get_or_insert_with(|| RoutingTable::all_local(self.nodes.len()));
+        let routes = self.routes.get_or_insert_with(|| RoutingTable::all_local(self.nodes.len()));
         let mut hops = Vec::new();
         let mut at = NodeId(src);
         for &next in intermediates.iter().chain(std::iter::once(&dst)) {
@@ -102,10 +100,7 @@ impl TopologyBuilder {
     /// intermediate node ids (deterministic).
     pub fn auto_routes(mut self) -> Self {
         let n = self.nodes.len();
-        let mut routes = self
-            .routes
-            .take()
-            .unwrap_or_else(|| RoutingTable::all_local(n));
+        let mut routes = self.routes.take().unwrap_or_else(|| RoutingTable::all_local(n));
         for s in 0..n {
             for d in 0..n {
                 if s == d {
@@ -135,12 +130,8 @@ impl TopologyBuilder {
             bottleneck: f64,
             seq: Vec<u16>,
         }
-        let mut frontier = vec![Path {
-            at: src,
-            hops: Vec::new(),
-            bottleneck: f64::INFINITY,
-            seq: vec![src.0],
-        }];
+        let mut frontier =
+            vec![Path { at: src, hops: Vec::new(), bottleneck: f64::INFINITY, seq: vec![src.0] }];
         let mut visited_depth = vec![usize::MAX; self.nodes.len()];
         visited_depth[src.idx()] = 0;
         for depth in 1..=self.nodes.len() {
@@ -245,14 +236,10 @@ impl TopologyBuilder {
     pub fn build(self) -> Result<MachineTopology, TopologyError> {
         let n = self.nodes.len();
         let routes = self.routes.unwrap_or_else(|| RoutingTable::all_local(n));
-        let path_caps = self.path_caps.ok_or(TopologyError::DimensionMismatch {
-            expected: n,
-            got: 0,
-        })?;
-        let latency_ns = self.latency_ns.ok_or(TopologyError::DimensionMismatch {
-            expected: n,
-            got: 0,
-        })?;
+        let path_caps =
+            self.path_caps.ok_or(TopologyError::DimensionMismatch { expected: n, got: 0 })?;
+        let latency_ns =
+            self.latency_ns.ok_or(TopologyError::DimensionMismatch { expected: n, got: 0 })?;
         MachineTopology::new(self.name, self.nodes, self.links, routes, path_caps, latency_ns)
     }
 }

@@ -90,11 +90,7 @@ impl Link {
 
 impl fmt::Display for Link {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}<->{} ({:.1}/{:.1} GB/s)",
-            self.a, self.b, self.cap_ab, self.cap_ba
-        )
+        write!(f, "{}<->{} ({:.1}/{:.1} GB/s)", self.a, self.b, self.cap_ab, self.cap_ba)
     }
 }
 

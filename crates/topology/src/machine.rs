@@ -127,9 +127,7 @@ impl MachineTopology {
                 .map(|i| NodeId(i as u16))
                 .max_by(|a, b| {
                     let (fa, fb) = (self.node(*a).ctrl_bw, self.node(*b).ctrl_bw);
-                    fa.partial_cmp(&fb)
-                        .unwrap()
-                        .then(b.0.cmp(&a.0)) // prefer lower id on ties
+                    fa.partial_cmp(&fb).unwrap().then(b.0.cmp(&a.0)) // prefer lower id on ties
                 })
                 .unwrap();
             return NodeSet::single(best);
@@ -193,10 +191,7 @@ impl MachineTopology {
             });
         }
         for (i, spec) in self.nodes.iter().enumerate() {
-            for (what, v) in [
-                ("ctrl_bw", spec.ctrl_bw),
-                ("ingress_bw", spec.ingress_bw),
-            ] {
+            for (what, v) in [("ctrl_bw", spec.ctrl_bw), ("ingress_bw", spec.ingress_bw)] {
                 if !(v.is_finite() && v > 0.0) {
                     return Err(TopologyError::BadBandwidth { what, value: v });
                 }
@@ -248,9 +243,7 @@ impl MachineTopology {
                         return Err(TopologyError::BrokenRoute {
                             src: src.0,
                             dst: dst.0,
-                            detail: format!(
-                                "path cap {cap} exceeds weakest link {link_cap}"
-                            ),
+                            detail: format!("path cap {cap} exceeds weakest link {link_cap}"),
                         });
                     }
                     if cap > self.nodes[s].ctrl_bw + EPS {

@@ -103,18 +103,12 @@ pub fn machine_a() -> MachineTopology {
         },
         [100.0, 136.0, 190.0, 280.0],
     );
-    b.auto_routes()
-        .path_caps(m)
-        .latencies(lat)
-        .build()
-        .expect("machine A is statically valid")
+    b.auto_routes().path_caps(m).latencies(lat).build().expect("machine A is statically valid")
 }
 
 fn is_two_hop_a(s: usize, d: usize) -> bool {
     const TWO_HOP: [(usize, usize); 5] = [(1, 4), (1, 6), (2, 5), (2, 7), (5, 6)];
-    TWO_HOP
-        .iter()
-        .any(|&(a, b)| (s, d) == (a, b) || (s, d) == (b, a))
+    TWO_HOP.iter().any(|&(a, b)| (s, d) == (a, b) || (s, d) == (b, a))
 }
 
 /// Machine B: 2-socket Intel Xeon E5-2660 v4 in Cluster-on-Die mode — 4
@@ -233,7 +227,9 @@ mod tests {
     #[test]
     fn machine_a_two_hop_pairs_have_two_hop_routes() {
         let m = machine_a();
-        for (s, d) in [(1u16, 4u16), (4, 1), (1, 6), (6, 1), (2, 5), (5, 2), (2, 7), (7, 2), (5, 6), (6, 5)] {
+        for (s, d) in
+            [(1u16, 4u16), (4, 1), (1, 6), (6, 1), (2, 5), (5, 2), (2, 7), (7, 2), (5, 6), (6, 5)]
+        {
             assert_eq!(
                 m.routes().get(NodeId(s), NodeId(d)).hop_count(),
                 2,
@@ -261,10 +257,7 @@ mod tests {
         use crate::link::LinkId;
         for (s, d) in [(0u16, 2u16), (0, 3), (1, 2), (1, 3), (2, 0), (3, 0), (2, 1), (3, 1)] {
             let r = m.routes().get(NodeId(s), NodeId(d));
-            assert!(
-                r.hops().iter().any(|h| h.link == LinkId(2)),
-                "{s}->{d} must cross the QPI"
-            );
+            assert!(r.hops().iter().any(|h| h.link == LinkId(2)), "{s}->{d} must cross the QPI");
         }
     }
 

@@ -47,20 +47,16 @@ impl Route {
     }
 
     /// Verify the route is a connected path `src -> dst` over `links`.
-    pub fn validate(
-        &self,
-        src: NodeId,
-        dst: NodeId,
-        links: &[Link],
-    ) -> Result<(), TopologyError> {
+    pub fn validate(&self, src: NodeId, dst: NodeId, links: &[Link]) -> Result<(), TopologyError> {
         let mut at = src;
         for hop in &self.hops {
             let link = links.get(hop.link.0).ok_or(TopologyError::UnknownLink(hop.link.0))?;
-            let expected_dir = link.direction_from(at).ok_or_else(|| TopologyError::BrokenRoute {
-                src: src.0,
-                dst: dst.0,
-                detail: format!("link {} does not leave node {at}", hop.link.0),
-            })?;
+            let expected_dir =
+                link.direction_from(at).ok_or_else(|| TopologyError::BrokenRoute {
+                    src: src.0,
+                    dst: dst.0,
+                    detail: format!("link {} does not leave node {at}", hop.link.0),
+                })?;
             if expected_dir != hop.dir {
                 return Err(TopologyError::BrokenRoute {
                     src: src.0,
@@ -82,10 +78,7 @@ impl Route {
 
     /// The tightest link capacity along the route (infinite for local).
     pub fn min_link_capacity(&self, links: &[Link]) -> f64 {
-        self.hops
-            .iter()
-            .map(|h| links[h.link.0].capacity(h.dir))
-            .fold(f64::INFINITY, f64::min)
+        self.hops.iter().map(|h| links[h.link.0].capacity(h.dir)).fold(f64::INFINITY, f64::min)
     }
 }
 

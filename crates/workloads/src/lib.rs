@@ -21,6 +21,8 @@ pub mod generator;
 pub mod spec;
 pub mod table1;
 
-pub use apps::{by_name, ft_c, ocean_cp, ocean_ncp, sp_b, stream_probe, streamcluster, suite, swaptions};
+pub use apps::{
+    by_name, ft_c, ocean_cp, ocean_ncp, sp_b, stream_probe, streamcluster, suite, swaptions,
+};
 pub use spec::WorkloadSpec;
 pub use table1::{table1_reference, Table1Row};

@@ -107,7 +107,6 @@ impl WorkloadSpec {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::apps;
     use bwap_topology::machines;
 

@@ -18,11 +18,41 @@ pub struct Table1Row {
 /// Table I as printed in the paper (machine B, one full worker node).
 pub fn table1_reference() -> Vec<Table1Row> {
     vec![
-        Table1Row { name: "OC", reads_mbps: 17576.0, writes_mbps: 6492.0, private_pct: 79.3, shared_pct: 20.7 },
-        Table1Row { name: "ON", reads_mbps: 16053.0, writes_mbps: 5578.0, private_pct: 86.7, shared_pct: 13.3 },
-        Table1Row { name: "SP.B", reads_mbps: 11962.0, writes_mbps: 5352.0, private_pct: 19.9, shared_pct: 80.1 },
-        Table1Row { name: "SC", reads_mbps: 10055.0, writes_mbps: 70.0, private_pct: 0.2, shared_pct: 99.8 },
-        Table1Row { name: "FT.C", reads_mbps: 5585.0, writes_mbps: 4715.0, private_pct: 95.0, shared_pct: 5.0 },
+        Table1Row {
+            name: "OC",
+            reads_mbps: 17576.0,
+            writes_mbps: 6492.0,
+            private_pct: 79.3,
+            shared_pct: 20.7,
+        },
+        Table1Row {
+            name: "ON",
+            reads_mbps: 16053.0,
+            writes_mbps: 5578.0,
+            private_pct: 86.7,
+            shared_pct: 13.3,
+        },
+        Table1Row {
+            name: "SP.B",
+            reads_mbps: 11962.0,
+            writes_mbps: 5352.0,
+            private_pct: 19.9,
+            shared_pct: 80.1,
+        },
+        Table1Row {
+            name: "SC",
+            reads_mbps: 10055.0,
+            writes_mbps: 70.0,
+            private_pct: 0.2,
+            shared_pct: 99.8,
+        },
+        Table1Row {
+            name: "FT.C",
+            reads_mbps: 5585.0,
+            writes_mbps: 4715.0,
+            private_pct: 95.0,
+            shared_pct: 5.0,
+        },
     ]
 }
 

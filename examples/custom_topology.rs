@@ -15,7 +15,7 @@ fn main() {
     let mut b = TopologyBuilder::new("fat-ring-6")
         .nodes(2, NodeSpec::new(8, 8.0, 24.0, 36.0)) // central nodes 0, 1
         .nodes(4, NodeSpec::new(4, 8.0, 12.0, 20.0)); // peripherals 2..5
-    // central backbone
+                                                      // central backbone
     b = b.symmetric_link(NodeId(0), NodeId(1), 18.0);
     // each central node feeds two peripherals
     b = b

@@ -65,7 +65,9 @@ pub mod prelude {
         run_coscheduled, run_standalone, sweep_worker_counts, BwapDaemon, CoschedDaemon,
         PlacementPolicy, ProfileBook, RunResult,
     };
-    pub use bwap_topology::{machines, MachineTopology, NodeId, NodeSet, NodeSpec, TopologyBuilder};
+    pub use bwap_topology::{
+        machines, MachineTopology, NodeId, NodeSet, NodeSpec, TopologyBuilder,
+    };
     pub use bwap_workloads as workloads;
     pub use numasim::{AppProfile, MemPolicy, SimConfig, Simulator};
 }

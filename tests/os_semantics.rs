@@ -27,9 +27,8 @@ fn numactl_style_launch_policies() {
     let workers = NodeSet::from_nodes([NodeId(1), NodeId(2)]);
 
     // interleave=all applies to every segment, like numactl.
-    let pid = sim
-        .spawn(small_app(8000), workers, None, MemPolicy::Interleave(m.all_nodes()))
-        .unwrap();
+    let pid =
+        sim.spawn(small_app(8000), workers, None, MemPolicy::Interleave(m.all_nodes())).unwrap();
     let d = sim.full_distribution(pid).unwrap();
     for (i, &f) in d.iter().enumerate() {
         assert!((f - 0.25).abs() < 0.01, "node {i}: {d:?}");
@@ -128,16 +127,11 @@ fn stall_counters_track_contention() {
 fn segment_ranges_validated() {
     let m = machines::machine_b();
     let mut sim = Simulator::new(m, SimConfig::default());
-    let pid = sim
-        .spawn(small_app(100), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
-        .unwrap();
+    let pid =
+        sim.spawn(small_app(100), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch).unwrap();
     let seg = sim.process(pid).unwrap().shared_seg;
     assert!(sim.mbind(pid, seg, 50, 100, MemPolicy::Bind(NodeId(1)), true).is_err());
-    assert!(sim
-        .mbind(pid, SegmentId(999), 0, 10, MemPolicy::Bind(NodeId(1)), true)
-        .is_err());
+    assert!(sim.mbind(pid, SegmentId(999), 0, 10, MemPolicy::Bind(NodeId(1)), true).is_err());
     // invalid weights rejected
-    assert!(sim
-        .mbind(pid, seg, 0, 10, MemPolicy::WeightedInterleave(vec![0.5; 3]), true)
-        .is_err());
+    assert!(sim.mbind(pid, seg, 0, 10, MemPolicy::WeightedInterleave(vec![0.5; 3]), true).is_err());
 }

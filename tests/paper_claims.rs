@@ -18,8 +18,7 @@ fn claim_fig1a_probe_matches_measured_matrix_exactly() {
 fn claim_canonical_weights_follow_eq5() {
     // §III-A2, Eq. 5, hand-checked against Fig. 1a.
     let m = machines::machine_a();
-    let w = canonical_weights(m.path_caps(), NodeSet::from_nodes([NodeId(0), NodeId(1)]))
-        .unwrap();
+    let w = canonical_weights(m.path_caps(), NodeSet::from_nodes([NodeId(0), NodeId(1)])).unwrap();
     let expected = [5.5, 5.5, 2.9, 1.8, 1.8, 2.8, 1.8, 2.8];
     let sum: f64 = expected.iter().sum();
     for i in 0..8 {
@@ -69,19 +68,10 @@ fn claim_tuner_lands_within_two_steps_of_static_optimum() {
     let dwps: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
     let points = dwp_sweep(&m, &spec, workers, &dwps, true).unwrap();
     let best = sweep_optimum(&points).unwrap();
-    let online = run_coscheduled(
-        &m,
-        &spec,
-        workers,
-        &PlacementPolicy::Bwap(BwapConfig::default()),
-    )
-    .unwrap();
+    let online =
+        run_coscheduled(&m, &spec, workers, &PlacementPolicy::Bwap(BwapConfig::default())).unwrap();
     let chosen = online.chosen_dwp.unwrap();
-    assert!(
-        (chosen - best.dwp).abs() <= 0.2 + 1e-9,
-        "chosen {chosen} vs static best {}",
-        best.dwp
-    );
+    assert!((chosen - best.dwp).abs() <= 0.2 + 1e-9, "chosen {chosen} vs static best {}", best.dwp);
 }
 
 #[test]
@@ -91,20 +81,11 @@ fn claim_kernel_and_user_level_agree_within_3_percent() {
     let m = machines::machine_b();
     let spec = workloads::streamcluster().scaled_down(16.0);
     let workers = m.best_worker_set(2);
-    let kernel = run_coscheduled(
-        &m,
-        &spec,
-        workers,
-        &PlacementPolicy::Bwap(BwapConfig::kernel_mode()),
-    )
-    .unwrap();
-    let user = run_coscheduled(
-        &m,
-        &spec,
-        workers,
-        &PlacementPolicy::Bwap(BwapConfig::default()),
-    )
-    .unwrap();
+    let kernel =
+        run_coscheduled(&m, &spec, workers, &PlacementPolicy::Bwap(BwapConfig::kernel_mode()))
+            .unwrap();
+    let user =
+        run_coscheduled(&m, &spec, workers, &PlacementPolicy::Bwap(BwapConfig::default())).unwrap();
     let gap = (user.exec_time_s / kernel.exec_time_s - 1.0).abs();
     assert!(gap < 0.03, "kernel/user gap {gap}");
 }
@@ -119,13 +100,8 @@ fn claim_first_touch_speedup_up_to_4x_shape() {
     let spec = workloads::streamcluster().scaled_down(16.0);
     let workers = m.best_worker_set(4);
     let ft = run_coscheduled(&m, &spec, workers, &PlacementPolicy::FirstTouch).unwrap();
-    let bw = run_coscheduled(
-        &m,
-        &spec,
-        workers,
-        &PlacementPolicy::Bwap(BwapConfig::default()),
-    )
-    .unwrap();
+    let bw =
+        run_coscheduled(&m, &spec, workers, &PlacementPolicy::Bwap(BwapConfig::default())).unwrap();
     let speedup = ft.exec_time_s / bw.exec_time_s;
     assert!(speedup > 1.8, "bwap vs first-touch speedup {speedup}");
 }
@@ -135,8 +111,7 @@ fn claim_symmetric_machine_degenerates_to_uniform() {
     // BWAP's asymmetry-awareness should cost nothing on symmetric
     // hardware: canonical weights collapse to uniform.
     let m = machines::symmetric_quad();
-    let w = canonical_weights(m.path_caps(), NodeSet::from_nodes([NodeId(0), NodeId(1)]))
-        .unwrap();
+    let w = canonical_weights(m.path_caps(), NodeSet::from_nodes([NodeId(0), NodeId(1)])).unwrap();
     assert!(w.max_abs_diff(&WeightDistribution::uniform(4)) < 1e-12);
 }
 

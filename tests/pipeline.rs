@@ -19,9 +19,8 @@ fn policy_ordering_machine_a_two_workers_cosched() {
     // least as good as uniform-workers by a clear margin.
     let m = machines::machine_a();
     let workers = m.best_worker_set(2);
-    let time = |p: &PlacementPolicy| {
-        run_coscheduled(&m, &sc(), workers, p).expect("scenario").exec_time_s
-    };
+    let time =
+        |p: &PlacementPolicy| run_coscheduled(&m, &sc(), workers, p).expect("scenario").exec_time_s;
     let ft = time(&PlacementPolicy::FirstTouch);
     let uw = time(&PlacementPolicy::UniformWorkers);
     let ua = time(&PlacementPolicy::UniformAll);
@@ -37,9 +36,8 @@ fn bwap_uniform_sits_between_uniform_all_and_bwap() {
     // DWP tuner; both variants at least match uniform-all on machine A.
     let m = machines::machine_a();
     let workers = m.best_worker_set(1);
-    let time = |p: &PlacementPolicy| {
-        run_coscheduled(&m, &oc(), workers, p).expect("scenario").exec_time_s
-    };
+    let time =
+        |p: &PlacementPolicy| run_coscheduled(&m, &oc(), workers, p).expect("scenario").exec_time_s;
     let ua = time(&PlacementPolicy::UniformAll);
     let bu = time(&PlacementPolicy::Bwap(BwapConfig::bwap_uniform()));
     let bw = time(&PlacementPolicy::Bwap(BwapConfig::default()));
@@ -70,14 +68,9 @@ fn gains_shrink_with_more_workers() {
         let uw = run_coscheduled(&m, &sc(), workers, &PlacementPolicy::UniformWorkers)
             .expect("scenario")
             .exec_time_s;
-        let bw = run_coscheduled(
-            &m,
-            &sc(),
-            workers,
-            &PlacementPolicy::Bwap(BwapConfig::default()),
-        )
-        .expect("scenario")
-        .exec_time_s;
+        let bw = run_coscheduled(&m, &sc(), workers, &PlacementPolicy::Bwap(BwapConfig::default()))
+            .expect("scenario")
+            .exec_time_s;
         uw / bw
     };
     let s1 = speedup(1);

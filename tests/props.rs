@@ -6,9 +6,8 @@ use bwap_suite::prelude::*;
 use proptest::prelude::*;
 
 fn weight_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..10.0, n).prop_filter("positive mass", |v| {
-        v.iter().sum::<f64>() > 0.1
-    })
+    prop::collection::vec(0.0f64..10.0, n)
+        .prop_filter("positive mass", |v| v.iter().sum::<f64>() > 0.1)
 }
 
 proptest! {
@@ -151,8 +150,8 @@ proptest! {
             )
             .unwrap();
         let d = sim.shared_distribution(pid).unwrap();
-        for i in 0..4 {
-            prop_assert!((d[i] - weights.as_slice()[i]).abs() < 1e-3);
+        for (di, wi) in d.iter().zip(weights.as_slice()) {
+            prop_assert!((di - wi).abs() < 1e-3);
         }
     }
 

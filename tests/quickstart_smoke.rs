@@ -1,0 +1,28 @@
+//! Workspace-level smoke test: the facade quickstart invariant as a plain
+//! `#[test]`, so the core claim is exercised even when doctests are
+//! skipped (e.g. `cargo test --tests`, or tools that don't run doctests).
+
+use bwap_suite::prelude::*;
+
+/// BWAP beats uniform-workers interleave on the scaled Streamcluster spec
+/// from the README/facade quickstart (machine A, 2 workers).
+#[test]
+fn quickstart_bwap_beats_uniform_interleave() {
+    let machine = machines::machine_a();
+    let spec = workloads::streamcluster().scaled_down(32.0);
+    let workers = machine.best_worker_set(2);
+
+    let uniform =
+        run_coscheduled(&machine, &spec, workers, &PlacementPolicy::UniformWorkers).unwrap();
+    let bwap =
+        run_coscheduled(&machine, &spec, workers, &PlacementPolicy::Bwap(BwapConfig::default()))
+            .unwrap();
+
+    assert!(
+        bwap.exec_time_s < uniform.exec_time_s,
+        "BWAP ({:.4}s) must beat uniform-workers interleave ({:.4}s) on scaled Streamcluster",
+        bwap.exec_time_s,
+        uniform.exec_time_s
+    );
+    assert!(bwap.exec_time_s.is_finite() && bwap.exec_time_s > 0.0);
+}

@@ -1,0 +1,221 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Supports the benchmark surface this workspace uses: `criterion_group!`/
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! `sample_size`/`bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId` and `black_box`. Instead of criterion's statistical
+//! machinery it times a fixed budget per benchmark and prints mean
+//! ns/iteration — enough to eyeball regressions and to keep `cargo bench
+//! --no-run` compiling in CI. Extend this file rather than adding a
+//! network dependency.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Target measurement budget per benchmark at the default sample size.
+const DEFAULT_BUDGET: Duration = Duration::from_millis(300);
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+
+/// The benchmark manager handed to every target function.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: DEFAULT_BUDGET }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.budget, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: group_name.to_string(), budget: self.budget, _criterion: self }
+    }
+}
+
+/// A named family of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Scale the measurement budget with the requested sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.budget = DEFAULT_BUDGET.mul_f64(n as f64 / DEFAULT_SAMPLE_SIZE as f64);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.budget, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.budget, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost; the offline harness only uses
+/// it to pick a batch length.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Times closures on behalf of one benchmark.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f` back-to-back.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One calibration call, then as many as fit in the budget.
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed();
+        let n = plan_iters(first, self.budget);
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed() + first;
+        self.iters = n + 1;
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let first = start.elapsed();
+        let n = plan_iters(first, self.budget);
+        let mut measured = first;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed = measured;
+        self.iters = n + 1;
+    }
+}
+
+fn plan_iters(first: Duration, budget: Duration) -> u64 {
+    if first.is_zero() {
+        return 10_000;
+    }
+    let n = budget.as_nanos() / first.as_nanos().max(1);
+    (n as u64).clamp(1, 100_000)
+}
+
+fn run_one<F>(id: &str, budget: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { budget, iters: 0, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = if bencher.iters == 0 {
+        0.0
+    } else {
+        bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+    };
+    println!("bench: {id:<50} {per_iter:>14.1} ns/iter ({} iters)", bencher.iters);
+}
+
+/// Collects benchmark target functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,168 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Provides the surface this workspace's property tests use — the
+//! [`proptest!`] macro, range/collection/`any` strategies, `prop_filter`,
+//! `prop_assert*`/`prop_assume` and [`test_runner::ProptestConfig`] — over
+//! a deterministic seeded RNG. Differences from the real crate, accepted
+//! for offline builds:
+//!
+//! * **No shrinking.** A failing case reports the exact sampled inputs
+//!   (which are reproducible: seeds derive from the test name), but is not
+//!   minimized.
+//! * **Deterministic runs.** Every execution samples the same cases, so CI
+//!   and local runs agree; there is no persistence file.
+//!
+//! Extend this file rather than adding a network dependency.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of the `prop` module exposed by the real prelude
+    /// (`prop::collection::vec(...)` etc.).
+    pub mod prop {
+        pub use crate::arbitrary;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn` runs its body over sampled inputs.
+/// In test code, write each property with a `#[test]` attribute, exactly
+/// like the real proptest; the attribute is carried through verbatim.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = ($cfg:expr);) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run_cases(stringify!($name), &config, |__rng| {
+                $(
+                    let $arg = match $crate::strategy::Strategy::sample(&($strat), __rng) {
+                        ::std::result::Result::Ok(v) => v,
+                        ::std::result::Result::Err(r) => {
+                            return ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Reject(r.0),
+                            )
+                        }
+                    };
+                )+
+                let __case_desc =
+                    format!(concat!($(stringify!($arg), " = {:?}; ",)+), $(&$arg),+);
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __outcome.map_err(|e| e.with_input(&__case_desc))
+            });
+        }
+        $crate::__proptest_tests! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Like `assert!`, but fails the property with the sampled inputs attached.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the property with the sampled inputs attached.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Like `assert_ne!`, but fails the property with the sampled inputs attached.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Discards the current case (retried with fresh randomness, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}

@@ -1,0 +1,129 @@
+//! Value-generation strategies (subset of `proptest::strategy`).
+
+use rand::{Rng, SampleUniform};
+
+use crate::test_runner::TestRng;
+
+/// A sample was locally rejected (e.g. by a filter); the runner retries
+/// the whole case with fresh randomness.
+#[derive(Clone, Debug)]
+pub struct Rejection(pub String);
+
+/// A source of random values of type `Self::Value`.
+///
+/// Unlike the real proptest there is no value tree / shrinking: `sample`
+/// draws a single concrete value.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Keep only values satisfying `pred`; `reason` is reported when the
+    /// filter starves.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason: reason.into(), pred }
+    }
+
+    /// Transform sampled values with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        (**self).sample(rng)
+    }
+}
+
+/// A strategy that always yields one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: SampleUniform + std::fmt::Debug,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(rng.gen_range(self.clone()))
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: SampleUniform + std::fmt::Debug,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(rng.gen_range(self.clone()))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        // Retry locally before surrendering the whole case to the runner.
+        for _ in 0..64 {
+            let v = self.inner.sample(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Rejection(format!("filter starved: {}", self.reason)))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        self.inner.sample(rng).map(&self.map)
+    }
+}

@@ -1,0 +1,102 @@
+//! Case execution (subset of `proptest::test_runner`).
+
+use rand::SeedableRng;
+
+/// The RNG property tests sample from.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected samples (filters/`prop_assume!`) across the
+    /// whole test before it errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65536 }
+    }
+}
+
+/// Why a single sampled case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case is outside the property's domain; retry with new randomness.
+    Reject(String),
+    /// The property is false for this case.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// Attach the sampled-input description to a failure message.
+    pub fn with_input(self, desc: &str) -> Self {
+        match self {
+            TestCaseError::Fail(msg) => {
+                TestCaseError::Fail(format!("{msg}\n  sampled inputs: {desc}"))
+            }
+            reject => reject,
+        }
+    }
+}
+
+/// Drive `one_case` until `config.cases` successes (panicking on the first
+/// failure, like the real runner). Seeds derive from the test name, so runs
+/// are reproducible and independent of test ordering.
+pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut one_case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base_seed = fnv1a(test_name.as_bytes());
+    let mut successes: u32 = 0;
+    let mut rejects: u32 = 0;
+    let mut attempt: u64 = 0;
+    while successes < config.cases {
+        attempt += 1;
+        let mut rng =
+            TestRng::seed_from_u64(base_seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match one_case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest `{test_name}`: too many rejected cases \
+                         ({rejects}); last reason: {why}"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{test_name}` failed at case {} (attempt {attempt}):\n  {msg}",
+                    successes + 1
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01B3);
+    }
+    hash
+}

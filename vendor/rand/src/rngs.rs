@@ -1,0 +1,31 @@
+//! Concrete generators.
+
+use crate::{Rng, SeedableRng};
+
+/// The standard deterministic generator (SplitMix64).
+///
+/// The real `rand::rngs::StdRng` is a CSPRNG; this offline stand-in is
+/// not, but every use in this workspace is seeded simulation/test
+/// randomness where only determinism and uniformity matter.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014) — passes BigCrush when used
+        // as a 64-bit stream.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng { state }
+    }
+}
