@@ -1,0 +1,203 @@
+//! Ad-hoc experiment campaigns from the command line: declare the matrix
+//! as flags, let the engine fan it out, get a JSON report under
+//! `results/`.
+//!
+//! ```text
+//! cargo run --release -p bwap-bench --bin campaign -- \
+//!     --machine b --workloads SC,OC --policies uniform-workers,bwap \
+//!     --scenarios standalone,coscheduled --workers 1,2 \
+//!     --dwps online,0.0,0.5 --seed 42 --threads 8 --quick
+//! ```
+//!
+//! Every axis defaults to a sensible singleton; `--quick` scales the
+//! workloads down ~8x for smoke runs. The summary table prints execution
+//! times per cell; the full per-cell data (chosen DWPs, stall fractions,
+//! migrations, traffic, per-cell seeds) is in the JSON report.
+
+use bwap::BwapConfig;
+use bwap_bench::ResultTable;
+use bwap_runtime::{
+    run_campaign_with, CampaignConfig, CampaignSpec, DwpPoint, PlacementPolicy, ScenarioKind,
+};
+use bwap_topology::{machines, MachineTopology};
+use bwap_workloads::WorkloadSpec;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--name NAME] [--machine a|b] [--workloads SC,OC,...|all]
+                [--policies first-touch,uniform-workers,uniform-all,autonuma,bwap-uniform,bwap]
+                [--scenarios standalone,coscheduled] [--workers 1,2,...]
+                [--dwps online,0.0,0.5,...] [--seed N] [--threads N]
+                [--probe] [--quick]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_machine(s: &str) -> MachineTopology {
+    match s {
+        "a" | "A" | "machine-a" => machines::machine_a(),
+        "b" | "B" | "machine-b" => machines::machine_b(),
+        other => {
+            eprintln!("unknown machine {other:?} (expected a or b)");
+            usage()
+        }
+    }
+}
+
+fn parse_workloads(s: &str, quick: bool) -> Vec<WorkloadSpec> {
+    let base: Vec<WorkloadSpec> = if s == "all" {
+        bwap_workloads::suite()
+    } else {
+        s.split(',')
+            .map(|name| {
+                bwap_workloads::by_name(name).unwrap_or_else(|| {
+                    eprintln!("unknown workload {name:?}");
+                    usage()
+                })
+            })
+            .collect()
+    };
+    if quick {
+        base.into_iter().map(|w| w.scaled_down(8.0)).collect()
+    } else {
+        base
+    }
+}
+
+fn parse_policy(s: &str) -> PlacementPolicy {
+    match s {
+        "first-touch" => PlacementPolicy::FirstTouch,
+        "uniform-workers" => PlacementPolicy::UniformWorkers,
+        "uniform-all" => PlacementPolicy::UniformAll,
+        "autonuma" => PlacementPolicy::AutoNuma,
+        "bwap" => PlacementPolicy::Bwap(BwapConfig::default()),
+        "bwap-uniform" => PlacementPolicy::Bwap(BwapConfig::bwap_uniform()),
+        other => {
+            eprintln!("unknown policy {other:?}");
+            usage()
+        }
+    }
+}
+
+fn parse_scenario(s: &str) -> ScenarioKind {
+    match s {
+        "standalone" => ScenarioKind::Standalone,
+        "coscheduled" | "cosched" => ScenarioKind::Coscheduled,
+        other => {
+            eprintln!("unknown scenario {other:?}");
+            usage()
+        }
+    }
+}
+
+fn parse_dwp(s: &str) -> DwpPoint {
+    if s == "online" || s == "as-configured" {
+        return DwpPoint::AsConfigured;
+    }
+    match s.parse::<f64>() {
+        Ok(d) if (0.0..=1.0).contains(&d) => DwpPoint::Static(d),
+        _ => {
+            eprintln!("bad DWP {s:?} (expected `online` or a value in [0, 1])");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut name = "campaign".to_string();
+    let mut machine = machines::machine_b();
+    let mut workloads = parse_workloads("SC", quick);
+    let mut policies = vec![PlacementPolicy::UniformWorkers];
+    let mut scenarios = vec![ScenarioKind::Standalone];
+    let mut workers = vec![1usize];
+    let mut dwps = vec![DwpPoint::AsConfigured];
+    let mut seed = 0u64;
+    let mut threads = None;
+    let mut probe = false;
+
+    let mut it = args.iter().peekable();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> &str {
+            match it.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("{flag} needs a value");
+                    usage()
+                }
+            }
+        };
+        match flag.as_str() {
+            "--name" => name = value("--name").to_string(),
+            "--machine" => machine = parse_machine(value("--machine")),
+            "--workloads" => workloads = parse_workloads(value("--workloads"), quick),
+            "--policies" => policies = value("--policies").split(',').map(parse_policy).collect(),
+            "--scenarios" => {
+                scenarios = value("--scenarios").split(',').map(parse_scenario).collect()
+            }
+            "--workers" => {
+                workers = value("--workers")
+                    .split(',')
+                    .map(|k| k.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--dwps" => dwps = value("--dwps").split(',').map(parse_dwp).collect(),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = Some(value("--threads").parse().unwrap_or_else(|_| usage())),
+            "--probe" => probe = true,
+            "--quick" => {}
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let spec = CampaignSpec::new(&name, machine)
+        .workloads(workloads)
+        .policies(policies)
+        .scenarios(scenarios)
+        .worker_counts(workers)
+        .dwp_grid(dwps)
+        .seed(seed)
+        .probe_bandwidth(probe);
+    let n_cells = spec.cells().len();
+    println!("campaign {:?}: {n_cells} cells on {}", spec.name, spec.machine.name());
+
+    let report = run_campaign_with(&spec, &CampaignConfig { threads });
+
+    let mut table = ResultTable::new(
+        &format!("exec time [s] per cell, campaign {:?}", report.campaign),
+        vec!["exec time [s]".into()],
+    );
+    let mut failed = 0usize;
+    for c in &report.cells {
+        let label = &c.key;
+        match &c.outcome {
+            Ok(r) => table.push_row(label, vec![r.exec_time_s]),
+            Err(e) => {
+                failed += 1;
+                eprintln!("cell {label}: ERROR: {e}");
+            }
+        }
+    }
+    if !table.rows.is_empty() {
+        println!("{table}");
+    }
+    if let Some(m) = &report.bw_matrix {
+        println!("probed bandwidth matrix (GB/s):\n{m}");
+    }
+    println!(
+        "{} cells in {:.2}s on {} threads",
+        report.cells.len(),
+        report.wall_time_s,
+        report.threads
+    );
+    let path = report.write_json().expect("write report");
+    println!("wrote {}", path.display());
+    if failed > 0 {
+        eprintln!("{failed} cell(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,16 +1,23 @@
 //! Figure 1a: node-to-node bandwidth matrix of machine A, measured by
 //! single-flow probes, compared against the paper's published matrix.
 //!
+//! A thin wrapper over the campaign engine: declare the spec, run it,
+//! render. Artifacts: `results/fig1a_matrix.csv` + the campaign report.
+//!
 //! Usage: `cargo run --release -p bwap-bench --bin fig1a`
 
 use bwap_bench::{experiments, save_csv};
+use bwap_runtime::run_campaign;
 
 fn main() {
-    let (probed, err) = experiments::fig1a();
+    let report = run_campaign(&experiments::fig1a_spec());
+    let (probed, err) = experiments::fig1a_from_report(&report);
     println!("== Fig. 1a: probed node-to-node BW matrix (GB/s), machine A ==");
     println!("{probed}");
     println!("max relative error vs paper's Fig. 1a: {:.2e}", err);
     println!("amplitude (max/min): {:.2} (paper: 5.8x)", probed.amplitude());
     let path = save_csv("fig1a_matrix.csv", &probed.to_csv()).expect("write results");
+    println!("wrote {}", path.display());
+    let path = report.write_json().expect("write report");
     println!("wrote {}", path.display());
 }

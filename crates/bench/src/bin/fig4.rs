@@ -4,13 +4,22 @@
 //! one step of the static optimum, and the stall-rate curve tracks the
 //! execution-time curve).
 //!
+//! A thin wrapper over the campaign engine: the sweep is one campaign —
+//! {SC} x {bwap} x {co-scheduled} x {1, 2 workers} x {DWP grid + online}
+//! — fanned out across cores. Artifacts: `results/fig4_{1,2}w.csv` + the
+//! campaign report.
+//!
 //! Usage: `cargo run --release -p bwap-bench --bin fig4 [-- --quick]`
 
 use bwap_bench::{experiments, save_csv};
+use bwap_runtime::run_campaign;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    for (i, (table, online_dwp, online_time)) in experiments::fig4(quick).into_iter().enumerate() {
+    let report = run_campaign(&experiments::fig4_spec(quick));
+    for (i, (table, online_dwp, online_time)) in
+        experiments::fig4_from_report(&report).into_iter().enumerate()
+    {
         println!("{table}");
         println!(
             "online tuner: chose DWP = {:.0}%, normalized exec time {:.3}\n",
@@ -21,4 +30,6 @@ fn main() {
             save_csv(&format!("fig4_{}w.csv", 1 << i), &table.to_csv()).expect("write results");
         println!("wrote {}", path.display());
     }
+    let path = report.write_json().expect("write report");
+    println!("wrote {}", path.display());
 }

@@ -1,14 +1,22 @@
 //! Table I: memory-access characterization of the benchmark suite on
 //! machine B (one full worker node), paper-vs-measured.
 //!
+//! A thin wrapper over the campaign engine: the characterization is one
+//! campaign — {suite} x {first-touch} x {stand-alone} x {1 worker} —
+//! and the table is computed from the cells' traffic counters.
+//! Artifacts: `results/table1_measured.csv` + the campaign report.
+//!
 //! Usage: `cargo run --release -p bwap-bench --bin table1 [-- --quick]`
 
 use bwap_bench::{experiments, save_csv};
+use bwap_runtime::run_campaign;
 use bwap_workloads::table1_reference;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let measured = experiments::table1(quick);
+    let spec = experiments::table1_spec(quick);
+    let report = run_campaign(&spec);
+    let measured = experiments::table1_from_report(&spec, &report);
     println!("{measured}");
     println!("== paper reference ==");
     println!(
@@ -22,5 +30,7 @@ fn main() {
         );
     }
     let path = save_csv("table1_measured.csv", &measured.to_csv()).expect("write results");
+    println!("wrote {}", path.display());
+    let path = report.write_json().expect("write report");
     println!("wrote {}", path.display());
 }

@@ -1,21 +1,24 @@
 //! Implementations of every experiment in the paper's evaluation, shared
 //! by the per-figure binaries and the all-in-one `paper` binary.
 //!
-//! Each function returns [`ResultTable`]s ready for printing and CSV
-//! export. `quick` scales workloads down ~8x for fast smoke runs.
+//! The scenario-matrix experiments (Fig. 1a, Fig. 2/3, Fig. 4, Tables
+//! I/II) are declared as [`CampaignSpec`]s and executed by the campaign
+//! engine (`bwap-runtime::campaign`), which fans the cells out across
+//! threads; the `*_spec` functions expose the declarations so binaries
+//! can also write the machine-readable campaign reports. Each function
+//! returns [`ResultTable`]s ready for printing and CSV export. `quick`
+//! scales workloads down ~8x for fast smoke runs.
 
 use crate::report::ResultTable;
-use crate::runner::run_parallel;
 use bwap::BwapConfig;
-use bwap_fabric::probe_matrix;
 use bwap_runtime::{
-    dwp_sweep, run_coscheduled, run_coscheduled_with, run_standalone, sweep_worker_counts,
-    PlacementPolicy, ProfileBook, RunResult,
+    run_campaign, run_coscheduled, run_coscheduled_with, run_parallel, CampaignReport,
+    CampaignSpec, DwpPoint, PlacementPolicy, RunResult, ScenarioKind,
 };
 use bwap_search::{hill_climb, HillClimbConfig, SimEvaluator};
 use bwap_topology::{machines, MachineTopology};
 use bwap_workloads::WorkloadSpec;
-use numasim::{MemPolicy, SimConfig, Simulator};
+use numasim::SimConfig;
 
 /// Scale factor applied to workloads in quick mode.
 const QUICK_FACTOR: f64 = 8.0;
@@ -27,12 +30,50 @@ fn suite(quick: bool) -> Vec<WorkloadSpec> {
         .collect()
 }
 
+fn streamcluster(quick: bool) -> WorkloadSpec {
+    if quick {
+        bwap_workloads::streamcluster().scaled_down(QUICK_FACTOR)
+    } else {
+        bwap_workloads::streamcluster()
+    }
+}
+
+/// The cell result at the given coordinates; panics with the cell's own
+/// error message if the run failed (experiment cells are expected to
+/// succeed — a failure is a harness bug).
+fn cell(
+    report: &CampaignReport,
+    workload: &str,
+    policy: &str,
+    scenario: ScenarioKind,
+    workers: usize,
+    static_dwp: Option<f64>,
+) -> RunResult {
+    let c = report
+        .find(workload, policy, scenario, workers, static_dwp)
+        .unwrap_or_else(|| panic!("no cell {workload}/{policy}/{}/{workers}w", scenario.label()));
+    match &c.outcome {
+        Ok(r) => r.clone(),
+        Err(e) => panic!("cell {} failed: {e}", c.key),
+    }
+}
+
+/// Fig. 1a campaign: no scenario cells, just the installation-time
+/// bandwidth probe of machine A.
+pub fn fig1a_spec() -> CampaignSpec {
+    CampaignSpec::new("fig1a", machines::machine_a()).probe_bandwidth(true)
+}
+
 /// Fig. 1a: the machine-A node-to-node bandwidth matrix, measured by
 /// single-flow probes, plus its deviation from the paper's published
 /// matrix (zero by calibration).
 pub fn fig1a() -> (bwap_topology::BwMatrix, f64) {
-    let m = machines::machine_a();
-    let probed = probe_matrix(&m);
+    fig1a_from_report(&run_campaign(&fig1a_spec()))
+}
+
+/// Extract Fig. 1a's matrix and error figure from a campaign report.
+pub fn fig1a_from_report(report: &CampaignReport) -> (bwap_topology::BwMatrix, f64) {
+    let probed = report.bw_matrix.clone().expect("fig1a spec requests the probe");
     let err = probed.max_rel_error(&machines::fig1a_matrix()).expect("same dimensions");
     (probed, err)
 }
@@ -58,14 +99,22 @@ pub fn fig1b(quick: bool, search_iterations: usize) -> ResultTable {
                 ];
                 let mut times: Vec<f64> = policies
                     .iter()
-                    .map(|p| run_standalone(&m, &app, workers, p).expect("scenario").exec_time_s)
+                    .map(|p| {
+                        bwap_runtime::run_standalone(&m, &app, workers, p)
+                            .expect("scenario")
+                            .exec_time_s
+                    })
                     .collect();
                 // Offline search, starting from uniform-workers as in §II.
+                // Proposals are evaluated 4 per round through the shared
+                // parallel executor (SimEvaluator::evaluate_batch).
                 let start = bwap::WeightDistribution::uniform_over(workers, m.node_count())
                     .expect("workers valid");
                 let mut evaluator = SimEvaluator::new(m.clone(), app.clone(), workers);
-                let cfg =
-                    HillClimbConfig { iterations: search_iterations, ..HillClimbConfig::default() };
+                let cfg = HillClimbConfig {
+                    iterations: search_iterations,
+                    ..HillClimbConfig::batched(4)
+                };
                 let outcome = hill_climb(&mut evaluator, start, &cfg);
                 times.push(outcome.top_k_mean_time);
                 times
@@ -90,48 +139,52 @@ pub fn fig1b(quick: bool, search_iterations: usize) -> ResultTable {
     t
 }
 
+/// Table I campaign: every benchmark stand-alone under first-touch on one
+/// full machine-B worker node — the characterization runs.
+pub fn table1_spec(quick: bool) -> CampaignSpec {
+    CampaignSpec::new("table1", machines::machine_b())
+        .workloads(suite(quick))
+        .policies(vec![PlacementPolicy::FirstTouch])
+}
+
 /// Table I: memory-access characterization measured on machine B with one
 /// full worker node. Columns: reads MB/s, writes MB/s, private %, shared %.
 pub fn table1(quick: bool) -> ResultTable {
-    let m = machines::machine_b();
-    let workers = m.best_worker_set(1);
-    let apps = suite(quick);
-    let jobs: Vec<_> = apps
-        .iter()
-        .map(|app| {
-            let m = m.clone();
-            let app = app.clone();
-            move || {
-                let mut sim = Simulator::new(m.clone(), SimConfig::default());
-                let pid = sim
-                    .spawn(app.profile_for(&m), workers, None, MemPolicy::FirstTouch)
-                    .expect("spawn");
-                let t = sim.run_until_finished(pid, 3600.0).expect("finishes");
-                let pc = sim.counters().process(pid);
-                let reads: f64 = (0..m.node_count())
-                    .flat_map(|s| (0..m.node_count()).map(move |d| (s, d)))
-                    .map(|(s, d)| sim.counters().flow_read_bytes(pid, s, d))
-                    .sum();
-                let writes = pc.traffic_bytes - reads;
-                [
-                    reads / t / 1e6,
-                    writes / t / 1e6,
-                    app.private_frac * 100.0,
-                    (1.0 - app.private_frac) * 100.0,
-                ]
-            }
-        })
-        .collect();
-    let rows = run_parallel(jobs);
+    let spec = table1_spec(quick);
+    table1_from_report(&spec, &run_campaign(&spec))
+}
+
+/// Build Table I from its campaign report.
+pub fn table1_from_report(spec: &CampaignSpec, report: &CampaignReport) -> ResultTable {
     let mut t = ResultTable::new(
         "Table I: characterization (machine B, 1 full worker node)",
         vec!["reads MB/s".into(), "writes MB/s".into(), "private %".into(), "shared %".into()],
     );
     t.precision = 1;
-    for (app, vals) in apps.iter().zip(rows) {
-        t.push_row(app.name, vals.to_vec());
+    for app in &spec.workloads {
+        let r = cell(report, app.name, "first-touch", ScenarioKind::Standalone, 1, None);
+        let writes = r.traffic_bytes - r.read_bytes;
+        t.push_row(
+            app.name,
+            vec![
+                r.read_bytes / r.exec_time_s / 1e6,
+                writes / r.exec_time_s / 1e6,
+                app.private_frac * 100.0,
+                (1.0 - app.private_frac) * 100.0,
+            ],
+        );
     }
     t
+}
+
+/// Campaign behind one co-scheduled panel (Fig. 2 / Fig. 3a/b): every
+/// evaluation policy x every benchmark at a fixed worker count.
+pub fn cosched_panel_spec(machine: &MachineTopology, workers: usize, quick: bool) -> CampaignSpec {
+    CampaignSpec::new(&format!("cosched_{}_{}w", machine.name(), workers), machine.clone())
+        .workloads(suite(quick))
+        .policies(PlacementPolicy::evaluation_set())
+        .scenarios(vec![ScenarioKind::Coscheduled])
+        .worker_counts(vec![workers])
 }
 
 /// One co-scheduled panel: every policy x every benchmark at a fixed
@@ -141,33 +194,25 @@ pub fn cosched_panel(
     workers: usize,
     quick: bool,
 ) -> (ResultTable, Vec<(String, f64)>) {
-    let worker_set = machine.best_worker_set(workers);
-    let _ = ProfileBook::canonical_weights(machine, worker_set);
-    let policies = PlacementPolicy::evaluation_set();
-    let apps = suite(quick);
-    let machine_ref = &machine;
-    let jobs: Vec<_> = apps
-        .iter()
-        .flat_map(|app| {
-            policies.iter().map(move |policy| {
-                let machine = (*machine_ref).clone();
-                let app = app.clone();
-                let policy = policy.clone();
-                move || run_coscheduled(&machine, &app, worker_set, &policy).expect("scenario")
-            })
-        })
-        .collect();
-    let results = run_parallel(jobs);
+    let spec = cosched_panel_spec(machine, workers, quick);
+    let report = run_campaign(&spec);
     let mut table = ResultTable::new(
         &format!("exec time [s], {}, {} worker(s), co-scheduled", machine.name(), workers),
-        policies.iter().map(|p| p.label()).collect(),
+        spec.policies.iter().map(|p| p.label()).collect(),
     );
     let mut dwps = Vec::new();
-    for (ai, app) in apps.iter().enumerate() {
-        let row: Vec<f64> =
-            (0..policies.len()).map(|pi| results[ai * policies.len() + pi].exec_time_s).collect();
+    for app in &spec.workloads {
+        let row: Vec<f64> = spec
+            .policies
+            .iter()
+            .map(|p| {
+                cell(&report, app.name, &p.label(), ScenarioKind::Coscheduled, workers, None)
+                    .exec_time_s
+            })
+            .collect();
         table.push_row(app.name, row);
-        if let Some(d) = results[ai * policies.len() + policies.len() - 1].chosen_dwp {
+        let bwap = cell(&report, app.name, "bwap", ScenarioKind::Coscheduled, workers, None);
+        if let Some(d) = bwap.chosen_dwp {
             dwps.push((app.name.to_string(), d));
         }
     }
@@ -183,31 +228,41 @@ pub fn standalone_optimal(machine: &MachineTopology, quick: bool) -> ResultTable
         (0..=machine.node_count().trailing_zeros()).map(|p| 1usize << p).collect();
     let policies = PlacementPolicy::evaluation_set();
     let apps = suite(quick);
-    let machine_ref = &machine;
-    let candidates_ref = &candidates;
-    // Stage 1: optimal worker count per app (parallel over apps).
-    let optima: Vec<usize> = run_parallel(
-        apps.iter()
-            .map(|app| {
-                let machine = (*machine_ref).clone();
-                let app = app.clone();
-                move || {
-                    let runs = sweep_worker_counts(
-                        &machine,
-                        &app,
-                        &PlacementPolicy::UniformWorkers,
-                        candidates_ref,
+    // Stage 1: optimal worker count per app — one campaign sweeping the
+    // worker-count axis under the incumbent policy.
+    let sweep_spec =
+        CampaignSpec::new(&format!("standalone_sweep_{}", machine.name()), machine.clone())
+            .workloads(apps.clone())
+            .policies(vec![PlacementPolicy::UniformWorkers])
+            .worker_counts(candidates.clone());
+    let sweep = run_campaign(&sweep_spec);
+    let optima: Vec<usize> = apps
+        .iter()
+        .map(|app| {
+            candidates
+                .iter()
+                .map(|&k| {
+                    (
+                        k,
+                        cell(
+                            &sweep,
+                            app.name,
+                            "uniform-workers",
+                            ScenarioKind::Standalone,
+                            k,
+                            None,
+                        ),
                     )
-                    .expect("sweep");
-                    runs.iter()
-                        .min_by(|a, b| a.exec_time_s.partial_cmp(&b.exec_time_s).unwrap())
-                        .expect("non-empty")
-                        .workers
-                }
-            })
-            .collect(),
-    );
-    // Stage 2: all policies at the per-app optimum.
+                })
+                .min_by(|a, b| a.1.exec_time_s.partial_cmp(&b.1.exec_time_s).unwrap())
+                .expect("non-empty candidate set")
+                .0
+        })
+        .collect();
+    // Stage 2: all policies at the per-app optimum. The worker count now
+    // depends on the app, so this is a ragged matrix — one job per
+    // (app, policy) pair on the same executor.
+    let machine_ref = &machine;
     let jobs: Vec<_> = apps
         .iter()
         .zip(&optima)
@@ -218,7 +273,8 @@ pub fn standalone_optimal(machine: &MachineTopology, quick: bool) -> ResultTable
                 let policy = policy.clone();
                 move || {
                     let workers = machine.best_worker_set(k);
-                    run_standalone(&machine, &app, workers, &policy).expect("scenario")
+                    bwap_runtime::run_standalone(&machine, &app, workers, &policy)
+                        .expect("scenario")
                 }
             })
         })
@@ -236,46 +292,72 @@ pub fn standalone_optimal(machine: &MachineTopology, quick: bool) -> ResultTable
     table
 }
 
+/// Table II campaigns: the co-scheduled BWAP DWP search on both machines,
+/// all worker counts (each spec's `worker_counts` axis is the machine's
+/// column set).
+pub fn table2_specs(quick: bool) -> Vec<CampaignSpec> {
+    vec![
+        CampaignSpec::new("table2_machine-a", machines::machine_a())
+            .workloads(suite(quick))
+            .policies(vec![PlacementPolicy::Bwap(BwapConfig::default())])
+            .scenarios(vec![ScenarioKind::Coscheduled])
+            .worker_counts(vec![1, 2, 4]),
+        CampaignSpec::new("table2_machine-b", machines::machine_b())
+            .workloads(suite(quick))
+            .policies(vec![PlacementPolicy::Bwap(BwapConfig::default())])
+            .scenarios(vec![ScenarioKind::Coscheduled])
+            .worker_counts(vec![1, 2]),
+    ]
+}
+
 /// Table II: DWP chosen by the iterative search, co-scheduled scenario,
 /// all worker counts on both machines. Values in percent.
 pub fn table2(quick: bool) -> ResultTable {
-    let configs: Vec<(MachineTopology, usize)> = vec![
-        (machines::machine_a(), 1),
-        (machines::machine_a(), 2),
-        (machines::machine_a(), 4),
-        (machines::machine_b(), 1),
-        (machines::machine_b(), 2),
-    ];
     let apps = suite(quick);
-    let jobs: Vec<_> = apps
-        .iter()
-        .flat_map(|app| {
-            configs.iter().map(move |(machine, k)| {
-                let machine = machine.clone();
-                let app = app.clone();
-                let k = *k;
-                move || {
-                    let workers = machine.best_worker_set(k);
-                    let policy = PlacementPolicy::Bwap(BwapConfig::default());
-                    run_coscheduled(&machine, &app, workers, &policy)
-                        .expect("scenario")
-                        .chosen_dwp
-                        .expect("bwap reports dwp")
-                        * 100.0
-                }
-            })
+    let reports: Vec<(CampaignReport, Vec<usize>)> = table2_specs(quick)
+        .into_iter()
+        .map(|spec| {
+            let counts = spec.worker_counts.clone();
+            (run_campaign(&spec), counts)
         })
         .collect();
-    let values = run_parallel(jobs);
     let mut t = ResultTable::new(
         "Table II: DWP chosen by BWAP's iterative search (co-scheduled), %",
         vec!["A 1W".into(), "A 2W".into(), "A 4W".into(), "B 1W".into(), "B 2W".into()],
     );
     t.precision = 1;
-    for (ai, app) in apps.iter().enumerate() {
-        t.push_row(app.name, values[ai * configs.len()..(ai + 1) * configs.len()].to_vec());
+    for app in &apps {
+        let mut row = Vec::new();
+        for (report, counts) in &reports {
+            for &k in counts {
+                let r = cell(report, app.name, "bwap", ScenarioKind::Coscheduled, k, None);
+                row.push(r.chosen_dwp.expect("bwap reports dwp") * 100.0);
+            }
+        }
+        t.push_row(app.name, row);
     }
     t
+}
+
+/// The Fig. 4 static-DWP grid: 0 %, 10 %, ..., 100 %.
+pub fn fig4_dwps() -> Vec<f64> {
+    (0..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Fig. 4 campaign: Streamcluster co-scheduled on machine A at 1 and 2
+/// workers, swept over the static-DWP grid plus the online tuner.
+pub fn fig4_spec(quick: bool) -> CampaignSpec {
+    let grid: Vec<DwpPoint> = fig4_dwps()
+        .into_iter()
+        .map(DwpPoint::Static)
+        .chain(std::iter::once(DwpPoint::AsConfigured))
+        .collect();
+    CampaignSpec::new("fig4", machines::machine_a())
+        .workloads(vec![streamcluster(quick)])
+        .policies(vec![PlacementPolicy::Bwap(BwapConfig::default())])
+        .scenarios(vec![ScenarioKind::Coscheduled])
+        .worker_counts(vec![1, 2])
+        .dwp_grid(grid)
 }
 
 /// Fig. 4: static-DWP sweep for Streamcluster on machine A (1 and 2
@@ -284,28 +366,26 @@ pub fn table2(quick: bool) -> ResultTable {
 /// fraction (both normalized to the DWP=0 point as in the paper's
 /// normalized axes), and the online tuner's `(dwp, exec time)`.
 pub fn fig4(quick: bool) -> Vec<(ResultTable, f64, f64)> {
-    let m = machines::machine_a();
-    let spec = if quick {
-        bwap_workloads::streamcluster().scaled_down(QUICK_FACTOR)
-    } else {
-        bwap_workloads::streamcluster()
-    };
-    let dwps: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    fig4_from_report(&run_campaign(&fig4_spec(quick)))
+}
+
+/// Build Fig. 4's tables from its campaign report.
+pub fn fig4_from_report(report: &CampaignReport) -> Vec<(ResultTable, f64, f64)> {
     let mut out = Vec::new();
     for k in [1usize, 2] {
-        let workers = m.best_worker_set(k);
-        let points = dwp_sweep(&m, &spec, workers, &dwps, true).expect("sweep");
-        let online =
-            run_coscheduled(&m, &spec, workers, &PlacementPolicy::Bwap(BwapConfig::default()))
-                .expect("scenario");
+        let points: Vec<RunResult> = fig4_dwps()
+            .into_iter()
+            .map(|d| cell(report, "SC", "bwap", ScenarioKind::Coscheduled, k, Some(d)))
+            .collect();
+        let online = cell(report, "SC", "bwap", ScenarioKind::Coscheduled, k, None);
         let (t0, s0) = (points[0].exec_time_s, points[0].stall_frac);
         let mut table = ResultTable::new(
             &format!("Fig. 4: SC on machine A, {k} worker(s): normalized vs DWP"),
             vec!["norm exec time".into(), "norm stall rate".into()],
         );
-        for p in &points {
+        for (dwp, p) in fig4_dwps().iter().zip(&points) {
             table.push_row(
-                &format!("DWP={:3.0}%", p.dwp * 100.0),
+                &format!("DWP={:3.0}%", dwp * 100.0),
                 vec![p.exec_time_s / t0, p.stall_frac / s0],
             );
         }
@@ -366,7 +446,7 @@ pub fn ablation_tuner_overhead(quick: bool) -> ResultTable {
     let m = machines::machine_a();
     let workers = m.best_worker_set(2);
     let apps = suite(quick);
-    let dwps: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let dwps = fig4_dwps();
     let jobs: Vec<_> = apps
         .iter()
         .map(|app| {
@@ -420,11 +500,7 @@ pub fn ablation_tuner_overhead(quick: bool) -> ResultTable {
 pub fn ablation_model(quick: bool) -> ResultTable {
     let m = machines::machine_a();
     let workers = m.best_worker_set(2);
-    let spec = if quick {
-        bwap_workloads::streamcluster().scaled_down(QUICK_FACTOR)
-    } else {
-        bwap_workloads::streamcluster()
-    };
+    let spec = streamcluster(quick);
     let variants: Vec<(&str, SimConfig)> = vec![
         ("full model", SimConfig::default()),
         (
@@ -486,11 +562,7 @@ pub fn ablation_model(quick: bool) -> ResultTable {
 pub fn ablation_step_size(quick: bool) -> ResultTable {
     let m = machines::machine_a();
     let workers = m.best_worker_set(1);
-    let spec = if quick {
-        bwap_workloads::streamcluster().scaled_down(QUICK_FACTOR)
-    } else {
-        bwap_workloads::streamcluster()
-    };
+    let spec = streamcluster(quick);
     let steps = [0.05, 0.10, 0.20];
     let jobs: Vec<_> = steps
         .iter()
@@ -522,11 +594,7 @@ pub fn ablation_step_size(quick: bool) -> ResultTable {
 pub fn ablation_migration_budget(quick: bool) -> ResultTable {
     let m = machines::machine_a();
     let workers = m.best_worker_set(1);
-    let spec = if quick {
-        bwap_workloads::streamcluster().scaled_down(QUICK_FACTOR)
-    } else {
-        bwap_workloads::streamcluster()
-    };
+    let spec = streamcluster(quick);
     let budgets = [0.5, 2.0, 8.0];
     let jobs: Vec<_> = budgets
         .iter()

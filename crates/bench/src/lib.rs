@@ -1,23 +1,47 @@
-//! Experiment harness: shared reporting and parallel-execution utilities
-//! for the per-figure/table binaries (see `src/bin/`).
+//! Experiment harness: the paper's figures, tables and ablations on top
+//! of the campaign engine.
+//!
+//! * [`experiments`] — every evaluation experiment, declared as
+//!   `CampaignSpec`s where the experiment is a scenario matrix and
+//!   rendered into [`ResultTable`]s.
+//! * [`report`] — ASCII/CSV result tables.
+//! * The per-figure binaries in `src/bin/` are thin wrappers: declare a
+//!   spec, run the campaign, print the tables, save the artifacts. The
+//!   `campaign` binary runs ad-hoc specs straight from the command line.
+//!
+//! # Examples
+//!
+//! Tables render for terminals and normalize into the paper's speedup
+//! semantics without re-running anything:
+//!
+//! ```
+//! use bwap_bench::ResultTable;
+//!
+//! let mut times = ResultTable::new(
+//!     "exec time [s]",
+//!     vec!["uniform-workers".into(), "bwap".into()],
+//! );
+//! times.push_row("SC", vec![10.0, 8.0]);
+//!
+//! // Fig. 2/3 plot speedups versus the incumbent policy:
+//! let speedups = times.normalized_to("uniform-workers");
+//! assert_eq!(speedups.get("SC", "bwap"), Some(1.25));
+//! assert!(speedups.to_csv().starts_with("label,uniform-workers,bwap"));
+//! ```
 
 pub mod experiments;
 pub mod report;
-pub mod runner;
 
+pub use bwap_runtime::{run_parallel, run_parallel_with};
 pub use report::ResultTable;
-pub use runner::run_parallel;
 
 use std::path::PathBuf;
 
-/// Directory where binaries drop CSV artifacts (`results/` at the repo
-/// root, overridable with `BWAP_RESULTS_DIR`).
+/// Directory where binaries drop artifacts (`results/` at the repo root,
+/// overridable with `BWAP_RESULTS_DIR`) — shared with the campaign
+/// engine's JSON reports.
 pub fn results_dir() -> PathBuf {
-    if let Ok(dir) = std::env::var("BWAP_RESULTS_DIR") {
-        return PathBuf::from(dir);
-    }
-    // The harness binaries run from the workspace root via `cargo run`.
-    PathBuf::from("results")
+    bwap_runtime::campaign::results_dir()
 }
 
 /// Write a CSV artifact, creating the results directory if needed.

@@ -28,6 +28,34 @@
 //!    aggregate per-node ratios match the weights.
 //!
 //! The co-scheduled variant (§III-B3) is in [`dwp::coschedule`].
+//!
+//! # Examples
+//!
+//! The whole pipeline is pure: feed it a bandwidth matrix, get weights.
+//!
+//! ```
+//! use bwap::{apply_dwp, canonical_weights, user_level_plan};
+//! use bwap_topology::{machines, NodeSet};
+//!
+//! let machine = machines::machine_a();
+//! let workers = machine.best_worker_set(2);
+//!
+//! // Canonical tuner (Eq. 5): weight each node by its weakest path to a
+//! // worker.
+//! let canonical = canonical_weights(machine.path_caps(), workers)?;
+//! assert!(canonical.is_normalized());
+//!
+//! // DWP tuner: DWP = 1 packs all mass onto the worker set.
+//! let packed = apply_dwp(&canonical, workers, 1.0)?;
+//! let on_workers: f64 = workers.iter().map(|n| packed.as_slice()[n.idx()]).sum();
+//! assert!((on_workers - 1.0).abs() < 1e-9);
+//!
+//! // Algorithm 1: realize any distribution with a few uniform-interleave
+//! // mbind calls.
+//! let plan = user_level_plan(4096, &apply_dwp(&canonical, workers, 0.3)?)?;
+//! assert!(!plan.is_empty());
+//! # Ok::<(), bwap::BwapError>(())
+//! ```
 
 pub mod canonical;
 pub mod config;
@@ -35,6 +63,7 @@ pub mod dwp;
 pub mod error;
 pub mod placement;
 pub mod sampler;
+pub mod seed;
 pub mod weights;
 
 pub use canonical::{canonical_weights, min_bandwidths, CanonicalTuner};
@@ -43,4 +72,5 @@ pub use dwp::{apply_dwp, DwpTuner, DwpTunerConfig, TunerAction};
 pub use error::BwapError;
 pub use placement::{realized_weights, user_level_plan, MbindCall};
 pub use sampler::TrimmedSampler;
+pub use seed::derive_seed;
 pub use weights::WeightDistribution;

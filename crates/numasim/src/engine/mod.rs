@@ -3,7 +3,8 @@
 //! Each epoch (`SimConfig::epoch_dt` of simulated time) the engine:
 //!
 //! 1. converts every running process's page placement and workload profile
-//!    into lock-step demand groups (one per worker node — see [`demand`]);
+//!    into lock-step demand groups (one per worker node — see the
+//!    crate-private `demand` module);
 //! 2. adds rate-limited migration traffic for pending page moves;
 //! 3. lets `bwap-fabric` allocate bandwidth (weighted demand-bounded
 //!    max-min over the machine's controllers, links, path caps and ingress

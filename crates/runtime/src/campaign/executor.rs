@@ -1,16 +1,31 @@
-//! Parallel execution of independent scenario runs.
+//! The sharded executor: independent jobs fanned out over scoped threads.
 //!
 //! Every evaluation run builds its own `Simulator`, so runs are perfectly
-//! independent; the harness fans them out over the host's cores with
-//! scoped threads and returns results in submission order.
+//! independent; the executor pulls jobs from a shared work-stealing queue
+//! (an atomic cursor over the job list — an idle worker steals the next
+//! unclaimed cell regardless of which worker "owned" it) and returns
+//! results in submission order, which makes results independent of the
+//! worker count and of scheduling order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Run all `jobs` (in parallel, bounded by available cores) and return
+/// Run all `jobs` in parallel, bounded by the host's cores, and return
 /// their results in the original order. A panicking job aborts the whole
 /// batch.
 pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_parallel_with(None, jobs)
+}
+
+/// [`run_parallel`] with an explicit worker count (`None` = all available
+/// cores). `Some(1)` degrades to a serial loop on the calling thread's
+/// schedule — campaign shard-count invariance tests rely on `Some(1)` and
+/// `Some(n)` producing identical results.
+pub fn run_parallel_with<T, F>(threads: Option<usize>, jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
@@ -19,7 +34,12 @@ where
     if n_jobs == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n_jobs);
+    let workers = threads.unwrap_or_else(default_threads).max(1).min(n_jobs);
+    if workers == 1 {
+        // Serial on the calling thread: no spawn/join overhead for
+        // single-candidate batches or single-core hosts.
+        return jobs.into_iter().map(|j| j()).collect();
+    }
     let job_slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let result_slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -43,6 +63,11 @@ where
         .collect()
 }
 
+/// Default worker count: one per available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +83,14 @@ mod tests {
     fn empty_batch() {
         let out: Vec<i32> = run_parallel(Vec::<fn() -> i32>::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let mk = || (0..50).map(|i| move || i * i).collect::<Vec<_>>();
+        let serial = run_parallel_with(Some(1), mk());
+        let wide = run_parallel_with(Some(8), mk());
+        assert_eq!(serial, wide);
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! Declarative experiment campaigns: the whole evaluation matrix as data.
+//!
+//! The paper's evaluation is a cartesian product — {workloads} ×
+//! {policies} × {stand-alone, co-scheduled} × {worker counts} × {static
+//! DWPs}. Instead of each figure binary hand-rolling a serial loop over
+//! [`crate::run_standalone`] / [`crate::run_coscheduled`], a
+//! [`CampaignSpec`] *declares* the matrix and [`run_campaign`] executes
+//! it: cells are enumerated in a deterministic order, each gets a seed
+//! derived from the campaign seed and the cell's identity
+//! ([`bwap::seed::derive_seed`]), and a sharded executor
+//! ([`executor::run_parallel_with`]) fans them out over
+//! `std::thread::scope` workers pulling from a work-stealing queue.
+//! Results land in a [`CampaignReport`] — machine-readable JSON with a
+//! stable, versioned schema (see `docs/RESULTS_SCHEMA.md`).
+//!
+//! Because every cell builds its own `Simulator` and the simulator is
+//! deterministic, a campaign's cell results are identical at any shard
+//! count, and two runs of the same spec + seed produce byte-identical
+//! reports modulo the volatile provenance fields (wall time, threads).
+//! Integration tests at the workspace root pin both properties.
+//!
+//! New scenarios (topologies, workloads, co-schedule mixes) plug in by
+//! declaring a spec — not by writing another binary.
+
+pub mod executor;
+pub mod report;
+
+pub use executor::{run_parallel, run_parallel_with};
+pub use report::{results_dir, CampaignReport, CellRecord, SCHEMA_VERSION};
+
+use crate::baselines::PlacementPolicy;
+use crate::error::RuntimeError;
+use crate::scenario::{run_coscheduled_with, run_standalone_with, RunResult};
+use bwap::derive_seed;
+use bwap_topology::MachineTopology;
+use bwap_workloads::WorkloadSpec;
+use numasim::SimConfig;
+
+/// The paper's two evaluation scenarios (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// The machine belongs to the measured application alone.
+    Standalone,
+    /// The measured application shares the machine with the CPU-bound
+    /// high-priority Swaptions on the complement of the worker set.
+    Coscheduled,
+}
+
+impl ScenarioKind {
+    /// Stable label used in cell keys and report JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioKind::Standalone => "standalone",
+            ScenarioKind::Coscheduled => "coscheduled",
+        }
+    }
+}
+
+/// One point of the static-DWP axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DwpPoint {
+    /// Run the policy exactly as declared (for BWAP: the online tuner).
+    AsConfigured,
+    /// Pin BWAP to this fixed DWP, online search disabled (Fig. 4's
+    /// sweep). Cells pairing a static point with a non-BWAP policy are
+    /// not generated — the knob does not exist for those policies.
+    Static(f64),
+}
+
+impl DwpPoint {
+    fn label(&self) -> String {
+        match self {
+            DwpPoint::AsConfigured => "as-configured".into(),
+            DwpPoint::Static(d) => format!("dwp={d}"),
+        }
+    }
+
+    /// The static value, if any (what [`CellRecord::static_dwp`] records).
+    pub fn static_value(&self) -> Option<f64> {
+        match self {
+            DwpPoint::AsConfigured => None,
+            DwpPoint::Static(d) => Some(*d),
+        }
+    }
+}
+
+/// A declarative experiment campaign: the full evaluation matrix as data.
+///
+/// Build one with [`CampaignSpec::new`] plus the chainable axis setters,
+/// then hand it to [`run_campaign`]. The cell set is the cartesian
+/// product of the four axes (workloads × policies × scenarios × worker
+/// counts × DWP grid), minus static-DWP points for policies without a
+/// DWP knob.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign name: report identity and artifact file stem.
+    pub name: String,
+    /// Machine every cell runs on.
+    pub machine: MachineTopology,
+    /// Workload axis.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Policy axis.
+    pub policies: Vec<PlacementPolicy>,
+    /// Scenario axis (default: stand-alone only).
+    pub scenarios: Vec<ScenarioKind>,
+    /// Worker-count axis (default: 1). Each count resolves to the
+    /// machine's rule-of-thumb worker set, as the figure binaries did.
+    pub worker_counts: Vec<usize>,
+    /// Static-DWP axis (default: as-configured only).
+    pub dwp_grid: Vec<DwpPoint>,
+    /// Engine configuration shared by every cell.
+    pub sim_cfg: SimConfig,
+    /// Root seed; every cell derives its own from this plus its key.
+    pub seed: u64,
+    /// Also run the installation-time bandwidth probe (Fig. 1a) and
+    /// attach the matrix to the report.
+    pub probe_bandwidth: bool,
+}
+
+impl CampaignSpec {
+    /// A spec with empty workload/policy axes and singleton defaults for
+    /// the rest (stand-alone, 1 worker, as-configured DWP, seed 0).
+    pub fn new(name: &str, machine: MachineTopology) -> Self {
+        CampaignSpec {
+            name: name.to_string(),
+            machine,
+            workloads: Vec::new(),
+            policies: Vec::new(),
+            scenarios: vec![ScenarioKind::Standalone],
+            worker_counts: vec![1],
+            dwp_grid: vec![DwpPoint::AsConfigured],
+            sim_cfg: SimConfig::default(),
+            seed: 0,
+            probe_bandwidth: false,
+        }
+    }
+
+    /// Set the workload axis.
+    pub fn workloads(mut self, workloads: Vec<WorkloadSpec>) -> Self {
+        self.workloads = workloads;
+        self
+    }
+
+    /// Set the policy axis.
+    pub fn policies(mut self, policies: Vec<PlacementPolicy>) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Set the scenario axis.
+    pub fn scenarios(mut self, scenarios: Vec<ScenarioKind>) -> Self {
+        self.scenarios = scenarios;
+        self
+    }
+
+    /// Set the worker-count axis.
+    pub fn worker_counts(mut self, counts: Vec<usize>) -> Self {
+        self.worker_counts = counts;
+        self
+    }
+
+    /// Set the static-DWP axis.
+    pub fn dwp_grid(mut self, grid: Vec<DwpPoint>) -> Self {
+        self.dwp_grid = grid;
+        self
+    }
+
+    /// Set the per-cell engine configuration.
+    pub fn sim_cfg(mut self, cfg: SimConfig) -> Self {
+        self.sim_cfg = cfg;
+        self
+    }
+
+    /// Set the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Request the installation-time bandwidth probe.
+    pub fn probe_bandwidth(mut self, probe: bool) -> Self {
+        self.probe_bandwidth = probe;
+        self
+    }
+
+    /// Enumerate the campaign's cells in their deterministic order
+    /// (workload-major, DWP-minor). Ids, keys and seeds depend only on
+    /// the spec — never on thread count or scheduling.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for (wi, w) in self.workloads.iter().enumerate() {
+            for (pi, p) in self.policies.iter().enumerate() {
+                let has_dwp_knob = matches!(p, PlacementPolicy::Bwap(_));
+                for &scenario in &self.scenarios {
+                    for &k in &self.worker_counts {
+                        for &dwp in &self.dwp_grid {
+                            if dwp.static_value().is_some() && !has_dwp_knob {
+                                continue;
+                            }
+                            let key = format!(
+                                "w{wi}:{}|p{pi}:{}|{}|{k}w|{}",
+                                w.name,
+                                p.label(),
+                                scenario.label(),
+                                dwp.label()
+                            );
+                            let seed = derive_seed(self.seed, &key);
+                            cells.push(CellSpec {
+                                id: cells.len(),
+                                workload_idx: wi,
+                                policy_idx: pi,
+                                scenario,
+                                workers: k,
+                                dwp,
+                                key,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One fully-resolved cell of a campaign matrix.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Position in enumeration order.
+    pub id: usize,
+    /// Index into [`CampaignSpec::workloads`].
+    pub workload_idx: usize,
+    /// Index into [`CampaignSpec::policies`].
+    pub policy_idx: usize,
+    /// Scenario to run.
+    pub scenario: ScenarioKind,
+    /// Worker-node count.
+    pub workers: usize,
+    /// Static-DWP point.
+    pub dwp: DwpPoint,
+    /// Stable key: seed-derivation input and report identity.
+    pub key: String,
+    /// Derived seed.
+    pub seed: u64,
+}
+
+/// Executor knobs, separate from the spec: the same spec must yield the
+/// same results under any executor configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignConfig {
+    /// Worker threads (`None` = one per available core).
+    pub threads: Option<usize>,
+}
+
+/// Run a campaign with the default executor configuration (all cores).
+pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
+    run_campaign_with(spec, &CampaignConfig::default())
+}
+
+/// Run every cell of `spec` across the sharded executor and collect the
+/// report. Cell failures (e.g. a co-scheduled cell on a full-machine
+/// worker set) are recorded per cell, never aborting the campaign.
+pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignReport {
+    let t0 = std::time::Instant::now();
+    let bw_matrix = spec.probe_bandwidth.then(|| bwap_fabric::probe_matrix(&spec.machine));
+    let cells = spec.cells();
+    let jobs: Vec<_> = cells
+        .iter()
+        .map(|cell| {
+            let cell = cell.clone();
+            move || run_cell(spec, &cell)
+        })
+        .collect();
+    let outcomes = run_parallel_with(cfg.threads, jobs);
+    let records = cells
+        .into_iter()
+        .zip(outcomes)
+        .map(|(cell, outcome)| CellRecord {
+            id: cell.id,
+            workload: spec.workloads[cell.workload_idx].name.to_string(),
+            policy: spec.policies[cell.policy_idx].label(),
+            scenario: cell.scenario,
+            workers: cell.workers,
+            static_dwp: cell.dwp.static_value(),
+            seed: cell.seed,
+            key: cell.key,
+            outcome: outcome.map_err(|e| e.to_string()),
+        })
+        .collect();
+    CampaignReport {
+        schema_version: SCHEMA_VERSION,
+        campaign: spec.name.clone(),
+        machine: spec.machine.name().to_string(),
+        seed: spec.seed,
+        threads: cfg.threads.unwrap_or_else(executor::default_threads),
+        wall_time_s: t0.elapsed().as_secs_f64(),
+        bw_matrix,
+        cells: records,
+    }
+}
+
+/// Run one cell: resolve the worker set, apply the cell's DWP override
+/// and seed to the policy, and dispatch to the scenario runner.
+fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> Result<RunResult, RuntimeError> {
+    let n = spec.machine.node_count();
+    if cell.workers == 0 || cell.workers > n {
+        return Err(RuntimeError::Scenario(format!(
+            "worker count {} out of range for {}-node machine",
+            cell.workers, n
+        )));
+    }
+    let workload = &spec.workloads[cell.workload_idx];
+    let mut policy = spec.policies[cell.policy_idx].clone();
+    if let PlacementPolicy::Bwap(cfg) = &mut policy {
+        cfg.seed = cell.seed;
+        if let DwpPoint::Static(d) = cell.dwp {
+            cfg.online_tuning = false;
+            cfg.fixed_dwp = d;
+        }
+    }
+    let workers = spec.machine.best_worker_set(cell.workers);
+    match cell.scenario {
+        ScenarioKind::Standalone => {
+            run_standalone_with(&spec.machine, workload, workers, &policy, spec.sim_cfg.clone())
+        }
+        ScenarioKind::Coscheduled => {
+            run_coscheduled_with(&spec.machine, workload, workers, &policy, spec.sim_cfg.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwap::BwapConfig;
+    use bwap_topology::machines;
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec::new("unit", machines::machine_b())
+            .workloads(vec![bwap_workloads::streamcluster().scaled_down(32.0)])
+            .policies(vec![
+                PlacementPolicy::UniformWorkers,
+                PlacementPolicy::Bwap(BwapConfig::default()),
+            ])
+            .scenarios(vec![ScenarioKind::Standalone, ScenarioKind::Coscheduled])
+            .worker_counts(vec![1, 2])
+            .dwp_grid(vec![DwpPoint::AsConfigured, DwpPoint::Static(0.5)])
+            .seed(7)
+    }
+
+    #[test]
+    fn cell_enumeration_is_deterministic_and_skips_static_for_fixed_policies() {
+        let spec = small_spec();
+        let cells = spec.cells();
+        // uniform-workers: 2 scenarios x 2 counts x 1 dwp (static skipped);
+        // bwap: 2 x 2 x 2.
+        assert_eq!(cells.len(), 4 + 8);
+        assert_eq!(cells.iter().map(|c| c.id).collect::<Vec<_>>(), (0..12).collect::<Vec<_>>());
+        let again = spec.cells();
+        for (a, b) in cells.iter().zip(&again) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.seed, b.seed);
+        }
+        // Keys are unique, so seeds are decorrelated per cell.
+        let keys: std::collections::HashSet<_> = cells.iter().map(|c| c.key.clone()).collect();
+        assert_eq!(keys.len(), cells.len());
+        assert!(cells.iter().all(
+            |c| c.dwp.static_value().is_none() || spec.policies[c.policy_idx].label() == "bwap"
+        ));
+    }
+
+    #[test]
+    fn cell_seeds_depend_on_root_seed() {
+        let a = small_spec().cells();
+        let b = small_spec().seed(8).cells();
+        assert!(a.iter().zip(&b).all(|(x, y)| x.seed != y.seed));
+    }
+
+    #[test]
+    fn static_dwp_cells_pin_the_tuner() {
+        let m = machines::machine_b();
+        let spec = CampaignSpec::new("static", m)
+            .workloads(vec![bwap_workloads::streamcluster().scaled_down(32.0)])
+            .policies(vec![PlacementPolicy::Bwap(BwapConfig::default())])
+            .dwp_grid(vec![DwpPoint::Static(0.3)]);
+        let report = run_campaign_with(&spec, &CampaignConfig { threads: Some(1) });
+        assert_eq!(report.cells.len(), 1);
+        let r = report.cells[0].result().expect("cell ran");
+        // Online search disabled: the tuner reports exactly the pinned DWP.
+        assert_eq!(r.chosen_dwp, Some(0.3));
+        assert_eq!(report.cells[0].static_dwp, Some(0.3));
+    }
+
+    #[test]
+    fn out_of_range_worker_counts_become_cell_errors() {
+        let m = machines::machine_b();
+        let spec = CampaignSpec::new("bad-workers", m)
+            .workloads(vec![bwap_workloads::streamcluster().scaled_down(32.0)])
+            .policies(vec![PlacementPolicy::UniformWorkers])
+            .worker_counts(vec![0, 99]);
+        let report = run_campaign(&spec);
+        assert_eq!(report.cells.len(), 2);
+        for c in &report.cells {
+            let err = c.outcome.as_ref().unwrap_err();
+            assert!(err.contains("out of range"), "{err}");
+        }
+    }
+
+    #[test]
+    fn coscheduled_full_machine_is_an_error_cell_not_a_panic() {
+        let m = machines::machine_b();
+        let n = m.node_count();
+        let spec = CampaignSpec::new("full", m)
+            .workloads(vec![bwap_workloads::streamcluster().scaled_down(32.0)])
+            .policies(vec![PlacementPolicy::UniformAll])
+            .scenarios(vec![ScenarioKind::Coscheduled])
+            .worker_counts(vec![n]);
+        let report = run_campaign(&spec);
+        assert!(report.cells[0].outcome.is_err());
+    }
+
+    #[test]
+    fn probe_attaches_bandwidth_matrix() {
+        let spec = CampaignSpec::new("probe", machines::machine_a()).probe_bandwidth(true);
+        let report = run_campaign(&spec);
+        let m = report.bw_matrix.expect("probe requested");
+        assert_eq!(m.node_count(), 8);
+        assert!(report.cells.is_empty());
+    }
+
+    #[test]
+    fn report_matches_scenario_runner_output() {
+        let m = machines::machine_b();
+        let spec = CampaignSpec::new("cross-check", m.clone())
+            .workloads(vec![bwap_workloads::streamcluster().scaled_down(32.0)])
+            .policies(vec![PlacementPolicy::UniformWorkers])
+            .worker_counts(vec![2]);
+        let report = run_campaign(&spec);
+        let cell = report.find("SC", "uniform-workers", ScenarioKind::Standalone, 2, None);
+        let got = cell.expect("cell exists").result().expect("ran");
+        let direct = crate::scenario::run_standalone(
+            &m,
+            &bwap_workloads::streamcluster().scaled_down(32.0),
+            m.best_worker_set(2),
+            &PlacementPolicy::UniformWorkers,
+        )
+        .unwrap();
+        assert_eq!(got.exec_time_s, direct.exec_time_s);
+        assert_eq!(got.migrated_pages, direct.migrated_pages);
+    }
+}

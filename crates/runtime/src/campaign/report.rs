@@ -1,0 +1,394 @@
+//! Machine-readable campaign reports.
+//!
+//! A [`CampaignReport`] collects every cell's [`RunResult`] (or error)
+//! plus enough provenance — campaign seed, per-cell seeds, machine,
+//! schema version — to replay any cell. It serializes to JSON with a
+//! stable schema (documented in `docs/RESULTS_SCHEMA.md`); the workspace
+//! is offline-only, so the writer is hand-rolled rather than serde-based.
+//!
+//! Two serializations exist on purpose:
+//! * [`CampaignReport::to_json`] — the full artifact, including volatile
+//!   provenance (wall time, thread count).
+//! * [`CampaignReport::deterministic_json`] — everything except the
+//!   volatile fields. Same spec + same seed ⇒ byte-identical output, at
+//!   any shard count; tests pin this.
+
+use super::ScenarioKind;
+use crate::scenario::RunResult;
+use bwap_topology::{BwMatrix, NodeId};
+use std::path::PathBuf;
+
+/// Version tag written into every report. Bump on any breaking change to
+/// the JSON layout and document the migration in `docs/RESULTS_SCHEMA.md`.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One cell of the campaign matrix: identity, seed, and outcome.
+#[derive(Debug, Clone)]
+pub struct CellRecord {
+    /// Position in the spec's deterministic enumeration order.
+    pub id: usize,
+    /// Stable human-readable cell key (also the seed-derivation input).
+    pub key: String,
+    /// Workload name.
+    pub workload: String,
+    /// Declared policy label (static-DWP overrides are reported in
+    /// [`CellRecord::static_dwp`], not folded into this label).
+    pub policy: String,
+    /// Which scenario ran.
+    pub scenario: ScenarioKind,
+    /// Worker-node count.
+    pub workers: usize,
+    /// `Some(d)` if the cell pinned BWAP to a static DWP.
+    pub static_dwp: Option<f64>,
+    /// The cell's derived seed (replay input).
+    pub seed: u64,
+    /// The run's result, or the error that stopped it.
+    pub outcome: Result<RunResult, String>,
+}
+
+impl CellRecord {
+    /// The cell's result, if it ran to completion.
+    pub fn result(&self) -> Option<&RunResult> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// Everything one campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// JSON schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Campaign name (also the artifact file stem).
+    pub campaign: String,
+    /// Machine the campaign ran on.
+    pub machine: String,
+    /// Root seed every cell seed was derived from.
+    pub seed: u64,
+    /// Executor worker threads used (volatile provenance).
+    pub threads: usize,
+    /// Wall-clock duration of the whole campaign (volatile provenance).
+    pub wall_time_s: f64,
+    /// Probed node-to-node bandwidth matrix, if the spec requested
+    /// installation-time profiling (Fig. 1a).
+    pub bw_matrix: Option<BwMatrix>,
+    /// Per-cell records, in spec enumeration order.
+    pub cells: Vec<CellRecord>,
+}
+
+impl CampaignReport {
+    /// Look up a cell by its coordinates. `static_dwp` must match the
+    /// spec's grid value exactly (both come from the same code path, so
+    /// exact `f64` comparison is well-defined).
+    pub fn find(
+        &self,
+        workload: &str,
+        policy: &str,
+        scenario: ScenarioKind,
+        workers: usize,
+        static_dwp: Option<f64>,
+    ) -> Option<&CellRecord> {
+        self.cells.iter().find(|c| {
+            c.workload == workload
+                && c.policy == policy
+                && c.scenario == scenario
+                && c.workers == workers
+                && c.static_dwp == static_dwp
+        })
+    }
+
+    /// Iterate over the cells that completed, with their results.
+    pub fn ok_results(&self) -> impl Iterator<Item = (&CellRecord, &RunResult)> {
+        self.cells.iter().filter_map(|c| c.result().map(|r| (c, r)))
+    }
+
+    /// Full JSON artifact, including volatile provenance fields.
+    pub fn to_json(&self) -> String {
+        self.json(true)
+    }
+
+    /// JSON with the volatile fields (`threads`, `wall_time_s`) omitted:
+    /// byte-identical across reruns of the same spec + seed, at any shard
+    /// count.
+    pub fn deterministic_json(&self) -> String {
+        self.json(false)
+    }
+
+    fn json(&self, volatile: bool) -> String {
+        let mut s = String::with_capacity(4096 + self.cells.len() * 512);
+        s.push_str("{\n");
+        field(&mut s, 1, "schema_version", &self.schema_version.to_string());
+        field(&mut s, 1, "campaign", &json_str(&self.campaign));
+        field(&mut s, 1, "machine", &json_str(&self.machine));
+        field(&mut s, 1, "seed", &self.seed.to_string());
+        if volatile {
+            field(&mut s, 1, "threads", &self.threads.to_string());
+            field(&mut s, 1, "wall_time_s", &json_f64(self.wall_time_s));
+        }
+        field(&mut s, 1, "bw_matrix_gbps", &bw_matrix_json(self.bw_matrix.as_ref()));
+        s.push_str("  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            cell_json(&mut s, c);
+        }
+        if self.cells.is_empty() {
+            s.push_str("]\n");
+        } else {
+            s.push_str("\n  ]\n");
+        }
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Write the full JSON artifact to `results_dir()/<campaign>.campaign.json`
+    /// (non-alphanumeric name characters are sanitized to `-`). Returns
+    /// the path written.
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        let stem: String = self
+            .campaign
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || "._-".contains(c) { c } else { '-' })
+            .collect();
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{stem}.campaign.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Directory where campaign artifacts land: `BWAP_RESULTS_DIR` if set,
+/// else `results/` relative to the working directory (the harness
+/// binaries run from the workspace root via `cargo run`).
+pub fn results_dir() -> PathBuf {
+    match std::env::var("BWAP_RESULTS_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => PathBuf::from("results"),
+    }
+}
+
+fn indent(s: &mut String, level: usize) {
+    for _ in 0..level {
+        s.push_str("  ");
+    }
+}
+
+/// Append `"name": value,\n` at the given indent level.
+fn field(s: &mut String, level: usize, name: &str, value: &str) {
+    indent(s, level);
+    s.push('"');
+    s.push_str(name);
+    s.push_str("\": ");
+    s.push_str(value);
+    s.push_str(",\n");
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number via Rust's shortest-roundtrip float formatting; non-finite
+/// values have no JSON representation and become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) => json_f64(x),
+        None => "null".into(),
+    }
+}
+
+fn bw_matrix_json(m: Option<&BwMatrix>) -> String {
+    let Some(m) = m else {
+        return "null".into();
+    };
+    let n = m.node_count();
+    let rows: Vec<String> = (0..n)
+        .map(|s| {
+            let cells: Vec<String> =
+                (0..n).map(|d| json_f64(m.get(NodeId(s as u16), NodeId(d as u16)))).collect();
+            format!("[{}]", cells.join(", "))
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+fn cell_json(s: &mut String, c: &CellRecord) {
+    indent(s, 2);
+    s.push_str("{\n");
+    field(s, 3, "id", &c.id.to_string());
+    field(s, 3, "key", &json_str(&c.key));
+    field(s, 3, "workload", &json_str(&c.workload));
+    field(s, 3, "policy", &json_str(&c.policy));
+    field(s, 3, "scenario", &json_str(c.scenario.label()));
+    field(s, 3, "workers", &c.workers.to_string());
+    field(s, 3, "static_dwp", &json_opt_f64(c.static_dwp));
+    field(s, 3, "seed", &c.seed.to_string());
+    match &c.outcome {
+        Ok(r) => {
+            indent(s, 3);
+            s.push_str("\"result\": {\n");
+            field(s, 4, "exec_time_s", &json_f64(r.exec_time_s));
+            field(s, 4, "chosen_dwp", &json_opt_f64(r.chosen_dwp));
+            field(s, 4, "migrated_pages", &r.migrated_pages.to_string());
+            field(s, 4, "stall_frac", &json_f64(r.stall_frac));
+            field(s, 4, "a_stall_frac", &json_opt_f64(r.a_stall_frac));
+            field(s, 4, "read_bytes", &json_f64(r.read_bytes));
+            field(s, 4, "traffic_bytes", &json_f64(r.traffic_bytes));
+            pop_trailing_comma(s);
+            indent(s, 3);
+            s.push_str("},\n");
+            field(s, 3, "error", "null");
+        }
+        Err(e) => {
+            field(s, 3, "result", "null");
+            field(s, 3, "error", &json_str(e));
+        }
+    }
+    pop_trailing_comma(s);
+    indent(s, 2);
+    s.push('}');
+}
+
+/// Remove the `,\n` the last `field` call appended, re-adding the newline.
+fn pop_trailing_comma(s: &mut String) {
+    if s.ends_with(",\n") {
+        s.truncate(s.len() - 2);
+        s.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: usize, outcome: Result<RunResult, String>) -> CellRecord {
+        CellRecord {
+            id,
+            key: format!("w0:SC|p0:bwap|standalone|1w|cell{id}"),
+            workload: "SC".into(),
+            policy: "bwap".into(),
+            scenario: ScenarioKind::Standalone,
+            workers: 1,
+            static_dwp: None,
+            seed: 7,
+            outcome,
+        }
+    }
+
+    fn result() -> RunResult {
+        RunResult {
+            policy: "bwap".into(),
+            workload: "SC".into(),
+            workers: 1,
+            exec_time_s: 12.5,
+            chosen_dwp: Some(0.2),
+            migrated_pages: 42,
+            stall_frac: 0.33,
+            a_stall_frac: None,
+            read_bytes: 1e9,
+            traffic_bytes: 1.5e9,
+        }
+    }
+
+    fn report(cells: Vec<CellRecord>) -> CampaignReport {
+        CampaignReport {
+            schema_version: SCHEMA_VERSION,
+            campaign: "unit".into(),
+            machine: "machine-b".into(),
+            seed: 1,
+            threads: 4,
+            wall_time_s: 0.25,
+            bw_matrix: None,
+            cells,
+        }
+    }
+
+    #[test]
+    fn json_has_schema_version_and_cells() {
+        let r = report(vec![record(0, Ok(result())), record(1, Err("boom \"quoted\"".into()))]);
+        let j = r.to_json();
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"exec_time_s\": 12.5"));
+        assert!(j.contains("\"chosen_dwp\": 0.2"));
+        assert!(j.contains("\"error\": \"boom \\\"quoted\\\"\""));
+        assert!(j.contains("\"wall_time_s\""));
+    }
+
+    #[test]
+    fn deterministic_json_omits_volatile_fields() {
+        let r = report(vec![record(0, Ok(result()))]);
+        let j = r.deterministic_json();
+        assert!(!j.contains("wall_time_s"));
+        assert!(!j.contains("threads"));
+        let mut r2 = r.clone();
+        r2.wall_time_s = 99.0;
+        r2.threads = 1;
+        assert_eq!(j, r2.deterministic_json());
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let j = report(Vec::new()).to_json();
+        assert!(j.contains("\"cells\": []"));
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.0), "1");
+    }
+
+    #[test]
+    fn find_matches_coordinates() {
+        let r = report(vec![record(0, Ok(result()))]);
+        assert!(r.find("SC", "bwap", ScenarioKind::Standalone, 1, None).is_some());
+        assert!(r.find("SC", "bwap", ScenarioKind::Coscheduled, 1, None).is_none());
+        assert!(r.find("SC", "bwap", ScenarioKind::Standalone, 1, Some(0.5)).is_none());
+        assert_eq!(r.ok_results().count(), 1);
+    }
+
+    #[test]
+    fn write_json_sanitizes_name() {
+        let dir = std::env::temp_dir().join("bwap-campaign-report-test");
+        std::env::set_var("BWAP_RESULTS_DIR", &dir);
+        let mut r = report(Vec::new());
+        r.campaign = "a/b c".into();
+        let p = r.write_json().unwrap();
+        std::env::remove_var("BWAP_RESULTS_DIR");
+        assert!(p.ends_with("a-b-c.campaign.json"), "{}", p.display());
+        assert!(std::fs::read_to_string(&p).unwrap().contains("\"campaign\": \"a/b c\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

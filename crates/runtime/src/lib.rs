@@ -22,11 +22,16 @@
 //!   co-scheduled, §IV-A) as reusable runners, and the worker-count sweep
 //!   behind Fig. 3c/d.
 //! * [`sweep`] — static-DWP sweeps (Fig. 4).
+//! * [`campaign`] — the declarative experiment-campaign engine: a
+//!   [`CampaignSpec`] describes the whole evaluation matrix; a sharded
+//!   executor fans the cells out across threads and collects a
+//!   machine-readable, versioned [`CampaignReport`].
 
 pub mod adaptive;
 pub mod apply;
 pub mod baselines;
 pub mod bwap_daemon;
+pub mod campaign;
 pub mod cosched_daemon;
 pub mod error;
 pub mod profiling;
@@ -37,6 +42,10 @@ pub use adaptive::{AdaptiveBwapDaemon, AdaptiveConfig};
 pub use apply::apply_weights;
 pub use baselines::PlacementPolicy;
 pub use bwap_daemon::{BwapDaemon, TunerHandle};
+pub use campaign::{
+    run_campaign, run_campaign_with, run_parallel, run_parallel_with, CampaignConfig,
+    CampaignReport, CampaignSpec, CellRecord, DwpPoint, ScenarioKind,
+};
 pub use cosched_daemon::CoschedDaemon;
 pub use error::RuntimeError;
 pub use profiling::{profile_bandwidth, ProfileBook};

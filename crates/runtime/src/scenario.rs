@@ -39,6 +39,20 @@ pub struct RunResult {
     /// Average stall fraction of the co-scheduled high-priority
     /// application over B's run (co-scheduled scenario only).
     pub a_stall_frac: Option<f64>,
+    /// Bytes the measured application read from memory, summed over all
+    /// node-to-node flows (Table I's "Reads" numerator).
+    pub read_bytes: f64,
+    /// Total memory traffic (reads + writes) of the measured application.
+    pub traffic_bytes: f64,
+}
+
+/// `(read bytes, total traffic bytes)` of `pid` over its whole run.
+fn traffic_counters(sim: &Simulator, nodes: usize, pid: ProcessId) -> (f64, f64) {
+    let reads: f64 = (0..nodes)
+        .flat_map(|s| (0..nodes).map(move |d| (s, d)))
+        .map(|(s, d)| sim.counters().flow_read_bytes(pid, s, d))
+        .sum();
+    (reads, sim.counters().process(pid).traffic_bytes)
 }
 
 fn stall_frac_between(sim: &Simulator, pid: ProcessId, start: &numasim::ProcessSample) -> f64 {
@@ -134,6 +148,7 @@ pub fn run_standalone_with(
     let (pid, handle) = launch_measured(&mut sim, machine, spec, workers, policy, None)?;
     let start = sim.sample(pid)?;
     let exec_time_s = sim.run_until_finished(pid, MAX_SIM_S)?;
+    let (read_bytes, traffic_bytes) = traffic_counters(&sim, machine.node_count(), pid);
     Ok(RunResult {
         policy: policy.label(),
         workload: spec.name.to_string(),
@@ -143,6 +158,8 @@ pub fn run_standalone_with(
         migrated_pages: sim.migrated_pages(pid),
         stall_frac: stall_frac_between(&sim, pid, &start),
         a_stall_frac: None,
+        read_bytes,
+        traffic_bytes,
     })
 }
 
@@ -184,6 +201,7 @@ pub fn run_coscheduled_with(
     let start_a = sim.sample(a)?;
     let start_b = sim.sample(b)?;
     let exec_time_s = sim.run_until_finished(b, MAX_SIM_S)?;
+    let (read_bytes, traffic_bytes) = traffic_counters(&sim, n, b);
     Ok(RunResult {
         policy: policy.label(),
         workload: spec.name.to_string(),
@@ -193,6 +211,8 @@ pub fn run_coscheduled_with(
         migrated_pages: sim.migrated_pages(b),
         stall_frac: stall_frac_between(&sim, b, &start_b),
         a_stall_frac: Some(stall_frac_between(&sim, a, &start_a)),
+        read_bytes,
+        traffic_bytes,
     })
 }
 

@@ -18,11 +18,25 @@ pub struct HillClimbConfig {
     pub top_k: usize,
     /// RNG seed (the search is otherwise deterministic).
     pub seed: u64,
+    /// Candidates proposed (and evaluated through
+    /// [`Evaluator::evaluate_batch`]) per round. `1` reproduces the
+    /// paper's strictly sequential climb; larger batches evaluate
+    /// proposals concurrently on the campaign engine's executor and
+    /// accept the best improving one, trading some sequential greediness
+    /// for wall-clock speed. Deterministic for a fixed seed either way.
+    pub batch: usize,
 }
 
 impl Default for HillClimbConfig {
     fn default() -> Self {
-        HillClimbConfig { iterations: 180, step: 0.20, top_k: 10, seed: 0x1b_5eed }
+        HillClimbConfig { iterations: 180, step: 0.20, top_k: 10, seed: 0x1b_5eed, batch: 1 }
+    }
+}
+
+impl HillClimbConfig {
+    /// The default search at a given parallel batch width.
+    pub fn batched(batch: usize) -> Self {
+        HillClimbConfig { batch, ..HillClimbConfig::default() }
     }
 }
 
@@ -88,9 +102,10 @@ fn perturb2(
     WeightDistribution::from_raw(w).ok()
 }
 
-/// Greedy hill climbing from `start`: each iteration proposes a random
-/// single-pair mass move and keeps it only if the evaluator reports an
-/// improvement.
+/// Greedy hill climbing from `start`: each round proposes `cfg.batch`
+/// random mass moves, evaluates them (concurrently, if the evaluator
+/// parallelizes batches) and moves to the best improving candidate.
+/// With `batch = 1` this is the paper's strictly sequential climb.
 pub fn hill_climb(
     evaluator: &mut dyn Evaluator,
     start: WeightDistribution,
@@ -98,32 +113,44 @@ pub fn hill_climb(
 ) -> SearchOutcome {
     assert!(cfg.iterations >= 1, "need at least the starting evaluation");
     assert!(cfg.top_k >= 1, "top_k must be positive");
+    assert!(cfg.batch >= 1, "batch must be positive");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let n = start.len();
     let mut evaluations = Vec::with_capacity(cfg.iterations);
     let mut current = start;
     let mut current_cost = evaluator.evaluate(&current);
     evaluations.push((current.clone(), current_cost));
-    let mut stalls = 0usize; // proposals without a viable candidate
     while evaluations.len() < cfg.iterations {
-        let step = rng.gen_range(0.0..cfg.step).max(1e-3);
-        let to = rng.gen_range(0..n);
-        let candidate = if rng.gen_bool(0.5) {
-            perturb(&current, rng.gen_range(0..n), to, step)
-        } else {
-            perturb2(&current, rng.gen_range(0..n), rng.gen_range(0..n), to, step)
-        };
-        let Some(candidate) = candidate else {
-            stalls += 1;
-            assert!(stalls < 100_000, "search cannot generate proposals");
-            continue;
-        };
-        stalls = 0;
-        let cost = evaluator.evaluate(&candidate);
-        evaluations.push((candidate.clone(), cost));
-        if cost < current_cost {
-            current = candidate;
-            current_cost = cost;
+        let want = cfg.batch.min(cfg.iterations - evaluations.len());
+        let mut proposals = Vec::with_capacity(want);
+        let mut stalls = 0usize; // draws without a viable candidate
+        while proposals.len() < want {
+            let step = rng.gen_range(0.0..cfg.step).max(1e-3);
+            let to = rng.gen_range(0..n);
+            let candidate = if rng.gen_bool(0.5) {
+                perturb(&current, rng.gen_range(0..n), to, step)
+            } else {
+                perturb2(&current, rng.gen_range(0..n), rng.gen_range(0..n), to, step)
+            };
+            match candidate {
+                Some(c) => {
+                    stalls = 0;
+                    proposals.push(c);
+                }
+                None => {
+                    stalls += 1;
+                    assert!(stalls < 100_000, "search cannot generate proposals");
+                }
+            }
+        }
+        let costs = evaluator.evaluate_batch(&proposals);
+        assert_eq!(costs.len(), proposals.len(), "evaluator must cost every candidate");
+        for (candidate, cost) in proposals.into_iter().zip(costs) {
+            evaluations.push((candidate.clone(), cost));
+            if cost < current_cost {
+                current = candidate;
+                current_cost = cost;
+            }
         }
     }
     let mut sorted: Vec<&(WeightDistribution, f64)> = evaluations.iter().collect();
@@ -155,7 +182,7 @@ mod tests {
         let target = vec![0.4, 0.3, 0.2, 0.1];
         let mut ev = FnEvaluator(bowl(target.clone()));
         let start = WeightDistribution::uniform(4);
-        let cfg = HillClimbConfig { iterations: 400, step: 0.05, top_k: 10, seed: 7 };
+        let cfg = HillClimbConfig { iterations: 400, step: 0.05, top_k: 10, seed: 7, batch: 1 };
         let out = hill_climb(&mut ev, start, &cfg);
         for (i, &t) in target.iter().enumerate() {
             let got = out.best_weights.as_slice()[i];
@@ -172,7 +199,7 @@ mod tests {
             hill_climb(
                 &mut ev,
                 WeightDistribution::uniform(2),
-                &HillClimbConfig { iterations: 50, step: 0.1, top_k: 5, seed: 42 },
+                &HillClimbConfig { iterations: 50, step: 0.1, top_k: 5, seed: 42, batch: 1 },
             )
         };
         let (a, b) = (run(), run());
@@ -186,7 +213,7 @@ mod tests {
         let out = hill_climb(
             &mut ev,
             WeightDistribution::from_raw(vec![0.9, 0.1]).unwrap(),
-            &HillClimbConfig { iterations: 60, step: 0.1, top_k: 10, seed: 1 },
+            &HillClimbConfig { iterations: 60, step: 0.1, top_k: 10, seed: 1, batch: 1 },
         );
         assert!(out.top_k_mean_time >= out.best_time);
     }
@@ -197,11 +224,47 @@ mod tests {
         let out = hill_climb(
             &mut ev,
             WeightDistribution::from_raw(vec![1.0, 0.0, 0.0]).unwrap(),
-            &HillClimbConfig { iterations: 100, step: 0.5, top_k: 3, seed: 3 },
+            &HillClimbConfig { iterations: 100, step: 0.5, top_k: 3, seed: 3, batch: 1 },
         );
         for (w, _) in &out.evaluations {
             assert!(w.is_normalized(), "{w}");
         }
+    }
+
+    #[test]
+    fn batched_search_converges_and_respects_iteration_budget() {
+        let target = vec![0.4, 0.3, 0.2, 0.1];
+        let mut ev = FnEvaluator(bowl(target.clone()));
+        let cfg = HillClimbConfig { iterations: 400, step: 0.05, top_k: 10, seed: 7, batch: 8 };
+        let out = hill_climb(&mut ev, WeightDistribution::uniform(4), &cfg);
+        assert_eq!(out.evaluations.len(), 400);
+        for (i, &t) in target.iter().enumerate() {
+            let got = out.best_weights.as_slice()[i];
+            assert!((got - t).abs() < 0.08, "node {i}: {got} vs {t}");
+        }
+    }
+
+    #[test]
+    fn batched_search_is_deterministic() {
+        let run = || {
+            let mut ev = FnEvaluator(bowl(vec![0.7, 0.3]));
+            hill_climb(&mut ev, WeightDistribution::uniform(2), &HillClimbConfig::batched(4))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best_weights, b.best_weights);
+        assert_eq!(a.top_k_mean_time, b.top_k_mean_time);
+    }
+
+    #[test]
+    fn batch_of_one_matches_legacy_sequential_trajectory() {
+        // `batch: 1` must reproduce the exact pre-batching proposal
+        // stream: same RNG draw order, same accepted moves.
+        let mut ev = FnEvaluator(bowl(vec![0.5, 0.3, 0.2]));
+        let cfg = HillClimbConfig { iterations: 80, step: 0.1, top_k: 5, seed: 9, batch: 1 };
+        let a = hill_climb(&mut ev, WeightDistribution::uniform(3), &cfg);
+        let mut ev2 = FnEvaluator(bowl(vec![0.5, 0.3, 0.2]));
+        let b = hill_climb(&mut ev2, WeightDistribution::uniform(3), &cfg);
+        assert_eq!(a.evaluations, b.evaluations);
     }
 
     #[test]

@@ -9,6 +9,14 @@ use numasim::{MemPolicy, SimConfig, Simulator};
 pub trait Evaluator {
     /// Cost of one candidate; lower is better.
     fn evaluate(&mut self, weights: &WeightDistribution) -> f64;
+
+    /// Costs of a batch of candidates, in order. The default runs them
+    /// sequentially; evaluators whose runs are independent (fresh
+    /// simulator per candidate) override this to fan the batch out across
+    /// the campaign engine's shared parallel executor.
+    fn evaluate_batch(&mut self, candidates: &[WeightDistribution]) -> Vec<f64> {
+        candidates.iter().map(|w| self.evaluate(w)).collect()
+    }
 }
 
 /// Evaluate by running the workload in a fresh simulator with the pages
@@ -27,18 +35,46 @@ impl SimEvaluator {
     }
 }
 
+/// One candidate evaluation: fresh simulator, kernel weighted interleave.
+fn run_candidate(
+    machine: &MachineTopology,
+    spec: &WorkloadSpec,
+    workers: NodeSet,
+    max_sim_s: f64,
+    weights: &WeightDistribution,
+) -> f64 {
+    let mut sim = Simulator::new(machine.clone(), SimConfig::default());
+    let pid = sim
+        .spawn(
+            spec.profile_for(machine),
+            workers,
+            None,
+            MemPolicy::WeightedInterleave(weights.to_vec()),
+        )
+        .expect("valid spawn");
+    sim.run_until_finished(pid, max_sim_s).expect("run completes")
+}
+
 impl Evaluator for SimEvaluator {
     fn evaluate(&mut self, weights: &WeightDistribution) -> f64 {
-        let mut sim = Simulator::new(self.machine.clone(), SimConfig::default());
-        let pid = sim
-            .spawn(
-                self.spec.profile_for(&self.machine),
-                self.workers,
-                None,
-                MemPolicy::WeightedInterleave(weights.to_vec()),
-            )
-            .expect("valid spawn");
-        sim.run_until_finished(pid, self.max_sim_s).expect("run completes")
+        run_candidate(&self.machine, &self.spec, self.workers, self.max_sim_s, weights)
+    }
+
+    /// Candidate runs are independent (each builds its own simulator), so
+    /// the batch fans out over [`bwap_runtime::campaign::run_parallel`] —
+    /// the same sharded executor that runs campaign cells.
+    fn evaluate_batch(&mut self, candidates: &[WeightDistribution]) -> Vec<f64> {
+        let jobs: Vec<_> = candidates
+            .iter()
+            .map(|w| {
+                let machine = &self.machine;
+                let spec = &self.spec;
+                let workers = self.workers;
+                let max_sim_s = self.max_sim_s;
+                move || run_candidate(machine, spec, workers, max_sim_s, w)
+            })
+            .collect();
+        bwap_runtime::campaign::run_parallel(jobs)
     }
 }
 
@@ -65,5 +101,21 @@ mod tests {
         let centralized = WeightDistribution::from_raw(vec![1.0, 0.0, 0.0, 0.0]).unwrap();
         let spread = WeightDistribution::uniform(4);
         assert!(ev.evaluate(&spread) < ev.evaluate(&centralized));
+    }
+
+    #[test]
+    fn batch_evaluation_matches_sequential() {
+        let m = machines::machine_b();
+        let spec = bwap_workloads::streamcluster().scaled_down(32.0);
+        let workers = m.best_worker_set(1);
+        let mut ev = SimEvaluator::new(m, spec, workers);
+        let candidates = vec![
+            WeightDistribution::uniform(4),
+            WeightDistribution::from_raw(vec![0.7, 0.1, 0.1, 0.1]).unwrap(),
+            WeightDistribution::from_raw(vec![0.25, 0.25, 0.4, 0.1]).unwrap(),
+        ];
+        let parallel = ev.evaluate_batch(&candidates);
+        let sequential: Vec<f64> = candidates.iter().map(|w| ev.evaluate(w)).collect();
+        assert_eq!(parallel, sequential);
     }
 }

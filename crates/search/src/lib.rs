@@ -11,7 +11,33 @@
 //! the application placed by the kernel weighted-interleave policy (no
 //! migration noise). On the real machine this took >15 hours per
 //! application; on the simulator it takes seconds — which is the point of
-//! having a simulator.
+//! having a simulator. Candidate runs are independent, so
+//! [`SimEvaluator`] fans each proposal batch out across the campaign
+//! engine's sharded executor (`bwap-runtime::campaign`): set
+//! [`HillClimbConfig::batch`] > 1 and the search evaluates that many
+//! proposals concurrently per round.
+//!
+//! # Examples
+//!
+//! The search is generic over the cost landscape; a closure-backed
+//! evaluator makes it easy to test against a known optimum:
+//!
+//! ```
+//! use bwap::WeightDistribution;
+//! use bwap_search::{hill_climb, FnEvaluator, HillClimbConfig};
+//!
+//! // Quadratic bowl with its minimum at the target distribution.
+//! let target = [0.4, 0.3, 0.2, 0.1];
+//! let mut evaluator = FnEvaluator(|w: &WeightDistribution| {
+//!     w.as_slice().iter().zip(&target).map(|(a, b)| (a - b).powi(2)).sum()
+//! });
+//!
+//! let cfg = HillClimbConfig { iterations: 300, step: 0.05, ..HillClimbConfig::default() };
+//! let outcome = hill_climb(&mut evaluator, WeightDistribution::uniform(4), &cfg);
+//!
+//! assert!(outcome.best_time < 0.01, "found the bowl's floor");
+//! assert!(outcome.top_k_mean_time >= outcome.best_time);
+//! ```
 
 pub mod climb;
 pub mod evaluator;

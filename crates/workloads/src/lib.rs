@@ -15,6 +15,29 @@
 //! [`apps::stream_probe`] is the paper's "canonical application": an
 //! extremely bandwidth-intensive, uniformly-random, read-only traversal of
 //! a shared array used by the canonical tuner for profiling.
+//!
+//! # Examples
+//!
+//! A spec is plain data; [`WorkloadSpec::profile_for`] translates it into
+//! the per-thread demand profile the simulator consumes, and
+//! [`WorkloadSpec::scaled_down`] shrinks it for fast tests while keeping
+//! every ratio intact:
+//!
+//! ```
+//! use bwap_topology::machines;
+//!
+//! let sc = bwap_workloads::streamcluster();
+//! assert_eq!(sc.name, "SC");
+//! // Table I: Streamcluster is almost all shared reads.
+//! assert!(sc.private_frac < 0.01 && sc.read_frac() > 0.99);
+//!
+//! let profile = sc.scaled_down(8.0).profile_for(&machines::machine_b());
+//! profile.validate()?;
+//!
+//! // The whole suite characterizes on both machines.
+//! assert_eq!(bwap_workloads::suite().len(), 5);
+//! # Ok::<(), numasim::SimError>(())
+//! ```
 
 pub mod apps;
 pub mod generator;

@@ -20,9 +20,14 @@
 //! * [`core`] (`bwap`) — the paper's contribution: canonical tuner
 //!   (Eq. 2/5), DWP tuner (stand-alone + co-scheduled), Algorithm 1.
 //! * [`runtime`] (`bwap-runtime`) — glue: profiling, daemons, baseline
-//!   policies, scenario runners.
+//!   policies, scenario runners, and the declarative experiment-campaign
+//!   engine (`runtime::campaign`).
 //! * [`search`] (`bwap-search`) — the offline N-dimensional hill-climbing
 //!   oracle (Fig. 1b).
+//!
+//! The crate relationships and the data flow from `WorkloadSpec` through
+//! the simulator and daemons to campaign reports are documented in
+//! `docs/ARCHITECTURE.md`.
 //!
 //! ## Quickstart
 //!
@@ -62,8 +67,9 @@ pub mod prelude {
         InterleaveMode, WeightDistribution,
     };
     pub use bwap_runtime::{
-        run_coscheduled, run_standalone, sweep_worker_counts, BwapDaemon, CoschedDaemon,
-        PlacementPolicy, ProfileBook, RunResult,
+        run_campaign, run_campaign_with, run_coscheduled, run_standalone, sweep_worker_counts,
+        BwapDaemon, CampaignConfig, CampaignReport, CampaignSpec, CoschedDaemon, DwpPoint,
+        PlacementPolicy, ProfileBook, RunResult, ScenarioKind,
     };
     pub use bwap_topology::{
         machines, MachineTopology, NodeId, NodeSet, NodeSpec, TopologyBuilder,
