@@ -13,6 +13,12 @@
 //! workloads down ~8x for smoke runs. The summary table prints execution
 //! times per cell; the full per-cell data (chosen DWPs, stall fractions,
 //! migrations, traffic, per-cell seeds) is in the JSON report.
+//!
+//! `--spec fig1a|fig4|table1|fig_tiered` renders a canned experiment
+//! campaign instead of an ad-hoc matrix (`fig_tiered` is the
+//! heterogeneous-tier scenario on the CPU-less-expander machine), and
+//! `--out DIR` redirects the report from `results/` — for CI artifact
+//! collection and parallel local runs.
 
 use bwap::BwapConfig;
 use bwap_bench::ResultTable;
@@ -24,11 +30,16 @@ use bwap_workloads::WorkloadSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign [--name NAME] [--machine a|b] [--workloads SC,OC,...|all]
+        "usage: campaign [--name NAME] [--machine a|b|tiered] [--workloads SC,OC,...|all]
                 [--policies first-touch,uniform-workers,uniform-all,autonuma,bwap-uniform,bwap]
                 [--scenarios standalone,coscheduled] [--workers 1,2,...]
                 [--dwps online,0.0,0.5,...] [--seed N] [--threads N]
-                [--probe] [--quick]"
+                [--out DIR] [--probe] [--quick]
+       campaign --spec fig1a|fig4|table1|fig_tiered [--seed N] [--threads N]
+                [--out DIR] [--quick]
+
+--spec renders a canned experiment campaign (its axes are fixed by the
+spec); all other axis flags only apply to ad-hoc campaigns."
     );
     std::process::exit(2);
 }
@@ -37,8 +48,23 @@ fn parse_machine(s: &str) -> MachineTopology {
     match s {
         "a" | "A" | "machine-a" => machines::machine_a(),
         "b" | "B" | "machine-b" => machines::machine_b(),
+        "tiered" | "t" | "T" | "machine-tiered" => machines::machine_tiered(),
         other => {
-            eprintln!("unknown machine {other:?} (expected a or b)");
+            eprintln!("unknown machine {other:?} (expected a, b or tiered)");
+            usage()
+        }
+    }
+}
+
+fn canned_spec(name: &str, quick: bool) -> bwap_runtime::CampaignSpec {
+    use bwap_bench::experiments;
+    match name {
+        "fig1a" => experiments::fig1a_spec(),
+        "fig4" => experiments::fig4_spec(quick),
+        "table1" => experiments::table1_spec(quick),
+        "fig_tiered" => experiments::fig_tiered_spec(quick),
+        other => {
+            eprintln!("unknown spec {other:?}");
             usage()
         }
     }
@@ -116,6 +142,8 @@ fn main() {
     let mut seed = 0u64;
     let mut threads = None;
     let mut probe = false;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut spec_name: Option<String> = None;
 
     let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
@@ -145,6 +173,8 @@ fn main() {
             "--dwps" => dwps = value("--dwps").split(',').map(parse_dwp).collect(),
             "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--threads" => threads = Some(value("--threads").parse().unwrap_or_else(|_| usage())),
+            "--out" => out = Some(std::path::PathBuf::from(value("--out"))),
+            "--spec" => spec_name = Some(value("--spec").to_string()),
             "--probe" => probe = true,
             "--quick" => {}
             other => {
@@ -154,14 +184,19 @@ fn main() {
         }
     }
 
-    let spec = CampaignSpec::new(&name, machine)
-        .workloads(workloads)
-        .policies(policies)
-        .scenarios(scenarios)
-        .worker_counts(workers)
-        .dwp_grid(dwps)
-        .seed(seed)
-        .probe_bandwidth(probe);
+    let spec = match spec_name {
+        // Canned experiment specs come with their axes fixed; only the
+        // seed is overridable.
+        Some(s) => canned_spec(&s, quick).seed(seed),
+        None => CampaignSpec::new(&name, machine)
+            .workloads(workloads)
+            .policies(policies)
+            .scenarios(scenarios)
+            .worker_counts(workers)
+            .dwp_grid(dwps)
+            .seed(seed)
+            .probe_bandwidth(probe),
+    };
     let n_cells = spec.cells().len();
     println!("campaign {:?}: {n_cells} cells on {}", spec.name, spec.machine.name());
 
@@ -194,7 +229,10 @@ fn main() {
         report.wall_time_s,
         report.threads
     );
-    let path = report.write_json().expect("write report");
+    let path = match &out {
+        Some(dir) => report.write_json_in(dir).expect("write report"),
+        None => report.write_json().expect("write report"),
+    };
     println!("wrote {}", path.display());
     if failed > 0 {
         eprintln!("{failed} cell(s) failed");

@@ -394,6 +394,74 @@ pub fn fig4_from_report(report: &CampaignReport) -> Vec<(ResultTable, f64, f64)>
     out
 }
 
+/// The tiered campaign's policy set: the incumbents versus BWAP on a
+/// machine with CPU-less expander nodes.
+fn tiered_policies() -> Vec<PlacementPolicy> {
+    vec![
+        PlacementPolicy::FirstTouch,
+        PlacementPolicy::UniformWorkers,
+        PlacementPolicy::UniformAll,
+        PlacementPolicy::Bwap(BwapConfig::default()),
+    ]
+}
+
+/// Fig. T campaign: the heterogeneous-tier scenario on `machine_tiered`
+/// (2 worker nodes + 2 CPU-less expanders). Bandwidth-bound workloads and
+/// their capacity-pressure variants, stand-alone, at 1 and 2 workers.
+/// Quick mode scales traffic only for the capacity variants — shrinking
+/// their pages would remove the capacity pressure they exist to exert.
+pub fn fig_tiered_spec(quick: bool) -> CampaignSpec {
+    let mut apps = vec![streamcluster(quick), {
+        let oc = bwap_workloads::ocean_cp();
+        if quick {
+            oc.scaled_down(QUICK_FACTOR)
+        } else {
+            oc
+        }
+    }];
+    for w in bwap_workloads::capacity_suite() {
+        apps.push(if quick { w.scaled_down_traffic(QUICK_FACTOR) } else { w });
+    }
+    CampaignSpec::new("fig_tiered", machines::machine_tiered())
+        .workloads(apps)
+        .policies(tiered_policies())
+        .worker_counts(vec![1, 2])
+}
+
+/// Fig. T: exec times on the tiered machine, plus the speedup table
+/// normalized to first-touch (the Linux default an operator would get).
+pub fn fig_tiered(quick: bool) -> (ResultTable, ResultTable) {
+    let spec = fig_tiered_spec(quick);
+    let report = run_campaign(&spec);
+    fig_tiered_from_report(&spec, &report)
+}
+
+/// Build Fig. T's tables from its campaign report.
+pub fn fig_tiered_from_report(
+    spec: &CampaignSpec,
+    report: &CampaignReport,
+) -> (ResultTable, ResultTable) {
+    let mut times = ResultTable::new(
+        "Fig. T: exec time [s], machine-tiered (2 workers + 2 CPU-less expanders), stand-alone",
+        spec.policies.iter().map(|p| p.label()).collect(),
+    );
+    for app in &spec.workloads {
+        for &k in &spec.worker_counts {
+            let row: Vec<f64> = spec
+                .policies
+                .iter()
+                .map(|p| {
+                    cell(report, app.name, &p.label(), ScenarioKind::Standalone, k, None)
+                        .exec_time_s
+                })
+                .collect();
+            times.push_row(&format!("{} {}W", app.name, k), row);
+        }
+    }
+    let speedups = times.normalized_to("first-touch");
+    (times, speedups)
+}
+
 /// Ablation 1: kernel-level vs user-level weighted interleaving, full
 /// BWAP, co-scheduled 2 workers on both machines. Values: exec-time ratio
 /// user/kernel (paper reports the gap is at most ~3%).

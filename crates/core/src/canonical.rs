@@ -3,7 +3,7 @@
 
 use crate::error::BwapError;
 use crate::weights::WeightDistribution;
-use bwap_topology::{BwMatrix, NodeId, NodeSet};
+use bwap_topology::{BwMatrix, MachineTopology, NodeId, NodeSet};
 use std::collections::HashMap;
 
 /// `minbw(n_i) = min_{w ∈ workers} bw(n_i -> w)` — the bandwidth of the
@@ -38,6 +38,35 @@ pub fn min_bandwidths(bw: &BwMatrix, workers: NodeSet) -> Result<Vec<f64>, BwapE
 /// ```
 pub fn canonical_weights(bw: &BwMatrix, workers: NodeSet) -> Result<WeightDistribution, BwapError> {
     WeightDistribution::from_raw(min_bandwidths(bw, workers)?)
+}
+
+/// Canonical weights for a concrete machine: Eq. 5 over the *rectangular*
+/// memory×worker view of the bandwidth matrix — every memory node (rows,
+/// CPU-less expander tiers included) gets a weight proportional to its
+/// weakest path into the worker set (columns). Rejects worker sets that
+/// include memory-only nodes, which can never host threads.
+///
+/// ```
+/// use bwap_topology::machines;
+/// use bwap::canonical_weights_on;
+///
+/// let m = machines::machine_tiered();
+/// let w = canonical_weights_on(&m, m.worker_nodes()).unwrap();
+/// // The slow expander tier still gets a non-zero share, proportional to
+/// // its (lower) bandwidth toward the workers.
+/// assert!(w.as_slice().iter().all(|&x| x > 0.0));
+/// ```
+pub fn canonical_weights_on(
+    machine: &MachineTopology,
+    workers: NodeSet,
+) -> Result<WeightDistribution, BwapError> {
+    if !workers.is_subset(machine.worker_nodes()) {
+        return Err(BwapError::InvalidWorkers(format!(
+            "{workers} includes memory-only nodes (workers must be within {})",
+            machine.worker_nodes()
+        )));
+    }
+    canonical_weights(machine.path_caps(), workers)
 }
 
 /// Installation-time cache of canonical distributions per worker set
@@ -149,6 +178,32 @@ mod tests {
                 .coefficient_of_variation(m.all_nodes())
         };
         assert!(cv(8) < cv(2), "cv(8W)={} cv(2W)={}", cv(8), cv(2));
+    }
+
+    #[test]
+    fn tiered_machine_weights_cover_the_expander_tier() {
+        // The rectangular memory x worker view: rows = all 4 memory nodes
+        // (2 of them CPU-less), columns = the 2 worker nodes.
+        let m = machines::machine_tiered();
+        let workers = m.worker_nodes();
+        let mb = min_bandwidths(m.path_caps(), workers).unwrap();
+        // Workers: min(local 18, cross 15) = 15; expanders: 9.9 both ways.
+        assert_eq!(mb, vec![15.0, 15.0, 9.9, 9.9]);
+        let w = canonical_weights_on(&m, workers).unwrap();
+        assert!(w.is_normalized());
+        // Fast tier out-weighs the slow tier, but the slow tier is used.
+        assert!(w.get(NodeId(0)) > w.get(NodeId(2)));
+        assert!(w.get(NodeId(2)) > 0.15);
+    }
+
+    #[test]
+    fn memory_only_workers_rejected() {
+        let m = machines::machine_tiered();
+        // Node 2 is a CPU-less expander: it cannot be a worker.
+        let err = canonical_weights_on(&m, NodeSet::from_nodes([NodeId(0), NodeId(2)]));
+        assert!(err.is_err());
+        // The raw-matrix entry point stays machine-agnostic.
+        assert!(canonical_weights(m.path_caps(), NodeSet::single(NodeId(2))).is_ok());
     }
 
     #[test]

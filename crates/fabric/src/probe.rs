@@ -60,6 +60,21 @@ mod tests {
     }
 
     #[test]
+    fn tiered_machine_probe_sees_the_slow_tier() {
+        // Single-flow probes on the tiered machine: expander-served rows
+        // run at the tier's scaled controller bandwidth. (Columns toward
+        // the CPU-less nodes model the migration engine's reach; BWAP's
+        // Eq. 5 only ever reads worker columns.)
+        let m = machines::machine_tiered();
+        let p = probe_matrix(&m);
+        for w in [0u16, 1] {
+            assert!((p.get(NodeId(2), NodeId(w)) - 9.9).abs() < 1e-9);
+            assert!((p.get(NodeId(3), NodeId(w)) - 9.9).abs() < 1e-9);
+        }
+        assert_eq!(p.get(NodeId(0), NodeId(1)), 15.0);
+    }
+
+    #[test]
     fn symmetric_machine_probes_symmetric() {
         let m = machines::symmetric_quad();
         let p = probe_matrix(&m);

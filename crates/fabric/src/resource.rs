@@ -7,7 +7,10 @@ use bwap_topology::{Direction, LinkId, MachineTopology, NodeId};
 pub enum ResourceKind {
     /// Memory controller of a node (GB/s served from its DRAM).
     Controller(NodeId),
-    /// Core-side ingress limit of a node (GB/s its cores can absorb).
+    /// Core-side ingress limit of a node (GB/s its cores can absorb). For
+    /// memory-only expander nodes no application flow ever terminates
+    /// here; the cap then bounds the write side of page migrations into
+    /// the node (the DMA/migration engine).
     Ingress(NodeId),
     /// One direction of a physical link.
     LinkDir(LinkId, Direction),
@@ -141,10 +144,28 @@ mod tests {
 
     #[test]
     fn every_resource_positive() {
-        for m in [machines::machine_a(), machines::machine_b(), machines::twin()] {
+        for m in [
+            machines::machine_a(),
+            machines::machine_b(),
+            machines::twin(),
+            machines::machine_tiered(),
+        ] {
             let rt = ResourceTable::from_machine(&m);
             assert!(rt.capacities().iter().all(|&c| c > 0.0));
             assert!(!rt.is_empty());
+        }
+    }
+
+    #[test]
+    fn memory_only_nodes_keep_a_migration_ingress_cap() {
+        // CPU-less expanders still get an ingress resource: it bounds
+        // migration writes into the tier at the tier's own bandwidth.
+        let m = machines::machine_tiered();
+        let rt = ResourceTable::from_machine(&m);
+        for n in [NodeId(2), NodeId(3)] {
+            assert!(m.node(n).is_memory_only());
+            let cap = rt.capacities()[rt.ingress(n)];
+            assert_eq!(cap, m.node(n).ctrl_bw);
         }
     }
 }

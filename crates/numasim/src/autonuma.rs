@@ -235,6 +235,30 @@ mod tests {
     }
 
     #[test]
+    fn autonuma_never_migrates_pages_to_memory_only_nodes() {
+        // AutoNUMA is locality-driven: it drags pages toward their
+        // accessors, and threads can never run on the CPU-less tier — so
+        // on a tiered machine it must drain the expanders, not fill them.
+        let m = machines::machine_tiered();
+        let mut sim = Simulator::new(m.clone(), SimConfig::default());
+        let workers = m.worker_nodes();
+        let mut p = profile();
+        p.shared_pages = 4_000;
+        // Start with everything spread over the whole machine, expanders
+        // included.
+        let pid = sim.spawn(p, workers, None, MemPolicy::Interleave(m.all_nodes())).unwrap();
+        let before = sim.shared_distribution(pid).unwrap();
+        assert!(before[2] > 0.2 && before[3] > 0.2);
+        let an = AutoNuma::new(AutoNumaConfig::default());
+        let period = an.period();
+        sim.add_daemon(Box::new(an), period, period);
+        sim.run_for(20.0);
+        let d = sim.shared_distribution(pid).unwrap();
+        assert!(d[2] < 0.02 && d[3] < 0.02, "expanders drained: {d:?}");
+        assert!((d[0] - 0.5).abs() < 0.05 && (d[1] - 0.5).abs() < 0.05, "{d:?}");
+    }
+
+    #[test]
     fn autonuma_scoped_to_processes() {
         let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
         let w1 = NodeSet::single(NodeId(1));

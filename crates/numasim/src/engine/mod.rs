@@ -244,6 +244,14 @@ impl Simulator {
         if !workers.is_subset(self.machine.all_nodes()) {
             return Err(SimError::InvalidNodes(format!("workers {workers} exceed machine")));
         }
+        // Threads can only run on worker-capable nodes; CPU-less expander
+        // tiers hold pages, never threads (AutoNUMA and the scenario
+        // runners rely on this same guarantee).
+        if let Some(w) = workers.iter().find(|&w| self.machine.node(w).is_memory_only()) {
+            return Err(SimError::InvalidNodes(format!(
+                "worker node {w} is memory-only (no cores)"
+            )));
+        }
         let min_cores =
             workers.iter().map(|w| self.machine.node(w).cores).min().expect("non-empty workers");
         let tpn = threads_per_node.unwrap_or(min_cores);
@@ -839,6 +847,45 @@ mod tests {
         let mut bad = profile(1.0);
         bad.serial_frac = 1.5;
         assert!(sim.spawn(bad, NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch).is_err());
+    }
+
+    #[test]
+    fn memory_only_nodes_cannot_host_threads_but_hold_pages() {
+        let m = machines::machine_tiered();
+        let mut sim = Simulator::new(m.clone(), SimConfig::default());
+        // Spawning with a CPU-less worker is rejected with a clear error.
+        let err = sim
+            .spawn(
+                profile(1.0),
+                NodeSet::from_nodes([NodeId(0), NodeId(2)]),
+                None,
+                MemPolicy::FirstTouch,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("memory-only"), "{err}");
+        // But placing pages *on* the expander tier is fine.
+        let pid = sim
+            .spawn(profile(1.0), m.worker_nodes(), None, MemPolicy::Interleave(m.all_nodes()))
+            .unwrap();
+        let d = sim.shared_distribution(pid).unwrap();
+        assert!(d[2] > 0.2 && d[3] > 0.2, "expanders hold pages: {d:?}");
+    }
+
+    #[test]
+    fn capacity_pressure_spills_into_the_expander_tier() {
+        // A shared segment larger than the whole fast tier must spill into
+        // the CPU-less expanders even under worker-only placement.
+        let m = machines::machine_tiered();
+        let mut sim = Simulator::new(m.clone(), SimConfig::default());
+        let workers = m.worker_nodes();
+        let fast_pages: u64 = workers.iter().map(|w| m.node(w).mem_pages).sum();
+        let mut p = profile(1.0);
+        p.shared_pages = fast_pages + 10_000;
+        let pid = sim.spawn(p, workers, None, MemPolicy::Interleave(workers)).unwrap();
+        let d = sim.shared_distribution(pid).unwrap();
+        assert!(d[2] + d[3] > 0.0, "spill reached the slow tier: {d:?}");
+        // Fast tier is full (private segments also landed somewhere).
+        assert!(sim.frames.free_in(workers) < 10_000);
     }
 
     #[test]

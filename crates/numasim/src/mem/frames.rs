@@ -1,7 +1,7 @@
 //! Physical frame accounting per node.
 
 use crate::error::SimError;
-use bwap_topology::{MachineTopology, NodeId};
+use bwap_topology::{MachineTopology, NodeId, NodeSet};
 
 /// Tracks free/used physical page frames on every node.
 #[derive(Debug, Clone)]
@@ -35,6 +35,21 @@ impl FramePools {
     /// Total capacity of `n` in pages.
     pub fn capacity(&self, n: NodeId) -> u64 {
         self.capacity[n.idx()]
+    }
+
+    /// Aggregate capacity of a node set (e.g. one memory tier), pages.
+    pub fn capacity_in(&self, set: NodeSet) -> u64 {
+        set.iter().map(|n| self.capacity(n)).sum()
+    }
+
+    /// Aggregate used pages of a node set.
+    pub fn used_in(&self, set: NodeSet) -> u64 {
+        set.iter().map(|n| self.used(n)).sum()
+    }
+
+    /// Aggregate free pages of a node set.
+    pub fn free_in(&self, set: NodeSet) -> u64 {
+        set.iter().map(|n| self.free(n)).sum()
     }
 
     /// Allocate `count` pages on `n`; fails without side effects if the
@@ -122,6 +137,21 @@ mod tests {
             p.alloc(n, p.capacity(n)).unwrap();
         }
         assert!(p.alloc_with_fallback(NodeId(0), &[NodeId(1)]).is_err());
+    }
+
+    #[test]
+    fn tier_aggregates_sum_over_sets() {
+        let m = machines::machine_tiered();
+        let mut p = FramePools::from_machine(&m);
+        let workers = m.worker_nodes();
+        let expanders = m.all_nodes().difference(workers);
+        assert_eq!(p.capacity_in(workers), 2 * 512 * 1024); // 2x 2 GiB
+        assert_eq!(p.capacity_in(expanders), 2 * 8 * 1024 * 1024); // 2x 32 GiB
+        p.alloc(NodeId(0), 100).unwrap();
+        p.alloc(NodeId(2), 7).unwrap();
+        assert_eq!(p.used_in(workers), 100);
+        assert_eq!(p.used_in(expanders), 7);
+        assert_eq!(p.free_in(m.all_nodes()), p.capacity_in(m.all_nodes()) - 107);
     }
 
     #[test]

@@ -52,6 +52,12 @@ impl Segment {
     ) -> Result<Self, SimError> {
         let node_count = frames.node_count();
         policy.validate(node_count)?;
+        if fallback.len() < node_count {
+            return Err(SimError::InvalidNodes(format!(
+                "fallback table covers {} of {node_count} nodes",
+                fallback.len()
+            )));
+        }
         let mut pages = Vec::with_capacity(len as usize);
         let mut node_counts = vec![0u64; node_count];
         for i in 0..len {
@@ -283,6 +289,24 @@ mod tests {
         let moves = s.non_complying(4, 4, &MemPolicy::Bind(NodeId(2)), NodeId(0)).unwrap();
         assert_eq!(moves.len(), 4);
         assert_eq!(moves[0], (4, NodeId(2)));
+    }
+
+    #[test]
+    fn short_fallback_table_is_an_error_not_a_panic() {
+        let mut f = frames(); // 4-node machine
+        let r = Segment::place(
+            SegmentKind::Shared,
+            8,
+            &MemPolicy::Bind(NodeId(3)),
+            NodeId(0),
+            &mut f,
+            &no_fallback(2), // too short: indexing node 3 used to panic
+        );
+        assert!(matches!(r, Err(crate::error::SimError::InvalidNodes(_))), "{r:?}");
+        // Nothing was allocated.
+        for n in 0..4u16 {
+            assert_eq!(f.used(NodeId(n)), 0);
+        }
     }
 
     #[test]

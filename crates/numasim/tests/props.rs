@@ -1,0 +1,128 @@
+//! Property tests over the physical frame allocator: capacity is never
+//! oversubscribed, spill follows the caller's fallback order, and frees
+//! return frames — across random machines (tiered ones included) and
+//! random allocation traces.
+
+use bwap_topology::{MemClass, NodeId, NodeSet, NodeSpec, TopologyBuilder};
+use numasim::mem::frames::FramePools;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// A small random machine: 2-6 nodes in a ring, a random subset of them
+/// CPU-less expanders, random (small) capacities.
+fn random_machine(seed: u64) -> bwap_topology::MachineTopology {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..=6usize);
+    let mut b = TopologyBuilder::new("prop");
+    for i in 0..n {
+        // 1-4 MiB: tiny pools. Node 0 stays worker-capable so the machine
+        // validates.
+        let mem_gib = rng.gen_range(1..=4) as f64 / 256.0;
+        if i > 0 && rng.gen_bool(0.3) {
+            b = b.node(NodeSpec::memory_only(mem_gib, 10.0, MemClass::new("slow", 0.5, 2.0)));
+        } else {
+            b = b.node(NodeSpec::new(2, mem_gib, 10.0, 16.0));
+        }
+    }
+    for i in 0..n {
+        b = b.symmetric_link(NodeId(i as u16), NodeId(((i + 1) % n) as u16), 6.0);
+    }
+    b.auto_routes()
+        .default_path_caps()
+        .hop_latencies(90.0, 50.0)
+        .build()
+        .expect("random ring validates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Random alloc/free traces never oversubscribe any node, and the
+    /// books always balance: used + free == capacity on every node.
+    #[test]
+    fn alloc_free_never_oversubscribes(seed in 0u64..2000) {
+        let m = random_machine(seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabcd);
+        let mut pools = FramePools::from_machine(&m);
+        let n = m.node_count();
+        let mut live: Vec<(NodeId, u64)> = Vec::new();
+        for _ in 0..200 {
+            let node = NodeId(rng.gen_range(0..n) as u16);
+            if rng.gen_bool(0.6) {
+                let want = rng.gen_range(1..=300u64);
+                let free_before = pools.free(node);
+                match pools.alloc(node, want) {
+                    Ok(()) => {
+                        prop_assert!(want <= free_before);
+                        live.push((node, want));
+                    }
+                    Err(_) => {
+                        // Failure only when the request exceeds free space,
+                        // and it must be side-effect free.
+                        prop_assert!(want > free_before);
+                        prop_assert_eq!(pools.free(node), free_before);
+                    }
+                }
+            } else if let Some((node, count)) = live.pop() {
+                let used_before = pools.used(node);
+                pools.release(node, count);
+                prop_assert_eq!(pools.used(node), used_before - count);
+            }
+            for i in 0..n {
+                let id = NodeId(i as u16);
+                prop_assert!(pools.used(id) <= pools.capacity(id));
+                prop_assert_eq!(pools.used(id) + pools.free(id), pools.capacity(id));
+            }
+        }
+        // Returning every live allocation drains the pools completely.
+        for (node, count) in live.drain(..) {
+            pools.release(node, count);
+        }
+        prop_assert_eq!(pools.used_in(m.all_nodes()), 0);
+    }
+
+    /// `alloc_with_fallback` respects the spill order: the frame comes
+    /// from the first node in `[preferred] ++ fallback` with free space,
+    /// and only that node's accounting changes.
+    #[test]
+    fn fallback_spill_order_is_respected(seed in 0u64..2000) {
+        let m = random_machine(seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut pools = FramePools::from_machine(&m);
+        let n = m.node_count();
+        // Pre-fill a random subset of nodes to force spills.
+        for i in 0..n {
+            let id = NodeId(i as u16);
+            if rng.gen_bool(0.5) {
+                pools.alloc(id, pools.capacity(id)).unwrap();
+            }
+        }
+        for _ in 0..100 {
+            let preferred = NodeId(rng.gen_range(0..n) as u16);
+            // A random permutation of the other nodes as fallback order.
+            let mut fallback: Vec<NodeId> =
+                (0..n).map(|i| NodeId(i as u16)).filter(|&x| x != preferred).collect();
+            for i in (1..fallback.len()).rev() {
+                fallback.swap(i, rng.gen_range(0..=i));
+            }
+            let chain: Vec<NodeId> =
+                std::iter::once(preferred).chain(fallback.iter().copied()).collect();
+            let expected = chain.iter().copied().find(|&x| pools.free(x) > 0);
+            let before: Vec<u64> = (0..n).map(|i| pools.used(NodeId(i as u16))).collect();
+            match pools.alloc_with_fallback(preferred, &fallback) {
+                Ok(got) => {
+                    prop_assert_eq!(Some(got), expected, "spill order violated");
+                    for (i, &b) in before.iter().enumerate() {
+                        let id = NodeId(i as u16);
+                        let delta = pools.used(id) - b;
+                        prop_assert_eq!(delta, u64::from(id == got));
+                    }
+                }
+                Err(_) => {
+                    prop_assert!(expected.is_none(), "allocator gave up with space left");
+                    prop_assert_eq!(pools.free_in(NodeSet::first(n)), 0);
+                }
+            }
+        }
+    }
+}

@@ -26,7 +26,7 @@ pub mod executor;
 pub mod report;
 
 pub use executor::{run_parallel, run_parallel_with};
-pub use report::{results_dir, CampaignReport, CellRecord, SCHEMA_VERSION};
+pub use report::{results_dir, CampaignReport, CellRecord, NodeTierRecord, SCHEMA_VERSION};
 
 use crate::baselines::PlacementPolicy;
 use crate::error::RuntimeError;
@@ -264,6 +264,23 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
 pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignReport {
     let t0 = std::time::Instant::now();
     let bw_matrix = spec.probe_bandwidth.then(|| bwap_fabric::probe_matrix(&spec.machine));
+    // Heterogeneous machines carry their tier axis into the report;
+    // symmetric machines omit it so their reports stay byte-stable.
+    let node_tiers = spec.machine.is_heterogeneous().then(|| {
+        spec.machine
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| NodeTierRecord {
+                node: i as u16,
+                class: n.mem_class.name.to_string(),
+                cores: n.cores,
+                ctrl_bw: n.ctrl_bw,
+                lat_scale: n.mem_class.lat_scale,
+                mem_pages: n.mem_pages,
+            })
+            .collect()
+    });
     let cells = spec.cells();
     let jobs: Vec<_> = cells
         .iter()
@@ -296,6 +313,7 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
         threads: cfg.threads.unwrap_or_else(executor::default_threads),
         wall_time_s: t0.elapsed().as_secs_f64(),
         bw_matrix,
+        node_tiers,
         cells: records,
     }
 }
@@ -303,10 +321,12 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
 /// Run one cell: resolve the worker set, apply the cell's DWP override
 /// and seed to the policy, and dispatch to the scenario runner.
 fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> Result<RunResult, RuntimeError> {
-    let n = spec.machine.node_count();
+    // Only worker-capable nodes count: a 4-node tiered machine with two
+    // CPU-less expanders supports at most 2 workers.
+    let n = spec.machine.worker_node_count();
     if cell.workers == 0 || cell.workers > n {
         return Err(RuntimeError::Scenario(format!(
-            "worker count {} out of range for {}-node machine",
+            "worker count {} out of range for machine with {} worker-capable nodes",
             cell.workers, n
         )));
     }

@@ -20,7 +20,32 @@ use std::path::PathBuf;
 
 /// Version tag written into every report. Bump on any breaking change to
 /// the JSON layout and document the migration in `docs/RESULTS_SCHEMA.md`.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the optional `node_tiers` axis for heterogeneous machines;
+/// symmetric-machine reports are byte-identical to v1 apart from this
+/// number (pinned by `tests/golden_reports.rs`), and v1 reports still
+/// parse under the v2 schema (the new field is simply absent).
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Per-node memory-tier descriptor attached to reports of heterogeneous
+/// machines (any CPU-less node or non-DRAM tier). Symmetric machines omit
+/// the whole axis so their reports stay byte-stable across the tier
+/// refactor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTierRecord {
+    /// Node id (0-based).
+    pub node: u16,
+    /// Memory-class name (`"dram"`, `"cxl-expander"`, ...).
+    pub class: String,
+    /// Hardware threads; 0 marks a memory-only expander.
+    pub cores: u16,
+    /// Local controller bandwidth, GB/s (tier-scaled).
+    pub ctrl_bw: f64,
+    /// Latency multiplier of the tier relative to DRAM.
+    pub lat_scale: f64,
+    /// Local capacity in 4 KiB pages.
+    pub mem_pages: u64,
+}
 
 /// One cell of the campaign matrix: identity, seed, and outcome.
 #[derive(Debug, Clone)]
@@ -71,6 +96,9 @@ pub struct CampaignReport {
     /// Probed node-to-node bandwidth matrix, if the spec requested
     /// installation-time profiling (Fig. 1a).
     pub bw_matrix: Option<BwMatrix>,
+    /// Memory-tier axis: per-node tier descriptors, present only when the
+    /// machine is heterogeneous (schema v2).
+    pub node_tiers: Option<Vec<NodeTierRecord>>,
     /// Per-cell records, in spec enumeration order.
     pub cells: Vec<CellRecord>,
 }
@@ -125,6 +153,11 @@ impl CampaignReport {
             field(&mut s, 1, "wall_time_s", &json_f64(self.wall_time_s));
         }
         field(&mut s, 1, "bw_matrix_gbps", &bw_matrix_json(self.bw_matrix.as_ref()));
+        // Schema v2: the tier axis is emitted only for heterogeneous
+        // machines, keeping symmetric-machine reports byte-stable.
+        if let Some(tiers) = &self.node_tiers {
+            field(&mut s, 1, "node_tiers", &node_tiers_json(tiers));
+        }
         s.push_str("  \"cells\": [");
         for (i, c) in self.cells.iter().enumerate() {
             if i > 0 {
@@ -147,13 +180,19 @@ impl CampaignReport {
     /// (non-alphanumeric name characters are sanitized to `-`). Returns
     /// the path written.
     pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        self.write_json_in(&results_dir())
+    }
+
+    /// [`CampaignReport::write_json`] into an explicit directory (the
+    /// `campaign` CLI's `--out`; CI artifact collection and parallel local
+    /// runs point different campaigns at different directories).
+    pub fn write_json_in(&self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
         let stem: String = self
             .campaign
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() || "._-".contains(c) { c } else { '-' })
             .collect();
-        let dir = results_dir();
-        std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{stem}.campaign.json"));
         std::fs::write(&path, self.to_json())?;
         Ok(path)
@@ -220,6 +259,25 @@ fn json_opt_f64(v: Option<f64>) -> String {
         Some(x) => json_f64(x),
         None => "null".into(),
     }
+}
+
+fn node_tiers_json(tiers: &[NodeTierRecord]) -> String {
+    let rows: Vec<String> = tiers
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"node\": {}, \"class\": {}, \"cores\": {}, \"ctrl_bw_gbps\": {}, \
+                 \"lat_scale\": {}, \"mem_pages\": {}}}",
+                t.node,
+                json_str(&t.class),
+                t.cores,
+                json_f64(t.ctrl_bw),
+                json_f64(t.lat_scale),
+                t.mem_pages
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
 }
 
 fn bw_matrix_json(m: Option<&BwMatrix>) -> String {
@@ -324,6 +382,7 @@ mod tests {
             threads: 4,
             wall_time_s: 0.25,
             bw_matrix: None,
+            node_tiers: None,
             cells,
         }
     }
@@ -332,7 +391,7 @@ mod tests {
     fn json_has_schema_version_and_cells() {
         let r = report(vec![record(0, Ok(result())), record(1, Err("boom \"quoted\"".into()))]);
         let j = r.to_json();
-        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"schema_version\": 2"));
         assert!(j.contains("\"exec_time_s\": 12.5"));
         assert!(j.contains("\"chosen_dwp\": 0.2"));
         assert!(j.contains("\"error\": \"boom \\\"quoted\\\"\""));
@@ -355,6 +414,27 @@ mod tests {
     fn empty_report_is_valid() {
         let j = report(Vec::new()).to_json();
         assert!(j.contains("\"cells\": []"));
+    }
+
+    #[test]
+    fn tier_axis_is_emitted_only_for_heterogeneous_machines() {
+        let symmetric = report(Vec::new());
+        assert!(!symmetric.to_json().contains("node_tiers"));
+        let mut tiered = report(Vec::new());
+        tiered.node_tiers = Some(vec![NodeTierRecord {
+            node: 2,
+            class: "cxl-expander".into(),
+            cores: 0,
+            ctrl_bw: 9.9,
+            lat_scale: 2.0,
+            mem_pages: 1024,
+        }]);
+        let j = tiered.to_json();
+        assert!(j.contains("\"node_tiers\": [{\"node\": 2, \"class\": \"cxl-expander\""));
+        assert!(j.contains("\"cores\": 0"));
+        assert!(j.contains("\"lat_scale\": 2"));
+        // The tier axis is part of the deterministic payload.
+        assert!(tiered.deterministic_json().contains("node_tiers"));
     }
 
     #[test]

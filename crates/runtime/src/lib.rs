@@ -44,7 +44,7 @@ pub use baselines::PlacementPolicy;
 pub use bwap_daemon::{BwapDaemon, TunerHandle};
 pub use campaign::{
     run_campaign, run_campaign_with, run_parallel, run_parallel_with, CampaignConfig,
-    CampaignReport, CampaignSpec, CellRecord, DwpPoint, ScenarioKind,
+    CampaignReport, CampaignSpec, CellRecord, DwpPoint, NodeTierRecord, ScenarioKind,
 };
 pub use cosched_daemon::CoschedDaemon;
 pub use error::RuntimeError;

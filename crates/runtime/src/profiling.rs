@@ -32,7 +32,7 @@ pub fn profile_bandwidth(machine: &MachineTopology, workers: NodeSet) -> BwMatri
     let mut sim = Simulator::new(machine.clone(), SimConfig::default());
     let probe = bwap_workloads::stream_probe().profile_for(machine);
     let pid = sim
-        .spawn(probe, workers, None, MemPolicy::Interleave(machine.all_nodes()))
+        .spawn(probe, workers, None, MemPolicy::Interleave(machine.memory_nodes()))
         .expect("probe spawn on validated machine");
     sim.run_for(WARMUP_S);
     let n = machine.node_count();
@@ -123,6 +123,22 @@ mod tests {
         assert!(profiled.max_abs_diff(&ideal) < 0.12, "profiled {profiled} vs ideal {ideal}");
         // Workers keep the heaviest weights in both.
         assert!(profiled.get(NodeId(0)) > profiled.get(NodeId(3)));
+    }
+
+    #[test]
+    fn tiered_profile_weights_cover_but_underweight_the_slow_tier() {
+        // The probe runs on the worker nodes with pages interleaved over
+        // the whole machine, expanders included: the profiled canonical
+        // weights must use the slow tier without over-weighting it.
+        let m = machines::machine_tiered();
+        let w = ProfileBook::canonical_weights(&m, m.worker_nodes());
+        for n in 0..4u16 {
+            assert!(w.get(NodeId(n)) > 0.05, "node {n} unused: {w}");
+        }
+        assert!(
+            w.get(NodeId(0)) > w.get(NodeId(2)),
+            "fast tier should out-weigh the expander: {w}"
+        );
     }
 
     #[test]

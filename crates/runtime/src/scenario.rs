@@ -98,7 +98,7 @@ fn launch_measured(
             };
             numasim::MemPolicy::WeightedInterleave(placed.to_vec())
         }
-        _ => policy.launch_policy(workers, machine.all_nodes()),
+        _ => policy.launch_policy(workers, machine.memory_nodes()),
     };
     let pid = sim.spawn(spec.profile_for(machine), workers, None, launch_policy)?;
     policy.attach_autonuma(sim, pid);
@@ -184,10 +184,12 @@ pub fn run_coscheduled_with(
     sim_cfg: SimConfig,
 ) -> Result<RunResult, RuntimeError> {
     let n = machine.node_count();
-    let workers_a = workers.complement(n);
+    // A runs on the worker-capable nodes B leaves free: CPU-less expander
+    // nodes can never host A's threads (they stay pure memory donors).
+    let workers_a = machine.worker_nodes().difference(workers);
     if workers_a.is_empty() {
         return Err(RuntimeError::Scenario(
-            "co-scheduled scenario needs at least one non-worker node for A".into(),
+            "co-scheduled scenario needs at least one free worker-capable node for A".into(),
         ));
     }
     let mut sim = Simulator::new(machine.clone(), sim_cfg);

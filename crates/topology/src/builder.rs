@@ -216,16 +216,20 @@ impl TopologyBuilder {
         self
     }
 
-    /// Derive latencies as `local_ns + per_hop_ns * hops`.
+    /// Derive latencies as `(local_ns + per_hop_ns * hops) * lat_scale(src)`:
+    /// the serving node's memory class scales its whole row, so accesses
+    /// served from a slow tier (CXL expander, PMEM) pay the tier's media
+    /// latency on top of the interconnect hops.
     pub fn hop_latencies(mut self, local_ns: f64, per_hop_ns: f64) -> Self {
         let n = self.nodes.len();
         let routes = self.routes.as_ref().expect("routes before hop_latencies");
         let mut m = BwMatrix::zeros(n);
         for s in 0..n {
+            let tier = self.nodes[s].mem_class.lat_scale;
             for d in 0..n {
                 let (src, dst) = (NodeId(s as u16), NodeId(d as u16));
                 let hops = routes.get(src, dst).hop_count();
-                m.set(src, dst, local_ns + per_hop_ns * hops as f64);
+                m.set(src, dst, (local_ns + per_hop_ns * hops as f64) * tier);
             }
         }
         self.latency_ns = Some(m);

@@ -13,6 +13,8 @@ pub enum TopologyError {
     BadBandwidth { what: &'static str, value: f64 },
     /// The machine has no nodes.
     Empty,
+    /// Every node is memory-only: nothing can host threads.
+    NoWorkerNodes,
     /// More nodes than [`crate::NodeSet`] can hold (64).
     TooManyNodes(usize),
     /// A route references a link that does not connect its hops.
@@ -32,6 +34,9 @@ impl fmt::Display for TopologyError {
                 write!(f, "bad bandwidth for {what}: {value}")
             }
             TopologyError::Empty => write!(f, "machine has no nodes"),
+            TopologyError::NoWorkerNodes => {
+                write!(f, "machine has no worker-capable nodes (every node is memory-only)")
+            }
             TopologyError::TooManyNodes(n) => {
                 write!(f, "machine has {n} nodes; NodeSet supports at most 64")
             }

@@ -13,6 +13,14 @@
 //! * [`machines::machine_b`] — a 4-node, 2-socket Cluster-on-Die topology
 //!   with a 2.3x amplitude (Intel Xeon E5-2660 v4).
 //!
+//! A third reference machine goes beyond the paper's testbeds:
+//! [`machines::machine_tiered`] mixes memory tiers — two worker nodes with
+//! a small fast DRAM tier plus two CPU-less, slow, high-capacity expander
+//! nodes ([`MemClass`]). Machines distinguish *worker* nodes (can host
+//! threads, [`MachineTopology::worker_nodes`]) from *memory* nodes (can
+//! hold pages, [`MachineTopology::memory_nodes`]); on symmetric machines
+//! the two sets coincide.
+//!
 //! Bandwidths are in GB/s (1e9 bytes per second), latencies in nanoseconds.
 //! The crate is purely descriptive: contention/allocation lives in
 //! `bwap-fabric`, and the simulated OS in `numasim`.
@@ -31,7 +39,7 @@ pub use error::TopologyError;
 pub use link::{Direction, Link, LinkId};
 pub use machine::MachineTopology;
 pub use matrix::BwMatrix;
-pub use node::{NodeId, NodeSet, NodeSpec};
+pub use node::{MemClass, NodeId, NodeSet, NodeSpec};
 pub use route::{Hop, Route, RoutingTable};
 
 /// Size of a simulated OS page in bytes (the Linux default the paper uses).

@@ -58,6 +58,41 @@ impl MachineTopology {
         NodeSet::first(self.node_count())
     }
 
+    /// Nodes that can host threads (`cores > 0`). On pre-tier symmetric
+    /// machines this equals [`MachineTopology::all_nodes`].
+    pub fn worker_nodes(&self) -> NodeSet {
+        NodeSet::from_nodes(
+            self.nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.has_cores())
+                .map(|(i, _)| NodeId(i as u16)),
+        )
+    }
+
+    /// Nodes that contribute memory capacity (`mem_pages > 0`): the target
+    /// set of page-placement decisions. Includes CPU-less expander nodes.
+    pub fn memory_nodes(&self) -> NodeSet {
+        NodeSet::from_nodes(
+            self.nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.mem_pages > 0)
+                .map(|(i, _)| NodeId(i as u16)),
+        )
+    }
+
+    /// Number of worker-capable nodes.
+    pub fn worker_node_count(&self) -> usize {
+        self.worker_nodes().len()
+    }
+
+    /// Whether the machine mixes memory tiers: any CPU-less node, or any
+    /// node on a non-DRAM memory class.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.nodes.iter().any(|s| s.is_memory_only() || !s.mem_class.is_dram())
+    }
+
     /// Per-node hardware specs.
     pub fn node(&self, n: NodeId) -> &NodeSpec {
         &self.nodes[n.idx()]
@@ -118,13 +153,16 @@ impl MachineTopology {
 
     /// Pick the `k`-node worker set per the paper's rule of thumb: maximize
     /// aggregate inter-worker bandwidth; for `k == 1` pick the node with the
-    /// highest local bandwidth. Ties break toward lower node ids, making the
-    /// choice deterministic.
+    /// highest local bandwidth. Only worker-capable nodes are candidates —
+    /// CPU-less expander tiers can never host threads. Ties break toward
+    /// lower node ids, making the choice deterministic.
     pub fn best_worker_set(&self, k: usize) -> NodeSet {
-        assert!(k >= 1 && k <= self.node_count(), "worker count out of range");
+        let candidates = self.worker_nodes().to_vec();
+        assert!(k >= 1 && k <= candidates.len(), "worker count out of range");
         if k == 1 {
-            let best = (0..self.node_count())
-                .map(|i| NodeId(i as u16))
+            let best = candidates
+                .iter()
+                .copied()
                 .max_by(|a, b| {
                     let (fa, fb) = (self.node(*a).ctrl_bw, self.node(*b).ctrl_bw);
                     fa.partial_cmp(&fb).unwrap().then(b.0.cmp(&a.0)) // prefer lower id on ties
@@ -132,14 +170,14 @@ impl MachineTopology {
                 .unwrap();
             return NodeSet::single(best);
         }
-        let n = self.node_count();
+        let n = candidates.len();
         let mut best_set = NodeSet::EMPTY;
         let mut best_score = f64::NEG_INFINITY;
-        // Enumerate all k-subsets of up to 64 nodes; reference machines have
-        // at most 8 nodes so this is tiny.
+        // Enumerate all k-subsets of the worker-capable nodes; reference
+        // machines have at most 8 so this is tiny.
         let mut subset: Vec<usize> = (0..k).collect();
         loop {
-            let set = NodeSet::from_nodes(subset.iter().map(|&i| NodeId(i as u16)));
+            let set = NodeSet::from_nodes(subset.iter().map(|&i| candidates[i]));
             let score = self.aggregate_interworker_bw(set);
             if score > best_score + 1e-12 {
                 best_score = score;
@@ -190,14 +228,24 @@ impl MachineTopology {
                 got: self.routes.node_count(),
             });
         }
+        if self.worker_nodes().is_empty() {
+            return Err(TopologyError::NoWorkerNodes);
+        }
         for (i, spec) in self.nodes.iter().enumerate() {
-            for (what, v) in [("ctrl_bw", spec.ctrl_bw), ("ingress_bw", spec.ingress_bw)] {
+            for (what, v) in [
+                ("ctrl_bw", spec.ctrl_bw),
+                ("ingress_bw", spec.ingress_bw),
+                ("mem_class bw_scale", spec.mem_class.bw_scale),
+                ("mem_class lat_scale", spec.mem_class.lat_scale),
+            ] {
                 if !(v.is_finite() && v > 0.0) {
                     return Err(TopologyError::BadBandwidth { what, value: v });
                 }
             }
-            if spec.cores == 0 {
-                return Err(TopologyError::BadBandwidth { what: "cores", value: 0.0 });
+            // Memory-only nodes are legal (CPU-less expander tiers), but a
+            // node with neither cores nor memory is dead weight.
+            if spec.is_memory_only() && spec.mem_pages == 0 {
+                return Err(TopologyError::BadBandwidth { what: "empty node", value: 0.0 });
             }
             let _ = i;
         }
@@ -317,6 +365,36 @@ mod tests {
         // strictly worse on aggregate BW.
         let bw = m.path_bw(v[0], v[1]) + m.path_bw(v[1], v[0]);
         assert!(bw >= 10.8, "picked {w} with aggregate {bw}");
+    }
+
+    #[test]
+    fn best_worker_set_skips_memory_only_nodes() {
+        let m = machines::machine_tiered();
+        for k in 1..=2 {
+            let w = m.best_worker_set(k);
+            assert_eq!(w.len(), k);
+            assert!(w.is_subset(m.worker_nodes()), "{w} contains a CPU-less node");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count out of range")]
+    fn best_worker_set_rejects_counts_beyond_worker_nodes() {
+        // 4 nodes, but only 2 can host threads.
+        let _ = machines::machine_tiered().best_worker_set(3);
+    }
+
+    #[test]
+    fn all_memory_only_machine_rejected() {
+        use crate::{MemClass, TopologyBuilder};
+        let r = TopologyBuilder::new("no-cpus")
+            .nodes(2, NodeSpec::memory_only(8.0, 10.0, MemClass::DRAM))
+            .symmetric_link(NodeId(0), NodeId(1), 6.0)
+            .auto_routes()
+            .default_path_caps()
+            .hop_latencies(90.0, 60.0)
+            .build();
+        assert_eq!(r.unwrap_err(), crate::TopologyError::NoWorkerNodes);
     }
 
     #[test]

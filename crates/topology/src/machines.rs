@@ -4,7 +4,7 @@
 use crate::builder::TopologyBuilder;
 use crate::machine::MachineTopology;
 use crate::matrix::BwMatrix;
-use crate::node::{NodeId, NodeSpec};
+use crate::node::{MemClass, NodeId, NodeSpec};
 
 /// The paper's Fig. 1a: measured node-to-node bandwidths (GB/s) on the
 /// 8-node AMD Opteron 6272 (machine A). Row = source (memory) node, column
@@ -149,6 +149,40 @@ pub fn machine_b() -> MachineTopology {
         .expect("machine B is statically valid")
 }
 
+/// Machine T ("tiered"): a heterogeneous reference machine with two
+/// CPU-less memory-expander nodes — the modern CXL/PMEM-style scenario
+/// BWAP's formula covers but the paper's testbeds did not exercise.
+///
+/// * N1, N2 — worker nodes: 8 cores each, a small fast 2 GiB DRAM tier at
+///   18 GB/s, joined by a 15 GB/s inter-socket link.
+/// * N3, N4 — memory-only expanders: no cores, 32 GiB of slow
+///   high-capacity memory (`cxl-expander` class: 0.55x bandwidth → ~9.9
+///   GB/s, 2x media latency), each attached to both workers by 12 GB/s
+///   links.
+///
+/// The asymmetry BWAP exploits: worker-local paths are fast but small and
+/// saturable; expander paths are slower but add ~20 GB/s of aggregate
+/// bandwidth and most of the machine's capacity. First-touch piles shared
+/// pages onto one 18 GB/s controller; uniform-all over-weights the slow
+/// tier; the canonical weights (Eq. 5) split traffic proportionally to
+/// each tier's weakest worker path.
+pub fn machine_tiered() -> MachineTopology {
+    let expander = MemClass::new("cxl-expander", 0.55, 2.0);
+    TopologyBuilder::new("machine-tiered")
+        .nodes(2, NodeSpec::new(8, 2.0, 18.0, 28.8))
+        .nodes(2, NodeSpec::memory_only(32.0, 18.0, expander))
+        .symmetric_link(NodeId(0), NodeId(1), 15.0)
+        .symmetric_link(NodeId(0), NodeId(2), 12.0)
+        .symmetric_link(NodeId(1), NodeId(2), 12.0)
+        .symmetric_link(NodeId(0), NodeId(3), 12.0)
+        .symmetric_link(NodeId(1), NodeId(3), 12.0)
+        .auto_routes()
+        .default_path_caps()
+        .hop_latencies(90.0, 50.0)
+        .build()
+        .expect("machine T is statically valid")
+}
+
 /// A 2-node fully symmetric machine: useful to test that on symmetric
 /// hardware BWAP's canonical weights degenerate to uniform.
 pub fn twin() -> MachineTopology {
@@ -259,6 +293,44 @@ mod tests {
             let r = m.routes().get(NodeId(s), NodeId(d));
             assert!(r.hops().iter().any(|h| h.link == LinkId(2)), "{s}->{d} must cross the QPI");
         }
+    }
+
+    #[test]
+    fn machine_tiered_validates_and_splits_node_sets() {
+        let m = machine_tiered();
+        m.validate().unwrap();
+        assert_eq!(m.node_count(), 4);
+        assert_eq!(m.worker_nodes().to_vec(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(m.memory_nodes(), m.all_nodes());
+        assert_eq!(m.total_cores(), 16);
+        assert!(m.is_heterogeneous());
+        for m in [machine_a(), machine_b(), twin(), symmetric_quad()] {
+            assert!(!m.is_heterogeneous(), "{} should be homogeneous", m.name());
+            assert_eq!(m.worker_nodes(), m.all_nodes());
+        }
+    }
+
+    #[test]
+    fn machine_tiered_expander_paths_are_tier_scaled() {
+        let m = machine_tiered();
+        // Expander-served paths are capped by the scaled controller.
+        assert!((m.path_bw(NodeId(2), NodeId(0)) - 9.9).abs() < 1e-9);
+        assert!((m.path_bw(NodeId(3), NodeId(1)) - 9.9).abs() < 1e-9);
+        // Worker-served paths keep DRAM speed.
+        assert_eq!(m.path_bw(NodeId(0), NodeId(1)), 15.0);
+        // Expander rows pay the 2x media latency on top of the hop.
+        let lat = m.latency_ns();
+        assert_eq!(lat.get(NodeId(0), NodeId(1)), 140.0);
+        assert_eq!(lat.get(NodeId(2), NodeId(0)), 280.0);
+    }
+
+    #[test]
+    fn machine_tiered_capacity_lives_in_the_slow_tier() {
+        let m = machine_tiered();
+        let worker_pages: u64 = m.worker_nodes().iter().map(|n| m.node(n).mem_pages).sum();
+        let expander_pages: u64 =
+            m.all_nodes().difference(m.worker_nodes()).iter().map(|n| m.node(n).mem_pages).sum();
+        assert!(expander_pages >= 8 * worker_pages, "{expander_pages} vs {worker_pages}");
     }
 
     #[test]

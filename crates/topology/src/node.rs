@@ -175,11 +175,48 @@ impl FromIterator<NodeId> for NodeSet {
     }
 }
 
-/// Hardware description of one NUMA node.
+/// Memory class (tier) of a node: distinguishes plain DRAM from slower,
+/// often larger tiers — CXL/PCIe memory expanders, persistent memory, or
+/// far-memory pools. Nothing in BWAP's decision logic (Eq. 2/5) requires a
+/// memory node to have CPUs, so a machine may mix tiers freely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemClass {
+    /// Human-readable tier name (`"dram"`, `"cxl-expander"`, ...).
+    pub name: &'static str,
+    /// Controller-bandwidth multiplier relative to the machine's baseline
+    /// DRAM tier; applied by [`NodeSpec::tiered`] / [`NodeSpec::memory_only`].
+    pub bw_scale: f64,
+    /// Latency multiplier for accesses *served from* this node, relative
+    /// to DRAM. [`crate::TopologyBuilder::hop_latencies`] scales the
+    /// node's latency-matrix row by this factor.
+    pub lat_scale: f64,
+}
+
+impl MemClass {
+    /// Plain local DRAM: the baseline tier every pre-tier machine uses.
+    pub const DRAM: MemClass = MemClass { name: "dram", bw_scale: 1.0, lat_scale: 1.0 };
+
+    /// A named non-DRAM tier.
+    pub fn new(name: &'static str, bw_scale: f64, lat_scale: f64) -> Self {
+        MemClass { name, bw_scale, lat_scale }
+    }
+
+    /// Whether this is the baseline DRAM tier. Compares the full class —
+    /// a custom tier merely *named* `"dram"` with non-unit scales still
+    /// counts as heterogeneous.
+    pub fn is_dram(&self) -> bool {
+        *self == MemClass::DRAM
+    }
+}
+
+/// Hardware description of one NUMA node. A node may be *memory-only*
+/// (`cores == 0`): a CPU-less DRAM expander or slow high-capacity tier
+/// that serves memory traffic but can never host threads.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     /// Number of hardware threads (the paper pins one software thread per
-    /// core, so cores == usable hardware threads).
+    /// core, so cores == usable hardware threads). Zero for memory-only
+    /// expander nodes.
     pub cores: u16,
     /// Local memory capacity in 4 KiB pages.
     pub mem_pages: u64,
@@ -188,19 +225,59 @@ pub struct NodeSpec {
     /// as one aggregate controller, as in the paper's system model.
     pub ctrl_bw: f64,
     /// Cap on the total bandwidth the node's cores can absorb from all
-    /// sources combined (load/store unit + LFB limit), in GB/s.
+    /// sources combined (load/store unit + LFB limit), in GB/s. For
+    /// memory-only nodes this bounds the write side of page migrations
+    /// into the node (the DMA/migration engine) instead.
     pub ingress_bw: f64,
+    /// Memory tier of the node's local memory.
+    pub mem_class: MemClass,
 }
 
 impl NodeSpec {
-    /// Convenience constructor with validation-friendly defaults.
+    /// Convenience constructor with validation-friendly defaults (baseline
+    /// DRAM tier).
     pub fn new(cores: u16, mem_gib: f64, ctrl_bw: f64, ingress_bw: f64) -> Self {
         NodeSpec {
             cores,
             mem_pages: ((mem_gib * (1u64 << 30) as f64) / crate::PAGE_SIZE as f64) as u64,
             ctrl_bw,
             ingress_bw,
+            mem_class: MemClass::DRAM,
         }
+    }
+
+    /// A node on a non-DRAM tier: bandwidths are given for the baseline
+    /// DRAM tier and scaled by the class's `bw_scale`.
+    pub fn tiered(
+        cores: u16,
+        mem_gib: f64,
+        base_ctrl_bw: f64,
+        base_ingress_bw: f64,
+        class: MemClass,
+    ) -> Self {
+        NodeSpec {
+            mem_class: class,
+            ctrl_bw: base_ctrl_bw * class.bw_scale,
+            ingress_bw: base_ingress_bw * class.bw_scale,
+            ..NodeSpec::new(cores, mem_gib, base_ctrl_bw, base_ingress_bw)
+        }
+    }
+
+    /// A CPU-less memory expander: zero cores, ingress capped at the
+    /// (tier-scaled) controller bandwidth since only migration writes can
+    /// terminate there.
+    pub fn memory_only(mem_gib: f64, base_ctrl_bw: f64, class: MemClass) -> Self {
+        NodeSpec::tiered(0, mem_gib, base_ctrl_bw, base_ctrl_bw, class)
+    }
+
+    /// Whether the node can host threads.
+    pub fn has_cores(&self) -> bool {
+        self.cores > 0
+    }
+
+    /// Whether the node is a CPU-less memory expander.
+    pub fn is_memory_only(&self) -> bool {
+        self.cores == 0
     }
 }
 
@@ -269,5 +346,35 @@ mod tests {
         let spec = NodeSpec::new(8, 8.0, 9.2, 15.0);
         // 8 GiB / 4 KiB = 2 Mi pages
         assert_eq!(spec.mem_pages, 2 * 1024 * 1024);
+        assert!(spec.has_cores());
+        assert!(spec.mem_class.is_dram());
+    }
+
+    #[test]
+    fn dram_named_tier_with_scaled_physics_is_not_dram() {
+        assert!(MemClass::DRAM.is_dram());
+        assert!(!MemClass::new("dram", 0.5, 2.0).is_dram());
+        assert!(!MemClass::new("pmem", 1.0, 1.0).is_dram());
+    }
+
+    #[test]
+    fn tiered_nodes_scale_bandwidth_by_class() {
+        let slow = MemClass::new("expander", 0.5, 2.0);
+        let spec = NodeSpec::tiered(4, 16.0, 20.0, 32.0, slow);
+        assert_eq!(spec.ctrl_bw, 10.0);
+        assert_eq!(spec.ingress_bw, 16.0);
+        assert!(!spec.mem_class.is_dram());
+        assert!(spec.has_cores());
+    }
+
+    #[test]
+    fn memory_only_nodes_have_no_cores() {
+        let spec = NodeSpec::memory_only(32.0, 20.0, MemClass::new("expander", 0.5, 2.0));
+        assert!(spec.is_memory_only());
+        assert!(!spec.has_cores());
+        assert_eq!(spec.ctrl_bw, 10.0);
+        // Ingress (migration writes) bounded by the tier's controller.
+        assert_eq!(spec.ingress_bw, spec.ctrl_bw);
+        assert_eq!(spec.mem_pages, 8 * 1024 * 1024);
     }
 }

@@ -126,6 +126,28 @@ pub fn swaptions() -> WorkloadSpec {
     }
 }
 
+/// Capacity-pressure variant of Streamcluster: same demand and access mix,
+/// but a 6 GiB shared point set that overflows `machine_tiered`'s whole
+/// 4 GiB fast tier — at least a third of the shared pages *must* live on
+/// the CPU-less expander nodes under any placement.
+pub fn streamcluster_xl() -> WorkloadSpec {
+    WorkloadSpec { name: "SC.XL", shared_pages: 1_572_864, ..streamcluster() }
+}
+
+/// Capacity-pressure variant of Ocean (contiguous): per-thread tiles grown
+/// to 384 MiB, so a full 8-thread worker node of `machine_tiered` needs
+/// 3 GiB of private pages against a 2 GiB fast node — the private working
+/// set spills to the slow tier too.
+pub fn ocean_cp_xl() -> WorkloadSpec {
+    WorkloadSpec { name: "OC.XL", private_pages_per_thread: 98_304, ..ocean_cp() }
+}
+
+/// The capacity-pressure variants: workloads whose working sets overflow
+/// the fast tier of [`bwap_topology::machines::machine_tiered`].
+pub fn capacity_suite() -> Vec<WorkloadSpec> {
+    vec![streamcluster_xl(), ocean_cp_xl()]
+}
+
 /// The canonical profiling workload (§III-A3): as many threads as the
 /// worker nodes offer, each performing a uniformly-random, read-only
 /// traversal of a large shared array, demanding far more bandwidth than
@@ -164,6 +186,8 @@ pub fn by_name(name: &str) -> Option<WorkloadSpec> {
         "SC" => Some(streamcluster()),
         "FT.C" => Some(ft_c()),
         "SW" => Some(swaptions()),
+        "SC.XL" => Some(streamcluster_xl()),
+        "OC.XL" => Some(ocean_cp_xl()),
         "stream-probe" => Some(stream_probe()),
         _ => None,
     }
@@ -193,10 +217,27 @@ mod tests {
 
     #[test]
     fn by_name_roundtrip() {
-        for w in suite() {
+        for w in suite().into_iter().chain(capacity_suite()) {
             assert_eq!(by_name(w.name).unwrap(), w);
         }
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn capacity_variants_keep_demand_but_grow_the_working_set() {
+        let sc = streamcluster();
+        let xl = streamcluster_xl();
+        assert_eq!(xl.reads_mbps, sc.reads_mbps);
+        assert_eq!(xl.private_frac, sc.private_frac);
+        assert!(xl.shared_pages > 4 * sc.shared_pages);
+        let oc = ocean_cp();
+        let oxl = ocean_cp_xl();
+        assert_eq!(oxl.shared_pages, oc.shared_pages);
+        assert!(oxl.private_pages_per_thread == 4 * oc.private_pages_per_thread);
+        // Quick-mode scaling for these variants shrinks traffic only.
+        let quick = streamcluster_xl().scaled_down_traffic(8.0);
+        assert_eq!(quick.shared_pages, xl.shared_pages);
+        assert!((quick.total_traffic_gb - xl.total_traffic_gb / 8.0).abs() < 1e-9);
     }
 
     #[test]

@@ -45,7 +45,8 @@ pub mod spec;
 pub mod table1;
 
 pub use apps::{
-    by_name, ft_c, ocean_cp, ocean_ncp, sp_b, stream_probe, streamcluster, suite, swaptions,
+    by_name, capacity_suite, ft_c, ocean_cp, ocean_cp_xl, ocean_ncp, sp_b, stream_probe,
+    streamcluster, streamcluster_xl, suite, swaptions,
 };
 pub use spec::WorkloadSpec;
 pub use table1::{table1_reference, Table1Row};

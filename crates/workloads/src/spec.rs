@@ -103,6 +103,16 @@ impl WorkloadSpec {
             (self.private_pages_per_thread as f64 / factor).max(16.0) as u64;
         self
     }
+
+    /// Shrink only the total traffic, keeping the working set intact. This
+    /// is the quick-mode scaling for capacity-pressure variants: dividing
+    /// their page counts (as [`WorkloadSpec::scaled_down`] does) would
+    /// remove the very pressure they exist to exert.
+    pub fn scaled_down_traffic(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "factor must be >= 1");
+        self.total_traffic_gb /= factor;
+        self
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,103 @@
+//! End-to-end heterogeneous-tier scenario: a campaign on the
+//! CPU-less-expander reference machine, from topology through placement
+//! to the versioned report. Pins the refactor's acceptance criterion —
+//! BWAP beats first-touch and uniform interleave on a bandwidth-bound
+//! workload by exploiting the slow tier's extra bandwidth without
+//! over-weighting it.
+
+use bwap_suite::prelude::*;
+
+fn tiered_spec() -> CampaignSpec {
+    CampaignSpec::new("tiered-itest", machines::machine_tiered())
+        .workloads(vec![workloads::ocean_cp().scaled_down(16.0)])
+        .policies(vec![
+            PlacementPolicy::FirstTouch,
+            PlacementPolicy::UniformWorkers,
+            PlacementPolicy::UniformAll,
+            PlacementPolicy::Bwap(BwapConfig::default()),
+        ])
+        .worker_counts(vec![2])
+        .seed(11)
+}
+
+fn exec_time(report: &CampaignReport, policy: &str) -> f64 {
+    report
+        .find("OC", policy, ScenarioKind::Standalone, 2, None)
+        .expect("cell exists")
+        .result()
+        .unwrap_or_else(|| panic!("{policy} cell failed"))
+        .exec_time_s
+}
+
+/// The headline: on a machine with CPU-less expander nodes, BWAP's
+/// canonical weights (rectangular memory x worker view) beat the Linux
+/// default and both uniform interleaves for a bandwidth-bound workload.
+#[test]
+fn bwap_wins_on_the_tiered_machine() {
+    let report = run_campaign(&tiered_spec());
+    let ft = exec_time(&report, "first-touch");
+    let uw = exec_time(&report, "uniform-workers");
+    let ua = exec_time(&report, "uniform-all");
+    let bwap = exec_time(&report, "bwap");
+    assert!(bwap < ft, "bwap {bwap} vs first-touch {ft}");
+    assert!(bwap < uw, "bwap {bwap} vs uniform-workers {uw}");
+    assert!(bwap < ua, "bwap {bwap} vs uniform-all {ua}");
+}
+
+/// The tier axis rides along in the v2 report; worker counts beyond the
+/// worker-capable nodes are per-cell errors, not panics.
+#[test]
+fn tiered_campaign_reports_the_tier_axis() {
+    let spec = tiered_spec().worker_counts(vec![2, 4]);
+    let report = run_campaign(&spec);
+    let tiers = report.node_tiers.as_ref().expect("heterogeneous machine carries tiers");
+    assert_eq!(tiers.len(), 4);
+    assert_eq!(tiers[2].cores, 0);
+    assert_eq!(tiers[2].class, "cxl-expander");
+    let json = report.deterministic_json();
+    assert!(json.contains("\"node_tiers\""));
+    assert!(json.contains("\"schema_version\": 2"));
+    // 4 workers > 2 worker-capable nodes: every 4W cell errors cleanly.
+    for c in &report.cells {
+        match c.workers {
+            2 => assert!(c.outcome.is_ok(), "{}: {:?}", c.key, c.outcome),
+            4 => assert!(c.outcome.as_ref().unwrap_err().contains("out of range")),
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Co-scheduling on the tiered machine: the high-priority application A
+/// lands on the free *worker* node — never on a CPU-less expander.
+#[test]
+fn coscheduled_a_avoids_memory_only_nodes() {
+    let m = machines::machine_tiered();
+    let workers = m.best_worker_set(1);
+    let r = run_coscheduled(
+        &m,
+        &workloads::streamcluster().scaled_down(32.0),
+        workers,
+        &PlacementPolicy::UniformWorkers,
+    )
+    .expect("A fits on the remaining worker node");
+    assert!(r.a_stall_frac.is_some());
+    // Both worker nodes taken: nowhere CPU-capable left for A.
+    let both = m.worker_nodes();
+    let err = run_coscheduled(
+        &m,
+        &workloads::streamcluster().scaled_down(32.0),
+        both,
+        &PlacementPolicy::UniformWorkers,
+    );
+    assert!(err.is_err());
+}
+
+/// Campaign determinism extends to the tiered machine: same spec + seed
+/// => byte-identical deterministic payload, at any shard count.
+#[test]
+fn tiered_reports_are_deterministic() {
+    let spec = tiered_spec();
+    let a = run_campaign_with(&spec, &CampaignConfig { threads: Some(1) });
+    let b = run_campaign_with(&spec, &CampaignConfig { threads: Some(4) });
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+}
