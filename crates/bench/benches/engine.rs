@@ -85,11 +85,53 @@ fn bench_mbind_rebind(c: &mut Criterion) {
     });
 }
 
+/// OC.XL on the tiered machine: ~1.6M pages under capacity pressure, a
+/// weighted-interleave rebind in flight — the epoch step exercises
+/// extent-based migration demand, range completion and the reused
+/// workspace at the scale the capacity campaigns run.
+fn ocxl_sim() -> Simulator {
+    let m = machines::machine_tiered();
+    let mut sim = Simulator::new(m.clone(), SimConfig::default());
+    let spec = bwap_workloads::ocean_cp_xl();
+    let pid = sim
+        .spawn(spec.profile_for(&m), m.worker_nodes(), None, MemPolicy::FirstTouch)
+        .expect("spawn OC.XL");
+    let weights =
+        bwap::canonical_weights_on(&m, m.worker_nodes()).expect("canonical weights").to_vec();
+    sim.apply_policy_all_segments(pid, &MemPolicy::WeightedInterleave(weights), true)
+        .expect("weighted mbind");
+    sim
+}
+
+fn bench_ocxl_step(c: &mut Criterion) {
+    // Fresh sim per iteration: a long-lived one would drain its ~1.6M-page
+    // queue during warm-up and the "migrating" step would measure an idle
+    // epoch.
+    c.bench_function("engine_step_ocxl_tiered_migrating", |b| {
+        b.iter_batched(
+            ocxl_sim,
+            |mut sim| {
+                sim.step();
+                sim
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ocxl_spawn_mbind(c: &mut Criterion) {
+    c.bench_function("ocxl_spawn_1p6m_pages_weighted_rebind", |b| {
+        b.iter_batched(ocxl_sim, std::mem::drop, criterion::BatchSize::SmallInput)
+    });
+}
+
 criterion_group!(
     benches,
     bench_epoch_step,
     bench_run_one_second,
     bench_spawn_with_placement,
-    bench_mbind_rebind
+    bench_mbind_rebind,
+    bench_ocxl_step,
+    bench_ocxl_spawn_mbind
 );
 criterion_main!(benches);

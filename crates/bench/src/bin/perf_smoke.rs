@@ -1,0 +1,110 @@
+//! Perf-smoke harness: times the hot paths the campaigns lean on and
+//! records them in `BENCH_campaign.json` at the repo root, so the perf
+//! trajectory is tracked in-tree PR over PR.
+//!
+//! Entries (spec -> wall-seconds, best of `RUNS`):
+//!
+//! * `fig1a_quick` — the fig1a probe campaign (engine + campaign engine).
+//! * `fig_tiered_quick` — the heterogeneous-tier campaign at quick scale
+//!   (includes the SC.XL/OC.XL capacity-pressure cells).
+//! * `ocxl_campaign_quick` — an OC.XL-only campaign cell matrix on
+//!   `machine_tiered` (capacity spill + weighted interleave on ~1.6M
+//!   pages).
+//! * `ocxl_spawn_mbind_step` — the raw engine microbench, the paper's
+//!   BWAP-init flow at capacity-pressure scale: spawn OC.XL first-touch on
+//!   the tiered machine (~1.6M pages, spilling into the expander tier),
+//!   weighted-interleave `mbind` over every segment, then 50 epochs of
+//!   migration + demand solving.
+//!
+//! Usage: `cargo run --release -p bwap-bench --bin perf_smoke`
+//! (`BWAP_BENCH_OUT` overrides the output path.)
+
+use bwap_bench::experiments;
+use bwap_runtime::{run_campaign, PlacementPolicy};
+use bwap_topology::machines;
+use numasim::{MemPolicy, SimConfig, Simulator};
+use std::time::Instant;
+
+/// Timed repetitions per entry; the minimum is recorded.
+const RUNS: usize = 3;
+
+fn time_best(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The OC.XL engine microbench: spawn (first-touch placement under
+/// capacity pressure — how BWAP launches), rebind (weighted-interleave
+/// mbind over every segment — BWAP-init), step (migration demand +
+/// completion + the epoch solve).
+fn ocxl_spawn_mbind_step() {
+    let m = machines::machine_tiered();
+    let mut sim = Simulator::new(m.clone(), SimConfig::default());
+    let spec = bwap_workloads::ocean_cp_xl();
+    let pid = sim
+        .spawn(spec.profile_for(&m), m.worker_nodes(), None, MemPolicy::FirstTouch)
+        .expect("spawn OC.XL");
+    let weights = bwap::canonical_weights_on(&m, m.worker_nodes())
+        .expect("canonical weights on tiered machine")
+        .to_vec();
+    let queued = sim
+        .apply_policy_all_segments(pid, &MemPolicy::WeightedInterleave(weights), true)
+        .expect("weighted mbind");
+    assert!(queued > 500_000, "rebind must queue real work, got {queued}");
+    for _ in 0..50 {
+        sim.step();
+    }
+    assert!(sim.migrated_pages(pid) > 0, "steps must drain migrations");
+}
+
+fn ocxl_campaign_quick() {
+    let spec = bwap_runtime::CampaignSpec::new("ocxl-perf", machines::machine_tiered())
+        .workloads(vec![bwap_workloads::ocean_cp_xl().scaled_down_traffic(16.0)])
+        .policies(vec![
+            PlacementPolicy::FirstTouch,
+            PlacementPolicy::UniformWorkers,
+            PlacementPolicy::Bwap(bwap::BwapConfig::default()),
+        ])
+        .worker_counts(vec![2])
+        .seed(7);
+    run_campaign(&spec);
+}
+
+fn main() {
+    let mut entries: Vec<(&str, f64)> = Vec::new();
+
+    let t = time_best(1, || {
+        run_campaign(&experiments::fig1a_spec());
+    });
+    entries.push(("fig1a_quick", t));
+    println!("fig1a_quick: {t:.3} s");
+
+    let t = time_best(1, || {
+        run_campaign(&experiments::fig_tiered_spec(true));
+    });
+    entries.push(("fig_tiered_quick", t));
+    println!("fig_tiered_quick: {t:.3} s");
+
+    let t = time_best(1, ocxl_campaign_quick);
+    entries.push(("ocxl_campaign_quick", t));
+    println!("ocxl_campaign_quick: {t:.3} s");
+
+    let t = time_best(RUNS, ocxl_spawn_mbind_step);
+    entries.push(("ocxl_spawn_mbind_step", t));
+    println!("ocxl_spawn_mbind_step: {t:.3} s");
+
+    let mut json = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        json.push_str(&format!("  \"{k}\": {v:.4}"));
+        json.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("}\n");
+    let out = std::env::var("BWAP_BENCH_OUT").unwrap_or_else(|_| "BENCH_campaign.json".into());
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("wrote {out}");
+}

@@ -33,8 +33,80 @@ impl Bundle {
     }
 }
 
+/// A set of bundles stored flat (headers + one shared usage arena), so the
+/// epoch hot loop can rebuild the solver input every epoch without
+/// per-bundle allocations. [`solve_maxmin`] is the convenience wrapper
+/// over `&[Bundle]`.
+#[derive(Debug, Clone, Default)]
+pub struct BundleSet {
+    /// `(usage_end, cap, weight)` per bundle; usage `i` spans
+    /// `usage[headers[i-1].0..headers[i].0]`.
+    headers: Vec<(usize, f64, f64)>,
+    usage: Vec<(usize, f64)>,
+}
+
+impl BundleSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        BundleSet::default()
+    }
+
+    /// Drop all bundles, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.headers.clear();
+        self.usage.clear();
+    }
+
+    /// Start a new bundle; follow with [`BundleSet::push_usage`] calls.
+    pub fn push_bundle(&mut self, cap: f64, weight: f64) {
+        self.headers.push((self.usage.len(), cap, weight));
+    }
+
+    /// Add one `(resource, usage per unit activity)` entry to the bundle
+    /// opened by the last [`BundleSet::push_bundle`].
+    pub fn push_usage(&mut self, resource: usize, coeff: f64) {
+        debug_assert!(!self.headers.is_empty(), "push_bundle first");
+        self.usage.push((resource, coeff));
+        self.headers.last_mut().expect("bundle open").0 = self.usage.len();
+    }
+
+    /// Number of bundles.
+    pub fn len(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Whether the set has no bundles.
+    pub fn is_empty(&self) -> bool {
+        self.headers.is_empty()
+    }
+
+    fn usage_of(&self, i: usize) -> &[(usize, f64)] {
+        let start = if i == 0 { 0 } else { self.headers[i - 1].0 };
+        &self.usage[start..self.headers[i].0]
+    }
+
+    fn cap(&self, i: usize) -> f64 {
+        self.headers[i].1
+    }
+
+    fn weight(&self, i: usize) -> f64 {
+        self.headers[i].2
+    }
+}
+
+/// Reusable buffers for [`solve_maxmin_set`]: the progressive-filling
+/// rounds refill these in place instead of allocating a fresh
+/// `vec![0.0; nr]` per round.
+#[derive(Debug, Clone, Default)]
+pub struct MaxminScratch {
+    load: Vec<f64>,
+    remaining: Vec<f64>,
+    active: Vec<bool>,
+    saturated: Vec<usize>,
+}
+
 /// Result of [`solve_maxmin`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Allocation {
     /// Activity level per bundle (same order as input).
     pub activity: Vec<f64>,
@@ -65,50 +137,83 @@ const EPS: f64 = 1e-12;
 ///
 /// Panics if a bundle references an out-of-range resource, has a
 /// non-positive weight, or a non-positive usage coefficient.
+///
+/// Convenience wrapper over [`solve_maxmin_set`] for callers outside the
+/// epoch hot loop.
 pub fn solve_maxmin(capacities: &[f64], bundles: &[Bundle]) -> Allocation {
+    let mut set = BundleSet::new();
     for b in bundles {
-        assert!(b.weight > 0.0, "bundle weight must be positive");
+        set.push_bundle(b.cap, b.weight);
         for &(r, c) in &b.usage {
+            set.push_usage(r, c);
+        }
+    }
+    let mut ws = MaxminScratch::default();
+    let mut out = Allocation { activity: Vec::new(), binding: Vec::new(), used: Vec::new() };
+    solve_maxmin_set(capacities, &set, &mut ws, &mut out);
+    out
+}
+
+/// Allocation-free form of [`solve_maxmin`]: all working state lives in
+/// `ws` and the result in `out`, both reused across epochs. The math —
+/// including the per-round `load` refill order — is operation-for-
+/// operation identical to the historical allocating implementation, so
+/// results are bitwise reproducible across the refactor.
+pub fn solve_maxmin_set(
+    capacities: &[f64],
+    set: &BundleSet,
+    ws: &mut MaxminScratch,
+    out: &mut Allocation,
+) {
+    for i in 0..set.len() {
+        assert!(set.weight(i) > 0.0, "bundle weight must be positive");
+        for &(r, c) in set.usage_of(i) {
             assert!(r < capacities.len(), "resource index {r} out of range");
             assert!(c > 0.0, "usage coefficient must be positive");
         }
     }
-    let nb = bundles.len();
+    let nb = set.len();
     let nr = capacities.len();
-    let mut activity = vec![0.0f64; nb];
-    let mut binding: Vec<Option<usize>> = vec![None; nb];
-    let mut remaining = capacities.to_vec();
-    let mut active: Vec<bool> =
-        bundles.iter().map(|b| b.cap > EPS && !b.usage.is_empty()).collect();
+    out.activity.clear();
+    out.activity.resize(nb, 0.0);
+    out.binding.clear();
+    out.binding.resize(nb, None);
+    ws.remaining.clear();
+    ws.remaining.extend_from_slice(capacities);
+    ws.active.clear();
+    ws.active.extend((0..nb).map(|i| set.cap(i) > EPS && !set.usage_of(i).is_empty()));
+    ws.load.clear();
+    ws.load.resize(nr, 0.0);
     // Bundles with no usage get their full cap immediately (they consume
     // nothing); bundles with zero cap stay at zero.
-    for (i, b) in bundles.iter().enumerate() {
-        if b.usage.is_empty() {
-            activity[i] = if b.cap.is_finite() { b.cap } else { 0.0 };
+    for i in 0..nb {
+        if set.usage_of(i).is_empty() {
+            out.activity[i] = if set.cap(i).is_finite() { set.cap(i) } else { 0.0 };
         }
     }
 
     // Each iteration freezes at least one bundle, so at most nb rounds.
     for _round in 0..nb {
-        if !active.iter().any(|&a| a) {
+        if !ws.active.iter().any(|&a| a) {
             break;
         }
-        // Weighted load per resource from active bundles.
-        let mut load = vec![0.0f64; nr];
-        for (i, b) in bundles.iter().enumerate() {
-            if !active[i] {
+        // Weighted load per resource from active bundles (buffer refilled
+        // in place, same accumulation order as ever).
+        ws.load.fill(0.0);
+        for i in 0..nb {
+            if !ws.active[i] {
                 continue;
             }
-            for &(r, c) in &b.usage {
-                load[r] += b.weight * c;
+            for &(r, c) in set.usage_of(i) {
+                ws.load[r] += set.weight(i) * c;
             }
         }
         // Largest uniform step `delta` (activity increases by weight*delta).
         let mut delta = f64::INFINITY;
         let mut limit_resource: Option<usize> = None;
         for r in 0..nr {
-            if load[r] > EPS {
-                let d = remaining[r] / load[r];
+            if ws.load[r] > EPS {
+                let d = ws.remaining[r] / ws.load[r];
                 if d < delta {
                     delta = d;
                     limit_resource = Some(r);
@@ -116,9 +221,9 @@ pub fn solve_maxmin(capacities: &[f64], bundles: &[Bundle]) -> Allocation {
             }
         }
         let mut limit_bundle: Option<usize> = None;
-        for (i, b) in bundles.iter().enumerate() {
-            if active[i] && b.cap.is_finite() {
-                let d = (b.cap - activity[i]) / b.weight;
+        for i in 0..nb {
+            if ws.active[i] && set.cap(i).is_finite() {
+                let d = (set.cap(i) - out.activity[i]) / set.weight(i);
                 if d < delta {
                     delta = d;
                     limit_bundle = Some(i);
@@ -133,57 +238,59 @@ pub fn solve_maxmin(capacities: &[f64], bundles: &[Bundle]) -> Allocation {
         }
         let delta = delta.max(0.0);
         // Apply the step.
-        for (i, b) in bundles.iter().enumerate() {
-            if !active[i] {
+        for i in 0..nb {
+            if !ws.active[i] {
                 continue;
             }
-            activity[i] += b.weight * delta;
-            for &(r, c) in &b.usage {
-                remaining[r] -= b.weight * c * delta;
+            out.activity[i] += set.weight(i) * delta;
+            for &(r, c) in set.usage_of(i) {
+                ws.remaining[r] -= set.weight(i) * c * delta;
             }
         }
         // Freeze: bundle that hit its cap, and bundles using any resource
         // that saturated this round.
         if let Some(i) = limit_bundle {
-            active[i] = false;
+            ws.active[i] = false;
         }
         // A resource counts as saturated if its remaining capacity is
         // negligible relative to its original capacity.
-        let saturated: Vec<usize> = (0..nr)
-            .filter(|&r| load[r] > EPS && remaining[r] <= 1e-9 * capacities[r].max(1.0))
-            .collect();
-        if !saturated.is_empty() {
-            for (i, b) in bundles.iter().enumerate() {
-                if !active[i] {
+        ws.saturated.clear();
+        ws.saturated.extend(
+            (0..nr)
+                .filter(|&r| ws.load[r] > EPS && ws.remaining[r] <= 1e-9 * capacities[r].max(1.0)),
+        );
+        if !ws.saturated.is_empty() {
+            for i in 0..nb {
+                if !ws.active[i] {
                     continue;
                 }
                 if let Some(&r) =
-                    saturated.iter().find(|&&r| b.usage.iter().any(|&(br, _)| br == r))
+                    ws.saturated.iter().find(|&&r| set.usage_of(i).iter().any(|&(br, _)| br == r))
                 {
-                    active[i] = false;
-                    binding[i] = Some(r);
+                    ws.active[i] = false;
+                    out.binding[i] = Some(r);
                 }
             }
         } else if limit_bundle.is_none() && limit_resource.is_some() {
             // Defensive: the limiting resource should have been caught by
             // the saturation scan; freeze its users explicitly.
             let r = limit_resource.unwrap();
-            for (i, b) in bundles.iter().enumerate() {
-                if active[i] && b.usage.iter().any(|&(br, _)| br == r) {
-                    active[i] = false;
-                    binding[i] = Some(r);
+            for i in 0..nb {
+                if ws.active[i] && set.usage_of(i).iter().any(|&(br, _)| br == r) {
+                    ws.active[i] = false;
+                    out.binding[i] = Some(r);
                 }
             }
         }
     }
 
-    let mut used = vec![0.0f64; nr];
-    for (i, b) in bundles.iter().enumerate() {
-        for &(r, c) in &b.usage {
-            used[r] += activity[i] * c;
+    out.used.clear();
+    out.used.resize(nr, 0.0);
+    for i in 0..nb {
+        for &(r, c) in set.usage_of(i) {
+            out.used[r] += out.activity[i] * c;
         }
     }
-    Allocation { activity, binding, used }
 }
 
 #[cfg(test)]
@@ -301,6 +408,39 @@ mod tests {
         let alloc = solve_maxmin(&[10.0, 2.0], &[b0, b1]);
         approx(alloc.activity[0], 2.0); // frozen by resource 1
         approx(alloc.activity[1], 8.0); // rest of resource 0
+    }
+
+    #[test]
+    fn bundle_set_reuse_is_bitwise_identical() {
+        // The scratch-based entry point must agree bit for bit with the
+        // allocating wrapper, including when its buffers carry state from
+        // a previous, differently-shaped solve.
+        let bundles = [
+            Bundle::new(vec![(0, 1.0), (1, 0.7)], 1.0, 3.0),
+            Bundle::new(vec![(1, 1.3)], f64::INFINITY, 1.0),
+            Bundle::new(vec![(0, 0.2), (2, 1.0)], 2.5, 2.0),
+        ];
+        let caps = [10.0, 2.0, 4.0];
+        let reference = solve_maxmin(&caps, &bundles);
+        let mut ws = MaxminScratch::default();
+        let mut out = Allocation::default();
+        // Dirty the buffers with an unrelated solve first.
+        let mut warm = BundleSet::new();
+        warm.push_bundle(f64::INFINITY, 1.0);
+        warm.push_usage(0, 2.0);
+        solve_maxmin_set(&[7.0], &warm, &mut ws, &mut out);
+        // Now the real one.
+        let mut set = BundleSet::new();
+        for b in &bundles {
+            set.push_bundle(b.cap, b.weight);
+            for &(r, c) in &b.usage {
+                set.push_usage(r, c);
+            }
+        }
+        solve_maxmin_set(&caps, &set, &mut ws, &mut out);
+        assert_eq!(out.activity, reference.activity);
+        assert_eq!(out.binding, reference.binding);
+        assert_eq!(out.used, reference.used);
     }
 
     #[test]

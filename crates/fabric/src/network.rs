@@ -8,7 +8,7 @@
 //! that drives progress and stall accounting in `numasim`.
 
 use crate::controller::ControllerModel;
-use crate::maxmin::{solve_maxmin, Allocation, Bundle};
+use crate::maxmin::{solve_maxmin_set, Allocation, BundleSet, MaxminScratch};
 use crate::resource::{ResourceKind, ResourceTable};
 use bwap_topology::{MachineTopology, NodeId};
 
@@ -55,16 +55,30 @@ pub struct GroupOutcome {
     pub binding: Option<ResourceKind>,
 }
 
-/// A complete epoch demand: all groups competing on the machine.
+/// A complete epoch demand: all groups competing on the machine, stored
+/// flat (group headers + one shared flow arena) so the epoch hot loop can
+/// rebuild it every epoch without allocating. Groups are appended either
+/// wholesale ([`DemandSet::push`]) or incrementally
+/// ([`DemandSet::begin_group`] + [`DemandSet::add_flow`]).
 #[derive(Debug, Clone, Default)]
 pub struct DemandSet {
-    /// The competing groups.
-    pub groups: Vec<GroupSpec>,
+    headers: Vec<GroupHeader>,
+    flows: Vec<FlowDemand>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GroupHeader {
+    id: GroupId,
+    weight: f64,
+    cap: f64,
+    /// Exclusive end of this group's span in `flows` (its start is the
+    /// previous header's end).
+    flows_end: usize,
 }
 
 /// Solver result: per-group outcomes plus the raw allocation for resource
 /// utilization diagnostics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SolveResult {
     /// One outcome per input group, same order.
     pub outcomes: Vec<GroupOutcome>,
@@ -72,81 +86,160 @@ pub struct SolveResult {
     pub allocation: Allocation,
 }
 
+/// Reusable buffers for [`DemandSet::solve_into`]: the dense usage
+/// accumulator, the flat bundle set, and the max-min solver scratch.
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    dense: Vec<f64>,
+    bundles: BundleSet,
+    maxmin: MaxminScratch,
+}
+
 impl DemandSet {
     /// Build an empty demand set.
     pub fn new() -> Self {
-        DemandSet { groups: Vec::new() }
+        DemandSet::default()
     }
 
-    /// Add a group.
+    /// Drop all groups, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.headers.clear();
+        self.flows.clear();
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Whether the set has no groups.
+    pub fn is_empty(&self) -> bool {
+        self.headers.is_empty()
+    }
+
+    /// Start a new group; follow with [`DemandSet::add_flow`] calls.
+    pub fn begin_group(&mut self, id: GroupId, weight: f64, cap: f64) {
+        self.headers.push(GroupHeader { id, weight, cap, flows_end: self.flows.len() });
+    }
+
+    /// Add one flow to the group opened by the last
+    /// [`DemandSet::begin_group`].
+    pub fn add_flow(&mut self, f: FlowDemand) {
+        debug_assert!(!self.headers.is_empty(), "begin_group first");
+        self.flows.push(f);
+        self.headers.last_mut().expect("group open").flows_end = self.flows.len();
+    }
+
+    /// Add a group wholesale.
     pub fn push(&mut self, g: GroupSpec) {
-        self.groups.push(g);
+        self.begin_group(g.id, g.weight, g.cap);
+        for f in g.flows {
+            self.add_flow(f);
+        }
     }
 
-    /// Translate groups into bundles and solve.
+    fn group_flows(&self, i: usize) -> &[FlowDemand] {
+        let start = if i == 0 { 0 } else { self.headers[i - 1].flows_end };
+        &self.flows[start..self.headers[i].flows_end]
+    }
+
+    /// Translate groups into bundles and solve (allocating convenience
+    /// form of [`DemandSet::solve_into`]).
     pub fn solve(
         &self,
         machine: &MachineTopology,
         resources: &ResourceTable,
         ctrl_model: &ControllerModel,
     ) -> SolveResult {
-        let bundles: Vec<Bundle> = self
-            .groups
-            .iter()
-            .map(|g| group_to_bundle(g, machine, resources, ctrl_model))
-            .collect();
-        let allocation = solve_maxmin(resources.capacities(), &bundles);
-        let outcomes = self
-            .groups
-            .iter()
-            .enumerate()
-            .map(|(i, g)| GroupOutcome {
-                id: g.id,
-                activity: allocation.activity[i],
-                binding: allocation.binding[i].map(|r| resources.kind(r)),
-            })
-            .collect();
-        SolveResult { outcomes, allocation }
+        let mut ws = SolveScratch::default();
+        let mut out = SolveResult::default();
+        self.solve_into(machine, resources, ctrl_model, &mut ws, &mut out);
+        out
+    }
+
+    /// Translate groups into bundles and solve, reusing `ws` and writing
+    /// the result into `out` — the allocation-free epoch-loop entry point.
+    /// Identical math (and bitwise-identical results) to
+    /// [`DemandSet::solve`].
+    pub fn solve_into(
+        &self,
+        machine: &MachineTopology,
+        resources: &ResourceTable,
+        ctrl_model: &ControllerModel,
+        ws: &mut SolveScratch,
+        out: &mut SolveResult,
+    ) {
+        ws.bundles.clear();
+        for i in 0..self.len() {
+            let h = self.headers[i];
+            accumulate_bundle(
+                self.group_flows(i),
+                h.cap,
+                h.weight,
+                machine,
+                resources,
+                ctrl_model,
+                &mut ws.dense,
+                &mut ws.bundles,
+            );
+        }
+        solve_maxmin_set(resources.capacities(), &ws.bundles, &mut ws.maxmin, &mut out.allocation);
+        out.outcomes.clear();
+        out.outcomes.extend(self.headers.iter().enumerate().map(|(i, h)| GroupOutcome {
+            id: h.id,
+            activity: out.allocation.activity[i],
+            binding: out.allocation.binding[i].map(|r| resources.kind(r)),
+        }));
     }
 }
 
-/// Accumulate a group's flows into one bundle usage vector.
-fn group_to_bundle(
-    g: &GroupSpec,
+/// Accumulate a group's flows into one bundle usage vector appended to
+/// `bundles`. Dense accumulation then index-order sparsification keeps a
+/// resource listed once, in the same order as ever.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_bundle(
+    flows: &[FlowDemand],
+    cap: f64,
+    weight: f64,
     machine: &MachineTopology,
     resources: &ResourceTable,
     ctrl_model: &ControllerModel,
-) -> Bundle {
-    // Dense accumulation then sparsification keeps a resource listed once.
-    let mut usage = vec![0.0f64; resources.len()];
-    for f in &g.flows {
+    dense: &mut Vec<f64>,
+    bundles: &mut BundleSet,
+) {
+    dense.clear();
+    dense.resize(resources.len(), 0.0);
+    for f in flows {
         debug_assert!(f.read_gbps >= 0.0 && f.write_gbps >= 0.0);
         if f.read_gbps > 0.0 {
             // Data flows mem -> cpu.
-            usage[resources.ctrl(f.mem)] += ctrl_model.controller_usage(f.read_gbps, 0.0);
-            usage[resources.ingress(f.cpu)] += f.read_gbps;
+            dense[resources.ctrl(f.mem)] += ctrl_model.controller_usage(f.read_gbps, 0.0);
+            dense[resources.ingress(f.cpu)] += f.read_gbps;
             if f.mem != f.cpu {
-                usage[resources.path_cap(f.mem, f.cpu)] += f.read_gbps;
+                dense[resources.path_cap(f.mem, f.cpu)] += f.read_gbps;
                 for hop in machine.routes().get(f.mem, f.cpu).hops() {
-                    usage[resources.link_dir(hop.link, hop.dir)] += f.read_gbps;
+                    dense[resources.link_dir(hop.link, hop.dir)] += f.read_gbps;
                 }
             }
         }
         if f.write_gbps > 0.0 {
             // Data flows cpu -> mem; the write lands on mem's controller
             // with amplification, traversing the cpu->mem route.
-            usage[resources.ctrl(f.mem)] += ctrl_model.controller_usage(0.0, f.write_gbps);
+            dense[resources.ctrl(f.mem)] += ctrl_model.controller_usage(0.0, f.write_gbps);
             if f.mem != f.cpu {
-                usage[resources.path_cap(f.cpu, f.mem)] += f.write_gbps;
+                dense[resources.path_cap(f.cpu, f.mem)] += f.write_gbps;
                 for hop in machine.routes().get(f.cpu, f.mem).hops() {
-                    usage[resources.link_dir(hop.link, hop.dir)] += f.write_gbps;
+                    dense[resources.link_dir(hop.link, hop.dir)] += f.write_gbps;
                 }
             }
         }
     }
-    let sparse: Vec<(usize, f64)> =
-        usage.into_iter().enumerate().filter(|&(_, c)| c > 0.0).collect();
-    Bundle::new(sparse, g.cap, g.weight)
+    bundles.push_bundle(cap, weight);
+    for (r, &c) in dense.iter().enumerate() {
+        if c > 0.0 {
+            bundles.push_usage(r, c);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 
 use crate::daemon::Daemon;
 use crate::engine::Simulator;
-use crate::mem::migrate::PendingMove;
+use crate::mem::migrate::PendingRange;
 use crate::process::ProcessId;
 use bwap_topology::{NodeId, PAGE_SIZE};
 
@@ -69,26 +69,35 @@ impl AutoNuma {
             return;
         }
         let n = sim.machine().node_count();
-        let mut moves: Vec<PendingMove> = Vec::new();
+        let mut moves: Vec<PendingRange> = Vec::new();
+        let mut queued = 0u64;
 
-        // 1. Private pages home to their owner's node.
+        // 1. Private pages home to their owner's node. The scan walks the
+        // segment's placement runs (O(extents)), emitting one range per
+        // misplaced run — the expanded page order matches the historical
+        // page-by-page scan exactly.
         for &(owner, seg) in &p.private_segs {
-            if *budget_pages == moves.len() as u64 {
+            if *budget_pages == queued {
                 break;
             }
             let segment = p.aspace.segment(seg).expect("segment exists");
             if segment.node_counts()[owner.idx()] == segment.len() {
                 continue;
             }
-            for page in 0..segment.len() {
-                if moves.len() as u64 >= *budget_pages {
-                    break;
-                }
-                let at = segment.node_of(page);
+            segment.for_each_run(0, segment.len(), |run_start, run_len, at| {
                 if at != owner {
-                    moves.push(PendingMove { segment: seg, page, from: at, to: owner });
+                    let take = run_len.min(*budget_pages - queued);
+                    moves.push(PendingRange {
+                        segment: seg,
+                        start: run_start,
+                        len: take,
+                        from: at,
+                        to: owner,
+                    });
+                    queued += take;
                 }
-            }
+                queued < *budget_pages
+            });
         }
 
         // 2. Shared pages toward a uniform spread over worker nodes: move
@@ -98,7 +107,7 @@ impl AutoNuma {
         let shared = p.shared_seg;
         let segment = p.aspace.segment(shared).expect("shared segment");
         let len = segment.len();
-        if len > 0 && (moves.len() as u64) < *budget_pages {
+        if len > 0 && queued < *budget_pages {
             let target_per_worker = len as f64 / workers.len() as f64;
             // Deficit per worker node.
             let mut deficit: Vec<(NodeId, f64)> = workers
@@ -109,8 +118,9 @@ impl AutoNuma {
             deficit.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
             if !deficit.is_empty() {
                 // Sources: nodes holding pages beyond their target (target
-                // is zero for non-workers).
-                let mut over: Vec<bool> = (0..n)
+                // is zero for non-workers). Snapshot at scan start, as the
+                // page-by-page scan always did.
+                let over: Vec<bool> = (0..n)
                     .map(|i| {
                         let tgt = if workers.contains(NodeId(i as u16)) {
                             target_per_worker
@@ -122,31 +132,48 @@ impl AutoNuma {
                     .collect();
                 let mut di = 0usize;
                 let mut remaining: Vec<f64> = deficit.iter().map(|&(_, d)| d).collect();
-                for page in 0..len {
-                    if moves.len() as u64 >= *budget_pages || di >= deficit.len() {
-                        break;
+                segment.for_each_run(0, len, |run_start, run_len, at| {
+                    if di >= deficit.len() {
+                        return false;
                     }
-                    let at = segment.node_of(page);
                     if !over[at.idx()] {
-                        continue;
+                        return true;
                     }
-                    let (to, _) = deficit[di];
-                    if at == to {
-                        continue;
+                    // Split the run across deficit targets: each accepts
+                    // pages until its (fractional) deficit is exhausted,
+                    // exactly one page at a time in the historical scan.
+                    let mut off = 0u64;
+                    while off < run_len && di < deficit.len() && queued < *budget_pages {
+                        let (to, _) = deficit[di];
+                        if at == to {
+                            // Pages already on the current target stay put
+                            // (and consume neither deficit nor budget).
+                            break;
+                        }
+                        let accepts = remaining[di].ceil().max(1.0) as u64;
+                        let take = (run_len - off).min(accepts).min(*budget_pages - queued);
+                        moves.push(PendingRange {
+                            segment: shared,
+                            start: run_start + off,
+                            len: take,
+                            from: at,
+                            to,
+                        });
+                        remaining[di] -= take as f64;
+                        if remaining[di] <= 0.0 {
+                            di += 1;
+                        }
+                        off += take;
+                        queued += take;
                     }
-                    moves.push(PendingMove { segment: shared, page, from: at, to });
-                    remaining[di] -= 1.0;
-                    if remaining[di] <= 0.0 {
-                        di += 1;
-                    }
-                    let _ = &mut over;
-                }
+                    queued < *budget_pages && di < deficit.len()
+                });
             }
         }
 
-        *budget_pages = budget_pages.saturating_sub(moves.len() as u64);
+        *budget_pages = budget_pages.saturating_sub(queued);
         if !moves.is_empty() {
-            let _ = sim.enqueue_moves(pid, moves);
+            let _ = sim.enqueue_move_ranges(pid, moves);
         }
     }
 }

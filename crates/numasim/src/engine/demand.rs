@@ -28,9 +28,9 @@
 //! applications peak below the machine size (Fig. 3c/d).
 
 use crate::engine::AppProfile;
-use crate::process::SimProcess;
+use crate::process::{ProcessId, SimProcess};
 use crate::REFERENCE_LATENCY_NS;
-use bwap_fabric::{FlowDemand, GroupSpec};
+use bwap_fabric::{DemandSet, FlowDemand};
 use bwap_topology::{MachineTopology, NodeId};
 
 /// Post-solve context for one application group.
@@ -46,8 +46,36 @@ pub(crate) struct GroupMeta {
     pub demand_gbps: f64,
     /// Serial-time scaling from average access latency.
     pub latency_factor: f64,
-    /// Traffic share per memory node.
-    pub share: Vec<f64>,
+    /// Traffic share per memory node: `node_count` values starting at this
+    /// offset of the epoch's [`DemandScratch::share_arena`].
+    pub share_off: usize,
+}
+
+/// Reusable buffers for demand building — the epoch loop's per-process
+/// distributions and the flat arena every group's traffic-share vector
+/// lives in. Cleared (`clear_epoch`) once per epoch, never reallocated in
+/// steady state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DemandScratch {
+    /// Scratch: shared-segment distribution of the current process.
+    shared_dist: Vec<f64>,
+    /// Scratch: private-page distribution of one worker node's threads.
+    priv_dist: Vec<f64>,
+    /// Scratch: one segment's distribution.
+    seg_dist: Vec<f64>,
+    /// Scratch: active memory-node indices (open-loop bundle split).
+    active: Vec<usize>,
+    /// Arena of per-group share vectors; [`GroupMeta::share_off`] indexes
+    /// into it.
+    pub share_arena: Vec<f64>,
+}
+
+impl DemandScratch {
+    /// Reset the arena for a new epoch (scratch vectors are overwritten in
+    /// place by the builders).
+    pub fn clear_epoch(&mut self) {
+        self.share_arena.clear();
+    }
 }
 
 /// Parallel efficiency per thread for `threads` total threads over
@@ -73,57 +101,73 @@ pub(crate) fn latency_inflation(rho: f64, a: f64, b: f64) -> f64 {
     1.0 + a * rho.clamp(0.0, 1.0).powf(b)
 }
 
-/// Build the demand groups for one running process. Returns parallel
-/// vectors of fabric groups and their metadata. `ctrl_util` is each
-/// node controller's utilization in the previous epoch (for loaded
-/// latency); `lat_infl` the `(a, b)` inflation parameters.
+/// Build the demand groups for one running process, appending fabric
+/// groups to `ds` and `(pid, meta)` records to `metas` (parallel, same
+/// order). `ctrl_util` is each node controller's utilization in the
+/// previous epoch (for loaded latency); `lat_infl` the `(a, b)` inflation
+/// parameters. All working memory comes from `ws` — nothing is allocated
+/// in steady state.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_app_groups(
     proc_: &SimProcess,
     machine: &MachineTopology,
     ctrl_util: &[f64],
     lat_infl: (f64, f64),
     make_id: impl Fn(usize) -> u64,
-) -> (Vec<GroupSpec>, Vec<GroupMeta>) {
+    ds: &mut DemandSet,
+    metas: &mut Vec<(ProcessId, GroupMeta)>,
+    ws: &mut DemandScratch,
+) {
     let n = machine.node_count();
     let profile = &proc_.profile;
-    let shared_dist =
-        proc_.aspace.segment(proc_.shared_seg).expect("shared segment exists").distribution();
+    ws.shared_dist.resize(n, 0.0);
+    proc_
+        .aspace
+        .segment(proc_.shared_seg)
+        .expect("shared segment exists")
+        .fill_distribution(&mut ws.shared_dist);
     let total_threads = proc_.total_threads();
     let eff = parallel_efficiency(profile, total_threads, proc_.worker_count());
     let d0_thread = profile.read_gbps_per_thread + profile.write_gbps_per_thread;
     let read_frac = if d0_thread > 0.0 { profile.read_gbps_per_thread / d0_thread } else { 1.0 };
-    let mut groups = Vec::new();
-    let mut metas = Vec::new();
     for w in 0..n {
         let t_w = proc_.threads_per_node[w];
         if t_w == 0 {
             continue;
         }
         // Private-page distribution of this node's threads.
-        let mut priv_dist = vec![0.0f64; n];
+        ws.priv_dist.clear();
+        ws.priv_dist.resize(n, 0.0);
         let mut priv_segs = 0usize;
         for &(owner, seg) in &proc_.private_segs {
             if owner.idx() == w {
-                let d = proc_.aspace.segment(seg).expect("private segment exists").distribution();
+                ws.seg_dist.resize(n, 0.0);
+                proc_
+                    .aspace
+                    .segment(seg)
+                    .expect("private segment exists")
+                    .fill_distribution(&mut ws.seg_dist);
                 for i in 0..n {
-                    priv_dist[i] += d[i];
+                    ws.priv_dist[i] += ws.seg_dist[i];
                 }
                 priv_segs += 1;
             }
         }
         if priv_segs > 0 {
-            for v in &mut priv_dist {
+            for v in &mut ws.priv_dist {
                 *v /= priv_segs as f64;
             }
         }
         let p = profile.private_frac;
-        let share: Vec<f64> =
-            (0..n).map(|i| p * priv_dist[i] + (1.0 - p) * shared_dist[i]).collect();
+        let share_off = ws.share_arena.len();
+        for i in 0..n {
+            ws.share_arena.push(p * ws.priv_dist[i] + (1.0 - p) * ws.shared_dist[i]);
+        }
         // Average access latency seen from node w, inflated by queueing
         // delay at loaded controllers.
         let lat_w: f64 = (0..n)
             .map(|i| {
-                share[i]
+                ws.share_arena[share_off + i]
                     * machine.latency_ns().get(NodeId(i as u16), NodeId(w as u16))
                     * latency_inflation(ctrl_util[i], lat_infl.0, lat_infl.1)
             })
@@ -131,11 +175,11 @@ pub(crate) fn build_app_groups(
         let alpha = profile.latency_sensitivity;
         let latency_factor = (1.0 - alpha) + alpha * lat_w / REFERENCE_LATENCY_NS;
         let demand_gbps = t_w as f64 * eff * d0_thread / latency_factor;
-        let mk_flow = |i: usize| FlowDemand {
+        let mk_flow = |share_i: f64, i: usize| FlowDemand {
             mem: NodeId(i as u16),
             cpu: NodeId(w as u16),
-            read_gbps: demand_gbps * share[i] * read_frac,
-            write_gbps: demand_gbps * share[i] * (1.0 - read_frac),
+            read_gbps: demand_gbps * share_i * read_frac,
+            write_gbps: demand_gbps * share_i * (1.0 - read_frac),
         };
         if profile.open_loop {
             // One independent bundle per memory node: fast paths deliver
@@ -147,41 +191,52 @@ pub(crate) fn build_app_groups(
             // each bundle with its path bandwidth. Cycle accounting splits
             // the node's threads across its flow groups so totals stay
             // correct.
-            let active: Vec<usize> =
-                (0..n).filter(|&i| share[i] > 1e-12 && demand_gbps > 0.0).collect();
-            let cycle_share = t_w as f64 / active.len().max(1) as f64;
-            for &i in &active {
-                let mut one_hot = vec![0.0; n];
-                one_hot[i] = 1.0;
+            ws.active.clear();
+            ws.active.extend(
+                (0..n).filter(|&i| ws.share_arena[share_off + i] > 1e-12 && demand_gbps > 0.0),
+            );
+            let cycle_share = t_w as f64 / ws.active.len().max(1) as f64;
+            for idx in 0..ws.active.len() {
+                let i = ws.active[idx];
+                let share_i = ws.share_arena[share_off + i];
+                let one_hot_off = ws.share_arena.len();
+                for j in 0..n {
+                    ws.share_arena.push(if j == i { 1.0 } else { 0.0 });
+                }
                 let path_bw = machine.path_caps().get(NodeId(i as u16), NodeId(w as u16));
-                groups.push(GroupSpec {
-                    id: make_id(w),
-                    weight: t_w as f64 * path_bw,
-                    cap: 1.0,
-                    flows: vec![mk_flow(i)],
-                });
-                metas.push(GroupMeta {
-                    node: w,
-                    cycle_threads: cycle_share,
-                    demand_gbps: demand_gbps * share[i],
-                    latency_factor,
-                    share: one_hot,
-                });
+                ds.begin_group(make_id(w), t_w as f64 * path_bw, 1.0);
+                ds.add_flow(mk_flow(share_i, i));
+                metas.push((
+                    proc_.id,
+                    GroupMeta {
+                        node: w,
+                        cycle_threads: cycle_share,
+                        demand_gbps: demand_gbps * share_i,
+                        latency_factor,
+                        share_off: one_hot_off,
+                    },
+                ));
             }
         } else {
-            let flows: Vec<FlowDemand> =
-                (0..n).filter(|&i| share[i] > 1e-12 && demand_gbps > 0.0).map(mk_flow).collect();
-            groups.push(GroupSpec { id: make_id(w), weight: t_w as f64, cap: 1.0, flows });
-            metas.push(GroupMeta {
-                node: w,
-                cycle_threads: t_w as f64,
-                demand_gbps,
-                latency_factor,
-                share,
-            });
+            ds.begin_group(make_id(w), t_w as f64, 1.0);
+            for i in 0..n {
+                let share_i = ws.share_arena[share_off + i];
+                if share_i > 1e-12 && demand_gbps > 0.0 {
+                    ds.add_flow(mk_flow(share_i, i));
+                }
+            }
+            metas.push((
+                proc_.id,
+                GroupMeta {
+                    node: w,
+                    cycle_threads: t_w as f64,
+                    demand_gbps,
+                    latency_factor,
+                    share_off,
+                },
+            ));
         }
     }
-    (groups, metas)
 }
 
 /// Stall fraction of threads running at utilization `u` with the given

@@ -21,13 +21,15 @@ use crate::daemon::Daemon;
 use crate::error::SimError;
 use crate::mem::address_space::AddressSpace;
 use crate::mem::frames::FramePools;
-use crate::mem::migrate::{MigrationQueue, PendingMove};
+use crate::mem::migrate::{MigrationQueue, PendingMove, PendingRange};
 use crate::mem::policy::MemPolicy;
 use crate::mem::segment::{SegmentId, SegmentKind};
 use crate::perf::{PerfCounters, ProcessSample};
 use crate::process::{ProcessId, ProcessState, SimProcess};
 use crate::CLOCK_HZ;
-use bwap_fabric::{ControllerModel, DemandSet, FlowDemand, GroupSpec, ResourceTable};
+use bwap_fabric::{
+    ControllerModel, DemandSet, FlowDemand, ResourceTable, SolveResult, SolveScratch,
+};
 use bwap_topology::{MachineTopology, NodeId, NodeSet, PAGE_SIZE};
 
 /// Workload characterization of an application (the simulated analogue of
@@ -142,6 +144,41 @@ struct DaemonSlot {
     daemon: Option<Box<dyn Daemon>>,
 }
 
+/// One process's migration attempt this epoch (post-solve bookkeeping).
+struct MigAttempt {
+    pid: ProcessId,
+    pages: usize,
+}
+
+/// The epoch loop's persistent workspace: every buffer `step` needs,
+/// allocated once and reused — in steady state an epoch performs no heap
+/// allocation at all (see `docs/PERFORMANCE.md`).
+#[derive(Default)]
+struct StepScratch {
+    /// Fabric demand set (group headers + flow arena).
+    ds: DemandSet,
+    /// Fabric solver buffers.
+    solve_ws: SolveScratch,
+    /// Solver output, reused.
+    solved: SolveResult,
+    /// `(pid, meta)` per application group, parallel to `ds`'s app groups.
+    app_meta: Vec<(ProcessId, demand::GroupMeta)>,
+    /// Demand-building buffers (distributions, share arena).
+    demand_ws: demand::DemandScratch,
+    /// Per-process `(group index, activity)` lists.
+    per_proc: Vec<Vec<(usize, f64)>>,
+    /// Migration groups appended after the app groups.
+    mig_meta: Vec<MigAttempt>,
+    /// Dense n*n page counts per `(from, to)` migration pair.
+    pair_count: Vec<u64>,
+    /// `(from, to)` pairs in first-appearance (FIFO) order.
+    pair_order: Vec<(u16, u16)>,
+    /// Ranges completed this epoch.
+    completed: Vec<PendingRange>,
+    /// Constant-node runs of the range being applied.
+    runs_buf: Vec<(u64, u64, NodeId)>,
+}
+
 /// The simulated machine + OS. See module docs.
 pub struct Simulator {
     machine: MachineTopology,
@@ -156,6 +193,8 @@ pub struct Simulator {
     /// Controller utilization per node in the previous epoch (drives the
     /// loaded-latency feedback).
     ctrl_util: Vec<f64>,
+    /// Reused epoch-loop buffers.
+    scratch: StepScratch,
 }
 
 impl Simulator {
@@ -193,6 +232,7 @@ impl Simulator {
             daemons: Vec::new(),
             clock: 0.0,
             ctrl_util: vec![0.0; n],
+            scratch: StepScratch::default(),
         }
     }
 
@@ -322,7 +362,11 @@ impl Simulator {
     /// segment. With `move_pages` (the `MPOL_MF_MOVE | MPOL_MF_STRICT`
     /// combination the paper uses), queues migration of non-complying
     /// pages; they move at the migration engine's rate over the following
-    /// epochs. Returns the number of queued moves.
+    /// epochs. Returns the number of queued page moves.
+    ///
+    /// Non-compliance is computed per placement run (O(extents + policy
+    /// blocks), not O(pages)) and queued as [`PendingRange`]s; without
+    /// `move_pages` the call returns after validation, before any scan.
     pub fn mbind(
         &mut self,
         pid: ProcessId,
@@ -333,21 +377,25 @@ impl Simulator {
         move_pages: bool,
     ) -> Result<usize, SimError> {
         policy.validate(self.machine.node_count())?;
-        let pending: Vec<PendingMove> = {
+        let pending: Vec<PendingRange> = {
             let proc_ = self.process(pid)?;
             let master = proc_.master_node();
             let segment = proc_.aspace.segment(seg)?;
-            let moves = segment.non_complying(start, len, &policy, master)?;
+            if start + len > segment.len() {
+                return Err(SimError::RangeOutOfBounds { start, len, segment_len: segment.len() });
+            }
             if !move_pages {
                 return Ok(0);
             }
-            moves
+            segment
+                .non_complying_runs(start, len, &policy, master)?
                 .into_iter()
-                .map(|(page, to)| PendingMove {
+                .map(|r| PendingRange {
                     segment: seg,
-                    page,
-                    from: segment.node_of(page),
-                    to,
+                    start: r.start,
+                    len: r.len,
+                    from: r.from,
+                    to: r.to,
                 })
                 .collect()
         };
@@ -355,9 +403,9 @@ impl Simulator {
         // it (the latest policy wins, as with Linux's synchronous mbind).
         let proc_ = self.process_mut(pid)?;
         proc_.migrations.cancel_range(seg, start, len);
-        let count = pending.len();
-        proc_.migrations.enqueue(pending);
-        Ok(count)
+        let count: u64 = pending.iter().map(|r| r.len).sum();
+        proc_.migrations.enqueue_ranges(pending);
+        Ok(count as usize)
     }
 
     /// Apply one policy across every segment of the process (shared and
@@ -378,13 +426,24 @@ impl Simulator {
         Ok(total)
     }
 
-    /// Directly enqueue page moves (used by AutoNUMA and tests).
+    /// Directly enqueue single-page moves (tests and per-page callers;
+    /// contiguous moves coalesce into ranges in the queue).
     pub fn enqueue_moves(
         &mut self,
         pid: ProcessId,
         moves: Vec<PendingMove>,
     ) -> Result<(), SimError> {
         self.process_mut(pid)?.migrations.enqueue(moves);
+        Ok(())
+    }
+
+    /// Directly enqueue page-move ranges (used by AutoNUMA and tests).
+    pub fn enqueue_move_ranges(
+        &mut self,
+        pid: ProcessId,
+        ranges: Vec<PendingRange>,
+    ) -> Result<(), SimError> {
+        self.process_mut(pid)?.migrations.enqueue_ranges(ranges);
         Ok(())
     }
 
@@ -464,33 +523,31 @@ impl Simulator {
     pub fn step(&mut self) {
         let dt = self.cfg.epoch_dt;
         let n = self.machine.node_count();
+        let scratch = &mut self.scratch;
 
-        // 1-2. Assemble demand.
-        let mut ds = DemandSet::new();
-        let mut app_meta: Vec<(ProcessId, demand::GroupMeta)> = Vec::new();
+        // 1-2. Assemble demand into the reused workspace.
+        scratch.ds.clear();
+        scratch.app_meta.clear();
+        scratch.demand_ws.clear_epoch();
         for p in &self.procs {
             if !p.is_running() {
                 continue;
             }
             let pid = p.id;
-            let (groups, metas) = demand::build_app_groups(
+            demand::build_app_groups(
                 p,
                 &self.machine,
                 &self.ctrl_util,
                 self.cfg.latency_inflation,
                 |w| (pid.0 as u64) << 16 | w as u64,
+                &mut scratch.ds,
+                &mut scratch.app_meta,
+                &mut scratch.demand_ws,
             );
-            for (g, m) in groups.into_iter().zip(metas) {
-                ds.push(g);
-                app_meta.push((pid, m));
-            }
         }
-        let app_groups = ds.groups.len();
-        struct MigAttempt {
-            pid: ProcessId,
-            pages: usize,
-        }
-        let mut mig_meta: Vec<MigAttempt> = Vec::new();
+        let app_groups = scratch.ds.len();
+        scratch.mig_meta.clear();
+        scratch.pair_count.resize(n * n, 0);
         for p in &self.procs {
             if p.migrations.is_empty() {
                 continue;
@@ -498,60 +555,77 @@ impl Simulator {
             let budget_pages =
                 ((self.cfg.migration_gbps * 1e9 * dt) / PAGE_SIZE as f64).ceil() as usize;
             let attempt = budget_pages.min(p.migrations.pending()).max(1);
-            // Aggregate attempted moves by (from, to).
-            let mut per_pair: Vec<((u16, u16), usize)> = Vec::new();
-            for mv in p.migrations.peek(attempt) {
-                let key = (mv.from.0, mv.to.0);
-                match per_pair.iter_mut().find(|(k, _)| *k == key) {
-                    Some((_, c)) => *c += 1,
-                    None => per_pair.push((key, 1)),
-                }
+            // Aggregate attempted moves by (from, to): dense counts, plus
+            // the pairs in first-appearance (FIFO) order so the emitted
+            // flow order matches the queue page order exactly.
+            for &(f, t) in &scratch.pair_order {
+                scratch.pair_count[f as usize * n + t as usize] = 0;
             }
-            let flows: Vec<FlowDemand> = per_pair
-                .iter()
-                .flat_map(|&((from, to), count)| {
-                    let rate = count as f64 * PAGE_SIZE as f64 / dt / 1e9;
-                    [
-                        // Read the page from its current node...
-                        FlowDemand {
-                            mem: NodeId(from),
-                            cpu: NodeId(to),
-                            read_gbps: rate,
-                            write_gbps: 0.0,
-                        },
-                        // ...and write it into the destination node.
-                        FlowDemand {
-                            mem: NodeId(to),
-                            cpu: NodeId(to),
-                            read_gbps: 0.0,
-                            write_gbps: rate,
-                        },
-                    ]
-                })
-                .collect();
-            ds.push(GroupSpec { id: (1u64 << 63) | p.id.0 as u64, weight: 1.0, cap: 1.0, flows });
-            mig_meta.push(MigAttempt { pid: p.id, pages: attempt });
+            scratch.pair_order.clear();
+            let mut left = attempt as u64;
+            for r in p.migrations.ranges() {
+                if left == 0 {
+                    break;
+                }
+                let take = r.len.min(left);
+                left -= take;
+                let key = r.from.0 as usize * n + r.to.0 as usize;
+                if scratch.pair_count[key] == 0 {
+                    scratch.pair_order.push((r.from.0, r.to.0));
+                }
+                scratch.pair_count[key] += take;
+            }
+            scratch.ds.begin_group((1u64 << 63) | p.id.0 as u64, 1.0, 1.0);
+            for &(from, to) in &scratch.pair_order {
+                let count = scratch.pair_count[from as usize * n + to as usize];
+                let rate = count as f64 * PAGE_SIZE as f64 / dt / 1e9;
+                // Read the page from its current node...
+                scratch.ds.add_flow(FlowDemand {
+                    mem: NodeId(from),
+                    cpu: NodeId(to),
+                    read_gbps: rate,
+                    write_gbps: 0.0,
+                });
+                // ...and write it into the destination node.
+                scratch.ds.add_flow(FlowDemand {
+                    mem: NodeId(to),
+                    cpu: NodeId(to),
+                    read_gbps: 0.0,
+                    write_gbps: rate,
+                });
+            }
+            scratch.mig_meta.push(MigAttempt { pid: p.id, pages: attempt });
         }
 
         // 3. Allocate bandwidth.
-        let solved = ds.solve(&self.machine, &self.resources, &self.cfg.ctrl_model);
+        scratch.ds.solve_into(
+            &self.machine,
+            &self.resources,
+            &self.cfg.ctrl_model,
+            &mut scratch.solve_ws,
+            &mut scratch.solved,
+        );
         for i in 0..n {
             let r = self.resources.ctrl(NodeId(i as u16));
-            self.ctrl_util[i] = solved.allocation.utilization(self.resources.capacities(), r);
+            self.ctrl_util[i] =
+                scratch.solved.allocation.utilization(self.resources.capacities(), r);
         }
 
         // 4. Progress, stalls, counters.
-        // Group app outcomes per process.
-        let mut per_proc: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.procs.len()];
-        for (gi, (pid, _)) in app_meta.iter().enumerate() {
-            per_proc[pid.0].push((gi, solved.outcomes[gi].activity));
+        // Group app outcomes per process (inner vectors reused).
+        for v in scratch.per_proc.iter_mut() {
+            v.clear();
         }
-        for (pid_idx, proc_groups) in per_proc.iter().enumerate() {
+        scratch.per_proc.resize_with(self.procs.len(), Vec::new);
+        for (gi, (pid, _)) in scratch.app_meta.iter().enumerate() {
+            scratch.per_proc[pid.0].push((gi, scratch.solved.outcomes[gi].activity));
+        }
+        for (pid_idx, proc_groups) in scratch.per_proc.iter().enumerate() {
             if proc_groups.is_empty() {
                 continue;
             }
             let rate_gbps: f64 =
-                proc_groups.iter().map(|&(gi, u)| u * app_meta[gi].1.demand_gbps).sum();
+                proc_groups.iter().map(|&(gi, u)| u * scratch.app_meta[gi].1.demand_gbps).sum();
             let p = &self.procs[pid_idx];
             let remaining = p.profile.total_traffic_gb - p.work_done_gb;
             let frac = if rate_gbps * dt >= remaining && remaining.is_finite() {
@@ -561,31 +635,32 @@ impl Simulator {
             };
             let dt_eff = dt * frac;
             let alpha = p.profile.latency_sensitivity;
+            // One division per process, not one per group per node.
+            let read_frac = {
+                let pr = &p.profile;
+                let tot = pr.read_gbps_per_thread + pr.write_gbps_per_thread;
+                if tot > 0.0 {
+                    pr.read_gbps_per_thread / tot
+                } else {
+                    1.0
+                }
+            };
             let pid = p.id;
             for &(gi, u) in proc_groups {
-                let meta = &app_meta[gi].1;
+                let meta = &scratch.app_meta[gi].1;
                 let stall = demand::stall_fraction(u, alpha, meta.latency_factor);
                 let cycles = meta.cycle_threads * CLOCK_HZ * dt_eff;
                 self.counters.record_cycles(pid, cycles, stall * cycles);
                 let node_bytes = u * meta.demand_gbps * 1e9 * dt_eff;
-                let read_frac = {
-                    let pr = &self.procs[pid_idx].profile;
-                    let tot = pr.read_gbps_per_thread + pr.write_gbps_per_thread;
-                    if tot > 0.0 {
-                        pr.read_gbps_per_thread / tot
-                    } else {
-                        1.0
-                    }
-                };
-                for i in 0..n {
-                    let share = meta.share[i];
-                    if share > 1e-12 {
+                let share = &scratch.demand_ws.share_arena[meta.share_off..meta.share_off + n];
+                for (i, &share_i) in share.iter().enumerate() {
+                    if share_i > 1e-12 {
                         self.counters.record_flow(
                             pid,
                             i,
                             meta.node,
-                            node_bytes * share * read_frac,
-                            node_bytes * share * (1.0 - read_frac),
+                            node_bytes * share_i * read_frac,
+                            node_bytes * share_i * (1.0 - read_frac),
                         );
                     }
                 }
@@ -598,9 +673,10 @@ impl Simulator {
             }
         }
 
-        // 5. Complete migrations.
-        for (mi, att) in mig_meta.iter().enumerate() {
-            let u = solved.outcomes[app_groups + mi].activity;
+        // 5. Complete migrations, range by range.
+        for mi in 0..scratch.mig_meta.len() {
+            let att = &scratch.mig_meta[mi];
+            let u = scratch.solved.outcomes[app_groups + mi].activity;
             let pid = att.pid;
             self.procs[pid.0].migration_credit += u * att.pages as f64;
             let completed = (self.procs[pid.0].migration_credit + 1e-9).floor() as usize;
@@ -608,35 +684,42 @@ impl Simulator {
                 continue;
             }
             self.procs[pid.0].migration_credit -= completed as f64;
-            let moves = self.procs[pid.0].migrations.complete(completed);
-            for mv in moves {
-                // A later mbind may have re-queued this page while this
-                // move was pending: trust the page table, not the stale
+            scratch.completed.clear();
+            self.procs[pid.0].migrations.complete_into(completed, &mut scratch.completed);
+            let StepScratch { completed, runs_buf, .. } = &mut *scratch;
+            for r in completed.iter() {
+                // A later mbind may have re-queued these pages while the
+                // range was pending: trust the page table, not the stale
                 // `from` recorded at enqueue time.
-                let current = self.procs[pid.0]
-                    .aspace
-                    .segment(mv.segment)
-                    .expect("segment exists")
-                    .node_of(mv.page);
-                if current == mv.to {
-                    continue;
+                runs_buf.clear();
+                {
+                    let seg = self.procs[pid.0].aspace.segment(r.segment).expect("segment exists");
+                    seg.for_each_run(r.start, r.len, |a, l, node| {
+                        runs_buf.push((a, l, node));
+                        true
+                    });
                 }
-                // Best-effort: drop the move if the destination is full.
-                if self.frames.alloc(mv.to, 1).is_ok() {
-                    self.frames.release(current, 1);
+                for &(run_start, run_len, current) in runs_buf.iter() {
+                    if current == r.to {
+                        continue;
+                    }
+                    // Best-effort: drop what the destination cannot hold
+                    // (free frames only shrink while a range applies, so
+                    // the first `m` movable pages land, as per-page did).
+                    let m = run_len.min(self.frames.free(r.to));
+                    if m == 0 {
+                        continue;
+                    }
+                    self.frames.alloc(r.to, m).expect("free frames checked");
+                    self.frames.release(current, m);
                     self.procs[pid.0]
                         .aspace
-                        .segment_mut(mv.segment)
+                        .segment_mut(r.segment)
                         .expect("segment exists")
-                        .relocate(mv.page, mv.to);
-                    self.counters.record_flow(
-                        pid,
-                        current.idx(),
-                        mv.to.idx(),
-                        PAGE_SIZE as f64,
-                        0.0,
-                    );
-                    self.counters.record_flow(pid, mv.to.idx(), mv.to.idx(), 0.0, PAGE_SIZE as f64);
+                        .relocate_run(run_start, m, r.to);
+                    let bytes = m as f64 * PAGE_SIZE as f64;
+                    self.counters.record_flow(pid, current.idx(), r.to.idx(), bytes, 0.0);
+                    self.counters.record_flow(pid, r.to.idx(), r.to.idx(), 0.0, bytes);
                 }
             }
         }

@@ -62,23 +62,57 @@ impl FramePools {
         Ok(())
     }
 
+    /// The node a single-page allocation would come from: `preferred` if
+    /// it has a free frame, else the first fallback node with one — THE
+    /// spill rule (Linux zone-fallback analogue); every allocation path
+    /// routes through it so spill semantics live in one place.
+    pub fn first_free(&self, preferred: NodeId, fallback: &[NodeId]) -> Result<NodeId, SimError> {
+        if self.free(preferred) > 0 {
+            return Ok(preferred);
+        }
+        fallback.iter().copied().find(|&f| self.free(f) > 0).ok_or(SimError::OutOfMemory)
+    }
+
     /// Allocate one page on `preferred`, spilling to the fallback nodes in
-    /// the given order when full (Linux zone-fallback analogue). Returns
-    /// the node that actually supplied the frame.
+    /// the given order when full. Returns the node that actually supplied
+    /// the frame.
     pub fn alloc_with_fallback(
         &mut self,
         preferred: NodeId,
         fallback: &[NodeId],
     ) -> Result<NodeId, SimError> {
-        if self.alloc(preferred, 1).is_ok() {
-            return Ok(preferred);
+        let node = self.first_free(preferred, fallback)?;
+        self.alloc(node, 1)?;
+        Ok(node)
+    }
+
+    /// Allocate `count` frames preferring `preferred` and spilling in
+    /// `fallback` order as pools drain — the batched equivalent of `count`
+    /// successive [`FramePools::alloc_with_fallback`] calls (free counts
+    /// only shrink during a placement, so the per-page spill decision is
+    /// constant between pool exhaustions). Returns the granted
+    /// `(node, frames)` runs in allocation order: a million-page bind is
+    /// one pool operation per spill boundary.
+    ///
+    /// On exhaustion mid-run the frames already granted stay allocated
+    /// and `SimError::OutOfMemory` is returned, exactly as the per-page
+    /// loop left them.
+    pub fn alloc_run(
+        &mut self,
+        preferred: NodeId,
+        fallback: &[NodeId],
+        count: u64,
+    ) -> Result<Vec<(NodeId, u64)>, SimError> {
+        let mut runs: Vec<(NodeId, u64)> = Vec::new();
+        let mut left = count;
+        while left > 0 {
+            let node = self.first_free(preferred, fallback)?;
+            let take = left.min(self.free(node));
+            self.alloc(node, take)?;
+            runs.push((node, take));
+            left -= take;
         }
-        for &f in fallback {
-            if self.alloc(f, 1).is_ok() {
-                return Ok(f);
-            }
-        }
-        Err(SimError::OutOfMemory)
+        Ok(runs)
     }
 
     /// Release `count` pages on `n`.
@@ -137,6 +171,24 @@ mod tests {
             p.alloc(n, p.capacity(n)).unwrap();
         }
         assert!(p.alloc_with_fallback(NodeId(0), &[NodeId(1)]).is_err());
+    }
+
+    #[test]
+    fn alloc_run_batches_with_spill_order() {
+        let m = machines::twin();
+        let mut p = FramePools::from_machine(&m);
+        let (n0, n1) = (NodeId(0), NodeId(1));
+        let cap0 = p.capacity(n0);
+        p.alloc(n0, cap0 - 5).unwrap();
+        let runs = p.alloc_run(n0, &[n1], 12).unwrap();
+        assert_eq!(runs, vec![(n0, 5), (n1, 7)]);
+        assert_eq!(p.free(n0), 0);
+        assert_eq!(p.used(n1), 7);
+        // Exhaustion: grants what it can, then errors.
+        let cap1 = p.capacity(n1);
+        let r = p.alloc_run(n0, &[n1], cap1);
+        assert!(r.is_err());
+        assert_eq!(p.free(n1), 0, "partial grant stays allocated, as per-page spill did");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Rate-limited page migration.
+//! Rate-limited page migration, queued as **ranges**.
 //!
 //! Migrations queue up (from `mbind` with move semantics, or from the
 //! AutoNUMA daemon) and drain each epoch at a bounded rate, consuming
@@ -6,12 +6,21 @@
 //! migration reads the page from its source node and writes it to its
 //! destination. This is what makes the DWP tuner's incremental migration
 //! *cost* something, reproducing the paper's <= 4 % tuner overhead.
+//!
+//! The queue stores [`PendingRange`]s — `(segment, page range, from, to)`
+//! — not individual pages: a weighted-interleave `mbind` over a
+//! million-page segment queues one range per placement block instead of a
+//! million `PendingMove`s. The FIFO page *order* is identical to the
+//! historical per-page queue (ranges are enqueued in ascending page order
+//! and split on partial completion), so rate-limiting, demand accounting
+//! and completion all behave page-for-page the same.
 
 use crate::mem::segment::SegmentId;
 use bwap_topology::NodeId;
 use std::collections::VecDeque;
 
-/// One queued page move.
+/// One queued page move (the per-page interface, kept for AutoNUMA-style
+/// callers and tests; the queue coalesces contiguous moves into ranges).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PendingMove {
     /// Segment the page belongs to.
@@ -24,10 +33,36 @@ pub struct PendingMove {
     pub to: NodeId,
 }
 
-/// FIFO queue of page moves for one process.
+/// A queued run of page moves: `len` consecutive pages of `segment`
+/// starting at `start`, recorded on `from` at enqueue time, heading to
+/// `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRange {
+    /// Segment the pages belong to.
+    pub segment: SegmentId,
+    /// First page of the run.
+    pub start: u64,
+    /// Pages in the run.
+    pub len: u64,
+    /// Node holding the run when it was queued (demand accounting; the
+    /// completion path re-reads the page table).
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+}
+
+/// FIFO queue of page-move ranges for one process.
 #[derive(Debug, Clone, Default)]
 pub struct MigrationQueue {
-    queue: VecDeque<PendingMove>,
+    queue: VecDeque<PendingRange>,
+    /// Pages across all queued ranges (kept in sync with `queue`).
+    pending_pages: u64,
+    /// Conservative per-segment page spans `(segment, lo, hi)` covering
+    /// every queued range (spans only grow; reset when the queue drains).
+    /// Lets `cancel_range` answer the common no-overlap case — e.g. the
+    /// paper's Algorithm 1 issuing one `mbind` per *disjoint* sub-range —
+    /// in O(segments) instead of walking a million-range queue.
+    seg_spans: Vec<(SegmentId, u64, u64)>,
     /// Total pages ever enqueued (stat).
     pub enqueued_total: u64,
     /// Total pages ever migrated (stat).
@@ -40,16 +75,56 @@ impl MigrationQueue {
         MigrationQueue::default()
     }
 
-    /// Append moves (deterministic FIFO order).
-    pub fn enqueue(&mut self, moves: impl IntoIterator<Item = PendingMove>) {
-        for m in moves {
-            self.queue.push_back(m);
-            self.enqueued_total += 1;
+    /// Append ranges (deterministic FIFO order). Contiguous ranges with
+    /// matching endpoints coalesce with the queue tail.
+    pub fn enqueue_ranges(&mut self, ranges: impl IntoIterator<Item = PendingRange>) {
+        for r in ranges {
+            if r.len == 0 {
+                continue;
+            }
+            match self.seg_spans.iter_mut().find(|(s, ..)| *s == r.segment) {
+                Some((_, lo, hi)) => {
+                    *lo = (*lo).min(r.start);
+                    *hi = (*hi).max(r.start + r.len);
+                }
+                None => self.seg_spans.push((r.segment, r.start, r.start + r.len)),
+            }
+            self.pending_pages += r.len;
+            self.enqueued_total += r.len;
+            if let Some(back) = self.queue.back_mut() {
+                if back.segment == r.segment
+                    && back.from == r.from
+                    && back.to == r.to
+                    && back.start + back.len == r.start
+                {
+                    back.len += r.len;
+                    continue;
+                }
+            }
+            self.queue.push_back(r);
         }
+    }
+
+    /// Append single-page moves (compatibility shim over
+    /// [`MigrationQueue::enqueue_ranges`]; contiguous pages coalesce).
+    pub fn enqueue(&mut self, moves: impl IntoIterator<Item = PendingMove>) {
+        self.enqueue_ranges(moves.into_iter().map(|m| PendingRange {
+            segment: m.segment,
+            start: m.page,
+            len: 1,
+            from: m.from,
+            to: m.to,
+        }));
     }
 
     /// Pending page count.
     pub fn pending(&self) -> usize {
+        self.pending_pages as usize
+    }
+
+    /// Number of queued ranges (diagnostics: regular rebinds stay
+    /// O(placement blocks), never O(pages)).
+    pub fn range_count(&self) -> usize {
         self.queue.len()
     }
 
@@ -58,32 +133,100 @@ impl MigrationQueue {
         self.queue.is_empty()
     }
 
-    /// Peek at the first `k` moves without removing them (the demand the
-    /// migration engine will attempt this epoch).
-    pub fn peek(&self, k: usize) -> impl Iterator<Item = &PendingMove> {
-        self.queue.iter().take(k)
+    /// The queued ranges in FIFO order (the demand the migration engine
+    /// will attempt, front first), without removing them.
+    pub fn ranges(&self) -> impl Iterator<Item = &PendingRange> {
+        self.queue.iter()
     }
 
-    /// Remove and return the first `k` moves (those that completed).
-    pub fn complete(&mut self, k: usize) -> Vec<PendingMove> {
-        let k = k.min(self.queue.len());
-        self.migrated_total += k as u64;
-        self.queue.drain(..k).collect()
+    /// Remove the first `k` *pages* from the queue into `out` (those that
+    /// completed), splitting the boundary range if needed. Returns the
+    /// number of pages removed.
+    pub fn complete_into(&mut self, k: usize, out: &mut Vec<PendingRange>) -> usize {
+        let mut left = (k as u64).min(self.pending_pages);
+        let removed = left;
+        while left > 0 {
+            let front = self.queue.front_mut().expect("pending_pages tracks queue");
+            if front.len <= left {
+                left -= front.len;
+                self.pending_pages -= front.len;
+                out.push(self.queue.pop_front().expect("non-empty"));
+            } else {
+                out.push(PendingRange { len: left, ..*front });
+                front.start += left;
+                front.len -= left;
+                self.pending_pages -= left;
+                left = 0;
+            }
+        }
+        self.migrated_total += removed;
+        if self.queue.is_empty() {
+            self.seg_spans.clear();
+        }
+        removed as usize
+    }
+
+    /// Remove and return the first `k` pages as ranges (allocating
+    /// convenience form of [`MigrationQueue::complete_into`]).
+    pub fn complete(&mut self, k: usize) -> Vec<PendingRange> {
+        let mut out = Vec::new();
+        self.complete_into(k, &mut out);
+        out
     }
 
     /// Drop all pending moves (e.g. when the process exits).
     pub fn clear(&mut self) {
         self.queue.clear();
+        self.seg_spans.clear();
+        self.pending_pages = 0;
     }
 
     /// Drop pending moves for pages of `segment` in `[start, start+len)`.
     /// A fresh `mbind` over a range supersedes queued moves for it — the
-    /// latest policy wins, as with Linux's synchronous `mbind`. Returns
-    /// how many moves were cancelled.
+    /// latest policy wins, as with Linux's synchronous `mbind`. Ranges
+    /// partially covered are trimmed or split in place. Returns how many
+    /// page moves were cancelled. Cancels that cannot touch anything —
+    /// checked against the per-segment span index — return without
+    /// scanning the queue.
     pub fn cancel_range(&mut self, segment: SegmentId, start: u64, len: u64) -> usize {
-        let before = self.queue.len();
-        self.queue.retain(|m| !(m.segment == segment && m.page >= start && m.page < start + len));
-        before - self.queue.len()
+        if len == 0 {
+            return 0;
+        }
+        let end = start + len;
+        let possible =
+            self.seg_spans.iter().any(|&(s, lo, hi)| s == segment && start < hi && end > lo);
+        if !possible {
+            return 0;
+        }
+        // Span hit: confirm a real overlap with one read-only pass before
+        // paying for the rebuild.
+        if !self
+            .queue
+            .iter()
+            .any(|r| r.segment == segment && r.start < end && r.start + r.len > start)
+        {
+            return 0;
+        }
+        let mut cancelled = 0u64;
+        let mut kept: VecDeque<PendingRange> = VecDeque::with_capacity(self.queue.len() + 1);
+        for r in self.queue.drain(..) {
+            let r_end = r.start + r.len;
+            if r.segment != segment || r_end <= start || r.start >= end {
+                kept.push_back(r);
+                continue;
+            }
+            let (os, oe) = (r.start.max(start), r_end.min(end));
+            cancelled += oe - os;
+            if r.start < os {
+                kept.push_back(PendingRange { len: os - r.start, ..r });
+            }
+            if r_end > oe {
+                kept.push_back(PendingRange { start: oe, len: r_end - oe, ..r });
+            }
+        }
+        self.queue = kept;
+        self.pending_pages -= cancelled;
+        cancelled as usize
     }
 }
 
@@ -95,18 +238,34 @@ mod tests {
         PendingMove { segment: SegmentId(0), page, from: NodeId(from), to: NodeId(to) }
     }
 
+    fn rg(start: u64, len: u64, from: u16, to: u16) -> PendingRange {
+        PendingRange { segment: SegmentId(0), start, len, from: NodeId(from), to: NodeId(to) }
+    }
+
     #[test]
     fn fifo_order() {
         let mut q = MigrationQueue::new();
         q.enqueue([mv(0, 0, 1), mv(1, 0, 1), mv(2, 1, 0)]);
         assert_eq!(q.pending(), 3);
+        assert_eq!(q.range_count(), 2, "contiguous same-pair moves coalesce");
         let done = q.complete(2);
-        assert_eq!(done.len(), 2);
-        assert_eq!(done[0].page, 0);
-        assert_eq!(done[1].page, 1);
+        assert_eq!(done, vec![rg(0, 2, 0, 1)]);
         assert_eq!(q.pending(), 1);
         assert_eq!(q.migrated_total, 2);
         assert_eq!(q.enqueued_total, 3);
+    }
+
+    #[test]
+    fn complete_splits_boundary_range() {
+        let mut q = MigrationQueue::new();
+        q.enqueue_ranges([rg(0, 10, 0, 1)]);
+        let done = q.complete(4);
+        assert_eq!(done, vec![rg(0, 4, 0, 1)]);
+        assert_eq!(q.pending(), 6);
+        let rest = q.complete(100);
+        assert_eq!(rest, vec![rg(4, 6, 0, 1)]);
+        assert!(q.is_empty());
+        assert_eq!(q.migrated_total, 10);
     }
 
     #[test]
@@ -119,10 +278,10 @@ mod tests {
     }
 
     #[test]
-    fn peek_does_not_consume() {
+    fn ranges_do_not_consume() {
         let mut q = MigrationQueue::new();
         q.enqueue([mv(0, 0, 1), mv(1, 1, 2)]);
-        let peeked: Vec<_> = q.peek(5).copied().collect();
+        let peeked: Vec<_> = q.ranges().copied().collect();
         assert_eq!(peeked.len(), 2);
         assert_eq!(q.pending(), 2);
     }
@@ -133,6 +292,7 @@ mod tests {
         q.enqueue([mv(0, 0, 1)]);
         q.clear();
         assert!(q.is_empty());
+        assert_eq!(q.pending(), 0);
     }
 
     #[test]
@@ -146,7 +306,18 @@ mod tests {
         assert_eq!(q.pending(), 2);
         // segment 1's move and segment 0's page 10 survive
         let rest: Vec<_> = q.complete(10);
-        assert!(rest.iter().any(|m| m.segment == SegmentId(1)));
-        assert!(rest.iter().any(|m| m.page == 10 && m.segment == SegmentId(0)));
+        assert!(rest.iter().any(|r| r.segment == SegmentId(1)));
+        assert!(rest.iter().any(|r| r.start == 10 && r.segment == SegmentId(0)));
+    }
+
+    #[test]
+    fn cancel_range_splits_covering_range() {
+        let mut q = MigrationQueue::new();
+        q.enqueue_ranges([rg(0, 100, 2, 3)]);
+        let cancelled = q.cancel_range(SegmentId(0), 40, 20);
+        assert_eq!(cancelled, 20);
+        assert_eq!(q.pending(), 80);
+        let rest = q.complete(1000);
+        assert_eq!(rest, vec![rg(0, 40, 2, 3), rg(60, 40, 2, 3)]);
     }
 }

@@ -9,6 +9,6 @@ pub mod segment;
 
 pub use address_space::AddressSpace;
 pub use frames::FramePools;
-pub use migrate::{MigrationQueue, PendingMove};
+pub use migrate::{MigrationQueue, PendingMove, PendingRange};
 pub use policy::MemPolicy;
-pub use segment::{Segment, SegmentId, SegmentKind};
+pub use segment::{MoveRun, Segment, SegmentId, SegmentKind};

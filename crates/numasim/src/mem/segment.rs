@@ -1,4 +1,31 @@
-//! Virtual memory segments and their page-to-node mapping.
+//! Virtual memory segments and their page-to-node mapping, kept as
+//! run-length **extents** instead of a per-page array.
+//!
+//! # Representation
+//!
+//! A segment's placement is a sorted, disjoint, covering list of
+//! extents. Each extent maps a contiguous page range either to one
+//! node (`Const`) or to a repeating node cycle (`Cycle` — the periodic
+//! pattern a round-robin interleave produces, stored once instead of per
+//! page). The paper's placement policies are piecewise-regular, so real
+//! layouts compress to a handful of extents: a 1M-page
+//! weighted-interleave segment is one `Const` extent per positive-weight
+//! node, not a megabyte of `u16`s.
+//!
+//! # Invariants
+//!
+//! * extents are sorted by `start`, disjoint, and cover `[0, len)`;
+//! * every extent has `len > 0`; `Cycle` patterns have ≥ 2 nodes and are
+//!   never all-equal (those normalize to `Const`);
+//! * adjacent `Const` extents never share a node (they merge on write);
+//! * `node_counts` always equals the histogram implied by the extents.
+//!
+//! All mutators preserve the exact page-to-node mapping the historical
+//! per-page implementation produced — placement math binary-searches the
+//! *same* `MemPolicy::target_node` predicate rather than re-deriving
+//! boundaries in floating point, and batched frame allocation replicates
+//! the per-page spill loop (see `place`). The golden campaign reports
+//! pin this equivalence end-to-end.
 
 use crate::error::SimError;
 use crate::mem::frames::FramePools;
@@ -22,26 +49,180 @@ pub enum SegmentKind {
     },
 }
 
+/// Node-assignment rule of one extent.
+#[derive(Debug, Clone, PartialEq)]
+enum Pattern {
+    /// Every page of the extent lives on one node.
+    Const(NodeId),
+    /// Page `p` (extent-relative) lives on `nodes[p % nodes.len()]` — the
+    /// shape a round-robin interleave (possibly with spill substitutions)
+    /// lays down. The phase is folded into the rotation of `nodes`.
+    Cycle(Box<[NodeId]>),
+}
+
+/// A run of contiguous pages sharing one placement rule.
+#[derive(Debug, Clone, PartialEq)]
+struct Extent {
+    start: u64,
+    len: u64,
+    pat: Pattern,
+}
+
+impl Extent {
+    /// Node of absolute page `page` (must lie inside the extent).
+    fn node_at(&self, page: u64) -> NodeId {
+        debug_assert!(page >= self.start && page < self.start + self.len);
+        match &self.pat {
+            Pattern::Const(n) => *n,
+            Pattern::Cycle(nodes) => nodes[((page - self.start) % nodes.len() as u64) as usize],
+        }
+    }
+
+    fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Visit `(node, pages)` counts for the absolute sub-range `[a, b)`.
+    fn for_each_count(&self, a: u64, b: u64, mut f: impl FnMut(NodeId, u64)) {
+        debug_assert!(a >= self.start && b <= self.end() && a <= b);
+        if a == b {
+            return;
+        }
+        match &self.pat {
+            Pattern::Const(n) => f(*n, b - a),
+            Pattern::Cycle(nodes) => {
+                let k = nodes.len() as u64;
+                let (ra, rb) = (a - self.start, b - self.start);
+                for (j, &n) in nodes.iter().enumerate() {
+                    let c = slot_count(ra, rb, k, j as u64);
+                    if c > 0 {
+                        f(n, c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Number of integers `i` in `[a, b)` with `i % k == j`.
+fn slot_count(a: u64, b: u64, k: u64, j: u64) -> u64 {
+    let upto = |x: u64| if x <= j { 0 } else { (x - j - 1) / k + 1 };
+    upto(b) - upto(a)
+}
+
+/// One maximal run of non-complying pages an `mbind` would migrate: `len`
+/// consecutive pages starting at `start`, all currently on `from`, all
+/// targeted at `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveRun {
+    /// First page of the run (segment-absolute).
+    pub start: u64,
+    /// Pages in the run.
+    pub len: u64,
+    /// Node currently holding the run.
+    pub from: NodeId,
+    /// Node the policy assigns the run to.
+    pub to: NodeId,
+}
+
+/// The target pattern of a policy over one block of a range.
+enum TargetPat {
+    Const(NodeId),
+    /// Relative page `r` of the *whole policy range* targets
+    /// `nodes[r % nodes.len()]`.
+    Cycle(Vec<NodeId>),
+}
+
+/// Decompose `policy` over a range of `range_len` pages into blocks of
+/// regular structure, each `(rel_start, len, pattern)`. Exactly mirrors
+/// `MemPolicy::target_node` page by page: weighted-interleave block
+/// boundaries are found by binary search over the *original* per-page
+/// predicate (its mapping is monotone in the page index), so no float
+/// re-derivation can drift from the historical placement.
+fn policy_blocks(
+    policy: &MemPolicy,
+    range_len: u64,
+    toucher: NodeId,
+) -> Vec<(u64, u64, TargetPat)> {
+    if range_len == 0 {
+        return Vec::new();
+    }
+    match policy {
+        MemPolicy::FirstTouch => vec![(0, range_len, TargetPat::Const(toucher))],
+        MemPolicy::Bind(n) => vec![(0, range_len, TargetPat::Const(*n))],
+        MemPolicy::Interleave(set) => {
+            let nodes = set.to_vec();
+            if nodes.len() == 1 {
+                vec![(0, range_len, TargetPat::Const(nodes[0]))]
+            } else {
+                vec![(0, range_len, TargetPat::Cycle(nodes))]
+            }
+        }
+        MemPolicy::WeightedInterleave(_) => {
+            let mut blocks = Vec::new();
+            let mut cur = 0u64;
+            while cur < range_len {
+                let node = policy.target_node(cur, range_len, toucher);
+                // First index past `cur` with a different target.
+                let (mut lo, mut hi) = (cur, range_len);
+                while lo + 1 < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if policy.target_node(mid, range_len, toucher) == node {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                blocks.push((cur, hi - cur, TargetPat::Const(node)));
+                cur = hi;
+            }
+            blocks
+        }
+    }
+}
+
 /// A contiguous range of virtual pages, each mapped to a physical node.
 /// All pages are populated at creation (the paper's applications touch
 /// their full working set during initialization, before `BWAP-init`).
 #[derive(Debug, Clone)]
 pub struct Segment {
     kind: SegmentKind,
-    /// Node holding each page.
-    pages: Vec<u16>,
+    /// Length in pages.
+    len: u64,
+    /// Sorted, disjoint, covering placement runs.
+    extents: Vec<Extent>,
     /// Cached histogram: pages per node.
     node_counts: Vec<u64>,
+    /// Extent count that triggers the next compaction pass (doubles when
+    /// compaction cannot shrink the list, so aperiodic fragmentation
+    /// degrades gracefully instead of re-scanning every write).
+    compact_watermark: usize,
     /// Policy the segment was created under (later `mbind`s move pages but
     /// the creation policy records provenance for debugging).
     creation_policy: MemPolicy,
 }
+
+/// Extent count below which compaction never runs.
+const COMPACT_WATERMARK: usize = 64;
+/// Extents at most this long are expanded page-by-page during compaction
+/// (longer ones are structural and pass through unchanged).
+const COMPACT_SHORT: u64 = 4;
+/// Longest cycle period the compactor searches for.
+const COMPACT_MAX_PERIOD: usize = 64;
 
 impl Segment {
     /// Allocate and place `len` pages under `policy`. `toucher` is the node
     /// of the first-touching thread (the master thread for shared segments,
     /// the owner for private ones). `fallback` gives the spill order when
     /// the target node is full (nearest-first, like Linux zone fallback).
+    ///
+    /// The placement is computed analytically per policy block — a
+    /// million-page bind is a handful of pool operations — but lands every
+    /// page on exactly the node the historical page-at-a-time loop chose:
+    /// free counts only shrink during placement, so "first node of
+    /// `[target] + fallback` with a free frame" is constant between pool
+    /// exhaustions and whole runs can be granted at once (see
+    /// [`FramePools::alloc_run`]).
     pub fn place(
         kind: SegmentKind,
         len: u64,
@@ -58,15 +239,128 @@ impl Segment {
                 fallback.len()
             )));
         }
-        let mut pages = Vec::with_capacity(len as usize);
-        let mut node_counts = vec![0u64; node_count];
-        for i in 0..len {
-            let target = policy.target_node(i, len, toucher);
-            let got = frames.alloc_with_fallback(target, &fallback[target.idx()])?;
-            pages.push(got.0);
-            node_counts[got.idx()] += 1;
+        let mut seg = Segment {
+            kind,
+            len: 0,
+            extents: Vec::new(),
+            node_counts: vec![0u64; node_count],
+            compact_watermark: COMPACT_WATERMARK,
+            creation_policy: policy.clone(),
+        };
+        for (_, block_len, pat) in policy_blocks(policy, len, toucher) {
+            match pat {
+                TargetPat::Const(target) => {
+                    for (node, granted) in
+                        frames.alloc_run(target, &fallback[target.idx()], block_len)?
+                    {
+                        seg.push_const(node, granted);
+                    }
+                }
+                TargetPat::Cycle(nodes) => seg.place_cycle(&nodes, block_len, frames, fallback)?,
+            }
         }
-        Ok(Segment { kind, pages, node_counts, creation_policy: policy.clone() })
+        debug_assert_eq!(seg.len, len);
+        Ok(seg)
+    }
+
+    /// Place `total` pages round-robin over `nodes`, spilling exactly like
+    /// the per-page loop. Between pool exhaustions the *effective* target
+    /// of each cycle slot (first free node of its spill chain) is fixed,
+    /// so whole batches of cycles collapse into one `Cycle` extent; each
+    /// exhaustion starts a new regime.
+    fn place_cycle(
+        &mut self,
+        nodes: &[NodeId],
+        total: u64,
+        frames: &mut FramePools,
+        fallback: &[Vec<NodeId>],
+    ) -> Result<(), SimError> {
+        let k = nodes.len();
+        debug_assert!(k >= 2);
+        let mut placed = 0u64;
+        let mut eff = vec![NodeId(0); k];
+        let mut share: Vec<(NodeId, u64)> = Vec::with_capacity(k);
+        while placed < total {
+            for (j, &n) in nodes.iter().enumerate() {
+                eff[j] = frames.first_free(n, &fallback[n.idx()])?;
+            }
+            // Pages each node receives per full cycle under this regime.
+            share.clear();
+            for &e in &eff {
+                match share.iter_mut().find(|(n, _)| *n == e) {
+                    Some((_, c)) => *c += 1,
+                    None => share.push((e, 1)),
+                }
+            }
+            let cycles = share.iter().map(|&(n, s)| frames.free(n) / s).min().expect("k >= 2");
+            if cycles == 0 {
+                // Not a full cycle of room: step page by page (each step can
+                // exhaust a pool and change the spill picture) until the
+                // next cycle boundary.
+                let boundary = placed + (k as u64 - placed % k as u64);
+                while placed < boundary.min(total) {
+                    let slot = (placed % k as u64) as usize;
+                    let target = nodes[slot];
+                    let node = frames.first_free(target, &fallback[target.idx()])?;
+                    frames.alloc(node, 1)?;
+                    self.push_const(node, 1);
+                    placed += 1;
+                }
+                continue;
+            }
+            let pages = (total - placed).min(cycles * k as u64);
+            // Grant every node its exact share of these `pages`, starting
+            // at the current cycle phase.
+            let phase = (placed % k as u64) as usize;
+            let full = pages / k as u64;
+            let rem = (pages % k as u64) as usize;
+            for j in 0..k {
+                let node = eff[(phase + j) % k];
+                let cnt = full + u64::from(j < rem);
+                if cnt > 0 {
+                    frames.alloc(node, cnt)?;
+                }
+            }
+            let rotated: Vec<NodeId> = (0..k).map(|j| eff[(phase + j) % k]).collect();
+            self.push_cycle(&rotated, pages);
+            placed += pages;
+        }
+        Ok(())
+    }
+
+    /// Append `len` pages on `node` to the tail of the segment, merging
+    /// with the previous extent when possible.
+    fn push_const(&mut self, node: NodeId, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.node_counts[node.idx()] += len;
+        if let Some(last) = self.extents.last_mut() {
+            if matches!(&last.pat, Pattern::Const(n) if *n == node) {
+                last.len += len;
+                self.len += len;
+                return;
+            }
+        }
+        self.extents.push(Extent { start: self.len, len, pat: Pattern::Const(node) });
+        self.len += len;
+    }
+
+    /// Append `len` pages cycling over `nodes` (phase already folded into
+    /// the rotation). Degenerate cycles normalize to `Const`.
+    fn push_cycle(&mut self, nodes: &[NodeId], len: u64) {
+        if len == 0 {
+            return;
+        }
+        if nodes.iter().all(|&n| n == nodes[0]) || len == 1 {
+            self.push_const(nodes[0], len);
+            return;
+        }
+        let ext =
+            Extent { start: self.len, len, pat: Pattern::Cycle(nodes.to_vec().into_boxed_slice()) };
+        ext.for_each_count(ext.start, ext.end(), |n, c| self.node_counts[n.idx()] += c);
+        self.extents.push(ext);
+        self.len += len;
     }
 
     /// Segment kind.
@@ -76,17 +370,44 @@ impl Segment {
 
     /// Length in pages.
     pub fn len(&self) -> u64 {
-        self.pages.len() as u64
+        self.len
     }
 
     /// Whether the segment has no pages.
     pub fn is_empty(&self) -> bool {
-        self.pages.is_empty()
+        self.len == 0
+    }
+
+    /// Number of extents currently describing the placement (diagnostics /
+    /// perf assertions: regular placements stay O(nodes), never O(pages)).
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Approximate heap footprint of the placement bookkeeping, bytes.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let ext = self.extents.capacity() * std::mem::size_of::<Extent>();
+        let cycles: usize = self
+            .extents
+            .iter()
+            .map(|e| match &e.pat {
+                Pattern::Const(_) => 0,
+                Pattern::Cycle(nodes) => nodes.len() * std::mem::size_of::<NodeId>(),
+            })
+            .sum();
+        ext + cycles + self.node_counts.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Index of the extent containing `page`.
+    fn extent_index(&self, page: u64) -> usize {
+        debug_assert!(page < self.len, "page {page} out of bounds ({})", self.len);
+        self.extents.partition_point(|e| e.start <= page) - 1
     }
 
     /// Node currently holding page `i`.
     pub fn node_of(&self, i: u64) -> NodeId {
-        NodeId(self.pages[i as usize])
+        assert!(i < self.len, "page {i} out of bounds ({})", self.len);
+        self.extents[self.extent_index(i)].node_at(i)
     }
 
     /// Pages per node.
@@ -96,11 +417,23 @@ impl Segment {
 
     /// Fraction of pages per node (all zeros for an empty segment).
     pub fn distribution(&self) -> Vec<f64> {
-        let total = self.pages.len() as f64;
+        let mut out = vec![0.0; self.node_counts.len()];
+        self.fill_distribution(&mut out);
+        out
+    }
+
+    /// Write the per-node page fractions into `out` (allocation-free
+    /// epoch-loop variant of [`Segment::distribution`]).
+    pub fn fill_distribution(&self, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.node_counts.len());
+        let total = self.len as f64;
         if total == 0.0 {
-            return vec![0.0; self.node_counts.len()];
+            out.fill(0.0);
+            return;
         }
-        self.node_counts.iter().map(|&c| c as f64 / total).collect()
+        for (o, &c) in out.iter_mut().zip(&self.node_counts) {
+            *o = c as f64 / total;
+        }
     }
 
     /// Policy the segment was created under.
@@ -112,18 +445,273 @@ impl Segment {
     /// responsible for frame accounting (this keeps migration atomic with
     /// respect to [`FramePools`] in one place, the migration engine).
     pub fn relocate(&mut self, i: u64, to: NodeId) {
-        let from = self.pages[i as usize];
-        if from == to.0 {
+        if self.node_of(i) == to {
             return;
         }
-        self.node_counts[from as usize] -= 1;
-        self.node_counts[to.idx()] += 1;
-        self.pages[i as usize] = to.0;
+        self.relocate_run(i, 1, to);
+    }
+
+    /// Move the `len` pages starting at `start` to `to`, splitting the
+    /// overlapped extents — the O(extents) bulk form of
+    /// [`Segment::relocate`] the range-based migration engine uses.
+    pub fn relocate_run(&mut self, start: u64, len: u64, to: NodeId) {
+        assert!(start + len <= self.len, "relocate_run out of bounds");
+        if len == 0 {
+            return;
+        }
+        let end = start + len;
+        let i0 = self.extent_index(start);
+        let mut i1 = i0;
+        while self.extents[i1].end() < end {
+            i1 += 1;
+        }
+        // Histogram: drop the overlapped pages' old homes, add the new one.
+        let mut counts_delta_applied = 0u64;
+        for e in &self.extents[i0..=i1] {
+            let (a, b) = (start.max(e.start), end.min(e.end()));
+            let counts = &mut self.node_counts;
+            e.for_each_count(a, b, |n, c| {
+                counts[n.idx()] -= c;
+                counts_delta_applied += c;
+            });
+        }
+        debug_assert_eq!(counts_delta_applied, len);
+        self.node_counts[to.idx()] += len;
+        // Rebuild the overlapped span: prefix of the first extent, the new
+        // constant run, suffix of the last extent.
+        let mut replacement: Vec<Extent> = Vec::with_capacity(3);
+        let first = &self.extents[i0];
+        if first.start < start {
+            replacement.push(trim(first, first.start, start));
+        }
+        replacement.push(Extent { start, len, pat: Pattern::Const(to) });
+        let last = &self.extents[i1];
+        if last.end() > end {
+            replacement.push(trim(last, end, last.end()));
+        }
+        self.extents.splice(i0..=i1, replacement);
+        self.merge_around(i0);
+        self.maybe_compact();
+    }
+
+    /// Run a compaction pass when fragmentation crosses the watermark.
+    /// Migrating a range *into* an interleave pattern (the paper's
+    /// user-level Algorithm 1) splits constant extents into per-page
+    /// singletons; the drained region is exactly periodic, so compaction
+    /// re-fuses those stretches into `Cycle` extents and the list stays
+    /// O(pattern) instead of O(pages). Purely representational: the
+    /// page-to-node mapping is untouched.
+    fn maybe_compact(&mut self) {
+        if self.extents.len() <= self.compact_watermark {
+            return;
+        }
+        self.compact();
+        // If the list would not shrink (genuinely aperiodic placement),
+        // back off so writes stay O(watermark) amortized.
+        self.compact_watermark = (self.extents.len() * 2).max(COMPACT_WATERMARK);
+    }
+
+    /// Rebuild the extent list, expanding stretches of short extents and
+    /// re-encoding them as the shortest periodic cycle (or merged constant
+    /// runs). Long extents pass through and re-merge at the seams.
+    fn compact(&mut self) {
+        let old = std::mem::take(&mut self.extents);
+        let mut out: Vec<Extent> = Vec::with_capacity(old.len().min(256));
+        let mut seq: Vec<NodeId> = Vec::new();
+        let mut seq_start = 0u64;
+        for e in &old {
+            if e.len <= COMPACT_SHORT {
+                if seq.is_empty() {
+                    seq_start = e.start;
+                }
+                for p in e.start..e.end() {
+                    seq.push(e.node_at(p));
+                }
+            } else {
+                flush_seq(&mut out, seq_start, &mut seq);
+                append_extent(&mut out, e.clone());
+            }
+        }
+        flush_seq(&mut out, seq_start, &mut seq);
+        self.extents = out;
+    }
+
+    /// Merge mergeable neighbors in `extents[idx.saturating_sub(1)..=idx+2]`
+    /// after a splice at `idx`.
+    fn merge_around(&mut self, idx: usize) {
+        let mut i = idx.saturating_sub(1);
+        while i + 1 < self.extents.len() && i <= idx + 2 {
+            let (a, b) = (&self.extents[i], &self.extents[i + 1]);
+            let merged = match (&a.pat, &b.pat) {
+                (Pattern::Const(x), Pattern::Const(y)) if x == y => true,
+                (Pattern::Cycle(xs), Pattern::Cycle(ys)) if xs.len() == ys.len() => {
+                    // b is the aligned continuation of a's cycle.
+                    let k = xs.len() as u64;
+                    let shift = (a.len % k) as usize;
+                    (0..xs.len()).all(|j| ys[j] == xs[(shift + j) % xs.len()])
+                }
+                _ => false,
+            };
+            if merged {
+                self.extents[i].len += self.extents[i + 1].len;
+                self.extents.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Visit the maximal constant-node runs covering `[start, start+len)`
+    /// in ascending page order: `f(run_start, run_len, node)`. O(runs) for
+    /// `Const` extents; `Cycle` extents yield their per-page alternation.
+    pub fn for_each_run(&self, start: u64, len: u64, mut f: impl FnMut(u64, u64, NodeId) -> bool) {
+        assert!(start + len <= self.len, "run walk out of bounds");
+        if len == 0 {
+            return;
+        }
+        let end = start + len;
+        let mut idx = self.extent_index(start);
+        let mut run_start = start;
+        let mut run_node = self.extents[idx].node_at(start);
+        let mut pos = start;
+        'outer: while pos < end {
+            let e = &self.extents[idx];
+            let e_end = e.end().min(end);
+            match &e.pat {
+                Pattern::Const(n) => {
+                    if *n != run_node {
+                        if !f(run_start, pos - run_start, run_node) {
+                            return;
+                        }
+                        run_start = pos;
+                        run_node = *n;
+                    }
+                    pos = e_end;
+                }
+                Pattern::Cycle(nodes) => {
+                    let k = nodes.len() as u64;
+                    while pos < e_end {
+                        let n = nodes[((pos - e.start) % k) as usize];
+                        if n != run_node {
+                            if !f(run_start, pos - run_start, run_node) {
+                                return;
+                            }
+                            run_start = pos;
+                            run_node = n;
+                        }
+                        pos += 1;
+                    }
+                }
+            }
+            if pos < end {
+                idx += 1;
+            } else {
+                break 'outer;
+            }
+        }
+        f(run_start, end - run_start, run_node);
     }
 
     /// Pages in `[start, start+len)` that are **not** on the node `policy`
-    /// assigns them (relative to this range), paired with their target.
-    /// This is the page set an `MPOL_MF_MOVE` `mbind` migrates.
+    /// assigns them (relative to this range), as maximal
+    /// `(run, from, to)` moves in ascending page order. This is the page
+    /// set an `MPOL_MF_MOVE` `mbind` migrates, and the shape the range
+    /// migration queue consumes. O(extents + policy blocks + emitted
+    /// runs); wholly complying pieces — including a re-applied interleave
+    /// whose cycle aligns with the existing extents — are skipped without
+    /// touching their pages.
+    pub fn non_complying_runs(
+        &self,
+        start: u64,
+        len: u64,
+        policy: &MemPolicy,
+        toucher: NodeId,
+    ) -> Result<Vec<MoveRun>, SimError> {
+        if start + len > self.len {
+            return Err(SimError::RangeOutOfBounds { start, len, segment_len: self.len });
+        }
+        let mut moves: Vec<MoveRun> = Vec::new();
+        if matches!(policy, MemPolicy::FirstTouch) || len == 0 {
+            // First-touch never migrates existing pages.
+            return Ok(moves);
+        }
+        let push = |moves: &mut Vec<MoveRun>, p: u64, l: u64, from: NodeId, to: NodeId| {
+            if let Some(m) = moves.last_mut() {
+                if m.from == from && m.to == to && m.start + m.len == p {
+                    m.len += l;
+                    return;
+                }
+            }
+            moves.push(MoveRun { start: p, len: l, from, to });
+        };
+        let blocks = policy_blocks(policy, len, toucher);
+        let end = start + len;
+        let mut pos = start;
+        let mut ext_idx = self.extent_index(start);
+        let mut blk_idx = 0usize;
+        while pos < end {
+            let e = &self.extents[ext_idx];
+            let (b_rel, b_len, b_pat) = &blocks[blk_idx];
+            let b_end = start + b_rel + b_len;
+            let piece_end = e.end().min(b_end).min(end);
+            match (&e.pat, b_pat) {
+                (Pattern::Const(c), TargetPat::Const(t)) => {
+                    if c != t {
+                        push(&mut moves, pos, piece_end - pos, *c, *t);
+                    }
+                }
+                (Pattern::Const(c), TargetPat::Cycle(tn)) => {
+                    let k = tn.len() as u64;
+                    for p in pos..piece_end {
+                        let t = tn[((p - start) % k) as usize];
+                        if t != *c {
+                            push(&mut moves, p, 1, *c, t);
+                        }
+                    }
+                }
+                (Pattern::Cycle(sn), TargetPat::Const(t)) => {
+                    let k = sn.len() as u64;
+                    for p in pos..piece_end {
+                        let c = sn[((p - e.start) % k) as usize];
+                        if c != *t {
+                            push(&mut moves, p, 1, c, *t);
+                        }
+                    }
+                }
+                (Pattern::Cycle(sn), TargetPat::Cycle(tn)) => {
+                    let (sk, tk) = (sn.len() as u64, tn.len() as u64);
+                    let aligned = sk == tk
+                        && (0..sk).all(|j| {
+                            sn[(((pos - e.start) + j) % sk) as usize]
+                                == tn[(((pos - start) + j) % tk) as usize]
+                        });
+                    if !aligned {
+                        for p in pos..piece_end {
+                            let c = sn[((p - e.start) % sk) as usize];
+                            let t = tn[((p - start) % tk) as usize];
+                            if c != t {
+                                push(&mut moves, p, 1, c, t);
+                            }
+                        }
+                    }
+                }
+            }
+            pos = piece_end;
+            if pos < end {
+                if pos == e.end() {
+                    ext_idx += 1;
+                }
+                if pos == b_end {
+                    blk_idx += 1;
+                }
+            }
+        }
+        Ok(moves)
+    }
+
+    /// Per-page expansion of [`Segment::non_complying_runs`] — the
+    /// historical interface, kept for tests and callers that want the
+    /// explicit page list.
     pub fn non_complying(
         &self,
         start: u64,
@@ -131,23 +719,99 @@ impl Segment {
         policy: &MemPolicy,
         toucher: NodeId,
     ) -> Result<Vec<(u64, NodeId)>, SimError> {
-        if start + len > self.len() {
-            return Err(SimError::RangeOutOfBounds { start, len, segment_len: self.len() });
-        }
+        let runs = self.non_complying_runs(start, len, policy, toucher)?;
         let mut moves = Vec::new();
-        if matches!(policy, MemPolicy::FirstTouch) {
-            // First-touch never migrates existing pages.
-            return Ok(moves);
-        }
-        for rel in 0..len {
-            let abs = start + rel;
-            let target = policy.target_node(rel, len, toucher);
-            if self.node_of(abs) != target {
-                moves.push((abs, target));
+        for r in runs {
+            for p in r.start..r.start + r.len {
+                moves.push((p, r.to));
             }
         }
         Ok(moves)
     }
+}
+
+/// Append `e` to a compaction output list, merging with the tail when the
+/// rule of [`Segment::merge_around`] applies (same-node constants; aligned
+/// cycle continuations).
+fn append_extent(out: &mut Vec<Extent>, e: Extent) {
+    if let Some(last) = out.last_mut() {
+        debug_assert_eq!(last.end(), e.start);
+        let merged = match (&last.pat, &e.pat) {
+            (Pattern::Const(x), Pattern::Const(y)) if x == y => true,
+            (Pattern::Cycle(xs), Pattern::Cycle(ys)) if xs.len() == ys.len() => {
+                let k = xs.len();
+                let shift = (last.len % k as u64) as usize;
+                (0..k).all(|j| ys[j] == xs[(shift + j) % k])
+            }
+            _ => false,
+        };
+        if merged {
+            last.len += e.len;
+            return;
+        }
+    }
+    out.push(e);
+}
+
+/// Longest prefix of `s` that is `k`-periodic (`s[j] == s[j-k]` for all
+/// `k <= j <` the returned length).
+fn periodic_run(s: &[NodeId], k: usize) -> usize {
+    let mut l = k.min(s.len());
+    while l < s.len() && s[l] == s[l - k] {
+        l += 1;
+    }
+    l
+}
+
+/// Re-encode an expanded page-to-node sequence starting at `seq_start` by
+/// greedily emitting the longest periodic run at each position — the
+/// shape a drained user-level interleave leaves behind is piecewise
+/// periodic (one pattern per Algorithm-1 sub-range, seams between them),
+/// and greedy segmentation compresses each piece independently. Clears
+/// `seq`.
+fn flush_seq(out: &mut Vec<Extent>, seq_start: u64, seq: &mut Vec<NodeId>) {
+    let mut i = 0usize;
+    while i < seq.len() {
+        let rest = &seq[i..];
+        // Longest periodic run over all candidate periods; ties prefer the
+        // shortest period (a k-run is also a 2k-run).
+        let mut best_k = 1;
+        let mut best_l = periodic_run(rest, 1);
+        for k in 2..=COMPACT_MAX_PERIOD.min(rest.len()) {
+            if best_l == rest.len() {
+                break;
+            }
+            let l = periodic_run(rest, k);
+            if l > best_l {
+                best_k = k;
+                best_l = l;
+            }
+        }
+        let pat = if best_k == 1 {
+            Pattern::Const(rest[0])
+        } else {
+            Pattern::Cycle(rest[..best_k].to_vec().into_boxed_slice())
+        };
+        append_extent(out, Extent { start: seq_start + i as u64, len: best_l as u64, pat });
+        i += best_l;
+    }
+    seq.clear();
+}
+
+/// The sub-extent of `e` covering absolute pages `[a, b)`, with cycle
+/// phases re-folded.
+fn trim(e: &Extent, a: u64, b: u64) -> Extent {
+    debug_assert!(a >= e.start && b <= e.end() && a < b);
+    let pat = match &e.pat {
+        Pattern::Const(n) => Pattern::Const(*n),
+        Pattern::Cycle(nodes) => {
+            let k = nodes.len();
+            let shift = ((a - e.start) % k as u64) as usize;
+            let rotated: Vec<NodeId> = (0..k).map(|j| nodes[(shift + j) % k]).collect();
+            Pattern::Cycle(rotated.into_boxed_slice())
+        }
+    };
+    Extent { start: a, len: b - a, pat }
 }
 
 #[cfg(test)]
@@ -178,6 +842,7 @@ mod tests {
         assert_eq!(s.node_counts()[2], 100);
         assert_eq!(f.used(NodeId(2)), 100);
         assert_eq!(s.len(), 100);
+        assert_eq!(s.extent_count(), 1);
     }
 
     #[test]
@@ -196,6 +861,7 @@ mod tests {
         assert_eq!(s.node_counts(), &[5, 0, 0, 5]);
         assert_eq!(s.node_of(0), NodeId(0));
         assert_eq!(s.node_of(1), NodeId(3));
+        assert_eq!(s.extent_count(), 1, "round-robin is one cycle extent");
     }
 
     #[test]
@@ -213,6 +879,27 @@ mod tests {
         assert_eq!(s.node_counts(), &[100, 200, 300, 400]);
         let d = s.distribution();
         assert!((d[3] - 0.4).abs() < 1e-12);
+        assert_eq!(s.extent_count(), 4, "one block per positive weight");
+    }
+
+    #[test]
+    fn weighted_interleave_memory_is_o_extents() {
+        // The acceptance bound: a 1M-page weighted-interleave segment must
+        // cost O(extents) bookkeeping (< 10 KiB), not ~2 MiB of per-page
+        // node ids.
+        let mut f = frames();
+        let s = Segment::place(
+            SegmentKind::Shared,
+            1_000_000,
+            &MemPolicy::WeightedInterleave(vec![0.1, 0.2, 0.3, 0.4]),
+            NodeId(0),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        assert_eq!(s.node_counts(), &[100_000, 200_000, 300_000, 400_000]);
+        assert!(s.extent_count() <= 4, "{} extents", s.extent_count());
+        assert!(s.approx_heap_bytes() < 10 * 1024, "{} bytes", s.approx_heap_bytes());
     }
 
     #[test]
@@ -232,6 +919,38 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.node_counts(), &[10, 20]);
+        assert_eq!(s.extent_count(), 2);
+    }
+
+    #[test]
+    fn interleave_spill_matches_per_page_semantics() {
+        // Interleave over {0, 1} with node 0 nearly full: once node 0
+        // drains, its cycle slots spill to node 1 — same as the historical
+        // per-page alloc_with_fallback loop.
+        let m = machines::twin();
+        let mut f = FramePools::from_machine(&m);
+        let cap0 = f.capacity(NodeId(0));
+        f.alloc(NodeId(0), cap0 - 3).unwrap();
+        let fallback = vec![vec![NodeId(1)], vec![NodeId(0)]];
+        let set = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+        let s = Segment::place(
+            SegmentKind::Shared,
+            10,
+            &MemPolicy::Interleave(set),
+            NodeId(0),
+            &mut f,
+            &fallback,
+        )
+        .unwrap();
+        // Per-page: pages 0,2,4 land on node 0 (3 free), pages 1,3,5,7,9 on
+        // node 1, and pages 6,8 (slot 0, node 0 full) spill to node 1.
+        assert_eq!(s.node_counts(), &[3, 7]);
+        for i in [0u64, 2, 4] {
+            assert_eq!(s.node_of(i), NodeId(0), "page {i}");
+        }
+        for i in [1u64, 3, 5, 6, 7, 8, 9] {
+            assert_eq!(s.node_of(i), NodeId(1), "page {i}");
+        }
     }
 
     #[test]
@@ -252,6 +971,83 @@ mod tests {
         // no-op relocate
         s.relocate(1, NodeId(3));
         assert_eq!(s.node_counts(), &[3, 0, 0, 1]);
+        assert_eq!(s.node_of(0), NodeId(0));
+        assert_eq!(s.node_of(2), NodeId(0));
+        assert_eq!(s.node_of(3), NodeId(0));
+    }
+
+    #[test]
+    fn relocate_run_splits_and_merges_extents() {
+        let mut f = frames();
+        let mut s = Segment::place(
+            SegmentKind::Shared,
+            100,
+            &MemPolicy::FirstTouch,
+            NodeId(0),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        s.relocate_run(10, 30, NodeId(2));
+        assert_eq!(s.node_counts(), &[70, 0, 30, 0]);
+        assert_eq!(s.extent_count(), 3);
+        assert_eq!(s.node_of(9), NodeId(0));
+        assert_eq!(s.node_of(10), NodeId(2));
+        assert_eq!(s.node_of(39), NodeId(2));
+        assert_eq!(s.node_of(40), NodeId(0));
+        // Moving it back re-merges into a single extent.
+        s.relocate_run(10, 30, NodeId(0));
+        assert_eq!(s.extent_count(), 1);
+        assert_eq!(s.node_counts(), &[100, 0, 0, 0]);
+    }
+
+    #[test]
+    fn relocate_inside_cycle_extent_splits_phases() {
+        let mut f = frames();
+        let set = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+        let mut s = Segment::place(
+            SegmentKind::Shared,
+            8,
+            &MemPolicy::Interleave(set),
+            NodeId(0),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        s.relocate(4, NodeId(3));
+        assert_eq!(s.node_counts(), &[3, 4, 0, 1]);
+        let expect = [0u16, 1, 0, 1, 3, 1, 0, 1];
+        for (i, &n) in expect.iter().enumerate() {
+            assert_eq!(s.node_of(i as u64), NodeId(n), "page {i}");
+        }
+    }
+
+    #[test]
+    fn for_each_run_yields_maximal_runs() {
+        let mut f = frames();
+        let mut s = Segment::place(
+            SegmentKind::Shared,
+            10,
+            &MemPolicy::FirstTouch,
+            NodeId(0),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        s.relocate_run(4, 2, NodeId(2));
+        let mut runs = Vec::new();
+        s.for_each_run(0, 10, |a, l, n| {
+            runs.push((a, l, n));
+            true
+        });
+        assert_eq!(runs, vec![(0, 4, NodeId(0)), (4, 2, NodeId(2)), (6, 4, NodeId(0))]);
+        // Sub-range walk.
+        runs.clear();
+        s.for_each_run(3, 3, |a, l, n| {
+            runs.push((a, l, n));
+            true
+        });
+        assert_eq!(runs, vec![(3, 1, NodeId(0)), (4, 2, NodeId(2))]);
     }
 
     #[test]
@@ -289,6 +1085,42 @@ mod tests {
         let moves = s.non_complying(4, 4, &MemPolicy::Bind(NodeId(2)), NodeId(0)).unwrap();
         assert_eq!(moves.len(), 4);
         assert_eq!(moves[0], (4, NodeId(2)));
+    }
+
+    #[test]
+    fn non_complying_runs_coalesce_and_skip_aligned_cycles() {
+        let mut f = frames();
+        let set = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+        let s = Segment::place(
+            SegmentKind::Shared,
+            1000,
+            &MemPolicy::Interleave(set),
+            NodeId(0),
+            &mut f,
+            &no_fallback(4),
+        )
+        .unwrap();
+        // Re-applying the same interleave is a no-op detected at the
+        // extent level, without touching pages.
+        let runs = s.non_complying_runs(0, 1000, &MemPolicy::Interleave(set), NodeId(0)).unwrap();
+        assert!(runs.is_empty());
+        // Binding everything to node 0 moves exactly the node-1 slots.
+        let runs = s.non_complying_runs(0, 1000, &MemPolicy::Bind(NodeId(0)), NodeId(0)).unwrap();
+        assert_eq!(runs.len(), 500);
+        assert!(runs.iter().all(|r| r.len == 1 && r.from == NodeId(1) && r.to == NodeId(0)));
+        // A bind over a constant extent is a single coalesced run.
+        let mut f2 = frames();
+        let s2 = Segment::place(
+            SegmentKind::Shared,
+            1000,
+            &MemPolicy::FirstTouch,
+            NodeId(2),
+            &mut f2,
+            &no_fallback(4),
+        )
+        .unwrap();
+        let runs = s2.non_complying_runs(0, 1000, &MemPolicy::Bind(NodeId(3)), NodeId(0)).unwrap();
+        assert_eq!(runs, vec![MoveRun { start: 0, len: 1000, from: NodeId(2), to: NodeId(3) }]);
     }
 
     #[test]
@@ -338,5 +1170,19 @@ mod tests {
         .unwrap();
         let moves = s.non_complying(0, 8, &MemPolicy::FirstTouch, NodeId(0)).unwrap();
         assert!(moves.is_empty());
+    }
+
+    #[test]
+    fn slot_count_is_exact() {
+        for k in 1..5u64 {
+            for a in 0..10u64 {
+                for b in a..12u64 {
+                    for j in 0..k {
+                        let naive = (a..b).filter(|i| i % k == j).count() as u64;
+                        assert_eq!(slot_count(a, b, k, j), naive, "a={a} b={b} k={k} j={j}");
+                    }
+                }
+            }
+        }
     }
 }

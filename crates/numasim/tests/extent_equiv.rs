@@ -1,0 +1,311 @@
+//! Equivalence suite: the extent-based [`Segment`] against a naive
+//! per-page reference model (the historical `Vec<u16>` implementation,
+//! re-stated here verbatim). Random machines, random pre-pressure on the
+//! frame pools (to force spill), random policies and random
+//! place/relocate/mbind traces must agree on every observable: `node_of`
+//! for every page, `node_counts`, distributions, frame accounting, the
+//! non-complying move set, and the expanded contents of the migration
+//! queue.
+
+use bwap_topology::{MemClass, NodeId, NodeSet, NodeSpec, TopologyBuilder};
+use numasim::mem::frames::FramePools;
+use numasim::mem::migrate::{MigrationQueue, PendingRange};
+use numasim::mem::segment::{Segment, SegmentId, SegmentKind};
+use numasim::MemPolicy;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// The historical per-page segment: one `u16` per page, every operation a
+/// page-at-a-time loop. This is the semantics oracle.
+struct RefSegment {
+    pages: Vec<u16>,
+    counts: Vec<u64>,
+}
+
+impl RefSegment {
+    fn place(
+        len: u64,
+        policy: &MemPolicy,
+        toucher: NodeId,
+        frames: &mut FramePools,
+        fallback: &[Vec<NodeId>],
+    ) -> Option<RefSegment> {
+        let mut pages = Vec::with_capacity(len as usize);
+        let mut counts = vec![0u64; frames.node_count()];
+        for i in 0..len {
+            let target = policy.target_node(i, len, toucher);
+            let got = frames.alloc_with_fallback(target, &fallback[target.idx()]).ok()?;
+            pages.push(got.0);
+            counts[got.idx()] += 1;
+        }
+        Some(RefSegment { pages, counts })
+    }
+
+    fn relocate(&mut self, i: u64, to: NodeId) {
+        let from = self.pages[i as usize];
+        if from == to.0 {
+            return;
+        }
+        self.counts[from as usize] -= 1;
+        self.counts[to.idx()] += 1;
+        self.pages[i as usize] = to.0;
+    }
+
+    fn non_complying(
+        &self,
+        start: u64,
+        len: u64,
+        policy: &MemPolicy,
+        toucher: NodeId,
+    ) -> Vec<(u64, NodeId)> {
+        let mut moves = Vec::new();
+        if matches!(policy, MemPolicy::FirstTouch) {
+            return moves;
+        }
+        for rel in 0..len {
+            let abs = start + rel;
+            let target = policy.target_node(rel, len, toucher);
+            if self.pages[abs as usize] != target.0 {
+                moves.push((abs, target));
+            }
+        }
+        moves
+    }
+}
+
+/// A small random machine with a random expander subset (see
+/// `tests/props.rs`).
+fn random_machine(seed: u64) -> bwap_topology::MachineTopology {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..=6usize);
+    let mut b = TopologyBuilder::new("prop");
+    for i in 0..n {
+        let mem_gib = rng.gen_range(1..=4) as f64 / 256.0;
+        if i > 0 && rng.gen_bool(0.3) {
+            b = b.node(NodeSpec::memory_only(mem_gib, 10.0, MemClass::new("slow", 0.5, 2.0)));
+        } else {
+            b = b.node(NodeSpec::new(2, mem_gib, 10.0, 16.0));
+        }
+    }
+    for i in 0..n {
+        b = b.symmetric_link(NodeId(i as u16), NodeId(((i + 1) % n) as u16), 6.0);
+    }
+    b.auto_routes()
+        .default_path_caps()
+        .hop_latencies(90.0, 50.0)
+        .build()
+        .expect("random ring validates")
+}
+
+fn random_policy(rng: &mut impl Rng, n: usize) -> MemPolicy {
+    match rng.gen_range(0..4) {
+        0 => MemPolicy::FirstTouch,
+        1 => MemPolicy::Bind(NodeId(rng.gen_range(0..n) as u16)),
+        2 => {
+            let picked: Vec<NodeId> =
+                (0..n).filter(|_| rng.gen_bool(0.5)).map(|i| NodeId(i as u16)).collect();
+            let set = if picked.is_empty() {
+                NodeSet::single(NodeId(rng.gen_range(0..n) as u16))
+            } else {
+                NodeSet::from_nodes(picked)
+            };
+            MemPolicy::Interleave(set)
+        }
+        _ => {
+            let raw: Vec<f64> = (0..n)
+                .map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(0.1..4.0) })
+                .collect();
+            let sum: f64 = raw.iter().sum();
+            if sum == 0.0 {
+                MemPolicy::FirstTouch
+            } else {
+                MemPolicy::WeightedInterleave(raw.iter().map(|w| w / sum).collect())
+            }
+        }
+    }
+}
+
+fn nearest_fallback(m: &bwap_topology::MachineTopology) -> Vec<Vec<NodeId>> {
+    let n = m.node_count();
+    (0..n)
+        .map(|t| {
+            let mut others: Vec<NodeId> =
+                (0..n).filter(|&i| i != t).map(|i| NodeId(i as u16)).collect();
+            others.sort_by(|a, b| {
+                m.latency_ns()
+                    .get(*a, NodeId(t as u16))
+                    .partial_cmp(&m.latency_ns().get(*b, NodeId(t as u16)))
+                    .unwrap()
+                    .then(a.0.cmp(&b.0))
+            });
+            others
+        })
+        .collect()
+}
+
+fn assert_equal(seg: &Segment, reference: &RefSegment) {
+    assert_eq!(seg.len(), reference.pages.len() as u64);
+    assert_eq!(seg.node_counts(), &reference.counts[..]);
+    for i in 0..seg.len() {
+        assert_eq!(seg.node_of(i), NodeId(reference.pages[i as usize]), "page {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// Placement under every policy, including forced spill, lands every
+    /// page exactly where the per-page loop did — and leaves the frame
+    /// pools in the same state.
+    #[test]
+    fn place_matches_per_page_reference(seed in 0u64..4000) {
+        let m = random_machine(seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x51ce);
+        let n = m.node_count();
+        let fallback = nearest_fallback(&m);
+        let mut frames = FramePools::from_machine(&m);
+        // Random pre-pressure so some placements spill mid-run.
+        for i in 0..n {
+            let node = NodeId(i as u16);
+            let cap = frames.capacity(node);
+            let used = rng.gen_range(0..=cap);
+            frames.alloc(node, used).unwrap();
+        }
+        let mut ref_frames = frames.clone();
+        let policy = random_policy(&mut rng, n);
+        let toucher = NodeId(rng.gen_range(0..n) as u16);
+        let len = rng.gen_range(0..800u64);
+        let seg = Segment::place(SegmentKind::Shared, len, &policy, toucher, &mut frames, &fallback);
+        let reference = RefSegment::place(len, &policy, toucher, &mut ref_frames, &fallback);
+        match (&seg, &reference) {
+            (Ok(seg), Some(reference)) => {
+                assert_equal(seg, reference);
+                for i in 0..n {
+                    prop_assert_eq!(frames.used(NodeId(i as u16)), ref_frames.used(NodeId(i as u16)));
+                }
+            }
+            (Err(_), None) => {} // both out of memory
+            (got, want) => prop_assert!(false, "divergent outcome: {:?} vs ref {:?}",
+                got.is_ok(), want.is_some()),
+        }
+    }
+
+    /// Random relocate / relocate_run / non_complying traces keep the
+    /// extent segment and the per-page reference in lock-step, and the
+    /// range queue expands to exactly the per-page move list.
+    #[test]
+    fn mutation_trace_matches_per_page_reference(seed in 0u64..4000) {
+        let m = random_machine(seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed_f00d);
+        let n = m.node_count();
+        let fallback = nearest_fallback(&m);
+        let mut frames = FramePools::from_machine(&m);
+        let mut ref_frames = frames.clone();
+        let len = rng.gen_range(1..600u64);
+        let policy = random_policy(&mut rng, n);
+        let toucher = NodeId(rng.gen_range(0..n) as u16);
+        let mut seg = match Segment::place(SegmentKind::Shared, len, &policy, toucher, &mut frames, &fallback) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        let mut reference = RefSegment::place(len, &policy, toucher, &mut ref_frames, &fallback)
+            .expect("extent place succeeded");
+        for _ in 0..40 {
+            match rng.gen_range(0..3) {
+                0 => {
+                    let i = rng.gen_range(0..len);
+                    let to = NodeId(rng.gen_range(0..n) as u16);
+                    seg.relocate(i, to);
+                    reference.relocate(i, to);
+                }
+                1 => {
+                    let start = rng.gen_range(0..len);
+                    let l = rng.gen_range(0..=(len - start).min(64));
+                    let to = NodeId(rng.gen_range(0..n) as u16);
+                    if l > 0 {
+                        seg.relocate_run(start, l, to);
+                        for p in start..start + l {
+                            reference.relocate(p, to);
+                        }
+                    }
+                }
+                _ => {
+                    let start = rng.gen_range(0..len);
+                    let l = rng.gen_range(0..=len - start);
+                    let q_policy = random_policy(&mut rng, n);
+                    let q_toucher = NodeId(rng.gen_range(0..n) as u16);
+                    let runs = seg
+                        .non_complying_runs(start, l, &q_policy, q_toucher)
+                        .expect("range in bounds");
+                    let expanded: Vec<(u64, NodeId)> = runs
+                        .iter()
+                        .flat_map(|r| (r.start..r.start + r.len).map(|p| (p, r.to)))
+                        .collect();
+                    let want = reference.non_complying(start, l, &q_policy, q_toucher);
+                    prop_assert_eq!(&expanded, &want);
+                    // `from` on every run matches the page table.
+                    for r in &runs {
+                        for p in r.start..r.start + r.len {
+                            prop_assert_eq!(r.from, seg.node_of(p));
+                        }
+                    }
+                    // Queue round-trip: enqueued ranges expand to the same
+                    // page sequence, FIFO order preserved.
+                    let mut q = MigrationQueue::new();
+                    q.enqueue_ranges(runs.iter().map(|r| PendingRange {
+                        segment: SegmentId(0),
+                        start: r.start,
+                        len: r.len,
+                        from: r.from,
+                        to: r.to,
+                    }));
+                    prop_assert_eq!(q.pending(), want.len());
+                    let queued: Vec<(u64, NodeId)> = q
+                        .ranges()
+                        .flat_map(|r| (r.start..r.start + r.len).map(|p| (p, r.to)))
+                        .collect();
+                    prop_assert_eq!(&queued, &want);
+                }
+            }
+        }
+        assert_equal(&seg, &reference);
+        let mut dist = vec![0.0; n];
+        seg.fill_distribution(&mut dist);
+        prop_assert_eq!(seg.distribution(), dist);
+    }
+
+    /// `cancel_range` on the range queue drops exactly the pages a
+    /// per-page `retain` would.
+    #[test]
+    fn cancel_range_matches_per_page_retain(seed in 0u64..2000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut q = MigrationQueue::new();
+        let mut model: Vec<(usize, u64, NodeId, NodeId)> = Vec::new(); // (segment, page, from, to)
+        for _ in 0..rng.gen_range(1..30usize) {
+            let segment = rng.gen_range(0..3usize);
+            let start = rng.gen_range(0..200u64);
+            let l = rng.gen_range(1..40u64);
+            let from = NodeId(rng.gen_range(0..4) as u16);
+            let to = NodeId(rng.gen_range(0..4) as u16);
+            q.enqueue_ranges([PendingRange { segment: SegmentId(segment), start, len: l, from, to }]);
+            for p in start..start + l {
+                model.push((segment, p, from, to));
+            }
+        }
+        for _ in 0..5 {
+            let segment = rng.gen_range(0..3usize);
+            let start = rng.gen_range(0..220u64);
+            let l = rng.gen_range(0..60u64);
+            let cancelled = q.cancel_range(SegmentId(segment), start, l);
+            let before = model.len();
+            model.retain(|&(s, p, ..)| !(s == segment && p >= start && p < start + l));
+            prop_assert_eq!(cancelled, before - model.len());
+            prop_assert_eq!(q.pending(), model.len());
+        }
+        let queued: Vec<(usize, u64, NodeId, NodeId)> = q
+            .ranges()
+            .flat_map(|r| (r.start..r.start + r.len).map(|p| (r.segment.0, p, r.from, r.to)))
+            .collect();
+        prop_assert_eq!(queued, model);
+    }
+}
