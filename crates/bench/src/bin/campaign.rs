@@ -23,23 +23,27 @@
 use bwap::BwapConfig;
 use bwap_bench::ResultTable;
 use bwap_runtime::{
-    run_campaign_with, CampaignConfig, CampaignSpec, DwpPoint, PlacementPolicy, ScenarioKind,
+    run_campaign_with, AdaptiveConfig, CampaignConfig, CampaignSpec, DwpPoint, PlacementPolicy,
+    ScenarioKind,
 };
 use bwap_topology::{machines, MachineTopology};
-use bwap_workloads::WorkloadSpec;
+use bwap_workloads::{PhasedWorkload, WorkloadSpec};
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--name NAME] [--machine a|b|tiered] [--workloads SC,OC,...|all]
-                [--policies first-touch,uniform-workers,uniform-all,autonuma,bwap-uniform,bwap]
+                [--policies first-touch,uniform-workers,uniform-all,autonuma,bwap-uniform,bwap,bwap-adaptive]
+                [--phased SC.FLIP,FT.SWING,OC.SWING] [--phase-periods 10,30]
                 [--scenarios standalone,coscheduled] [--workers 1,2,...]
                 [--dwps online,0.0,0.5,...] [--seed N] [--threads N]
                 [--out DIR] [--probe] [--quick]
-       campaign --spec fig1a|fig4|table1|fig_tiered [--seed N] [--threads N]
-                [--out DIR] [--quick]
+       campaign --spec fig1a|fig4|table1|fig_tiered|fig_phases [--seed N]
+                [--threads N] [--out DIR] [--quick]
 
 --spec renders a canned experiment campaign (its axes are fixed by the
-spec); all other axis flags only apply to ad-hoc campaigns."
+spec); all other axis flags only apply to ad-hoc campaigns. --phased adds
+canned phase-structured workloads; --phase-periods overrides their phase
+durations (seconds)."
     );
     std::process::exit(2);
 }
@@ -63,6 +67,7 @@ fn canned_spec(name: &str, quick: bool) -> bwap_runtime::CampaignSpec {
         "fig4" => experiments::fig4_spec(quick),
         "table1" => experiments::table1_spec(quick),
         "fig_tiered" => experiments::fig_tiered_spec(quick),
+        "fig_phases" => experiments::fig_phases_spec(quick),
         other => {
             eprintln!("unknown spec {other:?}");
             usage()
@@ -98,11 +103,28 @@ fn parse_policy(s: &str) -> PlacementPolicy {
         "autonuma" => PlacementPolicy::AutoNuma,
         "bwap" => PlacementPolicy::Bwap(BwapConfig::default()),
         "bwap-uniform" => PlacementPolicy::Bwap(BwapConfig::bwap_uniform()),
+        "bwap-adaptive" => PlacementPolicy::AdaptiveBwap(AdaptiveConfig::default()),
         other => {
             eprintln!("unknown policy {other:?}");
             usage()
         }
     }
+}
+
+fn parse_phased(s: &str, quick: bool) -> Vec<PhasedWorkload> {
+    s.split(',')
+        .map(|name| {
+            let w = bwap_workloads::phased_by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown phased workload {name:?}");
+                usage()
+            });
+            if quick {
+                w.scaled_down(8.0)
+            } else {
+                w
+            }
+        })
+        .collect()
 }
 
 fn parse_scenario(s: &str) -> ScenarioKind {
@@ -135,6 +157,8 @@ fn main() {
     let mut name = "campaign".to_string();
     let mut machine = machines::machine_b();
     let mut workloads = parse_workloads("SC", quick);
+    let mut phased: Vec<PhasedWorkload> = Vec::new();
+    let mut phase_periods: Vec<f64> = Vec::new();
     let mut policies = vec![PlacementPolicy::UniformWorkers];
     let mut scenarios = vec![ScenarioKind::Standalone];
     let mut workers = vec![1usize];
@@ -160,6 +184,19 @@ fn main() {
             "--name" => name = value("--name").to_string(),
             "--machine" => machine = parse_machine(value("--machine")),
             "--workloads" => workloads = parse_workloads(value("--workloads"), quick),
+            "--phased" => phased = parse_phased(value("--phased"), quick),
+            "--phase-periods" => {
+                phase_periods = value("--phase-periods")
+                    .split(',')
+                    .map(|t| match t.parse::<f64>() {
+                        Ok(v) if v > 0.0 && v.is_finite() => v,
+                        _ => {
+                            eprintln!("bad phase period {t:?} (expected positive seconds)");
+                            usage()
+                        }
+                    })
+                    .collect()
+            }
             "--policies" => policies = value("--policies").split(',').map(parse_policy).collect(),
             "--scenarios" => {
                 scenarios = value("--scenarios").split(',').map(parse_scenario).collect()
@@ -188,8 +225,12 @@ fn main() {
         // Canned experiment specs come with their axes fixed; only the
         // seed is overridable.
         Some(s) => canned_spec(&s, quick).seed(seed),
+        // An empty --phase-periods list falls back to native durations
+        // inside the setter.
         None => CampaignSpec::new(&name, machine)
             .workloads(workloads)
+            .phased_workloads(phased)
+            .phase_periods(phase_periods)
             .policies(policies)
             .scenarios(scenarios)
             .worker_counts(workers)

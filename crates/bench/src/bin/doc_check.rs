@@ -1,0 +1,23 @@
+//! CI gate for the markdown documentation: check every relative link and
+//! anchor in `README.md` + `docs/*.md`, offline. Exits non-zero listing
+//! each broken link. See `bwap_bench::doc_check` for the rules.
+
+use bwap_bench::doc_check::{check_files, default_doc_set};
+use std::path::PathBuf;
+
+fn main() {
+    // crates/bench -> workspace root.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = default_doc_set(&root);
+    println!("doc_check: {} markdown files", files.len());
+    let errors = check_files(&files);
+    for e in &errors {
+        eprintln!("BROKEN LINK: {e}");
+    }
+    if errors.is_empty() {
+        println!("doc_check: all links and anchors resolve");
+    } else {
+        eprintln!("doc_check: {} broken link(s)", errors.len());
+        std::process::exit(1);
+    }
+}

@@ -10,10 +10,10 @@
 //! scales workloads down ~8x for fast smoke runs.
 
 use crate::report::ResultTable;
-use bwap::BwapConfig;
+use bwap::{BwapConfig, DwpTunerConfig};
 use bwap_runtime::{
-    run_campaign, run_coscheduled, run_coscheduled_with, run_parallel, CampaignReport,
-    CampaignSpec, DwpPoint, PlacementPolicy, RunResult, ScenarioKind,
+    run_campaign, run_coscheduled, run_coscheduled_with, run_parallel, AdaptiveConfig,
+    CampaignReport, CampaignSpec, DwpPoint, PlacementPolicy, RunResult, ScenarioKind,
 };
 use bwap_search::{hill_climb, HillClimbConfig, SimEvaluator};
 use bwap_topology::{machines, MachineTopology};
@@ -460,6 +460,113 @@ pub fn fig_tiered_from_report(
     }
     let speedups = times.normalized_to("first-touch");
     (times, speedups)
+}
+
+/// Phase-cycle period of the `fig_phases` campaign, seconds (one full
+/// pass through each workload's timeline).
+pub fn fig_phases_period(quick: bool) -> f64 {
+    if quick {
+        6.0
+    } else {
+        40.0
+    }
+}
+
+/// Tuner cadence for the phase campaign. Both the one-shot and the
+/// adaptive tuner use it (a fair comparison needs identical search
+/// parameters): sampling is much faster than the paper's default so a
+/// full re-convergence costs a small fraction of one phase, the regime
+/// the §VI future-work scenario assumes.
+fn phases_tuner(quick: bool) -> DwpTunerConfig {
+    if quick {
+        DwpTunerConfig {
+            samples_per_iteration: 4,
+            trim: 1,
+            sample_interval_s: 0.02,
+            step: 0.2,
+            ..DwpTunerConfig::default()
+        }
+    } else {
+        DwpTunerConfig {
+            samples_per_iteration: 6,
+            trim: 1,
+            sample_interval_s: 0.1,
+            step: 0.2,
+            ..DwpTunerConfig::default()
+        }
+    }
+}
+
+/// Fig. P campaign: phase-structured workloads on machine B — the
+/// SC bandwidth flip and the Ocean footprint swing, cycled at
+/// [`fig_phases_period`] — under first-touch, one-shot ("static") BWAP
+/// and adaptive BWAP. The flip alternates between a placement that wants
+/// pages spread (controller-saturating streaming) and one that wants
+/// them worker-local (latency-bound point queries), so no single static
+/// placement wins both phases: the adaptive watchdog's home turf.
+/// `tests/phases.rs` pins adaptive ≥ static ≥ first-touch on the flip.
+pub fn fig_phases_spec(quick: bool) -> CampaignSpec {
+    let scale = if quick { QUICK_FACTOR } else { 1.0 };
+    let workloads = vec![
+        bwap_workloads::sc_bandwidth_flip().scaled_down(scale),
+        bwap_workloads::oc_footprint_swing().scaled_down(scale),
+    ];
+    let static_bwap = BwapConfig { tuner: phases_tuner(quick), ..BwapConfig::default() };
+    let adaptive = AdaptiveConfig {
+        bwap: static_bwap.clone(),
+        // A long phased run re-tunes at every boundary; leave headroom
+        // over the default cap without disabling the guard.
+        max_retunes: 32,
+        ..AdaptiveConfig::default()
+    };
+    CampaignSpec::new("fig_phases", machines::machine_b())
+        .phased_workloads(workloads)
+        .phase_periods(vec![fig_phases_period(quick)])
+        .policies(vec![
+            PlacementPolicy::FirstTouch,
+            PlacementPolicy::Bwap(static_bwap),
+            PlacementPolicy::AdaptiveBwap(adaptive),
+        ])
+        .worker_counts(vec![1])
+}
+
+/// Fig. P: exec time per policy on the phase-flipping workloads, the
+/// speedup table normalized to first-touch, and per-workload adaptive
+/// observables `(retunes, phase switches)`.
+pub fn fig_phases(quick: bool) -> (ResultTable, ResultTable, Vec<(String, u64, u64)>) {
+    let spec = fig_phases_spec(quick);
+    let report = run_campaign(&spec);
+    fig_phases_from_report(&spec, &report)
+}
+
+/// Build Fig. P's tables from its campaign report.
+pub fn fig_phases_from_report(
+    spec: &CampaignSpec,
+    report: &CampaignReport,
+) -> (ResultTable, ResultTable, Vec<(String, u64, u64)>) {
+    let mut times = ResultTable::new(
+        "Fig. P: exec time [s], machine B, phase-structured workloads, stand-alone",
+        spec.policies.iter().map(|p| p.label()).collect(),
+    );
+    let mut adaptive_stats = Vec::new();
+    for w in &spec.phased_workloads {
+        let row: Vec<f64> = spec
+            .policies
+            .iter()
+            .map(|p| {
+                cell(report, &w.name, &p.label(), ScenarioKind::Standalone, 1, None).exec_time_s
+            })
+            .collect();
+        times.push_row(&w.name, row);
+        let a = cell(report, &w.name, "bwap-adaptive", ScenarioKind::Standalone, 1, None);
+        adaptive_stats.push((
+            w.name.clone(),
+            a.retunes.unwrap_or(0),
+            a.phase_switches.unwrap_or(0),
+        ));
+    }
+    let speedups = times.normalized_to("first-touch");
+    (times, speedups, adaptive_stats)
 }
 
 /// Ablation 1: kernel-level vs user-level weighted interleaving, full

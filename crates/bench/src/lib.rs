@@ -5,6 +5,8 @@
 //!   `CampaignSpec`s where the experiment is a scenario matrix and
 //!   rendered into [`ResultTable`]s.
 //! * [`report`] — ASCII/CSV result tables.
+//! * [`doc_check`] — the offline markdown link-and-anchor checker behind
+//!   the `doc_check` CI gate and `tests/docs_links.rs`.
 //! * The per-figure binaries in `src/bin/` are thin wrappers: declare a
 //!   spec, run the campaign, print the tables, save the artifacts. The
 //!   `campaign` binary runs ad-hoc specs straight from the command line.
@@ -29,6 +31,7 @@
 //! assert!(speedups.to_csv().starts_with("label,uniform-workers,bwap"));
 //! ```
 
+pub mod doc_check;
 pub mod experiments;
 pub mod report;
 

@@ -345,6 +345,7 @@ impl Simulator {
             started_at: self.clock,
             migrations: MigrationQueue::new(),
             migration_credit: 0.0,
+            phases: None,
         });
         Ok(pid)
     }
@@ -473,6 +474,58 @@ impl Simulator {
         Ok(())
     }
 
+    /// Install a cycling phase schedule on a running process: the engine
+    /// swaps the process's demand profile at each phase boundary (start of
+    /// the first epoch at or past the boundary), cycling phase 0 → 1 → …
+    /// → 0 until the process finishes. The simulated analogue of an
+    /// application with phase-structured behaviour; memory layout stays
+    /// fixed, exactly as with [`Simulator::set_profile`].
+    ///
+    /// The process's profile is set to phase 0's immediately. Every phase
+    /// needs a positive finite duration and a valid profile; the phase
+    /// list must be non-empty.
+    pub fn set_phase_timeline(
+        &mut self,
+        pid: ProcessId,
+        phases: Vec<(f64, AppProfile)>,
+    ) -> Result<(), SimError> {
+        if phases.is_empty() {
+            return Err(SimError::InvalidWeights("empty phase timeline".into()));
+        }
+        for (i, (d, profile)) in phases.iter().enumerate() {
+            // A phase must span at least one epoch: boundaries are only
+            // observed at epoch granularity, and a duration below the
+            // float ulp of the clock would never advance `next_switch`
+            // (an infinite loop, not just a skipped phase).
+            if !(d.is_finite() && *d >= self.cfg.epoch_dt) {
+                return Err(SimError::InvalidWeights(format!(
+                    "phase {i}: duration {d} shorter than one epoch ({})",
+                    self.cfg.epoch_dt
+                )));
+            }
+            profile.validate()?;
+        }
+        let clock = self.clock;
+        let p = self.process_mut(pid)?;
+        if !p.is_running() {
+            return Err(SimError::ProcessFinished(pid.0));
+        }
+        p.profile = phases[0].1.clone();
+        p.phases = Some(crate::process::PhaseTimeline {
+            next_switch: clock + phases[0].0,
+            phases,
+            idx: 0,
+            switches: 0,
+        });
+        Ok(())
+    }
+
+    /// Phase boundaries a process has crossed so far (0 for processes
+    /// without a timeline).
+    pub fn phase_switches(&self, pid: ProcessId) -> u64 {
+        self.procs.get(pid.0).and_then(|p| p.phases.as_ref()).map_or(0, |t| t.switches)
+    }
+
     /// Snapshot of a process's cycle/stall/traffic counters.
     pub fn sample(&self, pid: ProcessId) -> Result<ProcessSample, SimError> {
         let pc = self
@@ -523,6 +576,22 @@ impl Simulator {
     pub fn step(&mut self) {
         let dt = self.cfg.epoch_dt;
         let n = self.machine.node_count();
+
+        // 0. Phase boundaries: swap demand profiles of phase-structured
+        // processes. Steady-state epochs only compare the clock; the
+        // profile clone happens at boundaries (a handful per run).
+        for p in &mut self.procs {
+            if !p.is_running() {
+                continue;
+            }
+            let Some(tl) = p.phases.as_mut() else { continue };
+            while self.clock + 1e-12 >= tl.next_switch {
+                tl.idx = (tl.idx + 1) % tl.phases.len();
+                tl.next_switch += tl.phases[tl.idx].0;
+                tl.switches += 1;
+                p.profile = tl.phases[tl.idx].1.clone();
+            }
+        }
         let scratch = &mut self.scratch;
 
         // 1-2. Assemble demand into the reused workspace.
@@ -969,6 +1038,78 @@ mod tests {
         assert!(d[2] + d[3] > 0.0, "spill reached the slow tier: {d:?}");
         // Fast tier is full (private segments also landed somewhere).
         assert!(sim.frames.free_in(workers) < 10_000);
+    }
+
+    #[test]
+    fn phase_timeline_swaps_profiles_at_boundaries() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let pid = sim
+            .spawn(profile(f64::INFINITY), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+            .unwrap();
+        // Phase 0: 2 GB/s per thread; phase 1: idle (0 GB/s). 1 s each.
+        let mut idle = profile(f64::INFINITY);
+        idle.read_gbps_per_thread = 0.0;
+        sim.set_phase_timeline(pid, vec![(1.0, profile(f64::INFINITY)), (1.0, idle)]).unwrap();
+        let t0 = sim.sample(pid).unwrap();
+        sim.run_for(1.0);
+        let t1 = sim.sample(pid).unwrap();
+        sim.run_for(1.0);
+        let t2 = sim.sample(pid).unwrap();
+        sim.run_for(1.0);
+        let t3 = sim.sample(pid).unwrap();
+        // Busy, idle, busy again: traffic flows only in the busy phases.
+        assert!(t1.traffic_bytes - t0.traffic_bytes > 1e9);
+        assert!((t2.traffic_bytes - t1.traffic_bytes).abs() < 1e6);
+        assert!(t3.traffic_bytes - t2.traffic_bytes > 1e9);
+        // Boundaries apply at the start of the first epoch at or past
+        // them; the boundary at t = 3.0 lands on the next (unrun) epoch.
+        assert_eq!(sim.phase_switches(pid), 2);
+    }
+
+    #[test]
+    fn phase_timeline_validation() {
+        let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+        let pid = sim
+            .spawn(profile(1.0), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+            .unwrap();
+        assert!(sim.set_phase_timeline(pid, vec![]).is_err());
+        assert!(sim.set_phase_timeline(pid, vec![(0.0, profile(1.0))]).is_err());
+        assert!(sim.set_phase_timeline(pid, vec![(f64::INFINITY, profile(1.0))]).is_err());
+        // Sub-epoch durations are rejected (they could never advance the
+        // boundary), including denormals that would not move the clock.
+        assert!(sim.set_phase_timeline(pid, vec![(1e-300, profile(1.0))]).is_err());
+        assert!(sim.set_phase_timeline(pid, vec![(0.001, profile(1.0))]).is_err());
+        let mut bad = profile(1.0);
+        bad.serial_frac = 2.0;
+        assert!(sim.set_phase_timeline(pid, vec![(1.0, bad)]).is_err());
+        assert!(sim.set_phase_timeline(ProcessId(9), vec![(1.0, profile(1.0))]).is_err());
+        // Valid timelines install phase 0's profile immediately.
+        let mut slow = profile(1.0);
+        slow.read_gbps_per_thread = 0.25;
+        sim.set_phase_timeline(pid, vec![(5.0, slow)]).unwrap();
+        assert_eq!(sim.process(pid).unwrap().profile.read_gbps_per_thread, 0.25);
+        assert_eq!(sim.phase_switches(pid), 0);
+        // Finished processes reject timelines.
+        sim.run_until_finished(pid, 600.0).unwrap();
+        assert!(sim.set_phase_timeline(pid, vec![(1.0, profile(1.0))]).is_err());
+    }
+
+    #[test]
+    fn phased_runs_are_deterministic() {
+        let run = || {
+            let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+            let mut p = profile(40.0);
+            p.read_gbps_per_thread = 6.0;
+            let pid = sim
+                .spawn(p.clone(), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+                .unwrap();
+            let mut calm = p.clone();
+            calm.read_gbps_per_thread = 1.0;
+            sim.set_phase_timeline(pid, vec![(0.4, p), (0.4, calm)]).unwrap();
+            (sim.run_until_finished(pid, 600.0).unwrap(), sim.phase_switches(pid))
+        };
+        assert_eq!(run(), run());
+        assert!(run().1 >= 2, "the run spans several phases");
     }
 
     #[test]

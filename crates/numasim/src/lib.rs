@@ -33,6 +33,11 @@
 //! lock-step demand bundles, lets the fabric allocate bandwidth, and
 //! advances progress by the achieved utilization — see `engine` for the
 //! precise equations and their correspondence to the paper's Eq. 1-5.
+//!
+//! Workload behaviour may change mid-run: [`Simulator::set_profile`] swaps
+//! a process's demand characterization once, and
+//! [`Simulator::set_phase_timeline`] installs a cycling [`PhaseTimeline`]
+//! the engine advances at epoch boundaries (phase-structured workloads).
 
 pub mod autonuma;
 pub mod daemon;
@@ -48,7 +53,7 @@ pub use error::SimError;
 pub use mem::policy::MemPolicy;
 pub use mem::segment::{SegmentId, SegmentKind};
 pub use perf::{PerfCounters, ProcessSample};
-pub use process::{ProcessId, ProcessState};
+pub use process::{PhaseTimeline, ProcessId, ProcessState};
 
 /// Reference DRAM latency used to normalize latency sensitivity across
 /// machines (ns). An application's demand rate is defined at this latency.

@@ -22,6 +22,23 @@ pub enum ProcessState {
     },
 }
 
+/// A cycling schedule of demand-profile phases, installed with
+/// [`crate::Simulator::set_phase_timeline`]. The engine swaps the
+/// process's profile at each phase boundary (checked once per epoch, so a
+/// switch costs one `AppProfile` clone at the boundary and nothing in
+/// steady state).
+#[derive(Debug, Clone)]
+pub struct PhaseTimeline {
+    /// `(duration_s, profile)` per phase, cycled forever.
+    pub phases: Vec<(f64, AppProfile)>,
+    /// Index of the active phase.
+    pub idx: usize,
+    /// Simulated time of the next boundary.
+    pub next_switch: f64,
+    /// Boundaries crossed so far.
+    pub switches: u64,
+}
+
 /// A running application: pinned threads, an address space, progress.
 #[derive(Debug, Clone)]
 pub struct SimProcess {
@@ -53,6 +70,8 @@ pub struct SimProcess {
     /// Fractional page-migration credit carried between epochs, so slow
     /// trickles of bandwidth still complete whole pages eventually.
     pub migration_credit: f64,
+    /// Phase schedule, if the workload is phase-structured.
+    pub phases: Option<PhaseTimeline>,
 }
 
 impl SimProcess {

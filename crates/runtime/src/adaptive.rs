@@ -10,7 +10,42 @@
 //! relative band, it declares a phase change, re-installs the canonical
 //! placement (our simulated `mbind` migrates in both directions, lifting
 //! the one-way restriction the paper works around) and restarts the hill
-//! climb from DWP = 0.
+//! climb from DWP = 0. [`AdaptiveConfig::max_retunes`] caps how many
+//! restarts an oscillating workload can trigger; each re-tune's count and
+//! timestamp is published through the shared [`crate::TunerHandle`] and
+//! surfaced in campaign reports.
+//!
+//! The natural counterpart is a phase-structured workload
+//! ([`bwap_workloads::PhasedWorkload`]): spawn it, install its timeline,
+//! register the adaptive daemon, and watch the watchdog react —
+//!
+//! ```
+//! use bwap_runtime::adaptive::{AdaptiveBwapDaemon, AdaptiveConfig};
+//! use bwap_topology::machines;
+//! use numasim::{MemPolicy, SimConfig, Simulator};
+//!
+//! let machine = machines::machine_b();
+//! let mut sim = Simulator::new(machine.clone(), SimConfig::default());
+//! let workers = machine.best_worker_set(1);
+//!
+//! // A phase-flipping workload, shrunk for a fast doc test.
+//! let flip = bwap_workloads::sc_bandwidth_flip().scaled_down(64.0);
+//! let timeline = flip.profiles_for(&machine, Some(2.0));
+//! let pid = sim
+//!     .spawn(timeline[0].1.clone(), workers, None, MemPolicy::FirstTouch)
+//!     .unwrap();
+//! sim.set_phase_timeline(pid, timeline)?;
+//!
+//! let cfg = AdaptiveConfig::default();
+//! let (daemon, handle) = AdaptiveBwapDaemon::init(&mut sim, pid, &cfg, true)?;
+//! daemon.register(&mut sim);
+//! sim.run_for(3.0);
+//! // The handle exposes the watchdog's activity (re-tune count and
+//! // simulated timestamps) while and after the daemon runs.
+//! assert_eq!(handle.retunes() as usize, handle.retune_times().len());
+//! assert!(handle.retunes() as usize <= cfg.max_retunes);
+//! # Ok::<(), bwap_runtime::RuntimeError>(())
+//! ```
 
 use crate::apply::apply_weights;
 use crate::bwap_daemon::TunerHandle;
@@ -26,23 +61,44 @@ use numasim::{Daemon, ProcessId, ProcessSample, Simulator};
 pub struct AdaptiveConfig {
     /// The inner BWAP configuration (tuner parameters, interleave mode).
     pub bwap: BwapConfig,
-    /// Relative stall-rate deviation from the converged level that
-    /// triggers a re-tune (e.g. 0.25 = 25 %).
+    /// Relative stall-rate deviation from the watchdog's reference level
+    /// that triggers a re-tune (e.g. 0.25 = 25 %).
     pub retune_threshold: f64,
     /// Maximum number of automatic re-tunes (guards against oscillating
     /// workloads thrashing the migration engine).
     pub max_retunes: usize,
+    /// Full sampler windows discarded after the search converges before
+    /// the watchdog arms itself. The climb's final placement change is
+    /// still migrating when the search finishes; stall samples taken
+    /// while the migration drains would poison the reference level the
+    /// watchdog compares against (and a poisoned reference means a
+    /// spurious re-tune that throws away a freshly converged placement).
+    /// After the settle windows, the next full window *becomes* the
+    /// reference.
+    pub settle_windows: usize,
 }
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        AdaptiveConfig { bwap: BwapConfig::default(), retune_threshold: 0.15, max_retunes: 4 }
+        AdaptiveConfig {
+            bwap: BwapConfig::default(),
+            retune_threshold: 0.15,
+            max_retunes: 4,
+            settle_windows: 2,
+        }
     }
 }
 
 enum Mode {
     Tuning(DwpTuner),
-    Watching { converged_stall: f64, watcher: TrimmedSampler },
+    Watching {
+        /// Steady-state stall level measured after the settle windows;
+        /// `None` until the first clean window lands.
+        reference: Option<f64>,
+        /// Full windows still to discard before taking the reference.
+        settle: usize,
+        watcher: TrimmedSampler,
+    },
     Idle,
 }
 
@@ -66,6 +122,16 @@ impl AdaptiveBwapDaemon {
         cfg: &AdaptiveConfig,
         apply_initial: bool,
     ) -> Result<(AdaptiveBwapDaemon, TunerHandle), RuntimeError> {
+        // The inner tuner validates its own parameters below; the
+        // watchdog band must be validated here — a NaN or non-positive
+        // threshold would make every comparison fail open and re-tune on
+        // every window until the cap kills the daemon.
+        if !(cfg.retune_threshold > 0.0 && cfg.retune_threshold.is_finite()) {
+            return Err(RuntimeError::Scenario(format!(
+                "retune_threshold {} must be positive and finite",
+                cfg.retune_threshold
+            )));
+        }
         let workers = sim.process(pid)?.workers;
         let n = sim.machine().node_count();
         let canonical = if cfg.bwap.uniform_canonical {
@@ -125,6 +191,19 @@ impl Daemon for AdaptiveBwapDaemon {
         let Some(prev) = self.prev.replace(sample) else {
             return;
         };
+        // Placement-in-flight is not a steady state to learn from: while
+        // this daemon's own migrations drain, stall samples mix placement
+        // signal with migration traffic — feeding them to the climb
+        // credits the drain to whatever DWP step happened to be under
+        // test, and feeding them to the watchdog poisons its reference.
+        // (The one-shot [`crate::BwapDaemon`] deliberately keeps the
+        // paper's sample-everything behaviour — its results are pinned by
+        // golden reports — so the two daemons share search *parameters*
+        // but not this sampling guard; `fig_phases` compares them as the
+        // complete systems they are.)
+        if sim.pending_migrations(self.pid) > 0 {
+            return;
+        }
         let stall_rate = sample.stall_rate_since(&prev);
         match &mut self.mode {
             Mode::Tuning(tuner) => match tuner.on_sample(stall_rate) {
@@ -139,19 +218,29 @@ impl Daemon for AdaptiveBwapDaemon {
                     });
                 }
                 TunerAction::Finished => {
-                    let converged_stall =
-                        tuner.history().last().map(|&(_, s)| s).unwrap_or(stall_rate);
                     self.handle.update(|r| {
                         r.finished = true;
                         r.dwp = tuner.dwp();
                         r.history = tuner.history().to_vec();
                     });
-                    self.mode = Mode::Watching { converged_stall, watcher: self.watcher() };
+                    self.mode = Mode::Watching {
+                        reference: None,
+                        settle: self.cfg.settle_windows,
+                        watcher: self.watcher(),
+                    };
                 }
             },
-            Mode::Watching { converged_stall, watcher } => {
+            Mode::Watching { reference, settle, watcher } => {
                 let Some(mean) = watcher.push(stall_rate) else { return };
-                let deviation = (mean - *converged_stall).abs() / converged_stall.max(1e-9);
+                if *settle > 0 {
+                    *settle -= 1;
+                    return;
+                }
+                let Some(ref_level) = *reference else {
+                    *reference = Some(mean);
+                    return;
+                };
+                let deviation = (mean - ref_level).abs() / ref_level.max(1e-9);
                 if deviation <= self.cfg.retune_threshold {
                     return;
                 }
@@ -165,10 +254,13 @@ impl Daemon for AdaptiveBwapDaemon {
                 let initial = apply_dwp(&self.canonical, workers, 0.0).expect("valid canonical");
                 let queued = apply_weights(sim, self.pid, &initial, self.cfg.bwap.mode)
                     .expect("placement apply");
+                let now = sim.clock();
                 self.handle.update(|r| {
                     r.finished = false;
                     r.dwp = 0.0;
                     r.pages_applied += queued as u64;
+                    r.retunes += 1;
+                    r.retune_times.push(now);
                 });
                 let tuner =
                     DwpTuner::new(self.canonical.clone(), workers, self.cfg.bwap.tuner.clone())
@@ -221,6 +313,36 @@ mod tests {
             d[workers.min().unwrap().idx()] < 0.9,
             "after the bandwidth phase, pages spread out again: {d:?}"
         );
+    }
+
+    #[test]
+    fn max_retunes_caps_oscillating_workloads() {
+        // A workload that flips between a latency-bound and a saturating
+        // phase every few seconds would thrash the migration engine
+        // forever; the watchdog must stop after `max_retunes` restarts.
+        let m = machines::machine_b();
+        let mut sim = Simulator::new(m.clone(), SimConfig::default());
+        let workers = m.best_worker_set(1);
+        let mut flip = bwap_workloads::sc_bandwidth_flip().scaled_down(8.0);
+        flip.total_traffic_gb = f64::INFINITY;
+        let timeline = flip.profiles_for(&m, Some(4.0));
+        let pid = sim.spawn(timeline[0].1.clone(), workers, None, MemPolicy::FirstTouch).unwrap();
+        sim.set_phase_timeline(pid, timeline).unwrap();
+        let mut cfg = AdaptiveConfig { max_retunes: 2, ..AdaptiveConfig::default() };
+        cfg.bwap.tuner.sample_interval_s = 0.05;
+        cfg.bwap.tuner.samples_per_iteration = 4;
+        cfg.bwap.tuner.trim = 1;
+        cfg.bwap.tuner.step = 0.25;
+        let (daemon, handle) = AdaptiveBwapDaemon::init(&mut sim, pid, &cfg, true).unwrap();
+        daemon.register(&mut sim);
+        sim.run_for(60.0);
+        // Many more than 2 phase flips happened...
+        assert!(sim.phase_switches(pid) > 6, "{} switches", sim.phase_switches(pid));
+        // ...but the guard stopped the watchdog at exactly the cap.
+        assert_eq!(handle.retunes(), 2);
+        let times = handle.retune_times();
+        assert_eq!(times.len(), 2);
+        assert!(times[0] < times[1]);
     }
 
     #[test]

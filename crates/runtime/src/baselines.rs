@@ -1,8 +1,10 @@
 //! The placement policies of the paper's evaluation (§IV), behind one
 //! enum: Linux first-touch, uniform-workers (the strategy of Carrefour /
 //! AsymSched / Baek et al.), uniform-all, AutoNUMA, and BWAP with its
-//! ablation variants.
+//! ablation variants — plus adaptive BWAP (the §VI future-work daemon,
+//! evaluated on phase-structured workloads).
 
+use crate::adaptive::AdaptiveConfig;
 use bwap::BwapConfig;
 use bwap_topology::NodeSet;
 use numasim::autonuma::{AutoNuma, AutoNumaConfig};
@@ -23,6 +25,10 @@ pub enum PlacementPolicy {
     /// BWAP (full, `BWAP-uniform`, static DWP, kernel/user-level — all via
     /// the config).
     Bwap(BwapConfig),
+    /// BWAP with the phase-change watchdog
+    /// ([`crate::adaptive::AdaptiveBwapDaemon`]): re-tunes when the stall
+    /// rate departs from the converged level. Stand-alone scenario only.
+    AdaptiveBwap(AdaptiveConfig),
 }
 
 impl PlacementPolicy {
@@ -42,6 +48,7 @@ impl PlacementPolicy {
                     "bwap".into()
                 }
             }
+            PlacementPolicy::AdaptiveBwap(_) => "bwap-adaptive".into(),
         }
     }
 
@@ -60,9 +67,10 @@ impl PlacementPolicy {
     /// The `numactl`-style memory policy the process is launched under.
     pub fn launch_policy(&self, workers: NodeSet, all: NodeSet) -> MemPolicy {
         match self {
-            PlacementPolicy::FirstTouch | PlacementPolicy::AutoNuma | PlacementPolicy::Bwap(_) => {
-                MemPolicy::FirstTouch
-            }
+            PlacementPolicy::FirstTouch
+            | PlacementPolicy::AutoNuma
+            | PlacementPolicy::Bwap(_)
+            | PlacementPolicy::AdaptiveBwap(_) => MemPolicy::FirstTouch,
             PlacementPolicy::UniformWorkers => MemPolicy::Interleave(workers),
             PlacementPolicy::UniformAll => MemPolicy::Interleave(all),
         }
@@ -95,6 +103,10 @@ mod tests {
         assert_eq!(PlacementPolicy::Bwap(BwapConfig::default()).label(), "bwap");
         assert_eq!(PlacementPolicy::Bwap(BwapConfig::bwap_uniform()).label(), "bwap-uniform");
         assert_eq!(PlacementPolicy::Bwap(BwapConfig::static_dwp(0.4)).label(), "bwap-static(40%)");
+        assert_eq!(
+            PlacementPolicy::AdaptiveBwap(AdaptiveConfig::default()).label(),
+            "bwap-adaptive"
+        );
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct TunerReport {
     pub history: Vec<(f64, f64)>,
     /// Pages queued for migration by the tuner's placement changes.
     pub pages_applied: u64,
+    /// Phase-change re-tunes performed (adaptive daemon only).
+    pub retunes: u64,
+    /// Simulated time of each re-tune (adaptive daemon only).
+    pub retune_times: Vec<f64>,
 }
 
 /// Cloneable handle onto a [`TunerReport`].
@@ -55,6 +59,17 @@ impl TunerHandle {
     /// Total pages the tuner asked to migrate.
     pub fn pages_applied(&self) -> u64 {
         self.inner.lock().pages_applied
+    }
+
+    /// Phase-change re-tunes performed so far (always 0 for the one-shot
+    /// [`BwapDaemon`]; the adaptive daemon counts its watchdog restarts).
+    pub fn retunes(&self) -> u64 {
+        self.inner.lock().retunes
+    }
+
+    /// Simulated timestamps of the re-tunes, in order.
+    pub fn retune_times(&self) -> Vec<f64> {
+        self.inner.lock().retune_times.clone()
     }
 
     pub(crate) fn update(&self, f: impl FnOnce(&mut TunerReport)) {

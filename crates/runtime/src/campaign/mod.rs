@@ -19,6 +19,15 @@
 //! reports modulo the volatile provenance fields (wall time, threads).
 //! Integration tests at the workspace root pin both properties.
 //!
+//! Phase-structured workloads ([`bwap_workloads::PhasedWorkload`]) are a
+//! first-class axis: declare them with
+//! [`CampaignSpec::phased_workloads`], sweep phase durations with the
+//! [`CampaignSpec::phase_periods`] axis, and their cells run through the
+//! phased scenario runners (the `fig_phases` campaign pits adaptive BWAP
+//! against the static policies this way). Classic campaigns declare no
+//! phased workloads and enumerate byte-identically to the pre-phase
+//! engine.
+//!
 //! New scenarios (topologies, workloads, co-schedule mixes) plug in by
 //! declaring a spec — not by writing another binary.
 
@@ -30,10 +39,13 @@ pub use report::{results_dir, CampaignReport, CellRecord, NodeTierRecord, SCHEMA
 
 use crate::baselines::PlacementPolicy;
 use crate::error::RuntimeError;
-use crate::scenario::{run_coscheduled_with, run_standalone_with, RunResult};
+use crate::scenario::{
+    run_coscheduled_phased, run_coscheduled_with, run_standalone_phased, run_standalone_with,
+    RunResult,
+};
 use bwap::derive_seed;
 use bwap_topology::MachineTopology;
-use bwap_workloads::WorkloadSpec;
+use bwap_workloads::{PhasedWorkload, WorkloadSpec};
 use numasim::SimConfig;
 
 /// The paper's two evaluation scenarios (§IV-A).
@@ -99,6 +111,15 @@ pub struct CampaignSpec {
     pub machine: MachineTopology,
     /// Workload axis.
     pub workloads: Vec<WorkloadSpec>,
+    /// Phase-structured workload axis, enumerated after the plain
+    /// workloads. Empty for classic campaigns — the cell set (and every
+    /// existing report) is unchanged unless phased workloads are declared.
+    pub phased_workloads: Vec<PhasedWorkload>,
+    /// Phase-period axis, applied to phased workloads only: each point
+    /// rescales a workload's timeline so one full phase cycle lasts that
+    /// many seconds, phases keeping their relative durations (`None`
+    /// keeps the native durations). Defaults to `vec![None]`.
+    pub phase_periods: Vec<Option<f64>>,
     /// Policy axis.
     pub policies: Vec<PlacementPolicy>,
     /// Scenario axis (default: stand-alone only).
@@ -125,6 +146,8 @@ impl CampaignSpec {
             name: name.to_string(),
             machine,
             workloads: Vec::new(),
+            phased_workloads: Vec::new(),
+            phase_periods: vec![None],
             policies: Vec::new(),
             scenarios: vec![ScenarioKind::Standalone],
             worker_counts: vec![1],
@@ -138,6 +161,22 @@ impl CampaignSpec {
     /// Set the workload axis.
     pub fn workloads(mut self, workloads: Vec<WorkloadSpec>) -> Self {
         self.workloads = workloads;
+        self
+    }
+
+    /// Set the phase-structured workload axis.
+    pub fn phased_workloads(mut self, workloads: Vec<PhasedWorkload>) -> Self {
+        self.phased_workloads = workloads;
+        self
+    }
+
+    /// Set the phase-period axis (cycle seconds; applied to phased
+    /// workloads). An empty list restores the default single
+    /// native-durations point — it never empties the axis, which would
+    /// silently enumerate zero cells for every phased workload.
+    pub fn phase_periods(mut self, periods: Vec<f64>) -> Self {
+        self.phase_periods =
+            if periods.is_empty() { vec![None] } else { periods.into_iter().map(Some).collect() };
         self
     }
 
@@ -183,27 +222,64 @@ impl CampaignSpec {
         self
     }
 
+    /// The workload name at a combined index (plain workloads first, then
+    /// phased ones — [`CellSpec::workload_idx`]'s coordinate space).
+    pub fn workload_name(&self, idx: usize) -> &str {
+        if idx < self.workloads.len() {
+            self.workloads[idx].name
+        } else {
+            &self.phased_workloads[idx - self.workloads.len()].name
+        }
+    }
+
     /// Enumerate the campaign's cells in their deterministic order
-    /// (workload-major, DWP-minor). Ids, keys and seeds depend only on
-    /// the spec — never on thread count or scheduling.
+    /// (workload-major, DWP-minor; plain workloads before phased ones).
+    /// Ids, keys and seeds depend only on the spec — never on thread
+    /// count or scheduling. Plain-workload keys carry no phase-period
+    /// segment, so classic campaigns enumerate byte-identically to the
+    /// pre-phase engine.
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut cells = Vec::new();
         for (wi, w) in self.workloads.iter().enumerate() {
-            for (pi, p) in self.policies.iter().enumerate() {
-                let has_dwp_knob = matches!(p, PlacementPolicy::Bwap(_));
-                for &scenario in &self.scenarios {
-                    for &k in &self.worker_counts {
-                        for &dwp in &self.dwp_grid {
-                            if dwp.static_value().is_some() && !has_dwp_knob {
-                                continue;
-                            }
-                            let key = format!(
-                                "w{wi}:{}|p{pi}:{}|{}|{k}w|{}",
-                                w.name,
+            self.push_cells(&mut cells, wi, w.name, &[CellPeriod::NotPhased]);
+        }
+        let periods: Vec<CellPeriod> =
+            self.phase_periods.iter().map(|&p| CellPeriod::Phased(p)).collect();
+        for (pj, pw) in self.phased_workloads.iter().enumerate() {
+            self.push_cells(&mut cells, self.workloads.len() + pj, &pw.name, &periods);
+        }
+        cells
+    }
+
+    fn push_cells(
+        &self,
+        cells: &mut Vec<CellSpec>,
+        wi: usize,
+        workload_name: &str,
+        periods: &[CellPeriod],
+    ) {
+        for (pi, p) in self.policies.iter().enumerate() {
+            let has_dwp_knob = matches!(p, PlacementPolicy::Bwap(_));
+            for &scenario in &self.scenarios {
+                for &k in &self.worker_counts {
+                    for &dwp in &self.dwp_grid {
+                        if dwp.static_value().is_some() && !has_dwp_knob {
+                            continue;
+                        }
+                        for period in periods {
+                            let mut key = format!(
+                                "w{wi}:{workload_name}|p{pi}:{}|{}|{k}w|{}",
                                 p.label(),
                                 scenario.label(),
                                 dwp.label()
                             );
+                            if let CellPeriod::Phased(p) = period {
+                                key.push('|');
+                                key.push_str(&match p {
+                                    Some(t) => format!("T={t}s"),
+                                    None => "T=native".into(),
+                                });
+                            }
                             let seed = derive_seed(self.seed, &key);
                             cells.push(CellSpec {
                                 id: cells.len(),
@@ -212,6 +288,10 @@ impl CampaignSpec {
                                 scenario,
                                 workers: k,
                                 dwp,
+                                phase_period: match period {
+                                    CellPeriod::NotPhased => None,
+                                    CellPeriod::Phased(p) => *p,
+                                },
                                 key,
                                 seed,
                             });
@@ -220,8 +300,16 @@ impl CampaignSpec {
                 }
             }
         }
-        cells
     }
+}
+
+/// Phase-period coordinate during enumeration: plain workloads have no
+/// period segment in their key at all (backward-compatible keys), phased
+/// workloads carry one per axis point.
+#[derive(Debug, Clone, Copy)]
+enum CellPeriod {
+    NotPhased,
+    Phased(Option<f64>),
 }
 
 /// One fully-resolved cell of a campaign matrix.
@@ -229,7 +317,9 @@ impl CampaignSpec {
 pub struct CellSpec {
     /// Position in enumeration order.
     pub id: usize,
-    /// Index into [`CampaignSpec::workloads`].
+    /// Combined workload coordinate: indices below
+    /// `CampaignSpec::workloads.len()` address the plain workload axis,
+    /// the rest address [`CampaignSpec::phased_workloads`].
     pub workload_idx: usize,
     /// Index into [`CampaignSpec::policies`].
     pub policy_idx: usize,
@@ -239,6 +329,9 @@ pub struct CellSpec {
     pub workers: usize,
     /// Static-DWP point.
     pub dwp: DwpPoint,
+    /// Phase-period override for phased-workload cells (`None` for plain
+    /// cells and for the native-duration axis point).
+    pub phase_period: Option<f64>,
     /// Stable key: seed-derivation input and report identity.
     pub key: String,
     /// Derived seed.
@@ -295,11 +388,12 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
         .zip(outcomes)
         .map(|(cell, outcome)| CellRecord {
             id: cell.id,
-            workload: spec.workloads[cell.workload_idx].name.to_string(),
+            workload: spec.workload_name(cell.workload_idx).to_string(),
             policy: spec.policies[cell.policy_idx].label(),
             scenario: cell.scenario,
             workers: cell.workers,
             static_dwp: cell.dwp.static_value(),
+            phase_period: cell.phase_period,
             seed: cell.seed,
             key: cell.key,
             outcome: outcome.map_err(|e| e.to_string()),
@@ -330,16 +424,42 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> Result<RunResult, RuntimeEr
             cell.workers, n
         )));
     }
-    let workload = &spec.workloads[cell.workload_idx];
     let mut policy = spec.policies[cell.policy_idx].clone();
-    if let PlacementPolicy::Bwap(cfg) = &mut policy {
-        cfg.seed = cell.seed;
-        if let DwpPoint::Static(d) = cell.dwp {
-            cfg.online_tuning = false;
-            cfg.fixed_dwp = d;
+    match &mut policy {
+        PlacementPolicy::Bwap(cfg) => {
+            cfg.seed = cell.seed;
+            if let DwpPoint::Static(d) = cell.dwp {
+                cfg.online_tuning = false;
+                cfg.fixed_dwp = d;
+            }
         }
+        PlacementPolicy::AdaptiveBwap(acfg) => acfg.bwap.seed = cell.seed,
+        _ => {}
     }
     let workers = spec.machine.best_worker_set(cell.workers);
+    if let Some(phased) =
+        cell.workload_idx.checked_sub(spec.workloads.len()).map(|i| &spec.phased_workloads[i])
+    {
+        return match cell.scenario {
+            ScenarioKind::Standalone => run_standalone_phased(
+                &spec.machine,
+                phased,
+                workers,
+                &policy,
+                spec.sim_cfg.clone(),
+                cell.phase_period,
+            ),
+            ScenarioKind::Coscheduled => run_coscheduled_phased(
+                &spec.machine,
+                phased,
+                workers,
+                &policy,
+                spec.sim_cfg.clone(),
+                cell.phase_period,
+            ),
+        };
+    }
+    let workload = &spec.workloads[cell.workload_idx];
     match cell.scenario {
         ScenarioKind::Standalone => {
             run_standalone_with(&spec.machine, workload, workers, &policy, spec.sim_cfg.clone())
@@ -388,6 +508,61 @@ mod tests {
         assert!(cells.iter().all(
             |c| c.dwp.static_value().is_none() || spec.policies[c.policy_idx].label() == "bwap"
         ));
+    }
+
+    #[test]
+    fn phased_workloads_extend_the_matrix_without_touching_plain_keys() {
+        let plain = small_spec().scenarios(vec![ScenarioKind::Standalone]);
+        let with_phases = plain
+            .clone()
+            .phased_workloads(vec![bwap_workloads::sc_bandwidth_flip().scaled_down(32.0)])
+            .phase_periods(vec![2.0, 4.0]);
+        let a = plain.cells();
+        let b = with_phases.cells();
+        // The plain prefix is identical, key for key and seed for seed.
+        assert!(b.len() > a.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(y.phase_period, None);
+        }
+        // Phased cells carry the period axis in their keys and specs:
+        // 2 policies (uniform-workers has no dwp knob: 1 dwp point;
+        // bwap: 2) x 2 counts x 2 periods = (1+2) x 2 x 2 = 12.
+        let phased: Vec<_> = b.iter().skip(a.len()).collect();
+        assert_eq!(phased.len(), 12);
+        assert!(phased.iter().all(|c| c.key.contains("SC.FLIP") && c.key.contains("|T=")));
+        assert!(phased.iter().all(|c| matches!(c.phase_period, Some(t) if t == 2.0 || t == 4.0)));
+        assert_eq!(with_phases.workload_name(1), "SC.FLIP");
+    }
+
+    #[test]
+    fn phased_campaign_runs_end_to_end_with_adaptive_policy() {
+        let spec = CampaignSpec::new("phased-unit", machines::machine_b())
+            .phased_workloads(vec![bwap_workloads::sc_bandwidth_flip().scaled_down(64.0)])
+            .phase_periods(vec![1.0])
+            .policies(vec![
+                PlacementPolicy::FirstTouch,
+                PlacementPolicy::AdaptiveBwap(crate::adaptive::AdaptiveConfig::default()),
+            ])
+            .seed(3);
+        let report = run_campaign_with(&spec, &CampaignConfig { threads: Some(2) });
+        assert_eq!(report.cells.len(), 2);
+        for c in &report.cells {
+            let r = c.outcome.as_ref().unwrap_or_else(|e| panic!("{}: {e}", c.key));
+            assert!(r.phase_switches.is_some(), "{}", c.key);
+            assert_eq!(c.phase_period, Some(1.0));
+        }
+        let adaptive = report
+            .cells
+            .iter()
+            .find(|c| c.policy == "bwap-adaptive")
+            .and_then(|c| c.result())
+            .expect("adaptive cell ran");
+        assert!(adaptive.retunes.is_some());
+        let j = report.deterministic_json();
+        assert!(j.contains("\"phase_period_s\": 1"));
+        assert!(j.contains("\"phase_switches\""));
     }
 
     #[test]

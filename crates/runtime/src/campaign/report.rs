@@ -65,6 +65,10 @@ pub struct CellRecord {
     pub workers: usize,
     /// `Some(d)` if the cell pinned BWAP to a static DWP.
     pub static_dwp: Option<f64>,
+    /// Phase-period override of a phased-workload cell, seconds. `None`
+    /// for plain-workload cells (the field is omitted from their JSON)
+    /// and for native-duration phased cells.
+    pub phase_period: Option<f64>,
     /// The cell's derived seed (replay input).
     pub seed: u64,
     /// The run's result, or the error that stopped it.
@@ -107,6 +111,11 @@ impl CampaignReport {
     /// Look up a cell by its coordinates. `static_dwp` must match the
     /// spec's grid value exactly (both come from the same code path, so
     /// exact `f64` comparison is well-defined).
+    ///
+    /// The phase-period axis is *not* a coordinate here: in a campaign
+    /// sweeping several phase periods this returns the first matching
+    /// cell in enumeration order (the lowest-indexed period point) —
+    /// disambiguate with [`CampaignReport::find_phased`].
     pub fn find(
         &self,
         workload: &str,
@@ -121,6 +130,28 @@ impl CampaignReport {
                 && c.scenario == scenario
                 && c.workers == workers
                 && c.static_dwp == static_dwp
+        })
+    }
+
+    /// [`CampaignReport::find`] with the phase-period coordinate pinned
+    /// (for phased-workload campaigns sweeping several periods; like
+    /// `static_dwp`, the value must match the spec's axis point exactly).
+    pub fn find_phased(
+        &self,
+        workload: &str,
+        policy: &str,
+        scenario: ScenarioKind,
+        workers: usize,
+        static_dwp: Option<f64>,
+        phase_period: Option<f64>,
+    ) -> Option<&CellRecord> {
+        self.cells.iter().find(|c| {
+            c.workload == workload
+                && c.policy == policy
+                && c.scenario == scenario
+                && c.workers == workers
+                && c.static_dwp == static_dwp
+                && c.phase_period == phase_period
         })
     }
 
@@ -261,6 +292,11 @@ fn json_opt_f64(v: Option<f64>) -> String {
     }
 }
 
+fn f64_array_json(v: &[f64]) -> String {
+    let cells: Vec<String> = v.iter().map(|&x| json_f64(x)).collect();
+    format!("[{}]", cells.join(", "))
+}
+
 fn node_tiers_json(tiers: &[NodeTierRecord]) -> String {
     let rows: Vec<String> = tiers
         .iter()
@@ -305,6 +341,11 @@ fn cell_json(s: &mut String, c: &CellRecord) {
     field(s, 3, "scenario", &json_str(c.scenario.label()));
     field(s, 3, "workers", &c.workers.to_string());
     field(s, 3, "static_dwp", &json_opt_f64(c.static_dwp));
+    // Optional axes are omitted, not null: classic-campaign cells stay
+    // byte-identical to their pre-phase serialization.
+    if let Some(t) = c.phase_period {
+        field(s, 3, "phase_period_s", &json_f64(t));
+    }
     field(s, 3, "seed", &c.seed.to_string());
     match &c.outcome {
         Ok(r) => {
@@ -317,6 +358,17 @@ fn cell_json(s: &mut String, c: &CellRecord) {
             field(s, 4, "a_stall_frac", &json_opt_f64(r.a_stall_frac));
             field(s, 4, "read_bytes", &json_f64(r.read_bytes));
             field(s, 4, "traffic_bytes", &json_f64(r.traffic_bytes));
+            // Adaptive/phased observables ride along only where they
+            // exist (schema v2 optional fields, like `node_tiers`).
+            if let Some(n) = r.retunes {
+                field(s, 4, "retunes", &n.to_string());
+            }
+            if let Some(times) = &r.retune_times_s {
+                field(s, 4, "retune_times_s", &f64_array_json(times));
+            }
+            if let Some(n) = r.phase_switches {
+                field(s, 4, "phase_switches", &n.to_string());
+            }
             pop_trailing_comma(s);
             indent(s, 3);
             s.push_str("},\n");
@@ -353,6 +405,7 @@ mod tests {
             scenario: ScenarioKind::Standalone,
             workers: 1,
             static_dwp: None,
+            phase_period: None,
             seed: 7,
             outcome,
         }
@@ -370,6 +423,9 @@ mod tests {
             a_stall_frac: None,
             read_bytes: 1e9,
             traffic_bytes: 1.5e9,
+            retunes: None,
+            retune_times_s: None,
+            phase_switches: None,
         }
     }
 
@@ -438,6 +494,35 @@ mod tests {
     }
 
     #[test]
+    fn phase_and_retune_fields_are_emitted_only_when_present() {
+        // A classic cell: none of the optional names appear at all.
+        let plain = report(vec![record(0, Ok(result()))]).to_json();
+        for name in ["phase_period_s", "retunes", "retune_times_s", "phase_switches"] {
+            assert!(!plain.contains(name), "{name} leaked into a classic report");
+        }
+        // An adaptive phased cell: all of them ride along.
+        let mut r = result();
+        r.retunes = Some(2);
+        r.retune_times_s = Some(vec![3.5, 9.25]);
+        r.phase_switches = Some(5);
+        let mut c = record(0, Ok(r));
+        c.phase_period = Some(10.0);
+        let j = report(vec![c]).to_json();
+        assert!(j.contains("\"phase_period_s\": 10"));
+        assert!(j.contains("\"retunes\": 2"));
+        assert!(j.contains("\"retune_times_s\": [3.5, 9.25]"));
+        assert!(j.contains("\"phase_switches\": 5"));
+        // And they are part of the deterministic payload.
+        let d = report(vec![{
+            let mut r = result();
+            r.retunes = Some(1);
+            record(0, Ok(r))
+        }])
+        .deterministic_json();
+        assert!(d.contains("\"retunes\": 1"));
+    }
+
+    #[test]
     fn json_str_escapes() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
@@ -457,6 +542,23 @@ mod tests {
         assert!(r.find("SC", "bwap", ScenarioKind::Coscheduled, 1, None).is_none());
         assert!(r.find("SC", "bwap", ScenarioKind::Standalone, 1, Some(0.5)).is_none());
         assert_eq!(r.ok_results().count(), 1);
+    }
+
+    #[test]
+    fn find_phased_pins_the_period_coordinate() {
+        let mut a = record(0, Ok(result()));
+        a.phase_period = Some(12.0);
+        let mut b = record(1, Ok(result()));
+        b.phase_period = Some(36.0);
+        let r = report(vec![a, b]);
+        // Plain find is first-match across the period axis...
+        assert_eq!(r.find("SC", "bwap", ScenarioKind::Standalone, 1, None).unwrap().id, 0);
+        // ...find_phased disambiguates.
+        let hit = r.find_phased("SC", "bwap", ScenarioKind::Standalone, 1, None, Some(36.0));
+        assert_eq!(hit.unwrap().id, 1);
+        assert!(r
+            .find_phased("SC", "bwap", ScenarioKind::Standalone, 1, None, Some(9.0))
+            .is_none());
     }
 
     #[test]

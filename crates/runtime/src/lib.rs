@@ -17,10 +17,13 @@
 //!   its ablation variants, behind one [`baselines::PlacementPolicy`]
 //!   enum.
 //! * [`adaptive`] — dynamic re-tuning for phase-changing applications
-//!   (the paper's first future-work item, §VI).
+//!   (the paper's first future-work item, §VI), exercised end-to-end by
+//!   phase-structured workloads (`bwap_workloads::PhasedWorkload`) and the
+//!   `fig_phases` campaign.
 //! * [`scenario`] — the paper's two evaluation scenarios (stand-alone and
-//!   co-scheduled, §IV-A) as reusable runners, and the worker-count sweep
-//!   behind Fig. 3c/d.
+//!   co-scheduled, §IV-A) as reusable runners — for plain and
+//!   phase-structured workloads — and the worker-count sweep behind
+//!   Fig. 3c/d.
 //! * [`sweep`] — static-DWP sweeps (Fig. 4).
 //! * [`campaign`] — the declarative experiment-campaign engine: a
 //!   [`CampaignSpec`] describes the whole evaluation matrix; a sharded
@@ -50,7 +53,7 @@ pub use cosched_daemon::CoschedDaemon;
 pub use error::RuntimeError;
 pub use profiling::{profile_bandwidth, ProfileBook};
 pub use scenario::{
-    run_coscheduled, run_coscheduled_with, run_standalone, run_standalone_with,
-    sweep_worker_counts, RunResult,
+    run_coscheduled, run_coscheduled_phased, run_coscheduled_with, run_standalone,
+    run_standalone_phased, run_standalone_with, sweep_worker_counts, RunResult,
 };
 pub use sweep::{dwp_sweep, SweepPoint};

@@ -6,14 +6,22 @@
 //!   occupies the remaining nodes while the memory-intensive application B
 //!   runs on the worker set; B may place pages on A's nodes but must not
 //!   degrade A.
+//!
+//! Both scenarios also run **phase-structured** workloads
+//! ([`bwap_workloads::PhasedWorkload`]): [`run_standalone_phased`] /
+//! [`run_coscheduled_phased`] install the workload's cycling demand
+//! timeline on the measured process, so the engine swaps its profile at
+//! every phase boundary — the setting the adaptive BWAP daemon
+//! ([`PlacementPolicy::AdaptiveBwap`]) exists for.
 
+use crate::adaptive::AdaptiveBwapDaemon;
 use crate::baselines::PlacementPolicy;
-use crate::bwap_daemon::BwapDaemon;
+use crate::bwap_daemon::{BwapDaemon, TunerHandle};
 use crate::cosched_daemon::CoschedDaemon;
 use crate::error::RuntimeError;
 use bwap_topology::{MachineTopology, NodeSet};
-use bwap_workloads::WorkloadSpec;
-use numasim::{ProcessId, SimConfig, Simulator};
+use bwap_workloads::{PhasedWorkload, WorkloadSpec};
+use numasim::{AppProfile, ProcessId, SimConfig, Simulator};
 
 /// Hard ceiling on simulated time per run: generous versus the ~10-60 s
 /// workloads, small enough to catch accidental livelock in tests.
@@ -44,6 +52,14 @@ pub struct RunResult {
     pub read_bytes: f64,
     /// Total memory traffic (reads + writes) of the measured application.
     pub traffic_bytes: f64,
+    /// Phase-change re-tunes the adaptive watchdog performed
+    /// (`bwap-adaptive` runs only; `None` for every other policy).
+    pub retunes: Option<u64>,
+    /// Simulated time of each re-tune, in order (`bwap-adaptive` only).
+    pub retune_times_s: Option<Vec<f64>>,
+    /// Phase boundaries the measured application crossed (phase-structured
+    /// workloads only; `None` for plain specs).
+    pub phase_switches: Option<u64>,
 }
 
 /// `(read bytes, total traffic bytes)` of `pid` over its whole run.
@@ -65,8 +81,23 @@ fn stall_frac_between(sim: &Simulator, pid: ProcessId, start: &numasim::ProcessS
     }
 }
 
+/// Adaptive-watchdog observables for the result record: populated only
+/// for the adaptive policy so every other cell's JSON stays unchanged.
+fn retune_extras(
+    policy: &PlacementPolicy,
+    handle: &Option<TunerHandle>,
+) -> (Option<u64>, Option<Vec<f64>>) {
+    match (policy, handle) {
+        (PlacementPolicy::AdaptiveBwap(_), Some(h)) => (Some(h.retunes()), Some(h.retune_times())),
+        _ => (None, None),
+    }
+}
+
 /// Launch the measured application under `policy` (B in the co-scheduled
-/// scenario), attaching whatever daemons the policy needs.
+/// scenario), attaching whatever daemons the policy needs. `spec` defines
+/// the memory layout; a phase `timeline`, when given, supplies the spawn
+/// profile (phase 0) and is installed on the process so the engine swaps
+/// demand profiles at phase boundaries.
 ///
 /// BWAP processes launch with their pages *already at* the canonical
 /// distribution: `BWAP-init` runs right after allocation, so its `mbind`
@@ -78,32 +109,40 @@ fn launch_measured(
     sim: &mut Simulator,
     machine: &MachineTopology,
     spec: &WorkloadSpec,
+    timeline: Option<&[(f64, AppProfile)]>,
     workers: NodeSet,
     policy: &PlacementPolicy,
     cosched_a: Option<ProcessId>,
-) -> Result<(ProcessId, Option<crate::bwap_daemon::TunerHandle>), RuntimeError> {
+) -> Result<(ProcessId, Option<TunerHandle>), RuntimeError> {
+    let bwap_launch = |cfg: &bwap::BwapConfig| -> Result<numasim::MemPolicy, RuntimeError> {
+        let canonical = if cfg.uniform_canonical {
+            bwap::WeightDistribution::uniform(machine.node_count())
+        } else {
+            crate::profiling::ProfileBook::canonical_weights(machine, workers)
+        };
+        let initial = bwap::apply_dwp(&canonical, workers, cfg.fixed_dwp)?;
+        let placed = match cfg.mode {
+            bwap::InterleaveMode::Kernel => initial,
+            bwap::InterleaveMode::UserLevel => bwap::realized_weights(spec.shared_pages, &initial)?,
+        };
+        Ok(numasim::MemPolicy::WeightedInterleave(placed.to_vec()))
+    };
     let launch_policy = match policy {
-        PlacementPolicy::Bwap(cfg) => {
-            let canonical = if cfg.uniform_canonical {
-                bwap::WeightDistribution::uniform(machine.node_count())
-            } else {
-                crate::profiling::ProfileBook::canonical_weights(machine, workers)
-            };
-            let initial = bwap::apply_dwp(&canonical, workers, cfg.fixed_dwp)?;
-            let placed = match cfg.mode {
-                bwap::InterleaveMode::Kernel => initial,
-                bwap::InterleaveMode::UserLevel => {
-                    bwap::realized_weights(spec.shared_pages, &initial)?
-                }
-            };
-            numasim::MemPolicy::WeightedInterleave(placed.to_vec())
-        }
+        PlacementPolicy::Bwap(cfg) => bwap_launch(cfg)?,
+        PlacementPolicy::AdaptiveBwap(acfg) => bwap_launch(&acfg.bwap)?,
         _ => policy.launch_policy(workers, machine.memory_nodes()),
     };
-    let pid = sim.spawn(spec.profile_for(machine), workers, None, launch_policy)?;
+    let profile = match timeline {
+        Some(t) => t.first().expect("validated timeline is non-empty").1.clone(),
+        None => spec.profile_for(machine),
+    };
+    let pid = sim.spawn(profile, workers, None, launch_policy)?;
+    if let Some(t) = timeline {
+        sim.set_phase_timeline(pid, t.to_vec())?;
+    }
     policy.attach_autonuma(sim, pid);
-    let handle = if let PlacementPolicy::Bwap(cfg) = policy {
-        match cosched_a {
+    let handle = match policy {
+        PlacementPolicy::Bwap(cfg) => match cosched_a {
             Some(a) => {
                 let (daemon, handle) = CoschedDaemon::init(sim, pid, a, cfg, false)?;
                 if cfg.online_tuning {
@@ -118,9 +157,20 @@ fn launch_measured(
                 }
                 Some(handle)
             }
+        },
+        PlacementPolicy::AdaptiveBwap(acfg) => {
+            if cosched_a.is_some() {
+                return Err(RuntimeError::Scenario(
+                    "adaptive BWAP supports the stand-alone scenario only (the co-scheduled \
+                     tuner has no phase watchdog yet)"
+                        .into(),
+                ));
+            }
+            let (daemon, handle) = AdaptiveBwapDaemon::init(sim, pid, acfg, false)?;
+            daemon.register(sim);
+            Some(handle)
         }
-    } else {
-        None
+        _ => None,
     };
     Ok((pid, handle))
 }
@@ -144,14 +194,51 @@ pub fn run_standalone_with(
     policy: &PlacementPolicy,
     sim_cfg: SimConfig,
 ) -> Result<RunResult, RuntimeError> {
+    standalone_impl(machine, spec, None, spec.name, workers, policy, sim_cfg)
+}
+
+/// Run a phase-structured workload alone on `workers` under `policy`.
+/// `phase_period` overrides every phase's duration (the campaign engine's
+/// `phase_period` axis); `None` keeps the workload's native durations.
+pub fn run_standalone_phased(
+    machine: &MachineTopology,
+    phased: &PhasedWorkload,
+    workers: NodeSet,
+    policy: &PlacementPolicy,
+    sim_cfg: SimConfig,
+    phase_period: Option<f64>,
+) -> Result<RunResult, RuntimeError> {
+    let timeline = phased.profiles_for(machine, phase_period);
+    standalone_impl(
+        machine,
+        phased.layout_spec(),
+        Some(timeline),
+        &phased.name,
+        workers,
+        policy,
+        sim_cfg,
+    )
+}
+
+fn standalone_impl(
+    machine: &MachineTopology,
+    spec: &WorkloadSpec,
+    timeline: Option<Vec<(f64, AppProfile)>>,
+    workload_name: &str,
+    workers: NodeSet,
+    policy: &PlacementPolicy,
+    sim_cfg: SimConfig,
+) -> Result<RunResult, RuntimeError> {
     let mut sim = Simulator::new(machine.clone(), sim_cfg);
-    let (pid, handle) = launch_measured(&mut sim, machine, spec, workers, policy, None)?;
+    let (pid, handle) =
+        launch_measured(&mut sim, machine, spec, timeline.as_deref(), workers, policy, None)?;
     let start = sim.sample(pid)?;
     let exec_time_s = sim.run_until_finished(pid, MAX_SIM_S)?;
     let (read_bytes, traffic_bytes) = traffic_counters(&sim, machine.node_count(), pid);
+    let (retunes, retune_times_s) = retune_extras(policy, &handle);
     Ok(RunResult {
         policy: policy.label(),
-        workload: spec.name.to_string(),
+        workload: workload_name.to_string(),
         workers: workers.len(),
         exec_time_s,
         chosen_dwp: handle.as_ref().map(|h| h.dwp()),
@@ -160,6 +247,9 @@ pub fn run_standalone_with(
         a_stall_frac: None,
         read_bytes,
         traffic_bytes,
+        retunes,
+        retune_times_s,
+        phase_switches: timeline.is_some().then(|| sim.phase_switches(pid)),
     })
 }
 
@@ -183,6 +273,40 @@ pub fn run_coscheduled_with(
     policy: &PlacementPolicy,
     sim_cfg: SimConfig,
 ) -> Result<RunResult, RuntimeError> {
+    coscheduled_impl(machine, spec, None, spec.name, workers, policy, sim_cfg)
+}
+
+/// Co-scheduled scenario with a phase-structured B. See
+/// [`run_standalone_phased`] for `phase_period`.
+pub fn run_coscheduled_phased(
+    machine: &MachineTopology,
+    phased: &PhasedWorkload,
+    workers: NodeSet,
+    policy: &PlacementPolicy,
+    sim_cfg: SimConfig,
+    phase_period: Option<f64>,
+) -> Result<RunResult, RuntimeError> {
+    let timeline = phased.profiles_for(machine, phase_period);
+    coscheduled_impl(
+        machine,
+        phased.layout_spec(),
+        Some(timeline),
+        &phased.name,
+        workers,
+        policy,
+        sim_cfg,
+    )
+}
+
+fn coscheduled_impl(
+    machine: &MachineTopology,
+    spec: &WorkloadSpec,
+    timeline: Option<Vec<(f64, AppProfile)>>,
+    workload_name: &str,
+    workers: NodeSet,
+    policy: &PlacementPolicy,
+    sim_cfg: SimConfig,
+) -> Result<RunResult, RuntimeError> {
     let n = machine.node_count();
     // A runs on the worker-capable nodes B leaves free: CPU-less expander
     // nodes can never host A's threads (they stay pure memory donors).
@@ -199,14 +323,16 @@ pub fn run_coscheduled_with(
         None,
         numasim::MemPolicy::FirstTouch,
     )?;
-    let (b, handle) = launch_measured(&mut sim, machine, spec, workers, policy, Some(a))?;
+    let (b, handle) =
+        launch_measured(&mut sim, machine, spec, timeline.as_deref(), workers, policy, Some(a))?;
     let start_a = sim.sample(a)?;
     let start_b = sim.sample(b)?;
     let exec_time_s = sim.run_until_finished(b, MAX_SIM_S)?;
     let (read_bytes, traffic_bytes) = traffic_counters(&sim, n, b);
+    let (retunes, retune_times_s) = retune_extras(policy, &handle);
     Ok(RunResult {
         policy: policy.label(),
-        workload: spec.name.to_string(),
+        workload: workload_name.to_string(),
         workers: workers.len(),
         exec_time_s,
         chosen_dwp: handle.as_ref().map(|h| h.dwp()),
@@ -215,6 +341,9 @@ pub fn run_coscheduled_with(
         a_stall_frac: Some(stall_frac_between(&sim, a, &start_a)),
         read_bytes,
         traffic_bytes,
+        retunes,
+        retune_times_s,
+        phase_switches: timeline.is_some().then(|| sim.phase_switches(b)),
     })
 }
 
@@ -251,6 +380,7 @@ pub fn optimal_worker_count(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adaptive::AdaptiveConfig;
     use bwap_topology::machines;
 
     fn fast_sc() -> WorkloadSpec {
@@ -271,6 +401,9 @@ mod tests {
             uw.exec_time_s,
             ft.exec_time_s
         );
+        // Plain specs report no phase/retune observables.
+        assert_eq!(ft.phase_switches, None);
+        assert_eq!(ft.retunes, None);
     }
 
     #[test]
@@ -313,5 +446,57 @@ mod tests {
         let a = run_standalone(&m, &fast_sc(), workers, &PlacementPolicy::UniformAll).unwrap();
         let b = run_standalone(&m, &fast_sc(), workers, &PlacementPolicy::UniformAll).unwrap();
         assert_eq!(a.exec_time_s, b.exec_time_s);
+    }
+
+    #[test]
+    fn phased_standalone_reports_switches_and_runs_all_policies() {
+        let m = machines::machine_b();
+        let workers = m.best_worker_set(1);
+        let flip = bwap_workloads::sc_bandwidth_flip().scaled_down(32.0);
+        let r = run_standalone_phased(
+            &m,
+            &flip,
+            workers,
+            &PlacementPolicy::UniformAll,
+            SimConfig::default(),
+            Some(2.0),
+        )
+        .unwrap();
+        assert_eq!(r.workload, "SC.FLIP");
+        assert!(r.phase_switches.expect("phased run counts switches") >= 1);
+        assert_eq!(r.retunes, None, "non-adaptive policies report no retunes");
+    }
+
+    #[test]
+    fn adaptive_policy_reports_retunes_and_rejects_cosched() {
+        let m = machines::machine_b();
+        let workers = m.best_worker_set(1);
+        let flip = bwap_workloads::sc_bandwidth_flip().scaled_down(32.0);
+        let policy = PlacementPolicy::AdaptiveBwap(AdaptiveConfig::default());
+        let r = run_standalone_phased(&m, &flip, workers, &policy, SimConfig::default(), Some(2.0))
+            .unwrap();
+        assert!(r.retunes.is_some());
+        assert_eq!(r.retunes.unwrap() as usize, r.retune_times_s.as_ref().unwrap().len());
+        let err =
+            run_coscheduled_phased(&m, &flip, workers, &policy, SimConfig::default(), Some(2.0));
+        assert!(err.unwrap_err().to_string().contains("stand-alone"), "cosched adaptive rejected");
+    }
+
+    #[test]
+    fn phased_cosched_runs_under_plain_policies() {
+        let m = machines::machine_b();
+        let workers = m.best_worker_set(1);
+        let flip = bwap_workloads::sc_bandwidth_flip().scaled_down(32.0);
+        let r = run_coscheduled_phased(
+            &m,
+            &flip,
+            workers,
+            &PlacementPolicy::UniformWorkers,
+            SimConfig::default(),
+            Some(2.0),
+        )
+        .unwrap();
+        assert!(r.a_stall_frac.is_some());
+        assert!(r.phase_switches.is_some());
     }
 }

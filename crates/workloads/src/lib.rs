@@ -16,6 +16,13 @@
 //! extremely bandwidth-intensive, uniformly-random, read-only traversal of
 //! a shared array used by the canonical tuner for profiling.
 //!
+//! Applications whose access patterns *change over time* are modelled by
+//! [`PhasedWorkload`] — an ordered, cycling timeline of demand profiles
+//! ([`phased`]), loadable from a JSON phase-trace file ([`trace`]). The
+//! canned phase-flipping variants ([`phased::phased_suite`]) drive the
+//! adaptive re-tuning scenario (`fig_phases`). See `docs/WORKLOADS.md`
+//! for the full workload model.
+//!
 //! # Examples
 //!
 //! A spec is plain data; [`WorkloadSpec::profile_for`] translates it into
@@ -38,15 +45,41 @@
 //! assert_eq!(bwap_workloads::suite().len(), 5);
 //! # Ok::<(), numasim::SimError>(())
 //! ```
+//!
+//! A phase-structured workload is a timeline of such specs; the engine
+//! swaps demand profiles at each phase boundary:
+//!
+//! ```
+//! use bwap_workloads::{Phase, PhasedWorkload};
+//!
+//! let flip = PhasedWorkload::new(
+//!     "demo-flip",
+//!     vec![
+//!         Phase::new(bwap_workloads::ocean_cp(), 10.0),
+//!         Phase::new(bwap_workloads::streamcluster(), 10.0),
+//!     ],
+//!     500.0,
+//! )?;
+//! let timeline = flip.profiles_for(&bwap_topology::machines::machine_b(), None);
+//! assert_eq!(timeline.len(), 2);
+//! # Ok::<(), bwap_workloads::PhaseError>(())
+//! ```
 
 pub mod apps;
 pub mod generator;
+pub mod phased;
 pub mod spec;
 pub mod table1;
+pub mod trace;
 
 pub use apps::{
     by_name, capacity_suite, ft_c, ocean_cp, ocean_cp_xl, ocean_ncp, sp_b, stream_probe,
     streamcluster, streamcluster_xl, suite, swaptions,
 };
+pub use phased::{
+    ftc_rw_swing, oc_footprint_swing, phased_by_name, phased_suite, sc_bandwidth_flip, Phase,
+    PhaseError, PhasedWorkload,
+};
 pub use spec::WorkloadSpec;
 pub use table1::{table1_reference, Table1Row};
+pub use trace::{load_phase_trace, parse_phase_trace, TraceError};

@@ -1,0 +1,556 @@
+//! The JSON phase-trace format: phased workloads as data files.
+//!
+//! A *phase trace* describes a [`crate::PhasedWorkload`] without
+//! writing Rust: each phase names a base workload from the Table-I
+//! catalogue ([`crate::by_name`]) and optionally overrides individual
+//! demand axes. The workspace is offline and serde-free, so the loader
+//! ships its own minimal JSON reader; every malformed input maps to a
+//! typed [`TraceError`] naming exactly what is wrong.
+//!
+//! # Format
+//!
+//! ```json
+//! {
+//!   "name": "sc-flip",
+//!   "total_traffic_gb": 600.0,
+//!   "phases": [
+//!     {"workload": "SC", "duration_s": 10.0,
+//!      "override": {"reads_mbps": 42000.0, "latency_sensitivity": 0.02}},
+//!     {"workload": "SC", "duration_s": 10.0}
+//!   ]
+//! }
+//! ```
+//!
+//! * `name` — workload name used in reports.
+//! * `total_traffic_gb` — the workload-level traffic budget shared by all
+//!   phases (positive).
+//! * `phases[]` — at least one phase; `workload` is a catalogue name
+//!   (`SC`, `OC`, `ON`, `SP.B`, `FT.C`, …), `duration_s` a positive
+//!   number, and `override` an optional object setting any of:
+//!   `reads_mbps`, `writes_mbps`, `private_frac`, `latency_sensitivity`,
+//!   `serial_frac`, `multinode_penalty`. Page counts cannot be overridden
+//!   — the memory layout is fixed at spawn from phase 0's workload.
+//!
+//! # Examples
+//!
+//! ```
+//! let json = r#"{
+//!   "name": "flip", "total_traffic_gb": 300.0,
+//!   "phases": [
+//!     {"workload": "SC", "duration_s": 5.0,
+//!      "override": {"reads_mbps": 42000.0}},
+//!     {"workload": "SC", "duration_s": 5.0}
+//!   ]
+//! }"#;
+//! let w = bwap_workloads::trace::parse_phase_trace(json)?;
+//! assert_eq!(w.name, "flip");
+//! assert_eq!(w.phases[0].spec.reads_mbps, 42000.0);
+//! # Ok::<(), bwap_workloads::trace::TraceError>(())
+//! ```
+
+use crate::phased::{Phase, PhaseError, PhasedWorkload};
+use std::fmt;
+
+/// Why a phase-trace document was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The document is not valid JSON.
+    Json {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What the reader expected there.
+        message: String,
+    },
+    /// A required field is missing.
+    MissingField {
+        /// Which object lacks it (`"trace"` or `"phases[i]"`).
+        context: String,
+        /// The absent field.
+        field: &'static str,
+    },
+    /// A field holds the wrong JSON type.
+    WrongType {
+        /// Which object/field.
+        context: String,
+        /// What the format requires.
+        expected: &'static str,
+    },
+    /// A phase names a workload the catalogue does not have.
+    UnknownWorkload {
+        /// Phase index.
+        phase: usize,
+        /// The unknown name.
+        name: String,
+    },
+    /// An `override` object sets an axis that does not exist (or cannot
+    /// be overridden, like page counts).
+    UnknownOverride {
+        /// Phase index.
+        phase: usize,
+        /// The rejected key.
+        key: String,
+    },
+    /// The assembled workload failed [`PhasedWorkload::new`] validation.
+    Invalid(PhaseError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Json { offset, message } => {
+                write!(f, "invalid JSON at byte {offset}: {message}")
+            }
+            TraceError::MissingField { context, field } => {
+                write!(f, "{context}: missing field {field:?}")
+            }
+            TraceError::WrongType { context, expected } => {
+                write!(f, "{context}: expected {expected}")
+            }
+            TraceError::UnknownWorkload { phase, name } => {
+                write!(f, "phases[{phase}]: unknown workload {name:?}")
+            }
+            TraceError::UnknownOverride { phase, key } => {
+                write!(f, "phases[{phase}]: unknown override axis {key:?}")
+            }
+            TraceError::Invalid(e) => write!(f, "invalid phased workload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<PhaseError> for TraceError {
+    fn from(e: PhaseError) -> Self {
+        TraceError::Invalid(e)
+    }
+}
+
+/// Parse a phase-trace JSON document into a validated [`PhasedWorkload`].
+pub fn parse_phase_trace(json: &str) -> Result<PhasedWorkload, TraceError> {
+    let doc = Json::parse(json)?;
+    let top = doc.object("trace")?;
+    let name = get(top, "trace", "name")?.string("trace.name")?;
+    let total = get(top, "trace", "total_traffic_gb")?.number("trace.total_traffic_gb")?;
+    let phases_json = get(top, "trace", "phases")?.array("trace.phases")?;
+    let mut phases = Vec::with_capacity(phases_json.len());
+    for (i, p) in phases_json.iter().enumerate() {
+        let ctx = format!("phases[{i}]");
+        let obj = p.object(&ctx)?;
+        let wname = get(obj, &ctx, "workload")?.string(&format!("{ctx}.workload"))?;
+        let mut spec = crate::by_name(wname)
+            .ok_or_else(|| TraceError::UnknownWorkload { phase: i, name: wname.to_string() })?;
+        let duration_s = get(obj, &ctx, "duration_s")?.number(&format!("{ctx}.duration_s"))?;
+        if let Some(over) = obj.iter().find(|(k, _)| k == "override") {
+            for (key, value) in over.1.object(&format!("{ctx}.override"))? {
+                let v = value.number(&format!("{ctx}.override.{key}"))?;
+                match key.as_str() {
+                    "reads_mbps" => spec.reads_mbps = v,
+                    "writes_mbps" => spec.writes_mbps = v,
+                    "private_frac" => spec.private_frac = v,
+                    "latency_sensitivity" => spec.latency_sensitivity = v,
+                    "serial_frac" => spec.serial_frac = v,
+                    "multinode_penalty" => spec.multinode_penalty = v,
+                    other => {
+                        return Err(TraceError::UnknownOverride {
+                            phase: i,
+                            key: other.to_string(),
+                        })
+                    }
+                }
+            }
+        }
+        phases.push(Phase::new(spec, duration_s));
+    }
+    Ok(PhasedWorkload::new(name, phases, total)?)
+}
+
+/// Load a phase trace from a file (convenience around
+/// [`parse_phase_trace`]). I/O failures surface as a JSON error at byte 0
+/// carrying the OS message.
+pub fn load_phase_trace(path: &std::path::Path) -> Result<PhasedWorkload, TraceError> {
+    let text = std::fs::read_to_string(path).map_err(|e| TraceError::Json {
+        offset: 0,
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    parse_phase_trace(&text)
+}
+
+/// The minimal JSON value model the trace format needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, TraceError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("end of document"));
+        }
+        Ok(v)
+    }
+
+    fn object(&self, ctx: &str) -> Result<&[(String, Json)], TraceError> {
+        match self {
+            Json::Object(o) => Ok(o),
+            _ => Err(TraceError::WrongType { context: ctx.to_string(), expected: "an object" }),
+        }
+    }
+
+    fn array(&self, ctx: &str) -> Result<&[Json], TraceError> {
+        match self {
+            Json::Array(a) => Ok(a),
+            _ => Err(TraceError::WrongType { context: ctx.to_string(), expected: "an array" }),
+        }
+    }
+
+    fn string(&self, ctx: &str) -> Result<&str, TraceError> {
+        match self {
+            Json::String(s) => Ok(s),
+            _ => Err(TraceError::WrongType { context: ctx.to_string(), expected: "a string" }),
+        }
+    }
+
+    fn number(&self, ctx: &str) -> Result<f64, TraceError> {
+        match self {
+            Json::Number(n) => Ok(*n),
+            _ => Err(TraceError::WrongType { context: ctx.to_string(), expected: "a number" }),
+        }
+    }
+}
+
+fn get<'a>(
+    obj: &'a [(String, Json)],
+    context: &str,
+    field: &'static str,
+) -> Result<&'a Json, TraceError> {
+    obj.iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| v)
+        .ok_or_else(|| TraceError::MissingField { context: context.to_string(), field })
+}
+
+/// Recursive-descent reader over the document bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, expected: &str) -> TraceError {
+        TraceError::Json { offset: self.pos, message: format!("expected {expected}") }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), TraceError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("{:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, TraceError> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object_value(),
+            Some(b'[') => self.array_value(),
+            Some(b'"') => Ok(Json::String(self.string_value()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number_value(),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, TraceError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(word))
+        }
+    }
+
+    fn number_value(&mut self) -> Result<Json, TraceError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| self.err("a number"))
+    }
+
+    /// Four hex digits starting at `at`, if present.
+    fn hex4(&self, at: usize) -> Option<u32> {
+        self.bytes
+            .get(at..at + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+    }
+
+    fn string_value(&mut self) -> Result<String, TraceError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("closing '\"'")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).ok_or_else(|| self.err("an escape"))?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let unit = self
+                                .hex4(self.pos + 1)
+                                .ok_or_else(|| self.err("a \\uXXXX escape"))?;
+                            self.pos += 4;
+                            let scalar = if (0xd800..0xdc00).contains(&unit) {
+                                // High surrogate: valid JSON encodes
+                                // non-BMP characters as a \uXXXX\uXXXX
+                                // pair; combine it with the low half.
+                                let low = (self.bytes.get(self.pos + 1..self.pos + 3)
+                                    == Some(&br"\u"[..]))
+                                .then(|| self.hex4(self.pos + 3))
+                                .flatten()
+                                .filter(|l| (0xdc00..0xe000).contains(l))
+                                .ok_or_else(|| self.err("a low-surrogate \\uXXXX escape"))?;
+                                self.pos += 6;
+                                0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00)
+                            } else {
+                                unit
+                            };
+                            out.push(
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| self.err("a \\uXXXX escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("a valid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or_else(|| self.err("valid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn array_value(&mut self) -> Result<Json, TraceError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Array(items));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn object_value(&mut self) -> Result<Json, TraceError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string_value()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Object(fields));
+            }
+            self.expect(b',')?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+      "name": "sc-flip",
+      "total_traffic_gb": 600.0,
+      "phases": [
+        {"workload": "SC", "duration_s": 10.0,
+         "override": {"reads_mbps": 42000.0, "latency_sensitivity": 0.02}},
+        {"workload": "SC", "duration_s": 10.0}
+      ]
+    }"#;
+
+    #[test]
+    fn parses_the_worked_example() {
+        let w = parse_phase_trace(GOOD).unwrap();
+        assert_eq!(w.name, "sc-flip");
+        assert_eq!(w.total_traffic_gb, 600.0);
+        assert_eq!(w.phases.len(), 2);
+        assert_eq!(w.phases[0].spec.reads_mbps, 42_000.0);
+        assert_eq!(w.phases[0].spec.latency_sensitivity, 0.02);
+        // Unoverridden axes come from the catalogue entry.
+        assert_eq!(w.phases[1].spec.reads_mbps, crate::apps::streamcluster().reads_mbps);
+    }
+
+    #[test]
+    fn load_from_file_roundtrips() {
+        let dir = std::env::temp_dir().join("bwap-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flip.json");
+        std::fs::write(&path, GOOD).unwrap();
+        let w = load_phase_trace(&path).unwrap();
+        assert_eq!(w.name, "sc-flip");
+        assert!(load_phase_trace(&dir.join("missing.json")).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn malformed_json_reports_offset() {
+        let err = parse_phase_trace("{\"name\": ").unwrap_err();
+        assert!(matches!(err, TraceError::Json { .. }), "{err}");
+        let err = parse_phase_trace("{} trailing").unwrap_err();
+        assert!(err.to_string().contains("end of document"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_are_named() {
+        let err = parse_phase_trace(r#"{"total_traffic_gb": 1, "phases": []}"#).unwrap_err();
+        assert_eq!(err, TraceError::MissingField { context: "trace".into(), field: "name" });
+        let err = parse_phase_trace(
+            r#"{"name": "x", "total_traffic_gb": 1,
+                "phases": [{"duration_s": 1}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::MissingField { context: "phases[0]".into(), field: "workload" }
+        );
+    }
+
+    #[test]
+    fn wrong_types_are_rejected() {
+        let err =
+            parse_phase_trace(r#"{"name": 3, "total_traffic_gb": 1, "phases": []}"#).unwrap_err();
+        assert!(
+            matches!(err, TraceError::WrongType { ref context, .. } if context == "trace.name")
+        );
+        let err =
+            parse_phase_trace(r#"{"name": "x", "total_traffic_gb": 1, "phases": 9}"#).unwrap_err();
+        assert!(
+            matches!(err, TraceError::WrongType { ref context, .. } if context == "trace.phases")
+        );
+    }
+
+    #[test]
+    fn unknown_workload_and_override_axes_are_rejected() {
+        let err = parse_phase_trace(
+            r#"{"name": "x", "total_traffic_gb": 1,
+                "phases": [{"workload": "NOPE", "duration_s": 1}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, TraceError::UnknownWorkload { phase: 0, name: "NOPE".into() });
+        let err = parse_phase_trace(
+            r#"{"name": "x", "total_traffic_gb": 1,
+                "phases": [{"workload": "SC", "duration_s": 1,
+                            "override": {"shared_pages": 5}}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, TraceError::UnknownOverride { phase: 0, key: "shared_pages".into() });
+    }
+
+    #[test]
+    fn semantic_validation_flows_through() {
+        let err =
+            parse_phase_trace(r#"{"name": "x", "total_traffic_gb": 1, "phases": []}"#).unwrap_err();
+        assert_eq!(err, TraceError::Invalid(PhaseError::NoPhases));
+        let err = parse_phase_trace(
+            r#"{"name": "x", "total_traffic_gb": 1,
+                "phases": [{"workload": "SC", "duration_s": -2}]}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceError::Invalid(PhaseError::BadDuration { phase: 0, .. })));
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = Json::parse(r#"{"a": ["\nA", {"b": true}, null, -1.5e2]}"#).unwrap();
+        let obj = v.object("t").unwrap();
+        let arr = obj[0].1.array("t").unwrap();
+        assert_eq!(arr[0], Json::String("\nA".into()));
+        assert_eq!(arr[3], Json::Number(-150.0));
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes_including_surrogate_pairs() {
+        // BMP escape, a surrogate-pair-encoded non-BMP character (🚀),
+        // and raw UTF-8 all round-trip.
+        let v = Json::parse(r#""\u00e9 \ud83d\ude80 é""#).unwrap();
+        assert_eq!(v, Json::String("é 🚀 é".into()));
+        // A lone high surrogate is not valid JSON.
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ud83dA""#).is_err());
+    }
+}

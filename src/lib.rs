@@ -67,9 +67,10 @@ pub mod prelude {
         InterleaveMode, WeightDistribution,
     };
     pub use bwap_runtime::{
-        run_campaign, run_campaign_with, run_coscheduled, run_standalone, sweep_worker_counts,
-        BwapDaemon, CampaignConfig, CampaignReport, CampaignSpec, CoschedDaemon, DwpPoint,
-        PlacementPolicy, ProfileBook, RunResult, ScenarioKind,
+        run_campaign, run_campaign_with, run_coscheduled, run_coscheduled_phased, run_standalone,
+        run_standalone_phased, sweep_worker_counts, AdaptiveBwapDaemon, AdaptiveConfig, BwapDaemon,
+        CampaignConfig, CampaignReport, CampaignSpec, CoschedDaemon, DwpPoint, PlacementPolicy,
+        ProfileBook, RunResult, ScenarioKind,
     };
     pub use bwap_topology::{
         machines, MachineTopology, NodeId, NodeSet, NodeSpec, TopologyBuilder,
