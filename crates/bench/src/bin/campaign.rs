@@ -19,6 +19,11 @@
 //! heterogeneous-tier scenario on the CPU-less-expander machine), and
 //! `--out DIR` redirects the report from `results/` — for CI artifact
 //! collection and parallel local runs.
+//!
+//! `--trace DIR` additionally records every cell as a Chrome-trace file
+//! `trace-<cell key>.json` in `DIR`, loadable in Perfetto or
+//! `chrome://tracing` and linked from the report's `trace_path` fields
+//! (see `docs/TRACING.md`). Tracing never changes results.
 
 use bwap::BwapConfig;
 use bwap_bench::ResultTable;
@@ -36,14 +41,15 @@ fn usage() -> ! {
                 [--phased SC.FLIP,FT.SWING,OC.SWING] [--phase-periods 10,30]
                 [--scenarios standalone,coscheduled] [--workers 1,2,...]
                 [--dwps online,0.0,0.5,...] [--seed N] [--threads N]
-                [--out DIR] [--probe] [--quick]
+                [--out DIR] [--trace DIR] [--probe] [--quick]
        campaign --spec fig1a|fig4|table1|fig_tiered|fig_phases [--seed N]
-                [--threads N] [--out DIR] [--quick]
+                [--threads N] [--out DIR] [--trace DIR] [--quick]
 
 --spec renders a canned experiment campaign (its axes are fixed by the
 spec); all other axis flags only apply to ad-hoc campaigns. --phased adds
 canned phase-structured workloads; --phase-periods overrides their phase
-durations (seconds)."
+durations (seconds). --trace writes one Chrome-trace file per cell into
+DIR (Perfetto / chrome://tracing; see docs/TRACING.md)."
     );
     std::process::exit(2);
 }
@@ -167,6 +173,7 @@ fn main() {
     let mut threads = None;
     let mut probe = false;
     let mut out: Option<std::path::PathBuf> = None;
+    let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut spec_name: Option<String> = None;
 
     let mut it = args.iter().peekable();
@@ -211,6 +218,7 @@ fn main() {
             "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--threads" => threads = Some(value("--threads").parse().unwrap_or_else(|_| usage())),
             "--out" => out = Some(std::path::PathBuf::from(value("--out"))),
+            "--trace" => trace_dir = Some(std::path::PathBuf::from(value("--trace"))),
             "--spec" => spec_name = Some(value("--spec").to_string()),
             "--probe" => probe = true,
             "--quick" => {}
@@ -241,7 +249,7 @@ fn main() {
     let n_cells = spec.cells().len();
     println!("campaign {:?}: {n_cells} cells on {}", spec.name, spec.machine.name());
 
-    let report = run_campaign_with(&spec, &CampaignConfig { threads });
+    let report = run_campaign_with(&spec, &CampaignConfig { threads, trace_dir });
 
     let mut table = ResultTable::new(
         &format!("exec time [s] per cell, campaign {:?}", report.campaign),
@@ -275,6 +283,10 @@ fn main() {
         None => report.write_json().expect("write report"),
     };
     println!("wrote {}", path.display());
+    let traces = report.cells.iter().filter(|c| c.trace_path.is_some()).count();
+    if traces > 0 {
+        println!("wrote {traces} trace file(s)");
+    }
     if failed > 0 {
         eprintln!("{failed} cell(s) failed");
         std::process::exit(1);

@@ -15,6 +15,10 @@
 //!   the tiered machine (~1.6M pages, spilling into the expander tier),
 //!   weighted-interleave `mbind` over every segment, then 50 epochs of
 //!   migration + demand solving.
+//! * `fig_phases_quick` / `fig_phases_quick_traced` — the phase-structured
+//!   campaign at quick scale, without and with per-cell trace recording:
+//!   the pair bounds the tracing overhead in-tree (tracing-off must stay
+//!   within noise of the pre-tracing baseline; see `docs/TRACING.md`).
 //!
 //! Usage: `cargo run --release -p bwap-bench --bin perf_smoke`
 //! (`BWAP_BENCH_OUT` overrides the output path.)
@@ -97,6 +101,22 @@ fn main() {
     let t = time_best(RUNS, ocxl_spawn_mbind_step);
     entries.push(("ocxl_spawn_mbind_step", t));
     println!("ocxl_spawn_mbind_step: {t:.3} s");
+
+    let t = time_best(1, || {
+        run_campaign(&experiments::fig_phases_spec(true));
+    });
+    entries.push(("fig_phases_quick", t));
+    println!("fig_phases_quick: {t:.3} s");
+
+    let trace_dir = std::env::temp_dir().join("bwap-perf-smoke-traces");
+    let t = time_best(1, || {
+        let cfg =
+            bwap_runtime::CampaignConfig { threads: None, trace_dir: Some(trace_dir.clone()) };
+        bwap_runtime::run_campaign_with(&experiments::fig_phases_spec(true), &cfg);
+    });
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    entries.push(("fig_phases_quick_traced", t));
+    println!("fig_phases_quick_traced: {t:.3} s");
 
     let mut json = String::from("{\n");
     for (i, (k, v)) in entries.iter().enumerate() {

@@ -1,0 +1,71 @@
+//! Validate Chrome-trace files against the contract `docs/TRACING.md`
+//! documents (the strict check Perfetto itself never performs).
+//!
+//! ```text
+//! cargo run --release -p bwap-bench --bin tracecheck -- results/traces
+//! cargo run --release -p bwap-bench --bin tracecheck -- trace-a.json trace-b.json
+//! ```
+//!
+//! Directories are expanded to their `*.json` entries. Prints one stats
+//! line per valid trace; exits non-zero on the first malformed one.
+
+use std::path::{Path, PathBuf};
+
+fn collect(arg: &str, files: &mut Vec<PathBuf>) {
+    let p = Path::new(arg);
+    if p.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(p)
+            .unwrap_or_else(|e| panic!("read dir {arg}: {e}"))
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        entries.sort();
+        files.extend(entries);
+    } else {
+        files.push(p.to_path_buf());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: tracecheck FILE.json|DIR ...");
+        std::process::exit(2);
+    }
+    let mut files = Vec::new();
+    for a in &args {
+        collect(a, &mut files);
+    }
+    if files.is_empty() {
+        eprintln!("no trace files found");
+        std::process::exit(1);
+    }
+    let mut failed = 0usize;
+    for f in &files {
+        let text =
+            std::fs::read_to_string(f).unwrap_or_else(|e| panic!("read {}: {e}", f.display()));
+        match bwap_bench::tracecheck::validate(&text) {
+            Ok(s) => println!(
+                "{}: ok — {} events, {} slices, {} instants, {} counters, {} flows \
+                 ({} open), {} tracks, {} dropped",
+                f.display(),
+                s.events,
+                s.slices,
+                s.instants,
+                s.counters,
+                s.flows,
+                s.open_flows,
+                s.tracks,
+                s.dropped
+            ),
+            Err(e) => {
+                failed += 1;
+                eprintln!("{}: INVALID — {e}", f.display());
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} of {} trace(s) invalid", files.len());
+        std::process::exit(1);
+    }
+}

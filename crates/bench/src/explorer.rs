@@ -1,0 +1,317 @@
+//! Static campaign explorer: render a campaign report as a single
+//! self-contained HTML page.
+//!
+//! [`render`] takes the JSON text of a schema-v2 campaign report (full
+//! artifact or deterministic serialization — the volatile fields are
+//! optional) and produces one HTML document with no network access, no
+//! external JavaScript and no external CSS: the whole evaluation grid as
+//! tables, one per (scenario, worker-count) group, rows keyed by
+//! workload (and phase period), columns by policy (and static DWP). Each
+//! cell shows the execution time with an inline heat bar scaled to the
+//! row's spread; failed cells carry the error inline. When the report
+//! was produced with a trace directory (`campaign --trace`), cells link
+//! to their Chrome-trace files for drill-down (`docs/TRACING.md`
+//! explains how to open them).
+//!
+//! The `explorer` binary wraps this: it writes `<stem>.explorer.html`
+//! next to the report so the relative trace links keep working when the
+//! directory is copied or served as CI artifacts.
+
+use bwap_workloads::json::Json;
+use std::path::Path;
+
+/// One parsed cell, reduced to what the grid renders.
+struct Cell {
+    key: String,
+    workload: String,
+    policy: String,
+    scenario: String,
+    workers: u64,
+    static_dwp: Option<f64>,
+    phase_period: Option<f64>,
+    exec_time_s: Option<f64>,
+    error: Option<String>,
+    trace_path: Option<String>,
+}
+
+fn str_of(v: Option<&Json>) -> String {
+    v.and_then(Json::as_str).unwrap_or("?").to_string()
+}
+
+fn parse_cells(cells: &[Json]) -> Result<Vec<Cell>, String> {
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if c.as_object().is_none() {
+                return Err(format!("cell {i}: not an object"));
+            }
+            Ok(Cell {
+                key: str_of(c.get("key")),
+                workload: str_of(c.get("workload")),
+                policy: str_of(c.get("policy")),
+                scenario: str_of(c.get("scenario")),
+                workers: c.get("workers").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                static_dwp: c.get("static_dwp").and_then(Json::as_f64),
+                phase_period: c.get("phase_period_s").and_then(Json::as_f64),
+                exec_time_s: c
+                    .get("result")
+                    .and_then(|r| r.get("exec_time_s"))
+                    .and_then(Json::as_f64),
+                error: c.get("error").and_then(Json::as_str).map(str::to_string),
+                trace_path: c.get("trace_path").and_then(Json::as_str).map(str::to_string),
+            })
+        })
+        .collect()
+}
+
+/// HTML-escape text content and attribute values.
+fn esc(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            '&' => "&amp;".to_string(),
+            '<' => "&lt;".to_string(),
+            '>' => "&gt;".to_string(),
+            '"' => "&quot;".to_string(),
+            c => c.to_string(),
+        })
+        .collect()
+}
+
+/// Column label: policy plus the static-DWP point when pinned.
+fn column_label(c: &Cell) -> String {
+    match c.static_dwp {
+        Some(d) => format!("{} (dwp={d})", c.policy),
+        None => c.policy.clone(),
+    }
+}
+
+/// Row label: workload plus the phase period when swept.
+fn row_label(c: &Cell) -> String {
+    match c.phase_period {
+        Some(t) => format!("{} (T={t}s)", c.workload),
+        None => c.workload.clone(),
+    }
+}
+
+/// Trace href relative to where the HTML lands: paths inside `html_dir`
+/// are relativized so links survive copying the directory; anything else
+/// is linked as recorded.
+fn trace_href(trace_path: &str, html_dir: Option<&Path>) -> String {
+    match html_dir {
+        Some(dir) => Path::new(trace_path)
+            .strip_prefix(dir)
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|_| trace_path.to_string()),
+        None => trace_path.to_string(),
+    }
+}
+
+/// Heat color for a cell: green (row minimum) to red (row maximum).
+fn heat(t: f64, lo: f64, hi: f64) -> String {
+    let frac = if hi > lo { (t - lo) / (hi - lo) } else { 0.0 };
+    let r = (120.0 + 135.0 * frac) as u8;
+    let g = (200.0 - 110.0 * frac) as u8;
+    format!("rgb({r},{g},120)")
+}
+
+/// Render the explorer page for a report. `html_dir` is the directory
+/// the HTML will be written into (used to relativize trace links);
+/// `None` keeps trace paths as recorded.
+pub fn render(report_text: &str, html_dir: Option<&Path>) -> Result<String, String> {
+    let doc = Json::parse(report_text).map_err(|e| e.to_string())?;
+    if doc.as_object().is_none() {
+        return Err("report is not a JSON object".into());
+    }
+    let campaign = str_of(doc.get("campaign"));
+    let machine = str_of(doc.get("machine"));
+    let schema = doc.get("schema_version").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let seed = doc.get("seed").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let cells =
+        parse_cells(doc.get("cells").and_then(Json::as_array).ok_or("missing \"cells\" array")?)?;
+
+    let mut html = String::with_capacity(4096 + cells.len() * 256);
+    html.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    html.push_str(&format!("<title>campaign {}</title>\n", esc(&campaign)));
+    html.push_str(
+        "<style>\n\
+         body { font-family: system-ui, sans-serif; margin: 2em; max-width: 72em; }\n\
+         table { border-collapse: collapse; margin: 1em 0 2em; }\n\
+         th, td { border: 1px solid #ccc; padding: 0.35em 0.7em; text-align: right; }\n\
+         th { background: #f3f3f3; }\n\
+         td.rowhead, th.rowhead { text-align: left; }\n\
+         td.err { background: #f8d0d0; text-align: left; font-size: 0.85em; }\n\
+         a { color: inherit; }\n\
+         .meta { color: #555; }\n\
+         </style>\n</head>\n<body>\n",
+    );
+    html.push_str(&format!("<h1>campaign <code>{}</code></h1>\n", esc(&campaign)));
+    let mut meta = format!(
+        "<p class=\"meta\">machine {} · schema v{schema} · seed {seed} · {} cells",
+        esc(&machine),
+        cells.len()
+    );
+    if let Some(w) = doc.get("wall_time_s").and_then(Json::as_f64) {
+        meta.push_str(&format!(" · {w:.2}s wall"));
+    }
+    if let Some(t) = doc.get("threads").and_then(Json::as_f64) {
+        meta.push_str(&format!(" on {} threads", t as u64));
+    }
+    meta.push_str("</p>\n");
+    html.push_str(&meta);
+    let traced = cells.iter().filter(|c| c.trace_path.is_some()).count();
+    if traced > 0 {
+        html.push_str(&format!(
+            "<p class=\"meta\">{traced} cell(s) link to Chrome-trace files — open them at \
+             <code>ui.perfetto.dev</code> or <code>chrome://tracing</code> \
+             (see docs/TRACING.md).</p>\n"
+        ));
+    }
+
+    // Installation-time probe output (fig1a-style campaigns may carry
+    // only this, with zero cells).
+    if let Some(rows) = doc.get("bw_matrix_gbps").and_then(Json::as_array) {
+        html.push_str("<h2>probed bandwidth matrix (GB/s)</h2>\n<table>\n<tr><th></th>");
+        for d in 0..rows.len() {
+            html.push_str(&format!("<th>to {d}</th>"));
+        }
+        html.push_str("</tr>\n");
+        for (s, row) in rows.iter().enumerate() {
+            html.push_str(&format!("<tr><td class=\"rowhead\">from {s}</td>"));
+            for v in row.as_array().unwrap_or(&[]) {
+                match v.as_f64() {
+                    Some(x) => html.push_str(&format!("<td>{x}</td>")),
+                    None => html.push_str("<td></td>"),
+                }
+            }
+            html.push_str("</tr>\n");
+        }
+        html.push_str("</table>\n");
+    }
+
+    // Group axes, in first-seen (= enumeration) order.
+    let mut groups: Vec<(String, u64)> = Vec::new();
+    for c in &cells {
+        let g = (c.scenario.clone(), c.workers);
+        if !groups.contains(&g) {
+            groups.push(g);
+        }
+    }
+    for (scenario, workers) in groups {
+        let group: Vec<&Cell> =
+            cells.iter().filter(|c| c.scenario == scenario && c.workers == workers).collect();
+        let mut cols: Vec<String> = Vec::new();
+        let mut rows: Vec<String> = Vec::new();
+        for c in &group {
+            let col = column_label(c);
+            if !cols.contains(&col) {
+                cols.push(col);
+            }
+            let row = row_label(c);
+            if !rows.contains(&row) {
+                rows.push(row);
+            }
+        }
+        html.push_str(&format!(
+            "<h2>{} · {workers} worker{}</h2>\n<table>\n<tr><th class=\"rowhead\">workload</th>",
+            esc(&scenario),
+            if workers == 1 { "" } else { "s" }
+        ));
+        for col in &cols {
+            html.push_str(&format!("<th>{}</th>", esc(col)));
+        }
+        html.push_str("</tr>\n");
+        for row in &rows {
+            html.push_str(&format!("<tr><td class=\"rowhead\">{}</td>", esc(row)));
+            let row_cells: Vec<&&Cell> = group.iter().filter(|c| row_label(c) == *row).collect();
+            let times: Vec<f64> = row_cells.iter().filter_map(|c| c.exec_time_s).collect();
+            let lo = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for col in &cols {
+                match row_cells.iter().find(|c| column_label(c) == *col) {
+                    Some(c) => match c.exec_time_s {
+                        Some(t) => {
+                            let body = format!("{t:.3}s");
+                            let link = match &c.trace_path {
+                                Some(p) => format!(
+                                    "<a href=\"{}\" title=\"{}\">{body}</a>",
+                                    esc(&trace_href(p, html_dir)),
+                                    esc(&c.key)
+                                ),
+                                None => format!("<span title=\"{}\">{body}</span>", esc(&c.key)),
+                            };
+                            html.push_str(&format!(
+                                "<td style=\"background: {}\">{link}</td>",
+                                heat(t, lo, hi)
+                            ));
+                        }
+                        None => html.push_str(&format!(
+                            "<td class=\"err\">{}</td>",
+                            esc(c.error.as_deref().unwrap_or("failed"))
+                        )),
+                    },
+                    None => html.push_str("<td></td>"),
+                }
+            }
+            html.push_str("</tr>\n");
+        }
+        html.push_str("</table>\n");
+    }
+    html.push_str("</body>\n</html>\n");
+    Ok(html)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden(name: &str) -> String {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+        std::fs::read_to_string(root.join(name)).expect("golden report exists")
+    }
+
+    #[test]
+    fn renders_golden_reports_without_volatile_fields() {
+        for name in ["fig1a.json", "fig4_quick.json", "table1_quick.json"] {
+            let html = render(&golden(name), None).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(html.starts_with("<!DOCTYPE html>"), "{name}");
+            assert!(html.contains("<table>"), "{name} renders a grid");
+            // Self-contained: nothing fetched from anywhere.
+            assert!(!html.contains("<script"), "{name}");
+            assert!(!html.contains("http://"), "{name}");
+            assert!(!html.contains("https://"), "{name}");
+        }
+    }
+
+    #[test]
+    fn links_traced_cells_and_escapes_errors() {
+        let report = r#"{
+  "schema_version": 2,
+  "campaign": "unit <x>",
+  "machine": "machine-b",
+  "seed": 1,
+  "bw_matrix_gbps": null,
+  "cells": [
+    {"id": 0, "key": "k0", "workload": "SC", "policy": "bwap", "scenario": "standalone",
+     "workers": 1, "static_dwp": null, "seed": 2,
+     "trace_path": "results/traces/trace-k0.json",
+     "result": {"exec_time_s": 10.5}, "error": null},
+    {"id": 1, "key": "k1", "workload": "SC", "policy": "first-touch", "scenario": "standalone",
+     "workers": 1, "static_dwp": null, "seed": 3,
+     "result": null, "error": "boom <tag>"}
+  ]
+}"#;
+        let html = render(report, Some(Path::new("results"))).unwrap();
+        assert!(html.contains("href=\"traces/trace-k0.json\""), "trace link relativized");
+        assert!(html.contains("boom &lt;tag&gt;"), "error escaped");
+        assert!(html.contains("campaign <code>unit &lt;x&gt;</code>"));
+        assert!(html.contains("10.500s"));
+    }
+
+    #[test]
+    fn rejects_non_reports() {
+        assert!(render("[]", None).is_err());
+        assert!(render("{\"campaign\": \"x\"}", None).unwrap_err().contains("cells"));
+        assert!(render("not json", None).is_err());
+    }
+}

@@ -7,9 +7,15 @@
 //! * [`report`] — ASCII/CSV result tables.
 //! * [`doc_check`] — the offline markdown link-and-anchor checker behind
 //!   the `doc_check` CI gate and `tests/docs_links.rs`.
+//! * [`explorer`] — the static-HTML campaign explorer (the `explorer`
+//!   binary renders a report's evaluation grid with drill-down links to
+//!   per-cell Chrome-trace files).
+//! * [`tracecheck`] — the strict `trace_event` contract validator behind
+//!   the `tracecheck` binary and `tests/tracing.rs`.
 //! * The per-figure binaries in `src/bin/` are thin wrappers: declare a
 //!   spec, run the campaign, print the tables, save the artifacts. The
-//!   `campaign` binary runs ad-hoc specs straight from the command line.
+//!   `campaign` binary runs ad-hoc specs straight from the command line
+//!   (`--trace DIR` records per-cell Chrome traces, `docs/TRACING.md`).
 //!
 //! # Examples
 //!
@@ -33,7 +39,9 @@
 
 pub mod doc_check;
 pub mod experiments;
+pub mod explorer;
 pub mod report;
+pub mod tracecheck;
 
 pub use bwap_runtime::{run_parallel, run_parallel_with};
 pub use report::ResultTable;

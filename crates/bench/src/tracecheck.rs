@@ -1,0 +1,232 @@
+//! Offline validator for the Chrome `trace_event` files the simulator
+//! emits (see `docs/TRACING.md` for the event vocabulary).
+//!
+//! Perfetto and `chrome://tracing` are forgiving loaders — they render
+//! almost anything without complaint — so CI needs a strict contract
+//! check instead: [`validate`] parses a trace with the workspace's own
+//! JSON parser ([`bwap_workloads::json`]) and verifies the structural
+//! invariants the emitter promises:
+//!
+//! * object form with a `traceEvents` array;
+//! * every event carries `name`, `cat`, `ph`, `ts`, `pid`, `tid`, with a
+//!   known `ph` code and a non-negative integer `ts`;
+//! * timestamps are non-decreasing in emission order (the engine stamps
+//!   everything with the simulated clock, which only moves forward);
+//! * `B`/`E` duration slices match up per track, innermost first;
+//! * every `f` flow end pairs with an earlier `s` of the same `id`.
+//!
+//! Ring-buffer eviction can orphan the closing half of a slice or flow at
+//! the very start of the retained window; those two checks are therefore
+//! only enforced when the trace reports `dropped_events` = 0 (complete
+//! traces — the common case for campaign cells — are matched exactly).
+
+use bwap_workloads::json::Json;
+
+/// Summary counts of a validated trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// `B`/`E` slice pairs (counted by `B`).
+    pub slices: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Counter samples.
+    pub counters: usize,
+    /// Completed `s`→`f` flows.
+    pub flows: usize,
+    /// Flows still open at the end of the trace.
+    pub open_flows: usize,
+    /// Distinct tracks (Chrome `pid`s).
+    pub tracks: usize,
+    /// Events the emitting ring buffer evicted (`otherData`).
+    pub dropped: u64,
+}
+
+fn field<'a>(ev: &'a Json, key: &str, idx: usize) -> Result<&'a Json, String> {
+    ev.get(key).ok_or_else(|| format!("event {idx}: missing \"{key}\""))
+}
+
+fn num(ev: &Json, key: &str, idx: usize) -> Result<f64, String> {
+    field(ev, key, idx)?.as_f64().ok_or_else(|| format!("event {idx}: \"{key}\" is not a number"))
+}
+
+/// Validate one trace document; returns its [`TraceStats`] or the first
+/// contract violation found.
+pub fn validate(text: &str) -> Result<TraceStats, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    if doc.as_object().is_none() {
+        return Err("top level is not an object (array-form traces are not emitted here)".into());
+    }
+    let dropped: u64 = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped_events"))
+        .and_then(Json::as_str)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let events =
+        doc.get("traceEvents").and_then(Json::as_array).ok_or("missing \"traceEvents\" array")?;
+
+    let mut stats = TraceStats { events: events.len(), dropped, ..TraceStats::default() };
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut tracks: Vec<u64> = Vec::new();
+    // Per-track stack of open slice names.
+    let mut slice_stacks: Vec<(u64, Vec<String>)> = Vec::new();
+    let mut open_flow_ids: Vec<u64> = Vec::new();
+
+    for (idx, ev) in events.iter().enumerate() {
+        if ev.as_object().is_none() {
+            return Err(format!("event {idx}: not an object"));
+        }
+        let name = field(ev, "name", idx)?
+            .as_str()
+            .ok_or_else(|| format!("event {idx}: \"name\" is not a string"))?;
+        field(ev, "cat", idx)?;
+        field(ev, "tid", idx)?;
+        let ph = field(ev, "ph", idx)?
+            .as_str()
+            .ok_or_else(|| format!("event {idx}: \"ph\" is not a string"))?;
+        let ts = num(ev, "ts", idx)?;
+        if ts < 0.0 || ts.fract() != 0.0 {
+            return Err(format!("event {idx}: ts {ts} is not a non-negative integer"));
+        }
+        if ts < last_ts {
+            return Err(format!("event {idx} ({name}): ts {ts} regresses below {last_ts}"));
+        }
+        last_ts = ts;
+        let track = num(ev, "pid", idx)? as u64;
+        if !tracks.contains(&track) {
+            tracks.push(track);
+        }
+        let stack = match slice_stacks.iter_mut().find(|(t, _)| *t == track) {
+            Some((_, s)) => s,
+            None => {
+                slice_stacks.push((track, Vec::new()));
+                &mut slice_stacks.last_mut().expect("just pushed").1
+            }
+        };
+        match ph {
+            "B" => {
+                stats.slices += 1;
+                stack.push(name.to_string());
+            }
+            "E" => match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {idx}: E \"{name}\" closes innermost open slice \"{open}\""
+                    ));
+                }
+                None if dropped > 0 => {} // orphaned by ring eviction
+                None => {
+                    return Err(format!("event {idx}: E \"{name}\" with no open slice"));
+                }
+            },
+            "i" => stats.instants += 1,
+            "C" => {
+                stats.counters += 1;
+                if field(ev, "args", idx)?.as_object().map_or(true, |a| a.is_empty()) {
+                    return Err(format!("event {idx}: counter \"{name}\" has no series"));
+                }
+            }
+            "s" => {
+                let id = num(ev, "id", idx)? as u64;
+                if open_flow_ids.contains(&id) {
+                    return Err(format!("event {idx}: flow id {id} started twice"));
+                }
+                open_flow_ids.push(id);
+            }
+            "f" => {
+                let id = num(ev, "id", idx)? as u64;
+                match open_flow_ids.iter().position(|&o| o == id) {
+                    Some(pos) => {
+                        open_flow_ids.swap_remove(pos);
+                        stats.flows += 1;
+                    }
+                    None if dropped > 0 => stats.flows += 1,
+                    None => {
+                        return Err(format!("event {idx}: flow end id {id} without a start"));
+                    }
+                }
+            }
+            "M" => {}
+            other => return Err(format!("event {idx}: unknown ph {other:?}")),
+        }
+    }
+    // Slices and flows still open at the end are legal (a trace is a
+    // window onto the run), but a complete well-formed engine trace
+    // closes every epoch it opens; report them for the caller to judge.
+    stats.open_flows = open_flow_ids.len();
+    stats.tracks = tracks.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numasim::{MemPolicy, SimConfig, Simulator, TraceSink};
+
+    fn wrap(events: &str) -> String {
+        format!(
+            "{{\"displayTimeUnit\": \"ms\", \"otherData\": {{\"dropped_events\": \"0\"}}, \
+             \"traceEvents\": [{events}]}}"
+        )
+    }
+
+    fn ev(ph: &str, ts: u64, extra: &str) -> String {
+        format!("{{\"name\": \"x\", \"cat\": \"sim\", \"ph\": \"{ph}\", \"ts\": {ts}, \"pid\": 0, \"tid\": 0{extra}}}")
+    }
+
+    #[test]
+    fn accepts_a_real_engine_trace() {
+        let m = bwap_topology::machines::machine_b();
+        let mut sim = Simulator::new(m.clone(), SimConfig::default());
+        sim.set_trace_sink(TraceSink::default());
+        let spec = bwap_workloads::streamcluster().scaled_down(32.0);
+        let pid = sim
+            .spawn(spec.profile_for(&m), m.best_worker_set(2), None, MemPolicy::FirstTouch)
+            .unwrap();
+        sim.run_until_finished(pid, 600.0).unwrap();
+        let sink = sim.take_trace_sink().unwrap();
+        let stats = validate(&sink.to_chrome_json()).unwrap_or_else(|e| panic!("{e}"));
+        assert!(stats.slices > 0, "epochs recorded");
+        assert_eq!(stats.dropped, 0);
+        assert!(stats.tracks >= 2, "engine + process tracks");
+    }
+
+    #[test]
+    fn rejects_ts_regression() {
+        let t = wrap(&[ev("i", 5, ", \"s\": \"t\""), ev("i", 4, ", \"s\": \"t\"")].join(", "));
+        assert!(validate(&t).unwrap_err().contains("regresses"));
+    }
+
+    #[test]
+    fn rejects_unbalanced_slices_and_unpaired_flows() {
+        let t = wrap(&ev("E", 1, ""));
+        assert!(validate(&t).unwrap_err().contains("no open slice"));
+        let t = wrap(&ev("f", 1, ", \"id\": 3"));
+        assert!(validate(&t).unwrap_err().contains("without a start"));
+        // With drops reported, both orphans are tolerated.
+        let tolerant = wrap(&[ev("E", 1, ""), ev("f", 2, ", \"id\": 3")].join(", "))
+            .replace("\"dropped_events\": \"0\"", "\"dropped_events\": \"9\"");
+        assert!(validate(&tolerant).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_unknown_ph() {
+        assert!(validate(&wrap("{\"cat\": \"sim\"}")).unwrap_err().contains("missing \"name\""));
+        assert!(validate(&wrap(&ev("Z", 0, ""))).unwrap_err().contains("unknown ph"));
+        assert!(validate("[1, 2]").unwrap_err().contains("not an object"));
+    }
+
+    #[test]
+    fn counts_completed_flows() {
+        let t = wrap(
+            &[ev("s", 1, ", \"id\": 0"), ev("s", 2, ", \"id\": 1"), ev("f", 3, ", \"id\": 0")]
+                .join(", "),
+        );
+        let stats = validate(&t).unwrap();
+        assert_eq!(stats.flows, 1);
+        assert_eq!(stats.open_flows, 1);
+    }
+}

@@ -10,7 +10,7 @@
 use crate::controller::ControllerModel;
 use crate::maxmin::{solve_maxmin_set, Allocation, BundleSet, MaxminScratch};
 use crate::resource::{ResourceKind, ResourceTable};
-use bwap_topology::{MachineTopology, NodeId};
+use bwap_topology::{Direction, LinkId, MachineTopology, NodeId};
 
 /// Caller-chosen identifier to map outcomes back to processes/nodes.
 pub type GroupId = u64;
@@ -84,6 +84,27 @@ pub struct SolveResult {
     pub outcomes: Vec<GroupOutcome>,
     /// Raw allocation (resource usage vector, bindings by dense index).
     pub allocation: Allocation,
+}
+
+impl SolveResult {
+    /// The directed per-link bandwidth shares this solve granted, in
+    /// GB/s: `(link, direction, share)` for every link direction of the
+    /// `resources` table the solve ran against, in dense resource order.
+    /// This is the max-min share actually flowing over each hop — the
+    /// quantity the run-trace layer records per epoch — not the link's
+    /// capacity ([`ResourceTable::capacities`]) or its utilization
+    /// fraction ([`Allocation::utilization`]).
+    pub fn link_shares<'a>(
+        &'a self,
+        resources: &'a ResourceTable,
+    ) -> impl Iterator<Item = (LinkId, Direction, f64)> + 'a {
+        (0..resources.link_count()).flat_map(move |l| {
+            [Direction::AtoB, Direction::BtoA].into_iter().map(move |d| {
+                let r = resources.link_dir(LinkId(l), d);
+                (LinkId(l), d, self.allocation.used.get(r).copied().unwrap_or(0.0))
+            })
+        })
+    }
 }
 
 /// Reusable buffers for [`DemandSet::solve_into`]: the dense usage
@@ -272,6 +293,48 @@ mod tests {
         assert_eq!(r.outcomes[0].id, 7);
         assert!((r.outcomes[0].activity - 1.0).abs() < 1e-9);
         assert_eq!(r.outcomes[0].binding, None);
+    }
+
+    #[test]
+    fn link_shares_cover_every_direction_and_follow_traffic() {
+        let (m, rt, cm) = setup();
+        // Local-only traffic crosses no link: every directed share is 0.
+        let mut ds = DemandSet::new();
+        ds.push(GroupSpec {
+            id: 0,
+            weight: 1.0,
+            cap: 1.0,
+            flows: vec![FlowDemand {
+                mem: NodeId(0),
+                cpu: NodeId(0),
+                read_gbps: 5.0,
+                write_gbps: 0.0,
+            }],
+        });
+        let r = ds.solve(&m, &rt, &cm);
+        let shares: Vec<_> = r.link_shares(&rt).collect();
+        assert_eq!(shares.len(), 2 * rt.link_count());
+        assert!(shares.iter().all(|(_, _, s)| *s == 0.0));
+        // Directed pairs appear in dense resource order.
+        assert_eq!((shares[0].0, shares[0].1), (LinkId(0), Direction::AtoB));
+        assert_eq!((shares[1].0, shares[1].1), (LinkId(0), Direction::BtoA));
+
+        // A remote read must put its full rate on some link hop.
+        let mut ds = DemandSet::new();
+        ds.push(GroupSpec {
+            id: 0,
+            weight: 1.0,
+            cap: 1.0,
+            flows: vec![FlowDemand {
+                mem: NodeId(1),
+                cpu: NodeId(0),
+                read_gbps: 5.0,
+                write_gbps: 0.0,
+            }],
+        });
+        let r = ds.solve(&m, &rt, &cm);
+        let max = r.link_shares(&rt).map(|(_, _, s)| s).fold(0.0, f64::max);
+        assert!((max - 5.0).abs() < 1e-9, "remote read share missing: {max}");
     }
 
     #[test]

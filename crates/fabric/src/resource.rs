@@ -101,6 +101,14 @@ impl ResourceTable {
             }
     }
 
+    /// Number of (undirected) interconnect links in the table; directed
+    /// link resources span ids `link_dir(LinkId(0), AtoB) ..` for
+    /// `2 * link_count()` entries.
+    #[inline]
+    pub fn link_count(&self) -> usize {
+        self.links
+    }
+
     /// Resource id of the `(src, dst)` path cap.
     #[inline]
     pub fn path_cap(&self, src: NodeId, dst: NodeId) -> usize {

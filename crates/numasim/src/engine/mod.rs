@@ -26,6 +26,7 @@ use crate::mem::policy::MemPolicy;
 use crate::mem::segment::{SegmentId, SegmentKind};
 use crate::perf::{PerfCounters, ProcessSample};
 use crate::process::{ProcessId, ProcessState, SimProcess};
+use crate::trace::{self, ArgValue, TraceSink};
 use crate::CLOCK_HZ;
 use bwap_fabric::{
     ControllerModel, DemandSet, FlowDemand, ResourceTable, SolveResult, SolveScratch,
@@ -195,6 +196,9 @@ pub struct Simulator {
     ctrl_util: Vec<f64>,
     /// Reused epoch-loop buffers.
     scratch: StepScratch,
+    /// Structured run tracing; `None` (the default) makes every hook a
+    /// single branch and keeps the epoch loop allocation-free.
+    trace: Option<TraceSink>,
 }
 
 impl Simulator {
@@ -233,6 +237,56 @@ impl Simulator {
             clock: 0.0,
             ctrl_util: vec![0.0; n],
             scratch: StepScratch::default(),
+            trace: None,
+        }
+    }
+
+    /// Install a [`TraceSink`]: from now on the engine records epochs,
+    /// phase switches, migration activity and per-link bandwidth shares
+    /// into it (see [`crate::trace`] and `docs/TRACING.md`). Replaces any
+    /// previously installed sink. Tracks are named for already-spawned
+    /// processes immediately; later spawns name themselves.
+    pub fn set_trace_sink(&mut self, mut sink: TraceSink) {
+        let ts = trace::ts_us(self.clock);
+        sink.note_track(trace::ENGINE_TRACK, "engine", ts);
+        for p in &self.procs {
+            sink.note_track(trace::process_track(p.id), &p.profile.name, ts);
+        }
+        self.trace = Some(sink);
+    }
+
+    /// Remove and return the installed sink (typically to serialize it
+    /// with [`TraceSink::to_chrome_json`] after a run).
+    pub fn take_trace_sink(&mut self) -> Option<TraceSink> {
+        self.trace.take()
+    }
+
+    /// Whether a trace sink is installed.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Record a generic instant marker at the current simulated time, on
+    /// a process's track (or the engine track with `pid == None`). A
+    /// no-op without a sink. This is the hook daemons layered above the
+    /// simulator use to place their own decisions on the timeline — e.g.
+    /// the BWAP runtime's adaptive tuner marks each retune — without the
+    /// engine knowing their vocabulary.
+    pub fn trace_instant(
+        &mut self,
+        name: &'static str,
+        pid: Option<ProcessId>,
+        args: &[(&'static str, f64)],
+    ) {
+        let ts = trace::ts_us(self.clock);
+        if let Some(tr) = self.trace.as_mut() {
+            let track = pid.map_or(trace::ENGINE_TRACK, trace::process_track);
+            tr.instant(
+                name,
+                ts,
+                track,
+                args.iter().map(|&(k, v)| (k.into(), ArgValue::F64(v))).collect(),
+            );
         }
     }
 
@@ -347,6 +401,13 @@ impl Simulator {
             migration_credit: 0.0,
             phases: None,
         });
+        if let Some(tr) = self.trace.as_mut() {
+            tr.note_track(
+                trace::process_track(pid),
+                &self.procs[pid.0].profile.name,
+                trace::ts_us(self.clock),
+            );
+        }
         Ok(pid)
     }
 
@@ -406,6 +467,19 @@ impl Simulator {
         proc_.migrations.cancel_range(seg, start, len);
         let count: u64 = pending.iter().map(|r| r.len).sum();
         proc_.migrations.enqueue_ranges(pending);
+        if count > 0 {
+            if let Some(tr) = self.trace.as_mut() {
+                tr.instant(
+                    "mbind",
+                    trace::ts_us(self.clock),
+                    trace::process_track(pid),
+                    vec![
+                        ("segment".into(), ArgValue::U64(seg.0 as u64)),
+                        ("queued".into(), ArgValue::U64(count)),
+                    ],
+                );
+            }
+        }
         Ok(count as usize)
     }
 
@@ -576,6 +650,10 @@ impl Simulator {
     pub fn step(&mut self) {
         let dt = self.cfg.epoch_dt;
         let n = self.machine.node_count();
+        let epoch_ts = trace::ts_us(self.clock);
+        if let Some(tr) = self.trace.as_mut() {
+            tr.begin("epoch", epoch_ts, trace::ENGINE_TRACK);
+        }
 
         // 0. Phase boundaries: swap demand profiles of phase-structured
         // processes. Steady-state epochs only compare the clock; the
@@ -590,6 +668,17 @@ impl Simulator {
                 tl.next_switch += tl.phases[tl.idx].0;
                 tl.switches += 1;
                 p.profile = tl.phases[tl.idx].1.clone();
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.instant(
+                        "phase-switch",
+                        epoch_ts,
+                        trace::process_track(p.id),
+                        vec![
+                            ("phase".into(), ArgValue::U64(tl.idx as u64)),
+                            ("switches".into(), ArgValue::U64(tl.switches)),
+                        ],
+                    );
+                }
             }
         }
         let scratch = &mut self.scratch;
@@ -664,6 +753,14 @@ impl Simulator {
                 });
             }
             scratch.mig_meta.push(MigAttempt { pid: p.id, pages: attempt });
+            if let Some(tr) = self.trace.as_mut() {
+                tr.drain_start(
+                    p.id.0,
+                    trace::process_track(p.id),
+                    epoch_ts,
+                    p.migrations.pending() as u64,
+                );
+            }
         }
 
         // 3. Allocate bandwidth.
@@ -678,6 +775,19 @@ impl Simulator {
             let r = self.resources.ctrl(NodeId(i as u16));
             self.ctrl_util[i] =
                 scratch.solved.allocation.utilization(self.resources.capacities(), r);
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            // Directed link pairs arrive consecutively (AtoB then BtoA);
+            // fold each pair into one per-link counter sample.
+            let mut shares = scratch.solved.link_shares(&self.resources);
+            tr.link_counters(
+                epoch_ts,
+                std::iter::from_fn(|| {
+                    let (l, _, ab) = shares.next()?;
+                    let (_, _, ba) = shares.next().expect("directions come in pairs");
+                    Some((l.0, ab, ba))
+                }),
+            );
         }
 
         // 4. Progress, stalls, counters.
@@ -739,6 +849,17 @@ impl Simulator {
             if frac < 1.0 {
                 p.state = ProcessState::Finished { at: self.clock + dt_eff };
                 p.migrations.clear();
+                // Timestamped at the epoch start to keep emission order
+                // non-decreasing in ts; the sub-epoch completion time is
+                // an argument.
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.instant(
+                        "finished",
+                        epoch_ts,
+                        trace::process_track(pid),
+                        vec![("at_s".into(), ArgValue::F64(self.clock + dt_eff))],
+                    );
+                }
             }
         }
 
@@ -753,6 +874,7 @@ impl Simulator {
                 continue;
             }
             self.procs[pid.0].migration_credit -= completed as f64;
+            let completed_pages = completed as u64;
             scratch.completed.clear();
             self.procs[pid.0].migrations.complete_into(completed, &mut scratch.completed);
             let StepScratch { completed, runs_buf, .. } = &mut *scratch;
@@ -791,10 +913,42 @@ impl Simulator {
                     self.counters.record_flow(pid, r.to.idx(), r.to.idx(), 0.0, bytes);
                 }
             }
+            if let Some(tr) = self.trace.as_mut() {
+                tr.instant(
+                    "migrate",
+                    epoch_ts,
+                    trace::process_track(pid),
+                    vec![
+                        ("pages".into(), ArgValue::U64(completed_pages)),
+                        ("ranges".into(), ArgValue::U64(completed.len() as u64)),
+                    ],
+                );
+            }
+        }
+
+        // 5b. Close migration-drain flows whose queue emptied — by
+        // completing the last range or by the process finishing.
+        if let Some(tr) = self.trace.as_mut() {
+            for (i, proc) in self.procs.iter().enumerate() {
+                if !proc.migrations.is_empty() {
+                    continue;
+                }
+                if tr.open_drain(i).is_some() {
+                    tr.drain_end(
+                        i,
+                        trace::process_track(ProcessId(i)),
+                        epoch_ts,
+                        proc.migrations.migrated_total,
+                    );
+                }
+            }
         }
 
         // 6-7. Advance time, fire daemons.
         self.clock += dt;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.end("epoch", trace::ts_us(self.clock), trace::ENGINE_TRACK);
+        }
         let mut i = 0;
         while i < self.daemons.len() {
             if self.clock + 1e-12 >= self.daemons[i].next_fire {
@@ -1130,5 +1284,95 @@ mod tests {
             sim.run_until_finished(pid, 200.0).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    /// A traced run records the whole event vocabulary: epoch B/E pairs,
+    /// the spawn's track name, an `mbind` instant, a paired migration
+    /// drain flow, per-epoch `migrate` completions, link counters, phase
+    /// switches and the `finished` instant — and the identical run emits
+    /// byte-identical JSON.
+    #[test]
+    fn traced_run_records_migrations_phases_and_links() {
+        use crate::trace::EventPhase;
+        let run = || {
+            let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+            sim.set_trace_sink(TraceSink::default());
+            let mut p = profile(6.0);
+            p.read_gbps_per_thread = 2.0;
+            let pid = sim
+                .spawn(p.clone(), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+                .unwrap();
+            let mut calm = p.clone();
+            calm.read_gbps_per_thread = 0.5;
+            sim.set_phase_timeline(pid, vec![(0.2, p), (0.2, calm)]).unwrap();
+            // Rebind shared pages across two nodes: queues migrations and
+            // puts traffic on the node 0 <-> node 1 links.
+            let seg = sim.process(pid).unwrap().shared_seg;
+            let queued = sim
+                .mbind(
+                    pid,
+                    seg,
+                    0,
+                    10_000,
+                    MemPolicy::Interleave(NodeSet::from_nodes([NodeId(0), NodeId(1)])),
+                    true,
+                )
+                .unwrap();
+            assert!(queued > 0);
+            sim.trace_instant("custom-marker", Some(pid), &[("v", 1.5)]);
+            sim.run_until_finished(pid, 200.0).unwrap();
+            sim.take_trace_sink().expect("sink installed")
+        };
+        let t = run();
+        assert_eq!(t.dropped(), 0, "capacity holds a small run");
+
+        let count = |ph: EventPhase, name: &str| {
+            t.events().filter(|e| e.ph == ph && e.name == name).count()
+        };
+        assert_eq!(count(EventPhase::Begin, "epoch"), count(EventPhase::End, "epoch"));
+        assert!(count(EventPhase::Begin, "epoch") > 10);
+        assert_eq!(count(EventPhase::Instant, "mbind"), 1);
+        assert_eq!(count(EventPhase::Instant, "custom-marker"), 1);
+        assert_eq!(count(EventPhase::FlowStart, "migration"), 1);
+        assert_eq!(count(EventPhase::FlowEnd, "migration"), 1);
+        assert!(count(EventPhase::Instant, "migrate") > 0);
+        assert!(count(EventPhase::Instant, "phase-switch") > 0);
+        assert_eq!(count(EventPhase::Instant, "finished"), 1);
+        assert!(t.events().any(|e| e.ph == EventPhase::Counter));
+        assert!(
+            t.events()
+                .any(|e| e.ph == EventPhase::Metadata
+                    && e.track == trace::process_track(ProcessId(0)))
+        );
+
+        // Flow start/end share the id; ts never decreases in emission
+        // order.
+        let s_id = t.events().find(|e| e.ph == EventPhase::FlowStart).unwrap().id;
+        let f_id = t.events().find(|e| e.ph == EventPhase::FlowEnd).unwrap().id;
+        assert_eq!(s_id, f_id);
+        let mut last = 0;
+        for e in t.events() {
+            assert!(e.ts_us >= last, "ts regressed: {} < {last}", e.ts_us);
+            last = e.ts_us;
+        }
+
+        assert_eq!(t.to_chrome_json(), run().to_chrome_json(), "traced runs are deterministic");
+    }
+
+    /// Tracing leaves the physics untouched: the same run with and
+    /// without a sink finishes at the same simulated time.
+    #[test]
+    fn tracing_does_not_perturb_the_run() {
+        let run = |traced: bool| {
+            let mut sim = Simulator::new(machines::machine_b(), SimConfig::default());
+            if traced {
+                sim.set_trace_sink(TraceSink::new(64)); // tiny ring, drops heavily
+            }
+            let pid = sim
+                .spawn(profile(14.0), NodeSet::single(NodeId(0)), None, MemPolicy::FirstTouch)
+                .unwrap();
+            sim.run_until_finished(pid, 100.0).unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

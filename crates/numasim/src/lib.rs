@@ -38,6 +38,12 @@
 //! a process's demand characterization once, and
 //! [`Simulator::set_phase_timeline`] installs a cycling [`PhaseTimeline`]
 //! the engine advances at epoch boundaries (phase-structured workloads).
+//!
+//! Runs can be observed without being perturbed:
+//! [`Simulator::set_trace_sink`] installs a ring-buffered [`TraceSink`]
+//! recording epochs, phase switches, migration drains and per-link
+//! bandwidth shares as Chrome `trace_event` JSON (see [`trace`] and
+//! `docs/TRACING.md`); with no sink installed the hooks cost one branch.
 
 pub mod autonuma;
 pub mod daemon;
@@ -46,6 +52,7 @@ pub mod error;
 pub mod mem;
 pub mod perf;
 pub mod process;
+pub mod trace;
 
 pub use daemon::Daemon;
 pub use engine::{AppProfile, SimConfig, Simulator};
@@ -54,6 +61,7 @@ pub use mem::policy::MemPolicy;
 pub use mem::segment::{SegmentId, SegmentKind};
 pub use perf::{PerfCounters, ProcessSample};
 pub use process::{PhaseTimeline, ProcessId, ProcessState};
+pub use trace::{TraceEvent, TraceSink};
 
 /// Reference DRAM latency used to normalize latency sensitivity across
 /// machines (ns). An application's demand rate is defined at this latency.

@@ -255,6 +255,11 @@ impl Daemon for AdaptiveBwapDaemon {
                 let queued = apply_weights(sim, self.pid, &initial, self.cfg.bwap.mode)
                     .expect("placement apply");
                 let now = sim.clock();
+                sim.trace_instant(
+                    "retune",
+                    Some(self.pid),
+                    &[("deviation", deviation), ("queued_pages", queued as f64)],
+                );
                 self.handle.update(|r| {
                     r.finished = false;
                     r.dwp = 0.0;

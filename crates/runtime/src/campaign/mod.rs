@@ -39,14 +39,12 @@ pub use report::{results_dir, CampaignReport, CellRecord, NodeTierRecord, SCHEMA
 
 use crate::baselines::PlacementPolicy;
 use crate::error::RuntimeError;
-use crate::scenario::{
-    run_coscheduled_phased, run_coscheduled_with, run_standalone_phased, run_standalone_with,
-    RunResult,
-};
+use crate::scenario::{coscheduled_impl, standalone_impl, RunResult};
 use bwap::derive_seed;
 use bwap_topology::MachineTopology;
 use bwap_workloads::{PhasedWorkload, WorkloadSpec};
-use numasim::SimConfig;
+use numasim::{SimConfig, TraceSink};
+use std::path::{Path, PathBuf};
 
 /// The paper's two evaluation scenarios (§IV-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -344,6 +342,11 @@ pub struct CellSpec {
 pub struct CampaignConfig {
     /// Worker threads (`None` = one per available core).
     pub threads: Option<usize>,
+    /// When set, every cell runs with a [`TraceSink`] attached and writes
+    /// a Chrome-trace file `trace-<sanitized cell key>.json` into this
+    /// directory (see `docs/TRACING.md`). Tracing never perturbs results:
+    /// the deterministic report is byte-identical with or without it.
+    pub trace_dir: Option<PathBuf>,
 }
 
 /// Run a campaign with the default executor configuration (all cores).
@@ -379,14 +382,23 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
         .iter()
         .map(|cell| {
             let cell = cell.clone();
-            move || run_cell(spec, &cell)
+            let trace_dir = cfg.trace_dir.clone();
+            move || {
+                let mut sink = None;
+                let outcome = run_cell(spec, &cell, trace_dir.is_some().then_some(&mut sink));
+                let trace_path = match (&trace_dir, sink) {
+                    (Some(dir), Some(sink)) => write_trace(dir, &cell.key, &sink),
+                    _ => None,
+                };
+                (outcome, trace_path)
+            }
         })
         .collect();
     let outcomes = run_parallel_with(cfg.threads, jobs);
     let records = cells
         .into_iter()
         .zip(outcomes)
-        .map(|(cell, outcome)| CellRecord {
+        .map(|(cell, (outcome, trace_path))| CellRecord {
             id: cell.id,
             workload: spec.workload_name(cell.workload_idx).to_string(),
             policy: spec.policies[cell.policy_idx].label(),
@@ -397,6 +409,7 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
             seed: cell.seed,
             key: cell.key,
             outcome: outcome.map_err(|e| e.to_string()),
+            trace_path,
         })
         .collect();
     CampaignReport {
@@ -412,9 +425,30 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
     }
 }
 
+/// Write one cell's Chrome-trace file into `dir`, returning the path
+/// written. Tracing is observability, never a reason to fail a cell: a
+/// filesystem refusal drops the file (the report then simply carries no
+/// `trace_path` for the cell).
+fn write_trace(dir: &Path, key: &str, sink: &TraceSink) -> Option<String> {
+    let stem: String = key
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || "._-".contains(c) { c } else { '-' })
+        .collect();
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("trace-{stem}.json"));
+    std::fs::write(&path, sink.to_chrome_json()).ok()?;
+    Some(path.display().to_string())
+}
+
 /// Run one cell: resolve the worker set, apply the cell's DWP override
-/// and seed to the policy, and dispatch to the scenario runner.
-fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> Result<RunResult, RuntimeError> {
+/// and seed to the policy, and dispatch to the scenario runner. When
+/// `trace` is `Some`, the run is observed by a [`TraceSink`] stored into
+/// the slot afterwards.
+fn run_cell(
+    spec: &CampaignSpec,
+    cell: &CellSpec,
+    trace: Option<&mut Option<TraceSink>>,
+) -> Result<RunResult, RuntimeError> {
     // Only worker-capable nodes count: a 4-node tiered machine with two
     // CPU-less expanders supports at most 2 workers.
     let n = spec.machine.worker_node_count();
@@ -440,33 +474,52 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> Result<RunResult, RuntimeEr
     if let Some(phased) =
         cell.workload_idx.checked_sub(spec.workloads.len()).map(|i| &spec.phased_workloads[i])
     {
+        let timeline = phased.profiles_for(&spec.machine, cell.phase_period);
         return match cell.scenario {
-            ScenarioKind::Standalone => run_standalone_phased(
+            ScenarioKind::Standalone => standalone_impl(
                 &spec.machine,
-                phased,
+                phased.layout_spec(),
+                Some(timeline),
+                &phased.name,
                 workers,
                 &policy,
                 spec.sim_cfg.clone(),
-                cell.phase_period,
+                trace,
             ),
-            ScenarioKind::Coscheduled => run_coscheduled_phased(
+            ScenarioKind::Coscheduled => coscheduled_impl(
                 &spec.machine,
-                phased,
+                phased.layout_spec(),
+                Some(timeline),
+                &phased.name,
                 workers,
                 &policy,
                 spec.sim_cfg.clone(),
-                cell.phase_period,
+                trace,
             ),
         };
     }
     let workload = &spec.workloads[cell.workload_idx];
     match cell.scenario {
-        ScenarioKind::Standalone => {
-            run_standalone_with(&spec.machine, workload, workers, &policy, spec.sim_cfg.clone())
-        }
-        ScenarioKind::Coscheduled => {
-            run_coscheduled_with(&spec.machine, workload, workers, &policy, spec.sim_cfg.clone())
-        }
+        ScenarioKind::Standalone => standalone_impl(
+            &spec.machine,
+            workload,
+            None,
+            workload.name,
+            workers,
+            &policy,
+            spec.sim_cfg.clone(),
+            trace,
+        ),
+        ScenarioKind::Coscheduled => coscheduled_impl(
+            &spec.machine,
+            workload,
+            None,
+            workload.name,
+            workers,
+            &policy,
+            spec.sim_cfg.clone(),
+            trace,
+        ),
     }
 }
 
@@ -546,7 +599,8 @@ mod tests {
                 PlacementPolicy::AdaptiveBwap(crate::adaptive::AdaptiveConfig::default()),
             ])
             .seed(3);
-        let report = run_campaign_with(&spec, &CampaignConfig { threads: Some(2) });
+        let report =
+            run_campaign_with(&spec, &CampaignConfig { threads: Some(2), ..Default::default() });
         assert_eq!(report.cells.len(), 2);
         for c in &report.cells {
             let r = c.outcome.as_ref().unwrap_or_else(|e| panic!("{}: {e}", c.key));
@@ -579,7 +633,8 @@ mod tests {
             .workloads(vec![bwap_workloads::streamcluster().scaled_down(32.0)])
             .policies(vec![PlacementPolicy::Bwap(BwapConfig::default())])
             .dwp_grid(vec![DwpPoint::Static(0.3)]);
-        let report = run_campaign_with(&spec, &CampaignConfig { threads: Some(1) });
+        let report =
+            run_campaign_with(&spec, &CampaignConfig { threads: Some(1), ..Default::default() });
         assert_eq!(report.cells.len(), 1);
         let r = report.cells[0].result().expect("cell ran");
         // Online search disabled: the tuner reports exactly the pinned DWP.

@@ -73,6 +73,11 @@ pub struct CellRecord {
     pub seed: u64,
     /// The run's result, or the error that stopped it.
     pub outcome: Result<RunResult, String>,
+    /// Path of the cell's Chrome-trace file, when the campaign ran with a
+    /// trace directory. Volatile provenance like `threads`: emitted only
+    /// in the full artifact (and omitted, not null, when absent), so
+    /// deterministic reports stay byte-identical trace-on vs trace-off.
+    pub trace_path: Option<String>,
 }
 
 impl CellRecord {
@@ -195,7 +200,7 @@ impl CampaignReport {
                 s.push(',');
             }
             s.push('\n');
-            cell_json(&mut s, c);
+            cell_json(&mut s, c, volatile);
         }
         if self.cells.is_empty() {
             s.push_str("]\n");
@@ -331,7 +336,7 @@ fn bw_matrix_json(m: Option<&BwMatrix>) -> String {
     format!("[{}]", rows.join(", "))
 }
 
-fn cell_json(s: &mut String, c: &CellRecord) {
+fn cell_json(s: &mut String, c: &CellRecord, volatile: bool) {
     indent(s, 2);
     s.push_str("{\n");
     field(s, 3, "id", &c.id.to_string());
@@ -347,6 +352,13 @@ fn cell_json(s: &mut String, c: &CellRecord) {
         field(s, 3, "phase_period_s", &json_f64(t));
     }
     field(s, 3, "seed", &c.seed.to_string());
+    // Where a trace landed depends on the executor invocation, not the
+    // spec: full artifact only, like `threads` and `wall_time_s`.
+    if volatile {
+        if let Some(p) = &c.trace_path {
+            field(s, 3, "trace_path", &json_str(p));
+        }
+    }
     match &c.outcome {
         Ok(r) => {
             indent(s, 3);
@@ -408,6 +420,7 @@ mod tests {
             phase_period: None,
             seed: 7,
             outcome,
+            trace_path: None,
         }
     }
 
@@ -520,6 +533,20 @@ mod tests {
         }])
         .deterministic_json();
         assert!(d.contains("\"retunes\": 1"));
+    }
+
+    #[test]
+    fn trace_path_is_volatile_and_omitted_when_absent() {
+        // No trace dir: the name never appears, in either serialization.
+        let plain = report(vec![record(0, Ok(result()))]);
+        assert!(!plain.to_json().contains("trace_path"));
+        // With a trace: full artifact carries the path, the deterministic
+        // payload stays byte-identical to the untraced report.
+        let mut c = record(0, Ok(result()));
+        c.trace_path = Some("results/traces/trace-cell0.json".into());
+        let traced = report(vec![c]);
+        assert!(traced.to_json().contains("\"trace_path\": \"results/traces/trace-cell0.json\""));
+        assert_eq!(plain.deterministic_json(), traced.deterministic_json());
     }
 
     #[test]

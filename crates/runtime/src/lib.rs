@@ -54,6 +54,7 @@ pub use error::RuntimeError;
 pub use profiling::{profile_bandwidth, ProfileBook};
 pub use scenario::{
     run_coscheduled, run_coscheduled_phased, run_coscheduled_with, run_standalone,
-    run_standalone_phased, run_standalone_with, sweep_worker_counts, RunResult,
+    run_standalone_phased, run_standalone_traced, run_standalone_with, sweep_worker_counts,
+    RunResult,
 };
 pub use sweep::{dwp_sweep, SweepPoint};

@@ -21,7 +21,7 @@ use crate::cosched_daemon::CoschedDaemon;
 use crate::error::RuntimeError;
 use bwap_topology::{MachineTopology, NodeSet};
 use bwap_workloads::{PhasedWorkload, WorkloadSpec};
-use numasim::{AppProfile, ProcessId, SimConfig, Simulator};
+use numasim::{AppProfile, ProcessId, SimConfig, Simulator, TraceSink};
 
 /// Hard ceiling on simulated time per run: generous versus the ~10-60 s
 /// workloads, small enough to catch accidental livelock in tests.
@@ -185,6 +185,24 @@ pub fn run_standalone(
     run_standalone_with(machine, spec, workers, policy, SimConfig::default())
 }
 
+/// [`run_standalone_with`] that additionally captures a structured run
+/// trace: a default-capacity [`TraceSink`] is installed on the simulator
+/// before launch and returned alongside the result. Serialize it with
+/// [`TraceSink::to_chrome_json`] for Perfetto / `chrome://tracing` (see
+/// `docs/TRACING.md`).
+pub fn run_standalone_traced(
+    machine: &MachineTopology,
+    spec: &WorkloadSpec,
+    workers: NodeSet,
+    policy: &PlacementPolicy,
+    sim_cfg: SimConfig,
+) -> Result<(RunResult, TraceSink), RuntimeError> {
+    let mut slot = None;
+    let result =
+        standalone_impl(machine, spec, None, spec.name, workers, policy, sim_cfg, Some(&mut slot))?;
+    Ok((result, slot.expect("traced run returns its sink")))
+}
+
 /// [`run_standalone`] with an explicit engine configuration (used by the
 /// model ablations).
 pub fn run_standalone_with(
@@ -194,7 +212,7 @@ pub fn run_standalone_with(
     policy: &PlacementPolicy,
     sim_cfg: SimConfig,
 ) -> Result<RunResult, RuntimeError> {
-    standalone_impl(machine, spec, None, spec.name, workers, policy, sim_cfg)
+    standalone_impl(machine, spec, None, spec.name, workers, policy, sim_cfg, None)
 }
 
 /// Run a phase-structured workload alone on `workers` under `policy`.
@@ -217,10 +235,15 @@ pub fn run_standalone_phased(
         workers,
         policy,
         sim_cfg,
+        None,
     )
 }
 
-fn standalone_impl(
+/// Stand-alone scenario core. When `trace` is `Some`, a default-capacity
+/// [`TraceSink`] observes the whole run (installed before launch so spawn
+/// metadata lands in the trace) and is stored into the slot afterwards.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn standalone_impl(
     machine: &MachineTopology,
     spec: &WorkloadSpec,
     timeline: Option<Vec<(f64, AppProfile)>>,
@@ -228,12 +251,19 @@ fn standalone_impl(
     workers: NodeSet,
     policy: &PlacementPolicy,
     sim_cfg: SimConfig,
+    trace: Option<&mut Option<TraceSink>>,
 ) -> Result<RunResult, RuntimeError> {
     let mut sim = Simulator::new(machine.clone(), sim_cfg);
+    if trace.is_some() {
+        sim.set_trace_sink(TraceSink::default());
+    }
     let (pid, handle) =
         launch_measured(&mut sim, machine, spec, timeline.as_deref(), workers, policy, None)?;
     let start = sim.sample(pid)?;
     let exec_time_s = sim.run_until_finished(pid, MAX_SIM_S)?;
+    if let Some(slot) = trace {
+        *slot = sim.take_trace_sink();
+    }
     let (read_bytes, traffic_bytes) = traffic_counters(&sim, machine.node_count(), pid);
     let (retunes, retune_times_s) = retune_extras(policy, &handle);
     Ok(RunResult {
@@ -273,7 +303,7 @@ pub fn run_coscheduled_with(
     policy: &PlacementPolicy,
     sim_cfg: SimConfig,
 ) -> Result<RunResult, RuntimeError> {
-    coscheduled_impl(machine, spec, None, spec.name, workers, policy, sim_cfg)
+    coscheduled_impl(machine, spec, None, spec.name, workers, policy, sim_cfg, None)
 }
 
 /// Co-scheduled scenario with a phase-structured B. See
@@ -295,10 +325,14 @@ pub fn run_coscheduled_phased(
         workers,
         policy,
         sim_cfg,
+        None,
     )
 }
 
-fn coscheduled_impl(
+/// Co-scheduled scenario core; `trace` works as in [`standalone_impl`]
+/// (the sink observes both A and B — each process gets its own track).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn coscheduled_impl(
     machine: &MachineTopology,
     spec: &WorkloadSpec,
     timeline: Option<Vec<(f64, AppProfile)>>,
@@ -306,6 +340,7 @@ fn coscheduled_impl(
     workers: NodeSet,
     policy: &PlacementPolicy,
     sim_cfg: SimConfig,
+    trace: Option<&mut Option<TraceSink>>,
 ) -> Result<RunResult, RuntimeError> {
     let n = machine.node_count();
     // A runs on the worker-capable nodes B leaves free: CPU-less expander
@@ -317,6 +352,9 @@ fn coscheduled_impl(
         ));
     }
     let mut sim = Simulator::new(machine.clone(), sim_cfg);
+    if trace.is_some() {
+        sim.set_trace_sink(TraceSink::default());
+    }
     let a = sim.spawn(
         bwap_workloads::swaptions().profile_for(machine),
         workers_a,
@@ -328,6 +366,9 @@ fn coscheduled_impl(
     let start_a = sim.sample(a)?;
     let start_b = sim.sample(b)?;
     let exec_time_s = sim.run_until_finished(b, MAX_SIM_S)?;
+    if let Some(slot) = trace {
+        *slot = sim.take_trace_sink();
+    }
     let (read_bytes, traffic_bytes) = traffic_counters(&sim, n, b);
     let (retunes, retune_times_s) = retune_extras(policy, &handle);
     Ok(RunResult {
@@ -437,6 +478,28 @@ mod tests {
                 .unwrap();
         assert!(t > 0.0);
         assert!([1usize, 2, 4].contains(&k));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_yields_events() {
+        let m = machines::machine_b();
+        let workers = m.best_worker_set(2);
+        let plain =
+            run_standalone(&m, &fast_sc(), workers, &PlacementPolicy::UniformWorkers).unwrap();
+        let (traced, sink) = run_standalone_traced(
+            &m,
+            &fast_sc(),
+            workers,
+            &PlacementPolicy::UniformWorkers,
+            SimConfig::default(),
+        )
+        .unwrap();
+        // Observation never perturbs the run.
+        assert_eq!(plain.exec_time_s, traced.exec_time_s);
+        assert_eq!(plain.migrated_pages, traced.migrated_pages);
+        assert!(!sink.is_empty(), "a full run leaves events in the sink");
+        let json = sink.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
     }
 
     #[test]

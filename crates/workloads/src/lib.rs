@@ -67,6 +67,7 @@
 
 pub mod apps;
 pub mod generator;
+pub mod json;
 pub mod phased;
 pub mod spec;
 pub mod table1;

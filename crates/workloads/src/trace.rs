@@ -48,6 +48,7 @@
 //! # Ok::<(), bwap_workloads::trace::TraceError>(())
 //! ```
 
+use crate::json::{Json, JsonError};
 use crate::phased::{Phase, PhaseError, PhasedWorkload};
 use std::fmt;
 
@@ -125,24 +126,30 @@ impl From<PhaseError> for TraceError {
     }
 }
 
+impl From<JsonError> for TraceError {
+    fn from(e: JsonError) -> Self {
+        TraceError::Json { offset: e.offset, message: e.message }
+    }
+}
+
 /// Parse a phase-trace JSON document into a validated [`PhasedWorkload`].
 pub fn parse_phase_trace(json: &str) -> Result<PhasedWorkload, TraceError> {
     let doc = Json::parse(json)?;
-    let top = doc.object("trace")?;
-    let name = get(top, "trace", "name")?.string("trace.name")?;
-    let total = get(top, "trace", "total_traffic_gb")?.number("trace.total_traffic_gb")?;
-    let phases_json = get(top, "trace", "phases")?.array("trace.phases")?;
+    let top = object(&doc, "trace")?;
+    let name = string(get(top, "trace", "name")?, "trace.name")?;
+    let total = number(get(top, "trace", "total_traffic_gb")?, "trace.total_traffic_gb")?;
+    let phases_json = array(get(top, "trace", "phases")?, "trace.phases")?;
     let mut phases = Vec::with_capacity(phases_json.len());
     for (i, p) in phases_json.iter().enumerate() {
         let ctx = format!("phases[{i}]");
-        let obj = p.object(&ctx)?;
-        let wname = get(obj, &ctx, "workload")?.string(&format!("{ctx}.workload"))?;
+        let obj = object(p, &ctx)?;
+        let wname = string(get(obj, &ctx, "workload")?, &format!("{ctx}.workload"))?;
         let mut spec = crate::by_name(wname)
             .ok_or_else(|| TraceError::UnknownWorkload { phase: i, name: wname.to_string() })?;
-        let duration_s = get(obj, &ctx, "duration_s")?.number(&format!("{ctx}.duration_s"))?;
+        let duration_s = number(get(obj, &ctx, "duration_s")?, &format!("{ctx}.duration_s"))?;
         if let Some(over) = obj.iter().find(|(k, _)| k == "override") {
-            for (key, value) in over.1.object(&format!("{ctx}.override"))? {
-                let v = value.number(&format!("{ctx}.override.{key}"))?;
+            for (key, value) in object(&over.1, &format!("{ctx}.override"))? {
+                let v = number(value, &format!("{ctx}.override.{key}"))?;
                 match key.as_str() {
                     "reads_mbps" => spec.reads_mbps = v,
                     "writes_mbps" => spec.writes_mbps = v,
@@ -175,56 +182,27 @@ pub fn load_phase_trace(path: &std::path::Path) -> Result<PhasedWorkload, TraceE
     parse_phase_trace(&text)
 }
 
-/// The minimal JSON value model the trace format needs.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
+/// Contextual accessors: [`crate::json`] answers "what is this
+/// value?", these turn a mismatch into a [`TraceError`] naming the
+/// offending field.
+fn object<'a>(v: &'a Json, ctx: &str) -> Result<&'a [(String, Json)], TraceError> {
+    v.as_object()
+        .ok_or_else(|| TraceError::WrongType { context: ctx.to_string(), expected: "an object" })
 }
 
-impl Json {
-    fn parse(text: &str) -> Result<Json, TraceError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("end of document"));
-        }
-        Ok(v)
-    }
+fn array<'a>(v: &'a Json, ctx: &str) -> Result<&'a [Json], TraceError> {
+    v.as_array()
+        .ok_or_else(|| TraceError::WrongType { context: ctx.to_string(), expected: "an array" })
+}
 
-    fn object(&self, ctx: &str) -> Result<&[(String, Json)], TraceError> {
-        match self {
-            Json::Object(o) => Ok(o),
-            _ => Err(TraceError::WrongType { context: ctx.to_string(), expected: "an object" }),
-        }
-    }
+fn string<'a>(v: &'a Json, ctx: &str) -> Result<&'a str, TraceError> {
+    v.as_str()
+        .ok_or_else(|| TraceError::WrongType { context: ctx.to_string(), expected: "a string" })
+}
 
-    fn array(&self, ctx: &str) -> Result<&[Json], TraceError> {
-        match self {
-            Json::Array(a) => Ok(a),
-            _ => Err(TraceError::WrongType { context: ctx.to_string(), expected: "an array" }),
-        }
-    }
-
-    fn string(&self, ctx: &str) -> Result<&str, TraceError> {
-        match self {
-            Json::String(s) => Ok(s),
-            _ => Err(TraceError::WrongType { context: ctx.to_string(), expected: "a string" }),
-        }
-    }
-
-    fn number(&self, ctx: &str) -> Result<f64, TraceError> {
-        match self {
-            Json::Number(n) => Ok(*n),
-            _ => Err(TraceError::WrongType { context: ctx.to_string(), expected: "a number" }),
-        }
-    }
+fn number(v: &Json, ctx: &str) -> Result<f64, TraceError> {
+    v.as_f64()
+        .ok_or_else(|| TraceError::WrongType { context: ctx.to_string(), expected: "a number" })
 }
 
 fn get<'a>(
@@ -236,197 +214,6 @@ fn get<'a>(
         .find(|(k, _)| k == field)
         .map(|(_, v)| v)
         .ok_or_else(|| TraceError::MissingField { context: context.to_string(), field })
-}
-
-/// Recursive-descent reader over the document bytes.
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, expected: &str) -> TraceError {
-        TraceError::Json { offset: self.pos, message: format!("expected {expected}") }
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn eat(&mut self, b: u8) -> bool {
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), TraceError> {
-        if self.eat(b) {
-            Ok(())
-        } else {
-            Err(self.err(&format!("{:?}", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, TraceError> {
-        match self.bytes.get(self.pos) {
-            Some(b'{') => self.object_value(),
-            Some(b'[') => self.array_value(),
-            Some(b'"') => Ok(Json::String(self.string_value()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number_value(),
-            _ => Err(self.err("a JSON value")),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, TraceError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(self.err(word))
-        }
-    }
-
-    fn number_value(&mut self) -> Result<Json, TraceError> {
-        let start = self.pos;
-        self.eat(b'-');
-        while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Number)
-            .ok_or_else(|| self.err("a number"))
-    }
-
-    /// Four hex digits starting at `at`, if present.
-    fn hex4(&self, at: usize) -> Option<u32> {
-        self.bytes
-            .get(at..at + 4)
-            .and_then(|h| std::str::from_utf8(h).ok())
-            .and_then(|h| u32::from_str_radix(h, 16).ok())
-    }
-
-    fn string_value(&mut self) -> Result<String, TraceError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return Err(self.err("closing '\"'")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.bytes.get(self.pos).ok_or_else(|| self.err("an escape"))?;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let unit = self
-                                .hex4(self.pos + 1)
-                                .ok_or_else(|| self.err("a \\uXXXX escape"))?;
-                            self.pos += 4;
-                            let scalar = if (0xd800..0xdc00).contains(&unit) {
-                                // High surrogate: valid JSON encodes
-                                // non-BMP characters as a \uXXXX\uXXXX
-                                // pair; combine it with the low half.
-                                let low = (self.bytes.get(self.pos + 1..self.pos + 3)
-                                    == Some(&br"\u"[..]))
-                                .then(|| self.hex4(self.pos + 3))
-                                .flatten()
-                                .filter(|l| (0xdc00..0xe000).contains(l))
-                                .ok_or_else(|| self.err("a low-surrogate \\uXXXX escape"))?;
-                                self.pos += 6;
-                                0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00)
-                            } else {
-                                unit
-                            };
-                            out.push(
-                                char::from_u32(scalar)
-                                    .ok_or_else(|| self.err("a \\uXXXX escape"))?,
-                            );
-                        }
-                        _ => return Err(self.err("a valid escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(&c) => {
-                    // Multi-byte UTF-8 sequences pass through verbatim.
-                    let len = match c {
-                        0x00..=0x7f => 1,
-                        0xc0..=0xdf => 2,
-                        0xe0..=0xef => 3,
-                        _ => 4,
-                    };
-                    let chunk = self
-                        .bytes
-                        .get(self.pos..self.pos + len)
-                        .and_then(|b| std::str::from_utf8(b).ok())
-                        .ok_or_else(|| self.err("valid UTF-8"))?;
-                    out.push_str(chunk);
-                    self.pos += len;
-                }
-            }
-        }
-    }
-
-    fn array_value(&mut self) -> Result<Json, TraceError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.eat(b']') {
-            return Ok(Json::Array(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            if self.eat(b']') {
-                return Ok(Json::Array(items));
-            }
-            self.expect(b',')?;
-        }
-    }
-
-    fn object_value(&mut self) -> Result<Json, TraceError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.eat(b'}') {
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string_value()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            if self.eat(b'}') {
-                return Ok(Json::Object(fields));
-            }
-            self.expect(b',')?;
-        }
-    }
 }
 
 #[cfg(test)]
@@ -532,25 +319,5 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, TraceError::Invalid(PhaseError::BadDuration { phase: 0, .. })));
-    }
-
-    #[test]
-    fn parser_handles_escapes_and_nesting() {
-        let v = Json::parse(r#"{"a": ["\nA", {"b": true}, null, -1.5e2]}"#).unwrap();
-        let obj = v.object("t").unwrap();
-        let arr = obj[0].1.array("t").unwrap();
-        assert_eq!(arr[0], Json::String("\nA".into()));
-        assert_eq!(arr[3], Json::Number(-150.0));
-    }
-
-    #[test]
-    fn parser_handles_unicode_escapes_including_surrogate_pairs() {
-        // BMP escape, a surrogate-pair-encoded non-BMP character (🚀),
-        // and raw UTF-8 all round-trip.
-        let v = Json::parse(r#""\u00e9 \ud83d\ude80 é""#).unwrap();
-        assert_eq!(v, Json::String("é 🚀 é".into()));
-        // A lone high surrogate is not valid JSON.
-        assert!(Json::parse(r#""\ud83d""#).is_err());
-        assert!(Json::parse(r#""\ud83dA""#).is_err());
     }
 }

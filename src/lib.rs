@@ -68,13 +68,13 @@ pub mod prelude {
     };
     pub use bwap_runtime::{
         run_campaign, run_campaign_with, run_coscheduled, run_coscheduled_phased, run_standalone,
-        run_standalone_phased, sweep_worker_counts, AdaptiveBwapDaemon, AdaptiveConfig, BwapDaemon,
-        CampaignConfig, CampaignReport, CampaignSpec, CoschedDaemon, DwpPoint, PlacementPolicy,
-        ProfileBook, RunResult, ScenarioKind,
+        run_standalone_phased, run_standalone_traced, sweep_worker_counts, AdaptiveBwapDaemon,
+        AdaptiveConfig, BwapDaemon, CampaignConfig, CampaignReport, CampaignSpec, CoschedDaemon,
+        DwpPoint, PlacementPolicy, ProfileBook, RunResult, ScenarioKind,
     };
     pub use bwap_topology::{
         machines, MachineTopology, NodeId, NodeSet, NodeSpec, TopologyBuilder,
     };
     pub use bwap_workloads as workloads;
-    pub use numasim::{AppProfile, MemPolicy, SimConfig, Simulator};
+    pub use numasim::{AppProfile, MemPolicy, SimConfig, Simulator, TraceSink};
 }

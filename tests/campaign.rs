@@ -40,8 +40,9 @@ fn report_is_deterministic_for_fixed_spec_and_seed() {
 #[test]
 fn shard_count_invariance() {
     let spec = small_spec();
-    let serial = run_campaign_with(&spec, &CampaignConfig { threads: Some(1) });
-    let wide = run_campaign_with(&spec, &CampaignConfig { threads: Some(8) });
+    let serial =
+        run_campaign_with(&spec, &CampaignConfig { threads: Some(1), ..Default::default() });
+    let wide = run_campaign_with(&spec, &CampaignConfig { threads: Some(8), ..Default::default() });
     assert!(!serial.cells.is_empty());
     assert_eq!(serial.deterministic_json(), wide.deterministic_json());
 }

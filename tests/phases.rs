@@ -84,9 +84,10 @@ fn small_phased_spec() -> CampaignSpec {
 #[test]
 fn phase_switches_are_deterministic_across_runs_and_shards() {
     let spec = small_phased_spec();
-    let one = run_campaign_with(&spec, &CampaignConfig { threads: Some(1) });
-    let four = run_campaign_with(&spec, &CampaignConfig { threads: Some(4) });
-    let again = run_campaign_with(&spec, &CampaignConfig { threads: Some(1) });
+    let one = run_campaign_with(&spec, &CampaignConfig { threads: Some(1), ..Default::default() });
+    let four = run_campaign_with(&spec, &CampaignConfig { threads: Some(4), ..Default::default() });
+    let again =
+        run_campaign_with(&spec, &CampaignConfig { threads: Some(1), ..Default::default() });
     assert_eq!(one.deterministic_json(), four.deterministic_json(), "shard-count invariance");
     assert_eq!(one.deterministic_json(), again.deterministic_json(), "run-to-run determinism");
     // The runs actually switched phases (the property is not vacuous).

@@ -97,7 +97,7 @@ fn coscheduled_a_avoids_memory_only_nodes() {
 #[test]
 fn tiered_reports_are_deterministic() {
     let spec = tiered_spec();
-    let a = run_campaign_with(&spec, &CampaignConfig { threads: Some(1) });
-    let b = run_campaign_with(&spec, &CampaignConfig { threads: Some(4) });
+    let a = run_campaign_with(&spec, &CampaignConfig { threads: Some(1), ..Default::default() });
+    let b = run_campaign_with(&spec, &CampaignConfig { threads: Some(4), ..Default::default() });
     assert_eq!(a.deterministic_json(), b.deterministic_json());
 }

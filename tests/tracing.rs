@@ -1,0 +1,112 @@
+//! Tracing contract tests: traced campaigns emit valid, byte-identical
+//! Chrome-trace files; tracing never changes results; the example trace
+//! embedded in `docs/TRACING.md` satisfies the validator it documents.
+
+use bwap_bench::tracecheck::validate;
+use bwap_runtime::{
+    run_campaign_with, AdaptiveConfig, CampaignConfig, CampaignSpec, PlacementPolicy, ScenarioKind,
+};
+use bwap_topology::machines;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn spec() -> CampaignSpec {
+    // The adaptive cell uses the fig_phases quick tuner (fast sampling)
+    // so the watchdog actually re-tunes inside this scaled-down run.
+    let tuner = bwap::DwpTunerConfig {
+        samples_per_iteration: 4,
+        trim: 1,
+        sample_interval_s: 0.02,
+        step: 0.2,
+        ..bwap::DwpTunerConfig::default()
+    };
+    let bwap_cfg = bwap::BwapConfig { tuner, ..bwap::BwapConfig::default() };
+    let adaptive = AdaptiveConfig { bwap: bwap_cfg, max_retunes: 32, ..AdaptiveConfig::default() };
+    CampaignSpec::new("tracing-test", machines::machine_b())
+        .workloads(vec![bwap_workloads::streamcluster().scaled_down(32.0)])
+        .phased_workloads(vec![bwap_workloads::sc_bandwidth_flip().scaled_down(32.0)])
+        .phase_periods(vec![3.0])
+        .policies(vec![PlacementPolicy::UniformWorkers, PlacementPolicy::AdaptiveBwap(adaptive)])
+        .scenarios(vec![ScenarioKind::Standalone])
+        .worker_counts(vec![1])
+        .seed(11)
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bwap-tracing-test-{tag}"))
+}
+
+/// Map of trace file name -> contents for one traced campaign run.
+fn traced_run(tag: &str, threads: usize) -> (String, BTreeMap<String, String>) {
+    let dir = tmp(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = CampaignConfig { threads: Some(threads), trace_dir: Some(dir.clone()) };
+    let report = run_campaign_with(&spec(), &cfg);
+    let mut files = BTreeMap::new();
+    for cell in &report.cells {
+        let path = cell.trace_path.as_ref().unwrap_or_else(|| panic!("{}: no trace", cell.key));
+        let name = PathBuf::from(path).file_name().unwrap().to_str().unwrap().to_string();
+        files.insert(name, std::fs::read_to_string(path).expect("trace file readable"));
+    }
+    let det = report.deterministic_json();
+    let _ = std::fs::remove_dir_all(&dir);
+    (det, files)
+}
+
+#[test]
+fn traced_campaign_emits_valid_byte_identical_traces() {
+    let (det_serial, serial) = traced_run("serial", 1);
+    let (det_wide, wide) = traced_run("wide", 8);
+    let (_, again) = traced_run("again", 1);
+
+    assert!(!serial.is_empty());
+    for (name, text) in &serial {
+        let stats = validate(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(stats.slices > 0, "{name}: records epochs");
+        assert!(stats.tracks >= 2, "{name}: engine + process tracks");
+        assert!(name.starts_with("trace-") && name.ends_with(".json"), "{name}");
+    }
+    // The adaptive phased cell shows the full story: migration flows and
+    // the daemon's retune markers land in its trace.
+    let adaptive = serial
+        .iter()
+        .find(|(name, _)| name.contains("SC.FLIP") && name.contains("bwap-adaptive"))
+        .map(|(_, text)| text)
+        .expect("adaptive cell traced");
+    assert!(adaptive.contains("\"name\": \"migration\""));
+    assert!(adaptive.contains("\"name\": \"retune\""));
+    assert!(adaptive.contains("\"name\": \"phase-switch\""));
+
+    // Byte-identical across shard counts and reruns.
+    assert_eq!(serial, wide, "traces must not depend on the shard count");
+    assert_eq!(serial, again, "traces must be identical across reruns");
+    assert_eq!(det_serial, det_wide);
+}
+
+#[test]
+fn tracing_never_changes_the_deterministic_report() {
+    let untraced =
+        run_campaign_with(&spec(), &CampaignConfig { threads: Some(2), ..Default::default() });
+    assert!(untraced.cells.iter().all(|c| c.trace_path.is_none()));
+    assert!(!untraced.to_json().contains("trace_path"));
+    let (det_traced, _) = traced_run("offon", 2);
+    assert_eq!(untraced.deterministic_json(), det_traced, "trace-on == trace-off");
+}
+
+/// The example document in `docs/TRACING.md` is exactly the emitted
+/// shape, so it must pass the validator the same chapter documents.
+#[test]
+fn tracing_md_snippet_is_a_valid_trace() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("docs/TRACING.md")).expect("docs/TRACING.md");
+    let snippet = text
+        .split("```json\n")
+        .nth(1)
+        .and_then(|rest| rest.split("```").next())
+        .expect("TRACING.md embeds a ```json example");
+    let stats = validate(snippet).unwrap_or_else(|e| panic!("TRACING.md snippet invalid: {e}"));
+    assert_eq!(stats.slices, 2, "two epoch slices");
+    assert_eq!(stats.flows, 1, "one completed migration flow");
+    assert_eq!(stats.tracks, 2, "engine + SC.FLIP tracks");
+    assert_eq!(stats.dropped, 0);
+}
