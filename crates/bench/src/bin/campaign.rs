@@ -28,8 +28,8 @@
 use bwap::BwapConfig;
 use bwap_bench::ResultTable;
 use bwap_runtime::{
-    run_campaign_with, AdaptiveConfig, CampaignConfig, CampaignSpec, DwpPoint, PlacementPolicy,
-    ScenarioKind,
+    run_campaign_with, AdaptiveConfig, CampaignConfig, CampaignSpec, DwpPoint, EngineMode,
+    PlacementPolicy, ScenarioKind,
 };
 use bwap_topology::{machines, MachineTopology};
 use bwap_workloads::{PhasedWorkload, WorkloadSpec};
@@ -41,14 +41,16 @@ fn usage() -> ! {
                 [--phased SC.FLIP,FT.SWING,OC.SWING] [--phase-periods 10,30]
                 [--scenarios standalone,coscheduled] [--workers 1,2,...]
                 [--dwps online,0.0,0.5,...] [--seed N] [--threads N]
-                [--out DIR] [--trace DIR] [--probe] [--quick]
+                [--engine stepped|event] [--out DIR] [--trace DIR] [--probe] [--quick]
        campaign --spec fig1a|fig4|table1|fig_tiered|fig_phases [--seed N]
-                [--threads N] [--out DIR] [--trace DIR] [--quick]
+                [--threads N] [--engine stepped|event] [--out DIR] [--trace DIR] [--quick]
 
 --spec renders a canned experiment campaign (its axes are fixed by the
 spec); all other axis flags only apply to ad-hoc campaigns. --phased adds
 canned phase-structured workloads; --phase-periods overrides their phase
-durations (seconds). --trace writes one Chrome-trace file per cell into
+durations (seconds). --engine selects the simulator's time engine (results
+are bit-identical; `event` strides over quiescent intervals — see
+docs/ARCHITECTURE.md). --trace writes one Chrome-trace file per cell into
 DIR (Perfetto / chrome://tracing; see docs/TRACING.md)."
     );
     std::process::exit(2);
@@ -144,6 +146,17 @@ fn parse_scenario(s: &str) -> ScenarioKind {
     }
 }
 
+fn parse_engine(s: &str) -> EngineMode {
+    match s {
+        "stepped" => EngineMode::Stepped,
+        "event" | "event-driven" => EngineMode::EventDriven,
+        other => {
+            eprintln!("unknown engine {other:?} (expected stepped or event)");
+            usage()
+        }
+    }
+}
+
 fn parse_dwp(s: &str) -> DwpPoint {
     if s == "online" || s == "as-configured" {
         return DwpPoint::AsConfigured;
@@ -171,6 +184,7 @@ fn main() {
     let mut dwps = vec![DwpPoint::AsConfigured];
     let mut seed = 0u64;
     let mut threads = None;
+    let mut engine = EngineMode::default();
     let mut probe = false;
     let mut out: Option<std::path::PathBuf> = None;
     let mut trace_dir: Option<std::path::PathBuf> = None;
@@ -217,6 +231,7 @@ fn main() {
             "--dwps" => dwps = value("--dwps").split(',').map(parse_dwp).collect(),
             "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--threads" => threads = Some(value("--threads").parse().unwrap_or_else(|_| usage())),
+            "--engine" => engine = parse_engine(value("--engine")),
             "--out" => out = Some(std::path::PathBuf::from(value("--out"))),
             "--trace" => trace_dir = Some(std::path::PathBuf::from(value("--trace"))),
             "--spec" => spec_name = Some(value("--spec").to_string()),
@@ -231,8 +246,9 @@ fn main() {
 
     let spec = match spec_name {
         // Canned experiment specs come with their axes fixed; only the
-        // seed is overridable.
-        Some(s) => canned_spec(&s, quick).seed(seed),
+        // seed and the time engine (which never changes results) are
+        // overridable.
+        Some(s) => canned_spec(&s, quick).seed(seed).engine_mode(engine),
         // An empty --phase-periods list falls back to native durations
         // inside the setter.
         None => CampaignSpec::new(&name, machine)
@@ -244,6 +260,7 @@ fn main() {
             .worker_counts(workers)
             .dwp_grid(dwps)
             .seed(seed)
+            .engine_mode(engine)
             .probe_bandwidth(probe),
     };
     let n_cells = spec.cells().len();

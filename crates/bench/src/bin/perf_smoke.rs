@@ -19,14 +19,24 @@
 //!   campaign at quick scale, without and with per-cell trace recording:
 //!   the pair bounds the tracing overhead in-tree (tracing-off must stay
 //!   within noise of the pre-tracing baseline; see `docs/TRACING.md`).
+//! * `fig_phases_quick_event` — the same campaign under
+//!   `EngineMode::EventDriven`: results are pinned bit-identical by
+//!   `tests/event_equiv.rs`, so the delta to `fig_phases_quick` is pure
+//!   engine overhead/savings on a retune-heavy workload.
+//! * `steady_phase_long_stepped` / `steady_phase_long_event` — the raw
+//!   engine microbench for the event-driven clock's best case: one long
+//!   steady phase (no migrations, no retunes) stepped epoch-by-epoch vs
+//!   strided in one jump per run; the event run must be >= 5x faster and
+//!   finish at the bit-identical clock and progress.
 //!
 //! Usage: `cargo run --release -p bwap-bench --bin perf_smoke`
 //! (`BWAP_BENCH_OUT` overrides the output path.)
 
 use bwap_bench::experiments;
-use bwap_runtime::{run_campaign, PlacementPolicy};
+use bwap_runtime::{run_campaign, EngineMode, PlacementPolicy};
 use bwap_topology::machines;
-use numasim::{MemPolicy, SimConfig, Simulator};
+use bwap_topology::NodeSet;
+use numasim::{AppProfile, MemPolicy, SimConfig, Simulator};
 use std::time::Instant;
 
 /// Timed repetitions per entry; the minimum is recorded.
@@ -64,6 +74,35 @@ fn ocxl_spawn_mbind_step() {
         sim.step();
     }
     assert!(sim.migrated_pages(pid) > 0, "steps must drain migrations");
+}
+
+/// The long-steady-phase microbench: one process streaming a fixed amount
+/// of work with nothing else happening — the regime where the stepped
+/// engine burns an epoch solve every 5 ms of simulated time and the
+/// event-driven engine strides from the fixed point straight to the
+/// finish. Returns `(final clock, work done)` so the caller can pin the
+/// two engines to bit-identical results.
+fn steady_phase_long(mode: EngineMode) -> (f64, f64) {
+    let m = machines::machine_b();
+    let mut sim = Simulator::new(m, SimConfig { mode, ..SimConfig::default() });
+    let profile = AppProfile {
+        name: "steady-long".into(),
+        read_gbps_per_thread: 2.0,
+        write_gbps_per_thread: 0.0,
+        private_frac: 0.0,
+        latency_sensitivity: 0.0,
+        serial_frac: 0.0,
+        multinode_penalty: 0.0,
+        shared_pages: 100_000,
+        private_pages_per_thread: 16,
+        total_traffic_gb: 1_400.0, // ~100 simulated seconds, 20k epochs
+        open_loop: false,
+    };
+    let pid = sim
+        .spawn(profile, NodeSet::single(bwap_topology::NodeId(0)), None, MemPolicy::FirstTouch)
+        .expect("spawn steady-long");
+    sim.run_until_finished(pid, 200.0).expect("steady-long finishes");
+    (sim.clock(), sim.process(pid).expect("process").work_done_gb)
 }
 
 fn ocxl_campaign_quick() {
@@ -117,6 +156,43 @@ fn main() {
     let _ = std::fs::remove_dir_all(&trace_dir);
     entries.push(("fig_phases_quick_traced", t));
     println!("fig_phases_quick_traced: {t:.3} s");
+
+    let t = time_best(1, || {
+        run_campaign(&experiments::fig_phases_spec(true).engine_mode(EngineMode::EventDriven));
+    });
+    entries.push(("fig_phases_quick_event", t));
+    println!("fig_phases_quick_event: {t:.3} s");
+
+    let stepped_result = steady_phase_long(EngineMode::Stepped);
+    let t_stepped = time_best(RUNS, || {
+        steady_phase_long(EngineMode::Stepped);
+    });
+    entries.push(("steady_phase_long_stepped", t_stepped));
+    println!("steady_phase_long_stepped: {t_stepped:.3} s");
+
+    let event_result = steady_phase_long(EngineMode::EventDriven);
+    let t_event = time_best(RUNS, || {
+        steady_phase_long(EngineMode::EventDriven);
+    });
+    entries.push(("steady_phase_long_event", t_event));
+    println!("steady_phase_long_event: {t_event:.3} s");
+
+    assert_eq!(
+        stepped_result.0.to_bits(),
+        event_result.0.to_bits(),
+        "steady-phase clocks must be bit-identical across engines"
+    );
+    assert_eq!(
+        stepped_result.1.to_bits(),
+        event_result.1.to_bits(),
+        "steady-phase progress must be bit-identical across engines"
+    );
+    let speedup = t_stepped / t_event;
+    println!("steady_phase_long speedup (stepped/event): {speedup:.1}x");
+    assert!(
+        speedup >= 5.0,
+        "the event engine must stride a long steady phase >= 5x faster, got {speedup:.1}x"
+    );
 
     let mut json = String::from("{\n");
     for (i, (k, v)) in entries.iter().enumerate() {

@@ -37,6 +37,9 @@ pub struct TraceStats {
     pub flows: usize,
     /// Flows still open at the end of the trace.
     pub open_flows: usize,
+    /// Ids of the flows still open at the end, in start order (the
+    /// debugging handle for differential trace comparisons).
+    pub open_flow_ids: Vec<u64>,
     /// Distinct tracks (Chrome `pid`s).
     pub tracks: usize,
     /// Events the emitting ring buffer evicted (`otherData`).
@@ -73,6 +76,11 @@ pub fn validate(text: &str) -> Result<TraceStats, String> {
     // Per-track stack of open slice names.
     let mut slice_stacks: Vec<(u64, Vec<String>)> = Vec::new();
     let mut open_flow_ids: Vec<u64> = Vec::new();
+    // Flow ends with no matching start. In a complete trace these are a
+    // contract violation; collected (not failed fast) so the error names
+    // every orphaned id — the thing one actually needs when diffing the
+    // traces of two engine modes.
+    let mut orphan_flow_ids: Vec<u64> = Vec::new();
 
     for (idx, ev) in events.iter().enumerate() {
         if ev.as_object().is_none() {
@@ -143,20 +151,30 @@ pub fn validate(text: &str) -> Result<TraceStats, String> {
                         open_flow_ids.swap_remove(pos);
                         stats.flows += 1;
                     }
+                    // Ring eviction can drop an `s` while its `f`
+                    // survives; only a trace reporting drops may claim
+                    // that excuse.
                     None if dropped > 0 => stats.flows += 1,
-                    None => {
-                        return Err(format!("event {idx}: flow end id {id} without a start"));
-                    }
+                    None => orphan_flow_ids.push(id),
                 }
             }
             "M" => {}
             other => return Err(format!("event {idx}: unknown ph {other:?}")),
         }
     }
+    if !orphan_flow_ids.is_empty() {
+        let ids: Vec<String> = orphan_flow_ids.iter().map(u64::to_string).collect();
+        return Err(format!(
+            "{} flow end(s) without a start (dropped_events = 0): orphaned flow ids [{}]",
+            orphan_flow_ids.len(),
+            ids.join(", ")
+        ));
+    }
     // Slices and flows still open at the end are legal (a trace is a
     // window onto the run), but a complete well-formed engine trace
     // closes every epoch it opens; report them for the caller to judge.
     stats.open_flows = open_flow_ids.len();
+    stats.open_flow_ids = open_flow_ids;
     stats.tracks = tracks.len();
     Ok(stats)
 }
@@ -228,5 +246,23 @@ mod tests {
         let stats = validate(&t).unwrap();
         assert_eq!(stats.flows, 1);
         assert_eq!(stats.open_flows, 1);
+        assert_eq!(stats.open_flow_ids, vec![1]);
+    }
+
+    #[test]
+    fn orphan_flow_errors_name_every_offending_id() {
+        let t = wrap(
+            &[
+                ev("s", 1, ", \"id\": 5"),
+                ev("f", 2, ", \"id\": 3"),
+                ev("f", 3, ", \"id\": 5"),
+                ev("f", 4, ", \"id\": 7"),
+            ]
+            .join(", "),
+        );
+        let err = validate(&t).unwrap_err();
+        assert!(err.contains("without a start"), "{err}");
+        assert!(err.contains("[3, 7]"), "every orphan id is named: {err}");
+        assert!(!err.contains("5"), "the paired flow is not blamed: {err}");
     }
 }

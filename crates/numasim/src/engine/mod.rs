@@ -111,6 +111,34 @@ impl AppProfile {
     }
 }
 
+/// How the simulator advances time (see `docs/ARCHITECTURE.md`).
+///
+/// Both modes produce bit-identical results — `Stepped` is the reference
+/// semantics, `EventDriven` is an optimization pinned to it by the
+/// differential harness in `tests/event_equiv.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Execute every epoch in full: build demand, solve, account.
+    #[default]
+    Stepped,
+    /// Detect quiescent steady state (no pending migrations, no process
+    /// at a finish or phase boundary, bandwidth allocation at its fixed
+    /// point) and replay only the progress-accounting stage until the
+    /// next interesting time — phase boundary, process finish, daemon
+    /// fire, or the run limit — instead of re-solving identical epochs.
+    EventDriven,
+}
+
+impl EngineMode {
+    /// Stable lowercase label (CLI flag values, report provenance).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineMode::Stepped => "stepped",
+            EngineMode::EventDriven => "event-driven",
+        }
+    }
+}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -126,6 +154,8 @@ pub struct SimConfig {
     /// `demand::latency_inflation`). Set `a = 0` to ablate queueing
     /// delay.
     pub latency_inflation: (f64, f64),
+    /// Time-advancement strategy; results are identical in both modes.
+    pub mode: EngineMode,
 }
 
 impl Default for SimConfig {
@@ -135,6 +165,7 @@ impl Default for SimConfig {
             migration_gbps: 2.0,
             ctrl_model: ControllerModel::default(),
             latency_inflation: (2.0, 4.0),
+            mode: EngineMode::default(),
         }
     }
 }
@@ -194,6 +225,13 @@ pub struct Simulator {
     /// Controller utilization per node in the previous epoch (drives the
     /// loaded-latency feedback).
     ctrl_util: Vec<f64>,
+    /// `ctrl_util` as of the epoch before that — when the two agree the
+    /// demand → allocation → utilization feedback loop is at its fixed
+    /// point, one of the conditions for an event-driven stride.
+    util_prev: Vec<f64>,
+    /// Whether the last full epoch was quiescent: re-running it would
+    /// change nothing but the clock and accumulated progress.
+    quiescent: bool,
     /// Reused epoch-loop buffers.
     scratch: StepScratch,
     /// Structured run tracing; `None` (the default) makes every hook a
@@ -236,6 +274,8 @@ impl Simulator {
             daemons: Vec::new(),
             clock: 0.0,
             ctrl_util: vec![0.0; n],
+            util_prev: vec![0.0; n],
+            quiescent: false,
             scratch: StepScratch::default(),
             trace: None,
         }
@@ -703,7 +743,6 @@ impl Simulator {
                 &mut scratch.demand_ws,
             );
         }
-        let app_groups = scratch.ds.len();
         scratch.mig_meta.clear();
         scratch.pair_count.resize(n * n, 0);
         for p in &self.procs {
@@ -771,11 +810,14 @@ impl Simulator {
             &mut scratch.solve_ws,
             &mut scratch.solved,
         );
+        self.util_prev.clear();
+        self.util_prev.extend_from_slice(&self.ctrl_util);
         for i in 0..n {
             let r = self.resources.ctrl(NodeId(i as u16));
             self.ctrl_util[i] =
                 scratch.solved.allocation.utilization(self.resources.capacities(), r);
         }
+        let util_fixed = self.util_prev == self.ctrl_util;
         if let Some(tr) = self.trace.as_mut() {
             // Directed link pairs arrive consecutively (AtoB then BtoA);
             // fold each pair into one per-link counter sample.
@@ -790,78 +832,11 @@ impl Simulator {
             );
         }
 
-        // 4. Progress, stalls, counters.
-        // Group app outcomes per process (inner vectors reused).
-        for v in scratch.per_proc.iter_mut() {
-            v.clear();
-        }
-        scratch.per_proc.resize_with(self.procs.len(), Vec::new);
-        for (gi, (pid, _)) in scratch.app_meta.iter().enumerate() {
-            scratch.per_proc[pid.0].push((gi, scratch.solved.outcomes[gi].activity));
-        }
-        for (pid_idx, proc_groups) in scratch.per_proc.iter().enumerate() {
-            if proc_groups.is_empty() {
-                continue;
-            }
-            let rate_gbps: f64 =
-                proc_groups.iter().map(|&(gi, u)| u * scratch.app_meta[gi].1.demand_gbps).sum();
-            let p = &self.procs[pid_idx];
-            let remaining = p.profile.total_traffic_gb - p.work_done_gb;
-            let frac = if rate_gbps * dt >= remaining && remaining.is_finite() {
-                (remaining / (rate_gbps * dt)).clamp(0.0, 1.0)
-            } else {
-                1.0
-            };
-            let dt_eff = dt * frac;
-            let alpha = p.profile.latency_sensitivity;
-            // One division per process, not one per group per node.
-            let read_frac = {
-                let pr = &p.profile;
-                let tot = pr.read_gbps_per_thread + pr.write_gbps_per_thread;
-                if tot > 0.0 {
-                    pr.read_gbps_per_thread / tot
-                } else {
-                    1.0
-                }
-            };
-            let pid = p.id;
-            for &(gi, u) in proc_groups {
-                let meta = &scratch.app_meta[gi].1;
-                let stall = demand::stall_fraction(u, alpha, meta.latency_factor);
-                let cycles = meta.cycle_threads * CLOCK_HZ * dt_eff;
-                self.counters.record_cycles(pid, cycles, stall * cycles);
-                let node_bytes = u * meta.demand_gbps * 1e9 * dt_eff;
-                let share = &scratch.demand_ws.share_arena[meta.share_off..meta.share_off + n];
-                for (i, &share_i) in share.iter().enumerate() {
-                    if share_i > 1e-12 {
-                        self.counters.record_flow(
-                            pid,
-                            i,
-                            meta.node,
-                            node_bytes * share_i * read_frac,
-                            node_bytes * share_i * (1.0 - read_frac),
-                        );
-                    }
-                }
-            }
-            let p = &mut self.procs[pid_idx];
-            p.work_done_gb += rate_gbps * dt_eff;
-            if frac < 1.0 {
-                p.state = ProcessState::Finished { at: self.clock + dt_eff };
-                p.migrations.clear();
-                // Timestamped at the epoch start to keep emission order
-                // non-decreasing in ts; the sub-epoch completion time is
-                // an argument.
-                if let Some(tr) = self.trace.as_mut() {
-                    tr.instant(
-                        "finished",
-                        epoch_ts,
-                        trace::process_track(pid),
-                        vec![("at_s".into(), ArgValue::F64(self.clock + dt_eff))],
-                    );
-                }
-            }
-        }
+        // 4. Progress, stalls, counters — the one stage an event-driven
+        // stride replays per skipped epoch, so it lives in its own method.
+        let any_finished = self.advance_progress();
+        let scratch = &mut self.scratch;
+        let app_groups = scratch.app_meta.len();
 
         // 5. Complete migrations, range by range.
         for mi in 0..scratch.mig_meta.len() {
@@ -945,14 +920,120 @@ impl Simulator {
         }
 
         // 6-7. Advance time, fire daemons.
+        let no_migrations = scratch.mig_meta.is_empty();
         self.clock += dt;
         if let Some(tr) = self.trace.as_mut() {
             tr.end("epoch", trace::ts_us(self.clock), trace::ENGINE_TRACK);
         }
+        let any_fired = self.fire_due_daemons();
+        // Quiescent: no migration traffic in the solve, nobody finished,
+        // no daemon mutated anything, and the utilization feedback is at
+        // its fixed point — so re-running the epoch would reproduce the
+        // same allocation and only accumulate progress at the same rates.
+        self.quiescent = no_migrations && !any_finished && !any_fired && util_fixed;
+    }
+
+    /// Stage 4 of [`Simulator::step`]: convert the solved bandwidth
+    /// allocation into progress, stall cycles and per-flow counters, and
+    /// finish processes whose remaining work fits in this epoch. Returns
+    /// whether any process finished.
+    ///
+    /// This is also the replay body of an event-driven stride: while the
+    /// engine is quiescent the solved allocation in `scratch` stays valid,
+    /// so [`Simulator::step_stride`] re-runs exactly this accounting (same
+    /// statements, same values, same order — bit-identical floats) without
+    /// rebuilding demand or re-solving.
+    fn advance_progress(&mut self) -> bool {
+        let dt = self.cfg.epoch_dt;
+        let n = self.machine.node_count();
+        let epoch_ts = trace::ts_us(self.clock);
+        let scratch = &mut self.scratch;
+        let mut any_finished = false;
+        // Group app outcomes per process (inner vectors reused).
+        for v in scratch.per_proc.iter_mut() {
+            v.clear();
+        }
+        scratch.per_proc.resize_with(self.procs.len(), Vec::new);
+        for (gi, (pid, _)) in scratch.app_meta.iter().enumerate() {
+            scratch.per_proc[pid.0].push((gi, scratch.solved.outcomes[gi].activity));
+        }
+        for (pid_idx, proc_groups) in scratch.per_proc.iter().enumerate() {
+            if proc_groups.is_empty() {
+                continue;
+            }
+            let rate_gbps: f64 =
+                proc_groups.iter().map(|&(gi, u)| u * scratch.app_meta[gi].1.demand_gbps).sum();
+            let p = &self.procs[pid_idx];
+            let remaining = p.profile.total_traffic_gb - p.work_done_gb;
+            let frac = if rate_gbps * dt >= remaining && remaining.is_finite() {
+                (remaining / (rate_gbps * dt)).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            let dt_eff = dt * frac;
+            let alpha = p.profile.latency_sensitivity;
+            // One division per process, not one per group per node.
+            let read_frac = {
+                let pr = &p.profile;
+                let tot = pr.read_gbps_per_thread + pr.write_gbps_per_thread;
+                if tot > 0.0 {
+                    pr.read_gbps_per_thread / tot
+                } else {
+                    1.0
+                }
+            };
+            let pid = p.id;
+            for &(gi, u) in proc_groups {
+                let meta = &scratch.app_meta[gi].1;
+                let stall = demand::stall_fraction(u, alpha, meta.latency_factor);
+                let cycles = meta.cycle_threads * CLOCK_HZ * dt_eff;
+                self.counters.record_cycles(pid, cycles, stall * cycles);
+                let node_bytes = u * meta.demand_gbps * 1e9 * dt_eff;
+                let share = &scratch.demand_ws.share_arena[meta.share_off..meta.share_off + n];
+                for (i, &share_i) in share.iter().enumerate() {
+                    if share_i > 1e-12 {
+                        self.counters.record_flow(
+                            pid,
+                            i,
+                            meta.node,
+                            node_bytes * share_i * read_frac,
+                            node_bytes * share_i * (1.0 - read_frac),
+                        );
+                    }
+                }
+            }
+            let p = &mut self.procs[pid_idx];
+            p.work_done_gb += rate_gbps * dt_eff;
+            if frac < 1.0 {
+                any_finished = true;
+                p.state = ProcessState::Finished { at: self.clock + dt_eff };
+                p.migrations.clear();
+                // Timestamped at the epoch start to keep emission order
+                // non-decreasing in ts; the sub-epoch completion time is
+                // an argument.
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.instant(
+                        "finished",
+                        epoch_ts,
+                        trace::process_track(pid),
+                        vec![("at_s".into(), ArgValue::F64(self.clock + dt_eff))],
+                    );
+                }
+            }
+        }
+        any_finished
+    }
+
+    /// Fire every daemon whose `next_fire` the clock has reached (stage 7
+    /// of [`Simulator::step`], also run per replayed epoch of a stride).
+    /// Returns whether any daemon ticked.
+    fn fire_due_daemons(&mut self) -> bool {
+        let mut any_fired = false;
         let mut i = 0;
         while i < self.daemons.len() {
             if self.clock + 1e-12 >= self.daemons[i].next_fire {
                 if let Some(mut d) = self.daemons[i].daemon.take() {
+                    any_fired = true;
                     d.tick(self);
                     let done = d.done();
                     self.daemons[i].next_fire += self.daemons[i].period;
@@ -964,13 +1045,85 @@ impl Simulator {
             i += 1;
         }
         self.daemons.retain(|s| s.daemon.is_some());
+        any_fired
+    }
+
+    /// Whether any running process has a phase boundary at or before the
+    /// current clock (stage 0 of the next [`Simulator::step`] would swap
+    /// profiles).
+    fn phase_boundary_due(&self) -> bool {
+        self.procs.iter().any(|p| {
+            p.is_running()
+                && p.phases.as_ref().is_some_and(|tl| self.clock + 1e-12 >= tl.next_switch)
+        })
+    }
+
+    /// Advance one event-driven stride, never past `limit`: one full
+    /// [`Simulator::step`], then — if that epoch was quiescent — replay
+    /// its progress accounting over the following epochs until the next
+    /// interesting time (phase boundary, process finish, daemon fire, or
+    /// `limit`). Returns the number of epochs advanced.
+    ///
+    /// Bit-identical to stepping because a replayed epoch executes exactly
+    /// the statements a full epoch would: quiescence guarantees demand
+    /// assembly and the bandwidth solve would reproduce the allocation
+    /// already in scratch, so skipping them is unobservable.
+    pub fn step_stride(&mut self, limit: f64) -> u64 {
+        self.step();
+        let mut epochs = 1u64;
+        if !self.quiescent || self.clock + 1e-12 >= limit || self.phase_boundary_due() {
+            return epochs;
+        }
+        let dt = self.cfg.epoch_dt;
+        // At least one epoch will be replayed: open the stride slice on
+        // the engine track (per-epoch slices are the stepped engine's; a
+        // stride is the event-driven engine's unit of work).
+        if let Some(tr) = self.trace.as_mut() {
+            tr.begin("stride", trace::ts_us(self.clock), trace::ENGINE_TRACK);
+        }
+        loop {
+            let any_finished = self.advance_progress();
+            self.clock += dt;
+            epochs += 1;
+            let any_fired = self.fire_due_daemons();
+            if any_finished || any_fired || self.clock + 1e-12 >= limit || self.phase_boundary_due()
+            {
+                break;
+            }
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            // Counters are emitted at the stride boundary even when their
+            // values did not change, so consumers sampling the trace see
+            // the plateau's extent, not a gap.
+            let end_ts = trace::ts_us(self.clock);
+            let mut shares = self.scratch.solved.link_shares(&self.resources);
+            tr.link_counters_forced(
+                end_ts,
+                std::iter::from_fn(|| {
+                    let (l, _, ab) = shares.next()?;
+                    let (_, _, ba) = shares.next().expect("directions come in pairs");
+                    Some((l.0, ab, ba))
+                }),
+            );
+            tr.end("stride", end_ts, trace::ENGINE_TRACK);
+        }
+        epochs
     }
 
     /// Run for a fixed amount of simulated time.
     pub fn run_for(&mut self, seconds: f64) {
         let end = self.clock + seconds;
-        while self.clock + 1e-12 < end {
-            self.step();
+        match self.cfg.mode {
+            EngineMode::Stepped => {
+                while self.clock + 1e-12 < end {
+                    self.step();
+                }
+            }
+            EngineMode::EventDriven => {
+                while self.clock + 1e-12 < end {
+                    self.step_stride(end);
+                }
+            }
         }
     }
 
@@ -991,7 +1144,12 @@ impl Simulator {
                     if self.clock >= deadline {
                         return Err(SimError::Timeout { pid: pid.0, deadline });
                     }
-                    self.step();
+                    match self.cfg.mode {
+                        EngineMode::Stepped => self.step(),
+                        EngineMode::EventDriven => {
+                            self.step_stride(deadline);
+                        }
+                    }
                 }
             }
         }

@@ -312,17 +312,44 @@ impl TraceSink {
         ts: u64,
         shares: impl Iterator<Item = (usize, f64, f64)>,
     ) {
+        self.link_counters_impl(ts, shares, false);
+    }
+
+    /// Emit per-link share counters unconditionally — the event-driven
+    /// engine stamps every stride boundary so counter timelines show the
+    /// extent of a plateau rather than a gap where epochs were skipped.
+    pub(crate) fn link_counters_forced(
+        &mut self,
+        ts: u64,
+        shares: impl Iterator<Item = (usize, f64, f64)>,
+    ) {
+        self.link_counters_impl(ts, shares, true);
+    }
+
+    fn link_counters_impl(
+        &mut self,
+        ts: u64,
+        shares: impl Iterator<Item = (usize, f64, f64)>,
+        force: bool,
+    ) {
         for (l, ab, ba) in shares {
             if self.last_links.len() < 2 * (l + 1) {
                 self.last_links.resize(2 * (l + 1), -1.0);
             }
             let changed = (self.last_links[2 * l] - ab).abs() > 1e-9
                 || (self.last_links[2 * l + 1] - ba).abs() > 1e-9;
-            if !changed {
+            if !(changed || force) {
                 continue;
             }
-            self.last_links[2 * l] = ab;
-            self.last_links[2 * l + 1] = ba;
+            if changed {
+                self.last_links[2 * l] = ab;
+                self.last_links[2 * l + 1] = ba;
+            }
+            // A forced re-stamp of an unchanged series repeats the last
+            // emitted values bitwise (the current ones may differ by the
+            // sub-tolerance drift the change filter deliberately ignores),
+            // so a plateau extends with identical samples.
+            let (ab, ba) = (self.last_links[2 * l], self.last_links[2 * l + 1]);
             self.counter(
                 format!("link{l}_gbps"),
                 ts,

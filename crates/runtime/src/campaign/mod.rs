@@ -43,7 +43,7 @@ use crate::scenario::{coscheduled_impl, standalone_impl, RunResult};
 use bwap::derive_seed;
 use bwap_topology::MachineTopology;
 use bwap_workloads::{PhasedWorkload, WorkloadSpec};
-use numasim::{SimConfig, TraceSink};
+use numasim::{EngineMode, SimConfig, TraceSink};
 use std::path::{Path, PathBuf};
 
 /// The paper's two evaluation scenarios (§IV-A).
@@ -205,6 +205,14 @@ impl CampaignSpec {
     /// Set the per-cell engine configuration.
     pub fn sim_cfg(mut self, cfg: SimConfig) -> Self {
         self.sim_cfg = cfg;
+        self
+    }
+
+    /// Select how every cell's simulator advances time (an axis of the
+    /// whole campaign, not of individual cells — results are identical in
+    /// both modes, so sweeping it per cell would measure nothing).
+    pub fn engine_mode(mut self, mode: EngineMode) -> Self {
+        self.sim_cfg.mode = mode;
         self
     }
 
@@ -419,6 +427,8 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
         seed: spec.seed,
         threads: cfg.threads.unwrap_or_else(executor::default_threads),
         wall_time_s: t0.elapsed().as_secs_f64(),
+        engine_mode: (spec.sim_cfg.mode != EngineMode::default())
+            .then(|| spec.sim_cfg.mode.label().to_string()),
         bw_matrix,
         node_tiers,
         cells: records,

@@ -102,6 +102,11 @@ pub struct CampaignReport {
     pub threads: usize,
     /// Wall-clock duration of the whole campaign (volatile provenance).
     pub wall_time_s: f64,
+    /// Engine mode label when the campaign ran event-driven (volatile
+    /// provenance; omitted — not null — under the default stepped mode).
+    /// Both modes produce identical results, so this never belongs in
+    /// [`CampaignReport::deterministic_json`] and the schema stays v2.
+    pub engine_mode: Option<String>,
     /// Probed node-to-node bandwidth matrix, if the spec requested
     /// installation-time profiling (Fig. 1a).
     pub bw_matrix: Option<BwMatrix>,
@@ -187,6 +192,9 @@ impl CampaignReport {
         if volatile {
             field(&mut s, 1, "threads", &self.threads.to_string());
             field(&mut s, 1, "wall_time_s", &json_f64(self.wall_time_s));
+            if let Some(mode) = &self.engine_mode {
+                field(&mut s, 1, "engine_mode", &json_str(mode));
+            }
         }
         field(&mut s, 1, "bw_matrix_gbps", &bw_matrix_json(self.bw_matrix.as_ref()));
         // Schema v2: the tier axis is emitted only for heterogeneous
@@ -450,10 +458,24 @@ mod tests {
             seed: 1,
             threads: 4,
             wall_time_s: 0.25,
+            engine_mode: None,
             bw_matrix: None,
             node_tiers: None,
             cells,
         }
+    }
+
+    #[test]
+    fn engine_mode_is_volatile_and_omitted_when_stepped() {
+        let stepped = report(vec![record(0, Ok(result()))]);
+        assert!(!stepped.to_json().contains("engine_mode"), "omitted, not null");
+        let mut event = stepped.clone();
+        event.engine_mode = Some("event-driven".into());
+        assert!(event.to_json().contains("\"engine_mode\": \"event-driven\""));
+        // Never part of the deterministic artifact: both modes must
+        // produce byte-identical reports.
+        assert_eq!(stepped.deterministic_json(), event.deterministic_json());
+        assert!(event.to_json().contains("\"schema_version\": 2"));
     }
 
     #[test]

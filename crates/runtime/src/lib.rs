@@ -51,6 +51,7 @@ pub use campaign::{
 };
 pub use cosched_daemon::CoschedDaemon;
 pub use error::RuntimeError;
+pub use numasim::EngineMode;
 pub use profiling::{profile_bandwidth, ProfileBook};
 pub use scenario::{
     run_coscheduled, run_coscheduled_phased, run_coscheduled_with, run_standalone,

@@ -4,7 +4,8 @@
 
 use bwap_bench::tracecheck::validate;
 use bwap_runtime::{
-    run_campaign_with, AdaptiveConfig, CampaignConfig, CampaignSpec, PlacementPolicy, ScenarioKind,
+    run_campaign_with, AdaptiveConfig, CampaignConfig, CampaignSpec, EngineMode, PlacementPolicy,
+    ScenarioKind,
 };
 use bwap_topology::machines;
 use std::collections::BTreeMap;
@@ -38,10 +39,18 @@ fn tmp(tag: &str) -> PathBuf {
 
 /// Map of trace file name -> contents for one traced campaign run.
 fn traced_run(tag: &str, threads: usize) -> (String, BTreeMap<String, String>) {
+    traced_run_mode(tag, threads, EngineMode::Stepped)
+}
+
+fn traced_run_mode(
+    tag: &str,
+    threads: usize,
+    mode: EngineMode,
+) -> (String, BTreeMap<String, String>) {
     let dir = tmp(tag);
     let _ = std::fs::remove_dir_all(&dir);
     let cfg = CampaignConfig { threads: Some(threads), trace_dir: Some(dir.clone()) };
-    let report = run_campaign_with(&spec(), &cfg);
+    let report = run_campaign_with(&spec().engine_mode(mode), &cfg);
     let mut files = BTreeMap::new();
     for cell in &report.cells {
         let path = cell.trace_path.as_ref().unwrap_or_else(|| panic!("{}: no trace", cell.key));
@@ -91,6 +100,53 @@ fn tracing_never_changes_the_deterministic_report() {
     assert!(!untraced.to_json().contains("trace_path"));
     let (det_traced, _) = traced_run("offon", 2);
     assert_eq!(untraced.deterministic_json(), det_traced, "trace-on == trace-off");
+}
+
+/// Event-driven traces keep the full tracing contract (monotonic
+/// timestamps, balanced slices, paired flows), record `stride` slices
+/// where the engine skipped rebuild+solve, and re-stamp link counters at
+/// each stride boundary rather than leaving a plateau-wide gap — all
+/// without changing the deterministic report.
+#[test]
+fn event_driven_traces_validate_and_stamp_stride_boundaries() {
+    let det_stepped = run_campaign_with(
+        &spec().engine_mode(EngineMode::Stepped),
+        &CampaignConfig { threads: Some(2), ..Default::default() },
+    )
+    .deterministic_json();
+    let (det_event, files) = traced_run_mode("event", 2, EngineMode::EventDriven);
+    assert_eq!(det_stepped, det_event, "engine modes are result-indistinguishable");
+
+    let mut stride_boundaries = 0usize;
+    for (name, text) in &files {
+        let stats = validate(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(stats.slices > 0, "{name}: records epochs");
+        assert_eq!(stats.dropped, 0, "{name}: fits the ring");
+
+        // Every stride close must carry fresh counter samples: for each
+        // `E` of a "stride" slice there is a counter stamped at that ts.
+        for line in text.lines().filter(|l| l.contains("\"name\": \"stride\"")) {
+            if !line.contains("\"ph\": \"E\"") {
+                continue;
+            }
+            stride_boundaries += 1;
+            let ts = line
+                .split("\"ts\": ")
+                .nth(1)
+                .and_then(|rest| rest.split(',').next())
+                .unwrap_or_else(|| panic!("{name}: stride end without ts: {line}"));
+            assert!(
+                text.lines()
+                    .any(|l| l.contains("\"ph\": \"C\"") && l.contains(&format!("\"ts\": {ts},"))),
+                "{name}: stride ending at ts {ts} has no counter sample"
+            );
+        }
+    }
+    assert!(stride_boundaries > 0, "the event engine strode somewhere in this campaign");
+
+    // Still byte-identical across reruns and shard counts.
+    let (_, again) = traced_run_mode("event-again", 1, EngineMode::EventDriven);
+    assert_eq!(files, again, "event-driven traces are deterministic");
 }
 
 /// The example document in `docs/TRACING.md` is exactly the emitted

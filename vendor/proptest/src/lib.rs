@@ -24,7 +24,9 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Mirror of the `prop` module exposed by the real prelude
     /// (`prop::collection::vec(...)` etc.).
@@ -102,6 +104,16 @@ macro_rules! __proptest_tests {
             });
         }
         $crate::__proptest_tests! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type. Unlike
+/// the real crate there are no `weight =>` arms; repeat an arm to bias
+/// the distribution.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($strat))+
     };
 }
 

@@ -81,6 +81,63 @@ where
     }
 }
 
+/// Tuples of strategies sample component-wise (mirrors the real crate's
+/// tuple support, which `proptest!` bodies lean on for compound inputs).
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                Ok(($(self.$idx.sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0.0, S1.1);
+tuple_strategy!(S0.0, S1.1, S2.2);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+/// Uniform choice among strategies producing the same value type; built by
+/// [`prop_oneof!`](crate::prop_oneof) (the real crate's weighted arms are
+/// not supported — repeat an arm to bias it).
+pub struct Union<T> {
+    #[allow(clippy::type_complexity)]
+    arms: Vec<Box<dyn Fn(&mut TestRng) -> Result<T, Rejection>>>,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    /// An empty union; sampling panics until [`Union::or`] adds an arm.
+    pub fn new() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Add one equally-likely arm.
+    pub fn or(mut self, s: impl Strategy<Value = T> + 'static) -> Self {
+        self.arms.push(Box::new(move |rng| s.sample(rng)));
+        self
+    }
+}
+
+impl<T: std::fmt::Debug> Default for Union<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.gen_range(0..self.arms.len());
+        (self.arms[i])(rng)
+    }
+}
+
 /// See [`Strategy::prop_filter`].
 #[derive(Clone, Debug)]
 pub struct Filter<S, F> {
