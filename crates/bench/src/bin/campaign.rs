@@ -14,25 +14,31 @@
 //! times per cell; the full per-cell data (chosen DWPs, stall fractions,
 //! migrations, traffic, per-cell seeds) is in the JSON report.
 //!
-//! `--spec fig1a|fig4|table1|fig_tiered` renders a canned experiment
-//! campaign instead of an ad-hoc matrix (`fig_tiered` is the
-//! heterogeneous-tier scenario on the CPU-less-expander machine), and
-//! `--out DIR` redirects the report from `results/` — for CI artifact
+//! `--spec fig1a|fig4|table1|fig_tiered|fig_phases|dwp_dedup` renders a
+//! canned experiment campaign instead of an ad-hoc matrix (`fig_tiered`
+//! is the heterogeneous-tier scenario on the CPU-less-expander machine),
+//! and `--out DIR` redirects the report from `results/` — for CI artifact
 //! collection and parallel local runs.
 //!
 //! `--trace DIR` additionally records every cell as a Chrome-trace file
 //! `trace-<cell key>.json` in `DIR`, loadable in Perfetto or
 //! `chrome://tracing` and linked from the report's `trace_path` fields
 //! (see `docs/TRACING.md`). Tracing never changes results.
+//!
+//! `--cache-dir DIR` memoizes cell outcomes on disk by content hash: a
+//! warm rerun (or a killed campaign restarted) replays every stored cell
+//! and executes only the remainder, byte-identically. `--dedup off`
+//! disables the exact intra-campaign deduplication (on by default; see
+//! `docs/PERFORMANCE.md`). `--remote host:port,...` farms the deduped,
+//! uncached cells out to `campaign_worker` processes and merges their
+//! results through the same cache path; a failed worker degrades to local
+//! execution. `--deterministic` additionally writes the volatile-free
+//! report (`*.deterministic.json`) for byte-for-byte comparison in CI.
 
-use bwap::BwapConfig;
-use bwap_bench::ResultTable;
-use bwap_runtime::{
-    run_campaign_with, AdaptiveConfig, CampaignConfig, CampaignSpec, DwpPoint, EngineMode,
-    PlacementPolicy, ScenarioKind,
-};
-use bwap_topology::{machines, MachineTopology};
-use bwap_workloads::{PhasedWorkload, WorkloadSpec};
+use bwap_bench::cli::SpecArgs;
+use bwap_bench::{worker, ResultTable};
+use bwap_runtime::campaign::cache::decode_entry;
+use bwap_runtime::{cell_descriptor, run_campaign_with, CampaignConfig, CellCache};
 
 fn usage() -> ! {
     eprintln!(
@@ -41,9 +47,13 @@ fn usage() -> ! {
                 [--phased SC.FLIP,FT.SWING,OC.SWING] [--phase-periods 10,30]
                 [--scenarios standalone,coscheduled] [--workers 1,2,...]
                 [--dwps online,0.0,0.5,...] [--seed N] [--threads N]
-                [--engine stepped|event] [--out DIR] [--trace DIR] [--probe] [--quick]
-       campaign --spec fig1a|fig4|table1|fig_tiered|fig_phases [--seed N]
-                [--threads N] [--engine stepped|event] [--out DIR] [--trace DIR] [--quick]
+                [--engine stepped|event] [--out DIR] [--trace DIR]
+                [--cache-dir DIR] [--dedup on|off] [--remote host:port,...]
+                [--deterministic] [--probe] [--quick]
+       campaign --spec fig1a|fig4|table1|fig_tiered|fig_phases|dwp_dedup [--seed N]
+                [--threads N] [--engine stepped|event] [--out DIR] [--trace DIR]
+                [--cache-dir DIR] [--dedup on|off] [--remote host:port,...]
+                [--deterministic] [--quick]
 
 --spec renders a canned experiment campaign (its axes are fixed by the
 spec); all other axis flags only apply to ad-hoc campaigns. --phased adds
@@ -51,150 +61,33 @@ canned phase-structured workloads; --phase-periods overrides their phase
 durations (seconds). --engine selects the simulator's time engine (results
 are bit-identical; `event` strides over quiescent intervals — see
 docs/ARCHITECTURE.md). --trace writes one Chrome-trace file per cell into
-DIR (Perfetto / chrome://tracing; see docs/TRACING.md)."
+DIR (Perfetto / chrome://tracing; see docs/TRACING.md). --cache-dir
+memoizes cell outcomes on disk (warm reruns and kill-and-resume replay
+them byte-identically); --dedup off disables exact intra-campaign
+deduplication; --remote farms uncached cells out to campaign_worker
+processes (see docs/PERFORMANCE.md)."
     );
     std::process::exit(2);
 }
 
-fn parse_machine(s: &str) -> MachineTopology {
-    match s {
-        "a" | "A" | "machine-a" => machines::machine_a(),
-        "b" | "B" | "machine-b" => machines::machine_b(),
-        "tiered" | "t" | "T" | "machine-tiered" => machines::machine_tiered(),
-        other => {
-            eprintln!("unknown machine {other:?} (expected a, b or tiered)");
-            usage()
-        }
-    }
-}
-
-fn canned_spec(name: &str, quick: bool) -> bwap_runtime::CampaignSpec {
-    use bwap_bench::experiments;
-    match name {
-        "fig1a" => experiments::fig1a_spec(),
-        "fig4" => experiments::fig4_spec(quick),
-        "table1" => experiments::table1_spec(quick),
-        "fig_tiered" => experiments::fig_tiered_spec(quick),
-        "fig_phases" => experiments::fig_phases_spec(quick),
-        other => {
-            eprintln!("unknown spec {other:?}");
-            usage()
-        }
-    }
-}
-
-fn parse_workloads(s: &str, quick: bool) -> Vec<WorkloadSpec> {
-    let base: Vec<WorkloadSpec> = if s == "all" {
-        bwap_workloads::suite()
-    } else {
-        s.split(',')
-            .map(|name| {
-                bwap_workloads::by_name(name).unwrap_or_else(|| {
-                    eprintln!("unknown workload {name:?}");
-                    usage()
-                })
-            })
-            .collect()
-    };
-    if quick {
-        base.into_iter().map(|w| w.scaled_down(8.0)).collect()
-    } else {
-        base
-    }
-}
-
-fn parse_policy(s: &str) -> PlacementPolicy {
-    match s {
-        "first-touch" => PlacementPolicy::FirstTouch,
-        "uniform-workers" => PlacementPolicy::UniformWorkers,
-        "uniform-all" => PlacementPolicy::UniformAll,
-        "autonuma" => PlacementPolicy::AutoNuma,
-        "bwap" => PlacementPolicy::Bwap(BwapConfig::default()),
-        "bwap-uniform" => PlacementPolicy::Bwap(BwapConfig::bwap_uniform()),
-        "bwap-adaptive" => PlacementPolicy::AdaptiveBwap(AdaptiveConfig::default()),
-        other => {
-            eprintln!("unknown policy {other:?}");
-            usage()
-        }
-    }
-}
-
-fn parse_phased(s: &str, quick: bool) -> Vec<PhasedWorkload> {
-    s.split(',')
-        .map(|name| {
-            let w = bwap_workloads::phased_by_name(name).unwrap_or_else(|| {
-                eprintln!("unknown phased workload {name:?}");
-                usage()
-            });
-            if quick {
-                w.scaled_down(8.0)
-            } else {
-                w
-            }
-        })
-        .collect()
-}
-
-fn parse_scenario(s: &str) -> ScenarioKind {
-    match s {
-        "standalone" => ScenarioKind::Standalone,
-        "coscheduled" | "cosched" => ScenarioKind::Coscheduled,
-        other => {
-            eprintln!("unknown scenario {other:?}");
-            usage()
-        }
-    }
-}
-
-fn parse_engine(s: &str) -> EngineMode {
-    match s {
-        "stepped" => EngineMode::Stepped,
-        "event" | "event-driven" => EngineMode::EventDriven,
-        other => {
-            eprintln!("unknown engine {other:?} (expected stepped or event)");
-            usage()
-        }
-    }
-}
-
-fn parse_dwp(s: &str) -> DwpPoint {
-    if s == "online" || s == "as-configured" {
-        return DwpPoint::AsConfigured;
-    }
-    match s.parse::<f64>() {
-        Ok(d) if (0.0..=1.0).contains(&d) => DwpPoint::Static(d),
-        _ => {
-            eprintln!("bad DWP {s:?} (expected `online` or a value in [0, 1])");
-            usage()
-        }
-    }
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let mut name = "campaign".to_string();
-    let mut machine = machines::machine_b();
-    let mut workloads = parse_workloads("SC", quick);
-    let mut phased: Vec<PhasedWorkload> = Vec::new();
-    let mut phase_periods: Vec<f64> = Vec::new();
-    let mut policies = vec![PlacementPolicy::UniformWorkers];
-    let mut scenarios = vec![ScenarioKind::Standalone];
-    let mut workers = vec![1usize];
-    let mut dwps = vec![DwpPoint::AsConfigured];
-    let mut seed = 0u64;
+    let mut sa = SpecArgs::default();
+    // `--quick` scales workload axes during parsing in the original CLI;
+    // SpecArgs applies it at build time, so order no longer matters.
     let mut threads = None;
-    let mut engine = EngineMode::default();
-    let mut probe = false;
     let mut out: Option<std::path::PathBuf> = None;
     let mut trace_dir: Option<std::path::PathBuf> = None;
-    let mut spec_name: Option<String> = None;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut dedup = true;
+    let mut remote: Vec<String> = Vec::new();
+    let mut deterministic = false;
 
     let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
-        let mut value = |flag: &str| -> &str {
+        let mut value = |flag: &str| -> String {
             match it.next() {
-                Some(v) => v,
+                Some(v) => v.clone(),
                 None => {
                     eprintln!("{flag} needs a value");
                     usage()
@@ -202,71 +95,68 @@ fn main() {
             }
         };
         match flag.as_str() {
-            "--name" => name = value("--name").to_string(),
-            "--machine" => machine = parse_machine(value("--machine")),
-            "--workloads" => workloads = parse_workloads(value("--workloads"), quick),
-            "--phased" => phased = parse_phased(value("--phased"), quick),
-            "--phase-periods" => {
-                phase_periods = value("--phase-periods")
-                    .split(',')
-                    .map(|t| match t.parse::<f64>() {
-                        Ok(v) if v > 0.0 && v.is_finite() => v,
-                        _ => {
-                            eprintln!("bad phase period {t:?} (expected positive seconds)");
-                            usage()
-                        }
-                    })
-                    .collect()
-            }
-            "--policies" => policies = value("--policies").split(',').map(parse_policy).collect(),
-            "--scenarios" => {
-                scenarios = value("--scenarios").split(',').map(parse_scenario).collect()
-            }
-            "--workers" => {
-                workers = value("--workers")
-                    .split(',')
-                    .map(|k| k.parse().unwrap_or_else(|_| usage()))
-                    .collect()
-            }
-            "--dwps" => dwps = value("--dwps").split(',').map(parse_dwp).collect(),
-            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--threads" => threads = Some(value("--threads").parse().unwrap_or_else(|_| usage())),
-            "--engine" => engine = parse_engine(value("--engine")),
             "--out" => out = Some(std::path::PathBuf::from(value("--out"))),
             "--trace" => trace_dir = Some(std::path::PathBuf::from(value("--trace"))),
-            "--spec" => spec_name = Some(value("--spec").to_string()),
-            "--probe" => probe = true,
-            "--quick" => {}
+            "--cache-dir" => cache_dir = Some(std::path::PathBuf::from(value("--cache-dir"))),
+            "--dedup" => {
+                dedup = match value("--dedup").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        eprintln!("bad --dedup {other:?} (expected on or off)");
+                        usage()
+                    }
+                }
+            }
+            "--remote" => {
+                remote = value("--remote").split(',').map(str::to_string).collect();
+            }
+            "--deterministic" => deterministic = true,
             other => {
-                eprintln!("unknown flag {other:?}");
-                usage()
+                let mut take = || value(other);
+                match sa.apply(other, &mut take) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        eprintln!("unknown flag {other:?}");
+                        usage()
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        usage()
+                    }
+                }
             }
         }
     }
 
-    let spec = match spec_name {
-        // Canned experiment specs come with their axes fixed; only the
-        // seed and the time engine (which never changes results) are
-        // overridable.
-        Some(s) => canned_spec(&s, quick).seed(seed).engine_mode(engine),
-        // An empty --phase-periods list falls back to native durations
-        // inside the setter.
-        None => CampaignSpec::new(&name, machine)
-            .workloads(workloads)
-            .phased_workloads(phased)
-            .phase_periods(phase_periods)
-            .policies(policies)
-            .scenarios(scenarios)
-            .worker_counts(workers)
-            .dwp_grid(dwps)
-            .seed(seed)
-            .engine_mode(engine)
-            .probe_bandwidth(probe),
-    };
+    let spec = sa.build().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    });
     let n_cells = spec.cells().len();
     println!("campaign {:?}: {n_cells} cells on {}", spec.name, spec.machine.name());
 
-    let report = run_campaign_with(&spec, &CampaignConfig { threads, trace_dir });
+    // Remote execution needs a cache to merge worker results through;
+    // without an explicit --cache-dir it uses a run-private scratch cache.
+    let mut scratch_cache: Option<std::path::PathBuf> = None;
+    if !remote.is_empty() && cache_dir.is_none() {
+        let dir = std::env::temp_dir().join(format!("bwap-campaign-remote-{}", std::process::id()));
+        scratch_cache = Some(dir.clone());
+        cache_dir = Some(dir);
+    }
+    if !remote.is_empty() {
+        run_remote(&spec, &sa, &remote, cache_dir.as_deref().expect("cache dir set"), dedup);
+    }
+
+    let cfg = CampaignConfig { threads, trace_dir, dedup, cache_dir: cache_dir.clone() };
+    let report = run_campaign_with(&spec, &cfg);
+    println!(
+        "executed {} of {} cells ({} served by dedup or cache)",
+        report.executed_cells,
+        report.cells.len(),
+        report.cells.len() - report.executed_cells
+    );
 
     let mut table = ResultTable::new(
         &format!("exec time [s] per cell, campaign {:?}", report.campaign),
@@ -300,12 +190,100 @@ fn main() {
         None => report.write_json().expect("write report"),
     };
     println!("wrote {}", path.display());
+    if deterministic {
+        let det_path = path.with_extension("deterministic.json");
+        std::fs::write(&det_path, report.deterministic_json()).expect("write deterministic report");
+        println!("wrote {}", det_path.display());
+    }
     let traces = report.cells.iter().filter(|c| c.trace_path.is_some()).count();
     if traces > 0 {
         println!("wrote {traces} trace file(s)");
+    }
+    if let Some(dir) = scratch_cache {
+        let _ = std::fs::remove_dir_all(dir);
     }
     if failed > 0 {
         eprintln!("{failed} cell(s) failed");
         std::process::exit(1);
     }
+}
+
+/// Farm the cells that would actually execute (deduped, not yet cached)
+/// out to remote workers, verifying and storing their results in the
+/// cache so the subsequent local `run_campaign_with` replays them. Any
+/// worker failure just leaves its cells for local execution.
+fn run_remote(
+    spec: &bwap_runtime::CampaignSpec,
+    sa: &SpecArgs,
+    workers: &[String],
+    cache_dir: &std::path::Path,
+    dedup: bool,
+) {
+    let Some(cache) = CellCache::open(cache_dir) else {
+        eprintln!("cache dir {} unusable; running everything locally", cache_dir.display());
+        return;
+    };
+    let cells = spec.cells();
+    let descs: Vec<_> = cells.iter().map(|c| cell_descriptor(spec, c)).collect();
+    // One representative per descriptor class (all of them when dedup is
+    // off — then equal cells are fetched redundantly, exactly as they
+    // would execute redundantly locally), minus what the cache already
+    // holds.
+    let mut seen = std::collections::HashSet::new();
+    let pending: Vec<usize> = cells
+        .iter()
+        .map(|c| c.id)
+        .filter(|&id| !dedup || seen.insert(descs[id].text().to_string()))
+        .filter(|&id| cache.load(&descs[id]).is_none())
+        .collect();
+    if pending.is_empty() {
+        return;
+    }
+    // Round-robin the pending cells across workers; each worker runs in
+    // its own thread so slow workers overlap.
+    let spec_args = sa.to_args();
+    let shards: Vec<(String, Vec<usize>)> = workers
+        .iter()
+        .enumerate()
+        .map(|(wi, addr)| {
+            let ids: Vec<usize> = pending.iter().copied().skip(wi).step_by(workers.len()).collect();
+            (addr.clone(), ids)
+        })
+        .filter(|(_, ids)| !ids.is_empty())
+        .collect();
+    println!("dispatching {} cell(s) to {} remote worker(s)", pending.len(), shards.len());
+    type Fetched = Vec<(String, Result<Vec<(usize, String)>, String>)>;
+    let fetched: Fetched = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|(addr, ids)| {
+                let spec_args = &spec_args;
+                scope.spawn(move || (addr.clone(), worker::fetch_cells(addr, spec_args, ids)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("fetch thread")).collect()
+    });
+    let mut accepted = 0usize;
+    for (addr, result) in fetched {
+        match result {
+            Ok(entries) => {
+                for (id, entry) in entries {
+                    // The worker's embedded descriptor must equal ours
+                    // byte-for-byte — a skewed worker build cannot inject
+                    // results for a cell it computed differently.
+                    match decode_entry(&entry) {
+                        Some((desc_text, outcome)) if desc_text == descs[id].text() => {
+                            cache.store(&descs[id], &outcome);
+                            accepted += 1;
+                        }
+                        _ => eprintln!(
+                            "worker {addr}: cell {id} descriptor mismatch; will run locally"
+                        ),
+                    }
+                }
+            }
+            Err(e) => eprintln!("worker {addr}: {e}; its cells will run locally"),
+        }
+    }
+    println!("accepted {accepted} remote result(s) into the cache");
 }

@@ -1,0 +1,74 @@
+//! A remote campaign worker: listens on a TCP address and serves cell
+//! executions to a distributed `campaign --remote` run.
+//!
+//! ```text
+//! cargo run --release -p bwap-bench --bin campaign_worker -- \
+//!     --listen 0.0.0.0:7431 --threads 8
+//! ```
+//!
+//! The worker holds no state between requests: each request carries the
+//! full spec argument vector, the worker rebuilds the spec through the
+//! same CLI vocabulary as the coordinator, runs the requested cells, and
+//! replies with cache-entry encodings that embed each cell's descriptor
+//! (verified byte-for-byte by the coordinator). `--once` serves a single
+//! connection and exits — CI loopback smoke runs use it so the worker
+//! never outlives its test.
+
+use bwap_bench::worker::serve;
+use std::net::TcpListener;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign_worker [--listen ADDR:PORT] [--threads N] [--once]
+
+--listen  address to bind (default 127.0.0.1:7431); port 0 picks a free
+          port, printed as `listening on ADDR` at startup
+--threads cap on concurrent cell executions (default: all cores)
+--once    serve exactly one connection, then exit"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:7431".to_string();
+    let mut threads: Option<usize> = None;
+    let mut once = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> &str {
+            match it.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("{flag} needs a value");
+                    usage()
+                }
+            }
+        };
+        match flag.as_str() {
+            "--listen" => listen = value("--listen").to_string(),
+            "--threads" => threads = Some(value("--threads").parse().unwrap_or_else(|_| usage())),
+            "--once" => once = true,
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let listener = TcpListener::bind(&listen).unwrap_or_else(|e| {
+        eprintln!("cannot bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    // The bound address matters when port 0 asked the OS to pick: print
+    // it so scripts (and the CI loopback step) can scrape it.
+    match listener.local_addr() {
+        Ok(addr) => println!("listening on {addr}"),
+        Err(_) => println!("listening on {listen}"),
+    }
+    if let Err(e) = serve(&listener, threads, once) {
+        eprintln!("campaign_worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,12 @@
 //! * `fig1a_quick` — the fig1a probe campaign (engine + campaign engine).
 //! * `fig_tiered_quick` — the heterogeneous-tier campaign at quick scale
 //!   (includes the SC.XL/OC.XL capacity-pressure cells).
+//! * `fig_tiered_quick_warm` — the same campaign replayed from a warm
+//!   on-disk cell cache (`CampaignConfig::cache_dir`); pinned >= 10x
+//!   faster than the cold run (see `docs/PERFORMANCE.md`).
+//! * `dwp_dedup_quick_dedup_on` / `dwp_dedup_quick_dedup_off` — the
+//!   overlap-heavy DWP-grid campaign with exact intra-sweep dedup on
+//!   (default: 24 declared cells, 12 executed) and off (24 executed).
 //! * `ocxl_campaign_quick` — an OC.XL-only campaign cell matrix on
 //!   `machine_tiered` (capacity spill + weighted interleave on ~1.6M
 //!   pages).
@@ -133,6 +139,60 @@ fn main() {
     entries.push(("fig_tiered_quick", t));
     println!("fig_tiered_quick: {t:.3} s");
 
+    // Warm-cache rerun of the tiered campaign: a first run populates the
+    // on-disk cell cache, then reruns replay every cell from it. The warm
+    // time is the memoization payoff the cache exists for — pinned at
+    // >= 10x over the cold campaign above. (fig1a is probe-only with zero
+    // cells, so the tiered campaign is the cheapest canned spec with a
+    // real cell matrix to measure this on.)
+    let cache_dir = std::env::temp_dir().join("bwap-perf-smoke-cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cached_cfg =
+        bwap_runtime::CampaignConfig { cache_dir: Some(cache_dir.clone()), ..Default::default() };
+    bwap_runtime::run_campaign_with(&experiments::fig_tiered_spec(true), &cached_cfg);
+    let t_warm = time_best(RUNS, || {
+        let r = bwap_runtime::run_campaign_with(&experiments::fig_tiered_spec(true), &cached_cfg);
+        assert_eq!(r.executed_cells, 0, "warm rerun must be served entirely from cache");
+    });
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    entries.push(("fig_tiered_quick_warm", t_warm));
+    println!("fig_tiered_quick_warm: {t_warm:.3} s");
+    let cache_speedup = t / t_warm;
+    println!("fig_tiered warm-cache speedup (cold/warm): {cache_speedup:.1}x");
+    assert!(
+        cache_speedup >= 10.0,
+        "a warm cache rerun must be >= 10x faster than cold, got {cache_speedup:.1}x"
+    );
+
+    // The exact-dedup pair: the dwp_dedup campaign declares 24 cells that
+    // collapse onto 12 equivalence classes. Dedup-on must execute strictly
+    // fewer cells, and the time delta is the memoization saving.
+    let mut executed = (0usize, 0usize);
+    let t_on = time_best(1, || {
+        let r = bwap_runtime::run_campaign_with(
+            &experiments::dwp_dedup_spec(true),
+            &bwap_runtime::CampaignConfig::default(),
+        );
+        executed.0 = r.executed_cells;
+    });
+    entries.push(("dwp_dedup_quick_dedup_on", t_on));
+    println!("dwp_dedup_quick_dedup_on: {t_on:.3} s");
+    let t_off = time_best(1, || {
+        let r = bwap_runtime::run_campaign_with(
+            &experiments::dwp_dedup_spec(true),
+            &bwap_runtime::CampaignConfig { dedup: false, ..Default::default() },
+        );
+        executed.1 = r.executed_cells;
+    });
+    entries.push(("dwp_dedup_quick_dedup_off", t_off));
+    println!("dwp_dedup_quick_dedup_off: {t_off:.3} s");
+    assert!(
+        executed.0 < executed.1,
+        "dedup must execute strictly fewer cells ({} vs {})",
+        executed.0,
+        executed.1
+    );
+
     let t = time_best(1, ocxl_campaign_quick);
     entries.push(("ocxl_campaign_quick", t));
     println!("ocxl_campaign_quick: {t:.3} s");
@@ -149,8 +209,10 @@ fn main() {
 
     let trace_dir = std::env::temp_dir().join("bwap-perf-smoke-traces");
     let t = time_best(1, || {
-        let cfg =
-            bwap_runtime::CampaignConfig { threads: None, trace_dir: Some(trace_dir.clone()) };
+        let cfg = bwap_runtime::CampaignConfig {
+            trace_dir: Some(trace_dir.clone()),
+            ..Default::default()
+        };
         bwap_runtime::run_campaign_with(&experiments::fig_phases_spec(true), &cfg);
     });
     let _ = std::fs::remove_dir_all(&trace_dir);

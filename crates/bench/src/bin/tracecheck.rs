@@ -4,10 +4,16 @@
 //! ```text
 //! cargo run --release -p bwap-bench --bin tracecheck -- results/traces
 //! cargo run --release -p bwap-bench --bin tracecheck -- trace-a.json trace-b.json
+//! cargo run --release -p bwap-bench --bin tracecheck -- --report results/fig_phases.json
 //! ```
 //!
 //! Directories are expanded to their `*.json` entries. Prints one stats
 //! line per valid trace; exits non-zero on the first malformed one.
+//!
+//! `--report` switches to report mode: every cell of the campaign report
+//! must either link a valid trace file or be marked `cache_hit` (a cell
+//! replayed from the on-disk cell cache never ran, so it legally has no
+//! trace — see `docs/PERFORMANCE.md`).
 
 use std::path::{Path, PathBuf};
 
@@ -26,11 +32,35 @@ fn collect(arg: &str, files: &mut Vec<PathBuf>) {
     }
 }
 
+fn check_report(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    match bwap_bench::tracecheck::check_report(&text, |trace_path| {
+        std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))
+    }) {
+        Ok(out) => println!(
+            "{path}: ok — {} traced cell(s) validated, {} served from cache (no trace)",
+            out.validated, out.cache_exempt
+        ),
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: tracecheck FILE.json|DIR ...");
+        eprintln!("usage: tracecheck FILE.json|DIR ... | tracecheck --report REPORT.json");
         std::process::exit(2);
+    }
+    if args[0] == "--report" {
+        if args.len() != 2 {
+            eprintln!("usage: tracecheck --report REPORT.json");
+            std::process::exit(2);
+        }
+        check_report(&args[1]);
+        return;
     }
     let mut files = Vec::new();
     for a in &args {

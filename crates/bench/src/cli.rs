@@ -1,0 +1,366 @@
+//! Shared campaign-spec CLI vocabulary.
+//!
+//! The `campaign` binary and the remote `campaign_worker` binary must
+//! agree *exactly* on how a flag vocabulary becomes a [`CampaignSpec`] —
+//! a coordinator ships its spec to workers as the canonical argument
+//! list ([`SpecArgs::to_args`]), and both sides rebuild the spec through
+//! the same [`SpecArgs::build`]. Since cell descriptors are computed
+//! from the built spec on both ends and verified byte-for-byte when
+//! results come back, any drift between coordinator and worker builds is
+//! detected, not silently merged.
+//!
+//! [`SpecArgs`] holds the axes in their raw textual form; parsing errors
+//! are `Err(String)` so binaries decide between `usage()` and an RPC
+//! error reply.
+
+use bwap::BwapConfig;
+use bwap_runtime::{
+    AdaptiveConfig, CampaignSpec, DwpPoint, EngineMode, PlacementPolicy, ScenarioKind,
+};
+use bwap_topology::{machines, MachineTopology};
+use bwap_workloads::{PhasedWorkload, WorkloadSpec};
+
+/// The spec-defining subset of the campaign CLI, in textual form.
+/// Executor knobs (threads, trace/cache/output directories, remote
+/// workers) are deliberately *not* here: they never change results and
+/// never travel to workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecArgs {
+    /// `--name` (ad-hoc campaigns).
+    pub name: String,
+    /// `--machine` (`a`, `b`, `tiered`).
+    pub machine: String,
+    /// `--workloads` (comma list or `all`).
+    pub workloads: String,
+    /// `--phased` (comma list), empty = none.
+    pub phased: String,
+    /// `--phase-periods` (comma list of seconds), empty = native.
+    pub phase_periods: String,
+    /// `--policies` (comma list).
+    pub policies: String,
+    /// `--scenarios` (comma list).
+    pub scenarios: String,
+    /// `--workers` (comma list of counts).
+    pub workers: String,
+    /// `--dwps` (comma list of `online` / values).
+    pub dwps: String,
+    /// `--seed`.
+    pub seed: u64,
+    /// `--engine` (`stepped` / `event`).
+    pub engine: String,
+    /// `--probe`.
+    pub probe: bool,
+    /// `--quick` (scales workloads down ~8x).
+    pub quick: bool,
+    /// `--spec` — a canned experiment campaign; when set, all axis flags
+    /// are ignored (the canned spec fixes them) except seed/engine/quick.
+    pub spec: String,
+}
+
+impl Default for SpecArgs {
+    fn default() -> Self {
+        SpecArgs {
+            name: "campaign".into(),
+            machine: "b".into(),
+            workloads: "SC".into(),
+            phased: String::new(),
+            phase_periods: String::new(),
+            policies: "uniform-workers".into(),
+            scenarios: "standalone".into(),
+            workers: "1".into(),
+            dwps: "online".into(),
+            seed: 0,
+            engine: "stepped".into(),
+            probe: false,
+            quick: false,
+            spec: String::new(),
+        }
+    }
+}
+
+impl SpecArgs {
+    /// Consume one spec-defining flag. Returns `Ok(true)` if the flag was
+    /// recognized (value consumed), `Ok(false)` if it belongs to the
+    /// caller (an executor knob), `Err` on a malformed value.
+    pub fn apply(&mut self, flag: &str, value: &mut dyn FnMut() -> String) -> Result<bool, String> {
+        match flag {
+            "--name" => self.name = value(),
+            "--machine" => self.machine = value(),
+            "--workloads" => self.workloads = value(),
+            "--phased" => self.phased = value(),
+            "--phase-periods" => self.phase_periods = value(),
+            "--policies" => self.policies = value(),
+            "--scenarios" => self.scenarios = value(),
+            "--workers" => self.workers = value(),
+            "--dwps" => self.dwps = value(),
+            "--seed" => {
+                self.seed = value().parse().map_err(|_| "bad --seed (expected u64)".to_string())?
+            }
+            "--engine" => self.engine = value(),
+            "--spec" => self.spec = value(),
+            "--probe" => self.probe = true,
+            "--quick" => self.quick = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The canonical argument vector rebuilding this spec — what the
+    /// coordinator ships to remote workers. `parse` of the result is
+    /// `self` exactly.
+    pub fn to_args(&self) -> Vec<String> {
+        let mut a = Vec::new();
+        let mut push = |flag: &str, v: &str| {
+            a.push(flag.to_string());
+            a.push(v.to_string());
+        };
+        if !self.spec.is_empty() {
+            push("--spec", &self.spec);
+        } else {
+            push("--name", &self.name);
+            push("--machine", &self.machine);
+            push("--workloads", &self.workloads);
+            if !self.phased.is_empty() {
+                push("--phased", &self.phased);
+            }
+            if !self.phase_periods.is_empty() {
+                push("--phase-periods", &self.phase_periods);
+            }
+            push("--policies", &self.policies);
+            push("--scenarios", &self.scenarios);
+            push("--workers", &self.workers);
+            push("--dwps", &self.dwps);
+        }
+        push("--seed", &self.seed.to_string());
+        push("--engine", &self.engine);
+        if self.probe {
+            a.push("--probe".into());
+        }
+        if self.quick {
+            a.push("--quick".into());
+        }
+        a
+    }
+
+    /// Parse a pure spec argument vector (no executor knobs allowed) —
+    /// the worker side of [`SpecArgs::to_args`].
+    pub fn parse(args: &[String]) -> Result<SpecArgs, String> {
+        let mut sa = SpecArgs::default();
+        let mut i = 0usize;
+        while i < args.len() {
+            let flag = args[i].clone();
+            i += 1;
+            let mut missing = false;
+            {
+                let mut value = || {
+                    if i < args.len() {
+                        i += 1;
+                        args[i - 1].clone()
+                    } else {
+                        missing = true;
+                        String::new()
+                    }
+                };
+                if !sa.apply(&flag, &mut value)? {
+                    return Err(format!("unknown spec flag {flag:?}"));
+                }
+            }
+            if missing {
+                return Err(format!("{flag} needs a value"));
+            }
+        }
+        Ok(sa)
+    }
+
+    /// Build the [`CampaignSpec`] these arguments describe.
+    pub fn build(&self) -> Result<CampaignSpec, String> {
+        let engine = parse_engine(&self.engine)?;
+        if !self.spec.is_empty() {
+            return Ok(canned_spec(&self.spec, self.quick)?.seed(self.seed).engine_mode(engine));
+        }
+        let phase_periods: Vec<f64> = if self.phase_periods.is_empty() {
+            Vec::new()
+        } else {
+            self.phase_periods
+                .split(',')
+                .map(|t| match t.parse::<f64>() {
+                    Ok(v) if v > 0.0 && v.is_finite() => Ok(v),
+                    _ => Err(format!("bad phase period {t:?} (expected positive seconds)")),
+                })
+                .collect::<Result<_, String>>()?
+        };
+        let workers: Vec<usize> = self
+            .workers
+            .split(',')
+            .map(|k| k.parse().map_err(|_| format!("bad worker count {k:?}")))
+            .collect::<Result<_, String>>()?;
+        Ok(CampaignSpec::new(&self.name, parse_machine(&self.machine)?)
+            .workloads(parse_workloads(&self.workloads, self.quick)?)
+            .phased_workloads(if self.phased.is_empty() {
+                Vec::new()
+            } else {
+                parse_phased(&self.phased, self.quick)?
+            })
+            .phase_periods(phase_periods)
+            .policies(self.policies.split(',').map(parse_policy).collect::<Result<_, String>>()?)
+            .scenarios(
+                self.scenarios.split(',').map(parse_scenario).collect::<Result<_, String>>()?,
+            )
+            .worker_counts(workers)
+            .dwp_grid(self.dwps.split(',').map(parse_dwp).collect::<Result<_, String>>()?)
+            .seed(self.seed)
+            .engine_mode(engine)
+            .probe_bandwidth(self.probe))
+    }
+}
+
+/// Machine flag values (`a`, `b`, `tiered` and long forms).
+pub fn parse_machine(s: &str) -> Result<MachineTopology, String> {
+    match s {
+        "a" | "A" | "machine-a" => Ok(machines::machine_a()),
+        "b" | "B" | "machine-b" => Ok(machines::machine_b()),
+        "tiered" | "t" | "T" | "machine-tiered" => Ok(machines::machine_tiered()),
+        other => Err(format!("unknown machine {other:?} (expected a, b or tiered)")),
+    }
+}
+
+/// A canned experiment campaign by name.
+pub fn canned_spec(name: &str, quick: bool) -> Result<CampaignSpec, String> {
+    use crate::experiments;
+    match name {
+        "fig1a" => Ok(experiments::fig1a_spec()),
+        "fig4" => Ok(experiments::fig4_spec(quick)),
+        "table1" => Ok(experiments::table1_spec(quick)),
+        "fig_tiered" => Ok(experiments::fig_tiered_spec(quick)),
+        "fig_phases" => Ok(experiments::fig_phases_spec(quick)),
+        "dwp_dedup" => Ok(experiments::dwp_dedup_spec(quick)),
+        other => Err(format!("unknown spec {other:?}")),
+    }
+}
+
+/// Workload list (`all` or comma names), with the `--quick` scaling.
+pub fn parse_workloads(s: &str, quick: bool) -> Result<Vec<WorkloadSpec>, String> {
+    let base: Vec<WorkloadSpec> = if s == "all" {
+        bwap_workloads::suite()
+    } else {
+        s.split(',')
+            .map(|name| {
+                bwap_workloads::by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))
+            })
+            .collect::<Result<_, String>>()?
+    };
+    Ok(if quick { base.into_iter().map(|w| w.scaled_down(8.0)).collect() } else { base })
+}
+
+/// One policy label.
+pub fn parse_policy(s: &str) -> Result<PlacementPolicy, String> {
+    match s {
+        "first-touch" => Ok(PlacementPolicy::FirstTouch),
+        "uniform-workers" => Ok(PlacementPolicy::UniformWorkers),
+        "uniform-all" => Ok(PlacementPolicy::UniformAll),
+        "autonuma" => Ok(PlacementPolicy::AutoNuma),
+        "bwap" => Ok(PlacementPolicy::Bwap(BwapConfig::default())),
+        "bwap-uniform" => Ok(PlacementPolicy::Bwap(BwapConfig::bwap_uniform())),
+        "bwap-adaptive" => Ok(PlacementPolicy::AdaptiveBwap(AdaptiveConfig::default())),
+        other => Err(format!("unknown policy {other:?}")),
+    }
+}
+
+/// Canned phased workloads (comma names), with the `--quick` scaling.
+pub fn parse_phased(s: &str, quick: bool) -> Result<Vec<PhasedWorkload>, String> {
+    s.split(',')
+        .map(|name| {
+            let w = bwap_workloads::phased_by_name(name)
+                .ok_or_else(|| format!("unknown phased workload {name:?}"))?;
+            Ok(if quick { w.scaled_down(8.0) } else { w })
+        })
+        .collect()
+}
+
+/// One scenario label.
+pub fn parse_scenario(s: &str) -> Result<ScenarioKind, String> {
+    match s {
+        "standalone" => Ok(ScenarioKind::Standalone),
+        "coscheduled" | "cosched" => Ok(ScenarioKind::Coscheduled),
+        other => Err(format!("unknown scenario {other:?}")),
+    }
+}
+
+/// Engine-mode flag values.
+pub fn parse_engine(s: &str) -> Result<EngineMode, String> {
+    match s {
+        "stepped" => Ok(EngineMode::Stepped),
+        "event" | "event-driven" => Ok(EngineMode::EventDriven),
+        other => Err(format!("unknown engine {other:?} (expected stepped or event)")),
+    }
+}
+
+/// One DWP-grid point (`online` or a value in `[0, 1]`).
+pub fn parse_dwp(s: &str) -> Result<DwpPoint, String> {
+    if s == "online" || s == "as-configured" {
+        return Ok(DwpPoint::AsConfigured);
+    }
+    match s.parse::<f64>() {
+        Ok(d) if (0.0..=1.0).contains(&d) => Ok(DwpPoint::Static(d)),
+        _ => Err(format!("bad DWP {s:?} (expected `online` or a value in [0, 1])")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_args_round_trips() {
+        let sa = SpecArgs {
+            workloads: "SC,OC".into(),
+            policies: "bwap,first-touch".into(),
+            dwps: "online,0.5".into(),
+            seed: 42,
+            quick: true,
+            ..Default::default()
+        };
+        let back = SpecArgs::parse(&sa.to_args()).expect("round trip");
+        assert_eq!(sa, back);
+        // Canned specs round-trip too, dropping the ignored axis flags.
+        let canned = SpecArgs { spec: "fig_phases".into(), quick: true, ..Default::default() };
+        let back = SpecArgs::parse(&canned.to_args()).expect("round trip");
+        assert_eq!(back.spec, "fig_phases");
+        assert!(back.quick);
+    }
+
+    #[test]
+    fn built_specs_agree_between_coordinator_and_worker() {
+        let sa = SpecArgs {
+            workloads: "SC".into(),
+            policies: "bwap".into(),
+            workers: "1,2".into(),
+            quick: true,
+            ..Default::default()
+        };
+        let a = sa.build().expect("build");
+        let b = SpecArgs::parse(&sa.to_args()).expect("parse").build().expect("rebuild");
+        let (ca, cb) = (a.cells(), b.cells());
+        assert_eq!(ca.len(), cb.len());
+        for (x, y) in ca.iter().zip(&cb) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(
+                bwap_runtime::cell_descriptor(&a, x).text(),
+                bwap_runtime::cell_descriptor(&b, y).text()
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(parse_machine("z").is_err());
+        assert!(parse_policy("nope").is_err());
+        assert!(parse_dwp("1.5").is_err());
+        assert!(parse_engine("warp").is_err());
+        assert!(SpecArgs::parse(&["--bogus".to_string()]).is_err());
+        assert!(SpecArgs::parse(&["--seed".to_string()]).is_err());
+        let sa = SpecArgs { workloads: "NOPE".into(), ..Default::default() };
+        assert!(sa.build().is_err());
+    }
+}

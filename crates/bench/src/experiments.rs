@@ -360,6 +360,32 @@ pub fn fig4_spec(quick: bool) -> CampaignSpec {
         .dwp_grid(grid)
 }
 
+/// A DWP-grid campaign with deliberate axis overlap: the policy set pairs
+/// the online tuner with a pre-fixed `static_dwp(0.5)` variant, and the
+/// grid revisits the same static points. After the per-cell override is
+/// folded in (`bwap_runtime::effective_policy`), every
+/// `static_dwp(0.5) x Static(d)` cell collapses onto the matching
+/// `default x Static(d)` cell and `static_dwp(0.5) x online` collapses
+/// onto `default x Static(0.5)` — 24 declared cells but only 12 distinct
+/// simulations. Exactly the shape the exact-dedup pass exists for;
+/// `perf_smoke` runs it with dedup on and off.
+pub fn dwp_dedup_spec(quick: bool) -> CampaignSpec {
+    let grid: Vec<DwpPoint> = fig4_dwps()
+        .into_iter()
+        .map(DwpPoint::Static)
+        .chain(std::iter::once(DwpPoint::AsConfigured))
+        .collect();
+    CampaignSpec::new("dwp_dedup", machines::machine_a())
+        .workloads(vec![streamcluster(quick)])
+        .policies(vec![
+            PlacementPolicy::Bwap(BwapConfig::default()),
+            PlacementPolicy::Bwap(BwapConfig::static_dwp(0.5)),
+        ])
+        .scenarios(vec![ScenarioKind::Coscheduled])
+        .worker_counts(vec![1])
+        .dwp_grid(grid)
+}
+
 /// Fig. 4: static-DWP sweep for Streamcluster on machine A (1 and 2
 /// workers, co-scheduled), plus the point the online tuner picks.
 /// Returns one table per worker count with columns: exec time, stall

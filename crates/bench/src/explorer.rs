@@ -32,6 +32,8 @@ struct Cell {
     exec_time_s: Option<f64>,
     error: Option<String>,
     trace_path: Option<String>,
+    dedup_class: Option<String>,
+    cache_hit: bool,
 }
 
 fn str_of(v: Option<&Json>) -> String {
@@ -60,6 +62,8 @@ fn parse_cells(cells: &[Json]) -> Result<Vec<Cell>, String> {
                     .and_then(Json::as_f64),
                 error: c.get("error").and_then(Json::as_str).map(str::to_string),
                 trace_path: c.get("trace_path").and_then(Json::as_str).map(str::to_string),
+                dedup_class: c.get("dedup_class").and_then(Json::as_str).map(str::to_string),
+                cache_hit: c.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
             })
         })
         .collect()
@@ -141,6 +145,8 @@ pub fn render(report_text: &str, html_dir: Option<&Path>) -> Result<String, Stri
          th { background: #f3f3f3; }\n\
          td.rowhead, th.rowhead { text-align: left; }\n\
          td.err { background: #f8d0d0; text-align: left; font-size: 0.85em; }\n\
+         sup.badge { font-size: 0.7em; color: #333; background: #e6e6fa; border-radius: 3px;\n\
+                     padding: 0 0.25em; margin-left: 0.25em; cursor: help; }\n\
          a { color: inherit; }\n\
          .meta { color: #555; }\n\
          </style>\n</head>\n<body>\n",
@@ -165,6 +171,14 @@ pub fn render(report_text: &str, html_dir: Option<&Path>) -> Result<String, Stri
             "<p class=\"meta\">{traced} cell(s) link to Chrome-trace files — open them at \
              <code>ui.perfetto.dev</code> or <code>chrome://tracing</code> \
              (see docs/TRACING.md).</p>\n"
+        ));
+    }
+    let shared = cells.iter().filter(|c| c.dedup_class.is_some()).count();
+    let hits = cells.iter().filter(|c| c.cache_hit).count();
+    if shared > 0 || hits > 0 {
+        html.push_str(&format!(
+            "<p class=\"meta\">{shared} cell(s) in shared dedup classes · {hits} cell(s) served \
+             from the on-disk cell cache (see docs/PERFORMANCE.md).</p>\n"
         ));
     }
 
@@ -232,7 +246,7 @@ pub fn render(report_text: &str, html_dir: Option<&Path>) -> Result<String, Stri
                     Some(c) => match c.exec_time_s {
                         Some(t) => {
                             let body = format!("{t:.3}s");
-                            let link = match &c.trace_path {
+                            let mut link = match &c.trace_path {
                                 Some(p) => format!(
                                     "<a href=\"{}\" title=\"{}\">{body}</a>",
                                     esc(&trace_href(p, html_dir)),
@@ -240,6 +254,22 @@ pub fn render(report_text: &str, html_dir: Option<&Path>) -> Result<String, Stri
                                 ),
                                 None => format!("<span title=\"{}\">{body}</span>", esc(&c.key)),
                             };
+                            // Memoization provenance (volatile fields of
+                            // the full artifact): which dedup class the
+                            // cell shared, and whether the on-disk cache
+                            // served it.
+                            if let Some(class) = &c.dedup_class {
+                                link.push_str(&format!(
+                                    "<sup class=\"badge\" title=\"dedup class {}\">=</sup>",
+                                    esc(class)
+                                ));
+                            }
+                            if c.cache_hit {
+                                link.push_str(
+                                    "<sup class=\"badge\" title=\"served from the cell cache\">\
+                                     cache</sup>",
+                                );
+                            }
                             html.push_str(&format!(
                                 "<td style=\"background: {}\">{link}</td>",
                                 heat(t, lo, hi)
@@ -306,6 +336,37 @@ mod tests {
         assert!(html.contains("boom &lt;tag&gt;"), "error escaped");
         assert!(html.contains("campaign <code>unit &lt;x&gt;</code>"));
         assert!(html.contains("10.500s"));
+    }
+
+    #[test]
+    fn renders_memoization_provenance_badges() {
+        let report = r#"{
+  "schema_version": 2,
+  "campaign": "memo",
+  "machine": "machine-a",
+  "seed": 0,
+  "bw_matrix_gbps": null,
+  "cells": [
+    {"id": 0, "key": "k0", "workload": "SC", "policy": "bwap", "scenario": "coscheduled",
+     "workers": 1, "static_dwp": 0.5, "seed": 2, "dedup_class": "00aabbccddeeff11",
+     "cache_hit": true, "result": {"exec_time_s": 4.25}, "error": null},
+    {"id": 1, "key": "k1", "workload": "SC", "policy": "bwap-static(50%)", "scenario": "coscheduled",
+     "workers": 1, "static_dwp": null, "seed": 3, "dedup_class": "00aabbccddeeff11",
+     "result": {"exec_time_s": 4.25}, "error": null}
+  ]
+}"#;
+        let html = render(report, None).unwrap();
+        assert!(html.contains("title=\"dedup class 00aabbccddeeff11\""), "dedup badge");
+        assert!(html.contains("served from the cell cache"), "cache badge");
+        assert!(
+            html.contains("2 cell(s) in shared dedup classes · 1 cell(s) served"),
+            "summary line"
+        );
+        // A deterministic report (no provenance fields) renders no badges.
+        let plain = golden("fig4_quick.json");
+        let html = render(&plain, None).unwrap();
+        assert!(!html.contains("class=\"badge\""));
+        assert!(!html.contains("shared dedup classes"));
     }
 
     #[test]

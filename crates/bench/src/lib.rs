@@ -12,6 +12,10 @@
 //!   per-cell Chrome-trace files).
 //! * [`tracecheck`] — the strict `trace_event` contract validator behind
 //!   the `tracecheck` binary and `tests/tracing.rs`.
+//! * [`cli`] — the shared campaign-spec flag vocabulary, round-trippable
+//!   to an argument vector so coordinators can ship specs to workers.
+//! * [`worker`] — the length-prefixed TCP protocol behind the
+//!   `campaign_worker` binary and `campaign --remote`.
 //! * The per-figure binaries in `src/bin/` are thin wrappers: declare a
 //!   spec, run the campaign, print the tables, save the artifacts. The
 //!   `campaign` binary runs ad-hoc specs straight from the command line
@@ -37,11 +41,13 @@
 //! assert!(speedups.to_csv().starts_with("label,uniform-workers,bwap"));
 //! ```
 
+pub mod cli;
 pub mod doc_check;
 pub mod experiments;
 pub mod explorer;
 pub mod report;
 pub mod tracecheck;
+pub mod worker;
 
 pub use bwap_runtime::{run_parallel, run_parallel_with};
 pub use report::ResultTable;

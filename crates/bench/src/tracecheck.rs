@@ -179,6 +179,55 @@ pub fn validate(text: &str) -> Result<TraceStats, String> {
     Ok(stats)
 }
 
+/// Counts from a report-mode check ([`check_report`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReportCheck {
+    /// Cells whose linked trace file validated.
+    pub validated: usize,
+    /// Cells legitimately without a trace: their result was replayed from
+    /// the cell cache, so no simulation ran and no trace was emitted.
+    pub cache_exempt: usize,
+}
+
+/// Report mode: walk a campaign report's cells and validate every linked
+/// trace file. A cell without a `trace_path` is tolerated if (and only
+/// if) `cache_hit` marks it as served from the cell cache — memoization
+/// means a traced, cached campaign legally has trace files only for the
+/// cells it actually executed. `read` maps a recorded trace path to its
+/// contents (the binary passes the filesystem; tests pass a map).
+pub fn check_report(
+    report_text: &str,
+    mut read: impl FnMut(&str) -> Result<String, String>,
+) -> Result<ReportCheck, String> {
+    let doc = Json::parse(report_text).map_err(|e| e.to_string())?;
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or("not a campaign report (missing \"cells\" array)")?;
+    let mut out = ReportCheck::default();
+    for (i, cell) in cells.iter().enumerate() {
+        let key = cell.get("key").and_then(Json::as_str).unwrap_or("?");
+        match cell.get("trace_path").and_then(Json::as_str) {
+            Some(path) => {
+                let text = read(path).map_err(|e| format!("cell {key}: {e}"))?;
+                validate(&text).map_err(|e| format!("cell {key}: {path}: {e}"))?;
+                out.validated += 1;
+            }
+            None => {
+                let cache_hit = cell.get("cache_hit").and_then(Json::as_bool).unwrap_or(false);
+                if !cache_hit {
+                    return Err(format!(
+                        "cell {i} ({key}): no trace_path and not a cache hit — traced \
+                         campaigns must trace every executed cell"
+                    ));
+                }
+                out.cache_exempt += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +296,41 @@ mod tests {
         assert_eq!(stats.flows, 1);
         assert_eq!(stats.open_flows, 1);
         assert_eq!(stats.open_flow_ids, vec![1]);
+    }
+
+    #[test]
+    fn report_mode_tolerates_cache_served_cells_only() {
+        let trace = wrap(&[ev("B", 1, ""), ev("E", 2, "")].join(", "));
+        let report = |cells: &str| {
+            format!("{{\"schema_version\": 2, \"campaign\": \"t\", \"cells\": [{cells}]}}")
+        };
+        let read = |path: &str| -> Result<String, String> {
+            if path == "traces/ok.json" {
+                Ok(trace.clone())
+            } else {
+                Err(format!("no such trace {path}"))
+            }
+        };
+
+        // Traced executed cell + cache-served untraced cell: both fine.
+        let mixed = report(
+            "{\"key\": \"a\", \"trace_path\": \"traces/ok.json\"}, \
+             {\"key\": \"b\", \"cache_hit\": true}",
+        );
+        let out = check_report(&mixed, read).expect("mixed report passes");
+        assert_eq!(out, ReportCheck { validated: 1, cache_exempt: 1 });
+
+        // An untraced cell that did NOT come from the cache is a failure.
+        let bad = report("{\"key\": \"c\"}");
+        let err = check_report(&bad, read).unwrap_err();
+        assert!(err.contains("not a cache hit"), "{err}");
+
+        // A traced cell whose file is invalid fails with the cell key.
+        let invalid = report("{\"key\": \"d\", \"trace_path\": \"traces/ok.json\"}");
+        let err = check_report(&invalid, |_| Ok(wrap(&ev("E", 1, "")))).unwrap_err();
+        assert!(err.contains("cell d"), "{err}");
+
+        assert!(check_report("{}", read).unwrap_err().contains("cells"));
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Remote campaign workers: a minimal length-prefixed TCP protocol for
+//! serving cells to a distributed campaign.
+//!
+//! The coordinator (`campaign --remote host:port,...`) never ships code
+//! or binary state — it ships the *spec argument vector* (the
+//! [`crate::cli::SpecArgs`] round-trip) plus the cell ids it wants, and
+//! the worker rebuilds the identical [`bwap_runtime::CampaignSpec`] from the shared CLI
+//! vocabulary and runs those cells. Results travel back as cell-cache
+//! entry encodings ([`bwap_runtime::campaign::cache`]): each one embeds
+//! the worker's full cell descriptor, which the coordinator verifies
+//! byte-for-byte against its own before accepting — version skew between
+//! coordinator and worker builds degrades to local re-execution, never to
+//! silently merged foreign results.
+//!
+//! Framing: every message is one frame — a big-endian `u32` byte length
+//! followed by that many bytes of UTF-8 text. Requests and responses are
+//! line-oriented inside the frame:
+//!
+//! ```text
+//! request:  bwap-campaign-rpc v1
+//!           args <spec args joined with US (0x1f)>
+//!           cells <id> <id> ...
+//! response: bwap-campaign-rpc v1
+//!           ok <n>                      (or: err <message>)
+//!           cell <id> <entry byte len>
+//!           <entry bytes> ...repeated n times
+//! ```
+
+use crate::cli::SpecArgs;
+use bwap_runtime::campaign::cache::{decode_entry, encode_entry};
+use bwap_runtime::{cell_descriptor, run_cell_for, run_parallel_with};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// First line of every request and response frame.
+pub const PROTOCOL_MAGIC: &str = "bwap-campaign-rpc v1";
+
+/// Unit separator joining spec args inside the request (no spec flag or
+/// value can contain it — they come from a command line).
+const ARG_SEP: char = '\x1f';
+
+/// Upper bound on a frame we are willing to buffer (a whole campaign
+/// response is far below this; anything larger is a protocol error).
+const MAX_FRAME: usize = 64 << 20;
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "oversized frame"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Build a request frame payload.
+pub fn encode_request(spec_args: &[String], cell_ids: &[usize]) -> String {
+    let ids: Vec<String> = cell_ids.iter().map(|id| id.to_string()).collect();
+    format!(
+        "{PROTOCOL_MAGIC}\nargs {}\ncells {}\n",
+        spec_args.join(&ARG_SEP.to_string()),
+        ids.join(" ")
+    )
+}
+
+/// Parse a request frame payload into `(spec args, cell ids)`.
+pub fn decode_request(text: &str) -> Result<(Vec<String>, Vec<usize>), String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(PROTOCOL_MAGIC) => {}
+        other => return Err(format!("bad protocol magic {other:?}")),
+    }
+    let args_line = lines.next().and_then(|l| l.strip_prefix("args ")).ok_or("missing args")?;
+    let cells_line = lines.next().and_then(|l| l.strip_prefix("cells ")).ok_or("missing cells")?;
+    let args: Vec<String> = if args_line.is_empty() {
+        Vec::new()
+    } else {
+        args_line.split(ARG_SEP).map(str::to_string).collect()
+    };
+    let ids = cells_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|_| format!("bad cell id {t:?}")))
+        .collect::<Result<Vec<usize>, String>>()?;
+    Ok((args, ids))
+}
+
+/// Build a success-response payload from `(id, entry text)` pairs.
+pub fn encode_response(entries: &[(usize, String)]) -> String {
+    let mut s = format!("{PROTOCOL_MAGIC}\nok {}\n", entries.len());
+    for (id, entry) in entries {
+        s.push_str(&format!("cell {id} {}\n", entry.len()));
+        s.push_str(entry);
+    }
+    s
+}
+
+/// Build an error-response payload.
+pub fn encode_error(message: &str) -> String {
+    format!("{PROTOCOL_MAGIC}\nerr {}\n", message.replace('\n', " "))
+}
+
+/// Parse a response payload into `(id, entry text)` pairs.
+pub fn decode_response(text: &str) -> Result<Vec<(usize, String)>, String> {
+    let rest = text
+        .strip_prefix(PROTOCOL_MAGIC)
+        .and_then(|r| r.strip_prefix('\n'))
+        .ok_or("bad protocol magic")?;
+    let (status, mut rest) = rest.split_once('\n').ok_or("truncated response")?;
+    if let Some(msg) = status.strip_prefix("err ") {
+        return Err(format!("worker error: {msg}"));
+    }
+    let n: usize =
+        status.strip_prefix("ok ").and_then(|v| v.parse().ok()).ok_or("bad status line")?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (header, tail) = rest.split_once('\n').ok_or("truncated cell header")?;
+        let mut parts = header.split(' ');
+        if parts.next() != Some("cell") {
+            return Err(format!("bad cell header {header:?}"));
+        }
+        let id: usize =
+            parts.next().and_then(|v| v.parse().ok()).ok_or("bad cell id in response")?;
+        let len: usize =
+            parts.next().and_then(|v| v.parse().ok()).ok_or("bad cell length in response")?;
+        if tail.len() < len || !tail.is_char_boundary(len) {
+            return Err("truncated cell entry".into());
+        }
+        let (entry, next) = tail.split_at(len);
+        entries.push((id, entry.to_string()));
+        rest = next;
+    }
+    Ok(entries)
+}
+
+/// Serve one request on an accepted connection: rebuild the spec, run the
+/// requested cells (bounded by `threads`), reply with their cache-entry
+/// encodings. Protocol or spec errors become an `err` response.
+fn handle(stream: &mut TcpStream, threads: Option<usize>) -> std::io::Result<()> {
+    let payload = read_frame(stream)?;
+    let reply = match std::str::from_utf8(&payload) {
+        Ok(text) => match serve_request(text, threads) {
+            Ok(ok) => ok,
+            Err(e) => encode_error(&e),
+        },
+        Err(_) => encode_error("request is not UTF-8"),
+    };
+    write_frame(stream, reply.as_bytes())
+}
+
+/// The worker-side computation, separated from socket I/O so tests can
+/// drive it directly: parse a request payload, run the cells, encode the
+/// response payload.
+pub fn serve_request(text: &str, threads: Option<usize>) -> Result<String, String> {
+    let (args, ids) = decode_request(text)?;
+    let spec = SpecArgs::parse(&args)?.build()?;
+    let cells = spec.cells();
+    for &id in &ids {
+        if id >= cells.len() {
+            return Err(format!("cell id {id} out of range (spec has {} cells)", cells.len()));
+        }
+    }
+    let jobs: Vec<_> = ids
+        .iter()
+        .map(|&id| {
+            let spec = &spec;
+            let cell = cells[id].clone();
+            move || {
+                let desc = cell_descriptor(spec, &cell);
+                let outcome = run_cell_for(spec, &cell).map_err(|e| e.to_string());
+                encode_entry(&desc, &outcome)
+            }
+        })
+        .collect();
+    let entries: Vec<(usize, String)> =
+        ids.iter().copied().zip(run_parallel_with(threads, jobs)).collect();
+    Ok(encode_response(&entries))
+}
+
+/// Accept loop for the `campaign_worker` binary. With `once`, serve a
+/// single connection and return (CI smoke runs use this); otherwise serve
+/// until the process is killed. Per-connection failures are reported and
+/// do not take the worker down.
+pub fn serve(listener: &TcpListener, threads: Option<usize>, once: bool) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        match stream {
+            Ok(mut s) => {
+                if let Err(e) = handle(&mut s, threads) {
+                    eprintln!("campaign_worker: connection failed: {e}");
+                }
+            }
+            Err(e) => eprintln!("campaign_worker: accept failed: {e}"),
+        }
+        if once {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Coordinator side: send `cell_ids` of the spec described by `spec_args`
+/// to the worker at `addr`, returning verified-decodable `(id, entry)`
+/// pairs. Any transport or protocol failure is an `Err`; the caller falls
+/// back to local execution for the affected cells.
+pub fn fetch_cells(
+    addr: &str,
+    spec_args: &[String],
+    cell_ids: &[usize],
+) -> Result<Vec<(usize, String)>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    write_frame(&mut stream, encode_request(spec_args, cell_ids).as_bytes())
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let payload = read_frame(&mut stream).map_err(|e| format!("receive from {addr}: {e}"))?;
+    let text = String::from_utf8(payload).map_err(|_| format!("{addr}: response not UTF-8"))?;
+    let entries = decode_response(&text)?;
+    // Entries must at least decode; descriptor verification against the
+    // local spec happens in the coordinator, which owns the descriptors.
+    for (id, entry) in &entries {
+        if decode_entry(entry).is_none() {
+            return Err(format!("{addr}: cell {id} entry is malformed"));
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let args = vec!["--spec".to_string(), "fig_phases".to_string(), "--quick".to_string()];
+        let ids = vec![0usize, 3, 17];
+        let (a, i) = decode_request(&encode_request(&args, &ids)).expect("round trip");
+        assert_eq!(a, args);
+        assert_eq!(i, ids);
+        assert!(decode_request("not-a-protocol\n").is_err());
+    }
+
+    #[test]
+    fn response_round_trips_and_propagates_errors() {
+        let entries = vec![(2usize, "payload\nwith\nnewlines".to_string()), (5, String::new())];
+        let back = decode_response(&encode_response(&entries)).expect("round trip");
+        assert_eq!(back, entries);
+        let err = decode_response(&encode_error("no such spec")).unwrap_err();
+        assert!(err.contains("no such spec"), "{err}");
+        assert!(decode_response("garbage").is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frames").expect("write");
+        write_frame(&mut buf, b"").expect("write empty");
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).expect("frame 1"), b"hello frames");
+        assert_eq!(read_frame(&mut r).expect("frame 2"), b"");
+        assert!(read_frame(&mut r).is_err(), "EOF is an error, not an empty frame");
+    }
+
+    #[test]
+    fn serve_request_runs_cells_and_embeds_descriptors() {
+        let sa = crate::cli::SpecArgs { quick: true, ..Default::default() };
+        let spec = sa.build().expect("spec");
+        let cells = spec.cells();
+        assert!(!cells.is_empty());
+        let req = encode_request(&sa.to_args(), &[0]);
+        let resp = serve_request(&req, Some(1)).expect("served");
+        let entries = decode_response(&resp).expect("decodes");
+        assert_eq!(entries.len(), 1);
+        let (id, entry) = &entries[0];
+        assert_eq!(*id, 0);
+        let (desc_text, outcome) = decode_entry(entry).expect("entry decodes");
+        assert_eq!(desc_text, cell_descriptor(&spec, &cells[0]).text());
+        assert!(outcome.is_ok());
+    }
+
+    #[test]
+    fn serve_request_rejects_bad_specs_and_ids() {
+        let req = encode_request(&["--bogus".to_string()], &[0]);
+        assert!(serve_request(&req, Some(1)).is_err());
+        let sa = crate::cli::SpecArgs { quick: true, ..Default::default() };
+        let req = encode_request(&sa.to_args(), &[999]);
+        let err = serve_request(&req, Some(1)).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+}

@@ -59,6 +59,7 @@
 
 pub mod canonical;
 pub mod config;
+pub mod descriptor;
 pub mod dwp;
 pub mod error;
 pub mod placement;
@@ -68,6 +69,7 @@ pub mod weights;
 
 pub use canonical::{canonical_weights, canonical_weights_on, min_bandwidths, CanonicalTuner};
 pub use config::{BwapConfig, InterleaveMode};
+pub use descriptor::{CellDescriptor, DescriptorBuilder};
 pub use dwp::{apply_dwp, DwpTuner, DwpTunerConfig, TunerAction};
 pub use error::BwapError;
 pub use placement::{realized_weights, user_level_plan, MbindCall};

@@ -34,7 +34,7 @@ where
     if n_jobs == 0 {
         return Vec::new();
     }
-    let workers = threads.unwrap_or_else(default_threads).max(1).min(n_jobs);
+    let workers = effective_workers(threads, n_jobs);
     if workers == 1 {
         // Serial on the calling thread: no spawn/join overhead for
         // single-candidate batches or single-core hosts.
@@ -66,6 +66,14 @@ where
 /// Default worker count: one per available core.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+}
+
+/// The thread count [`run_parallel_with`] actually uses for a batch:
+/// the request (or core count), clamped to the number of jobs so dedup
+/// collapsing a campaign to a handful of distinct cells never spawns
+/// idle threads. Reports record this, not the raw request.
+pub fn effective_workers(threads: Option<usize>, n_jobs: usize) -> usize {
+    threads.unwrap_or_else(default_threads).max(1).min(n_jobs.max(1))
 }
 
 #[cfg(test)]

@@ -31,9 +31,13 @@
 //! New scenarios (topologies, workloads, co-schedule mixes) plug in by
 //! declaring a spec — not by writing another binary.
 
+pub mod cache;
+pub mod descriptor;
 pub mod executor;
 pub mod report;
 
+pub use cache::CellCache;
+pub use descriptor::{cell_descriptor, effective_policy};
 pub use executor::{run_parallel, run_parallel_with};
 pub use report::{results_dir, CampaignReport, CellRecord, NodeTierRecord, SCHEMA_VERSION};
 
@@ -345,8 +349,9 @@ pub struct CellSpec {
 }
 
 /// Executor knobs, separate from the spec: the same spec must yield the
-/// same results under any executor configuration.
-#[derive(Debug, Clone, Default)]
+/// same results under any executor configuration — dedup on or off,
+/// cache warm or cold, any thread count.
+#[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// Worker threads (`None` = one per available core).
     pub threads: Option<usize>,
@@ -354,7 +359,26 @@ pub struct CampaignConfig {
     /// a Chrome-trace file `trace-<sanitized cell key>.json` into this
     /// directory (see `docs/TRACING.md`). Tracing never perturbs results:
     /// the deterministic report is byte-identical with or without it.
+    /// Cells that share a deduplicated execution share its trace file;
+    /// cells served from the cache carry no trace at all.
     pub trace_dir: Option<PathBuf>,
+    /// Exact intra-campaign deduplication (default on): cells are grouped
+    /// by canonical descriptor ([`cell_descriptor`]), one representative
+    /// per class executes, and the result fans out to every member. Off
+    /// exists for A/B measurement, not correctness — reports are
+    /// byte-identical either way.
+    pub dedup: bool,
+    /// Persistent cell cache directory. When set, executed classes store
+    /// their outcome under `<dir>/<descriptor hash>.cell` and later runs
+    /// replay them (see [`cache::CellCache`]), giving warm reruns
+    /// near-zero cost and kill-and-resume for free.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { threads: None, trace_dir: None, dedup: true, cache_dir: None }
+    }
 }
 
 /// Run a campaign with the default executor configuration (all cores).
@@ -365,6 +389,21 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
 /// Run every cell of `spec` across the sharded executor and collect the
 /// report. Cell failures (e.g. a co-scheduled cell on a full-machine
 /// worker set) are recorded per cell, never aborting the campaign.
+///
+/// Execution pipeline (the memoization layer, see `docs/ARCHITECTURE.md`):
+///
+/// 1. **Dedup** — cells are grouped into equivalence classes by canonical
+///    descriptor ([`cell_descriptor`]; exact text match, the hash is only
+///    an index). One representative per class executes.
+/// 2. **Cache** — with [`CampaignConfig::cache_dir`] set, each class
+///    first consults the on-disk [`CellCache`]; hits skip execution
+///    entirely, fresh executions are stored for the next run. A killed
+///    campaign resumes by replaying its stored classes.
+/// 3. **Fan-out** — every member cell of a class receives the class
+///    outcome under its own key/seed/identity. The volatile provenance
+///    fields `dedup_class` and `cache_hit` record the sharing; the
+///    deterministic report is byte-identical to a fully cold,
+///    dedup-disabled run.
 pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignReport {
     let t0 = std::time::Instant::now();
     let bw_matrix = spec.probe_bandwidth.then(|| bwap_fabric::probe_matrix(&spec.machine));
@@ -386,10 +425,48 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
             .collect()
     });
     let cells = spec.cells();
-    let jobs: Vec<_> = cells
+    let descs: Vec<_> = cells.iter().map(|c| cell_descriptor(spec, c)).collect();
+
+    // Group cells into descriptor-equivalence classes. Representatives
+    // are the lowest-id member, so class order (and therefore execution
+    // order) is deterministic. Dedup off = singleton classes.
+    let mut class_of = vec![0usize; cells.len()];
+    let mut reps: Vec<usize> = Vec::new();
+    let mut class_size: Vec<usize> = Vec::new();
+    if cfg.dedup {
+        let mut by_text: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for (i, d) in descs.iter().enumerate() {
+            let k = *by_text.entry(d.text()).or_insert_with(|| {
+                reps.push(i);
+                class_size.push(0);
+                reps.len() - 1
+            });
+            class_of[i] = k;
+            class_size[k] += 1;
+        }
+    } else {
+        for (i, k) in class_of.iter_mut().enumerate() {
+            *k = i;
+            reps.push(i);
+            class_size.push(1);
+        }
+    }
+
+    // Replay whatever the persistent cache already holds, then execute
+    // only the remaining classes. `(outcome, trace_path, cache_hit)`.
+    type ClassOutcome = (Result<RunResult, String>, Option<String>, bool);
+    let cache = cfg.cache_dir.as_deref().and_then(CellCache::open);
+    let mut class_outcomes: Vec<Option<ClassOutcome>> = reps
         .iter()
-        .map(|cell| {
-            let cell = cell.clone();
+        .map(|&rep| cache.as_ref().and_then(|c| c.load(&descs[rep])).map(|o| (o, None, true)))
+        .collect();
+    let pending: Vec<usize> = (0..reps.len()).filter(|&k| class_outcomes[k].is_none()).collect();
+    let executed_cells = pending.len();
+    let threads_used = executor::effective_workers(cfg.threads, executed_cells);
+    let jobs: Vec<_> = pending
+        .iter()
+        .map(|&k| {
+            let cell = cells[reps[k]].clone();
             let trace_dir = cfg.trace_dir.clone();
             move || {
                 let mut sink = None;
@@ -398,26 +475,50 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
                     (Some(dir), Some(sink)) => write_trace(dir, &cell.key, &sink),
                     _ => None,
                 };
-                (outcome, trace_path)
+                (outcome.map_err(|e| e.to_string()), trace_path)
             }
         })
         .collect();
-    let outcomes = run_parallel_with(cfg.threads, jobs);
+    let fresh = run_parallel_with(cfg.threads, jobs);
+    for (&k, (outcome, trace_path)) in pending.iter().zip(fresh) {
+        if let Some(c) = &cache {
+            c.store(&descs[reps[k]], &outcome);
+        }
+        class_outcomes[k] = Some((outcome, trace_path, false));
+    }
+
+    // Fan each class outcome out to its members. Cloned results are
+    // re-labelled with the member's own effective policy/workload/workers
+    // so an in-memory consumer cannot tell a shared result from a fresh
+    // one; the serialized result fields are bit-identical by the
+    // determinism contract.
     let records = cells
         .into_iter()
-        .zip(outcomes)
-        .map(|(cell, (outcome, trace_path))| CellRecord {
-            id: cell.id,
-            workload: spec.workload_name(cell.workload_idx).to_string(),
-            policy: spec.policies[cell.policy_idx].label(),
-            scenario: cell.scenario,
-            workers: cell.workers,
-            static_dwp: cell.dwp.static_value(),
-            phase_period: cell.phase_period,
-            seed: cell.seed,
-            key: cell.key,
-            outcome: outcome.map_err(|e| e.to_string()),
-            trace_path,
+        .map(|cell| {
+            let k = class_of[cell.id];
+            let (outcome, trace_path, cache_hit) =
+                class_outcomes[k].as_ref().expect("class resolved");
+            let mut outcome = outcome.clone();
+            if let Ok(r) = &mut outcome {
+                r.policy = effective_policy(spec, &cell).label();
+                r.workload = spec.workload_name(cell.workload_idx).to_string();
+                r.workers = cell.workers;
+            }
+            CellRecord {
+                id: cell.id,
+                workload: spec.workload_name(cell.workload_idx).to_string(),
+                policy: spec.policies[cell.policy_idx].label(),
+                scenario: cell.scenario,
+                workers: cell.workers,
+                static_dwp: cell.dwp.static_value(),
+                phase_period: cell.phase_period,
+                seed: cell.seed,
+                dedup_class: (class_size[k] > 1).then(|| descs[cell.id].hash_hex()),
+                cache_hit: *cache_hit,
+                key: cell.key,
+                outcome,
+                trace_path: trace_path.clone(),
+            }
         })
         .collect();
     CampaignReport {
@@ -425,14 +526,23 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
         campaign: spec.name.clone(),
         machine: spec.machine.name().to_string(),
         seed: spec.seed,
-        threads: cfg.threads.unwrap_or_else(executor::default_threads),
+        threads: threads_used,
         wall_time_s: t0.elapsed().as_secs_f64(),
         engine_mode: (spec.sim_cfg.mode != EngineMode::default())
             .then(|| spec.sim_cfg.mode.label().to_string()),
+        executed_cells,
         bw_matrix,
         node_tiers,
         cells: records,
     }
+}
+
+/// Run one cell of a spec exactly as [`run_campaign_with`] would, without
+/// tracing — the entry point remote `campaign-worker` processes use to
+/// serve cells (the `cell` must come from this spec's [`CampaignSpec::cells`]
+/// enumeration).
+pub fn run_cell_for(spec: &CampaignSpec, cell: &CellSpec) -> Result<RunResult, RuntimeError> {
+    run_cell(spec, cell, None)
 }
 
 /// Write one cell's Chrome-trace file into `dir`, returning the path
@@ -468,18 +578,9 @@ fn run_cell(
             cell.workers, n
         )));
     }
-    let mut policy = spec.policies[cell.policy_idx].clone();
-    match &mut policy {
-        PlacementPolicy::Bwap(cfg) => {
-            cfg.seed = cell.seed;
-            if let DwpPoint::Static(d) = cell.dwp {
-                cfg.online_tuning = false;
-                cfg.fixed_dwp = d;
-            }
-        }
-        PlacementPolicy::AdaptiveBwap(acfg) => acfg.bwap.seed = cell.seed,
-        _ => {}
-    }
+    // The same override logic the cell's canonical descriptor is built
+    // from — extraction keeps the two in lockstep (see `descriptor`).
+    let policy = effective_policy(spec, cell);
     let workers = spec.machine.best_worker_set(cell.workers);
     if let Some(phased) =
         cell.workload_idx.checked_sub(spec.workloads.len()).map(|i| &spec.phased_workloads[i])
@@ -627,6 +728,70 @@ mod tests {
         let j = report.deterministic_json();
         assert!(j.contains("\"phase_period_s\": 1"));
         assert!(j.contains("\"phase_switches\""));
+    }
+
+    #[test]
+    fn dedup_collapses_equivalent_cells_and_reports_are_byte_identical() {
+        // Overlapping axes on purpose: bwap-static(0.5) declared as a
+        // policy AND as a grid point — every static(0.5) cell runs once.
+        let spec = CampaignSpec::new("dedup-unit", machines::machine_b())
+            .workloads(vec![bwap_workloads::streamcluster().scaled_down(32.0)])
+            .policies(vec![
+                PlacementPolicy::Bwap(BwapConfig::static_dwp(0.5)),
+                PlacementPolicy::Bwap(BwapConfig::default()),
+            ])
+            .dwp_grid(vec![DwpPoint::AsConfigured, DwpPoint::Static(0.5)])
+            .seed(7);
+        // 2 policies x 2 dwp points = 4 cells; three of them are the same
+        // static(0.5) simulation.
+        let on = run_campaign_with(&spec, &CampaignConfig::default());
+        let off = run_campaign_with(&spec, &CampaignConfig { dedup: false, ..Default::default() });
+        assert_eq!(on.cells.len(), 4);
+        assert_eq!(on.executed_cells, 2, "three equivalent cells collapse into one class");
+        assert_eq!(off.executed_cells, 4);
+        assert_eq!(on.deterministic_json(), off.deterministic_json());
+        // Sharing is recorded only on the shared cells.
+        let shared: Vec<_> = on.cells.iter().filter(|c| c.dedup_class.is_some()).collect();
+        assert_eq!(shared.len(), 3);
+        assert!(on.cells.iter().all(|c| !c.cache_hit));
+        // Fanned-out results are indistinguishable from fresh ones, down
+        // to the effective policy label.
+        for (a, b) in on.cells.iter().zip(&off.cells) {
+            let (ra, rb) = (a.result().unwrap(), b.result().unwrap());
+            assert_eq!(ra.policy, rb.policy);
+            assert_eq!(ra.exec_time_s.to_bits(), rb.exec_time_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn cache_serves_warm_reruns_and_partial_resumes() {
+        let dir =
+            std::env::temp_dir().join(format!("bwap-campaign-cache-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec();
+        let cfg = CampaignConfig { cache_dir: Some(dir.clone()), ..Default::default() };
+        let cold = run_campaign_with(&spec, &cfg);
+        assert!(cold.executed_cells > 0);
+        assert!(cold.cells.iter().all(|c| !c.cache_hit));
+        // Warm rerun: zero executions, every cell a hit, bytes identical.
+        let warm = run_campaign_with(&spec, &cfg);
+        assert_eq!(warm.executed_cells, 0);
+        assert!(warm.cells.iter().all(|c| c.cache_hit));
+        assert_eq!(cold.deterministic_json(), warm.deterministic_json());
+        // Kill-and-resume: delete some entries (a killed run's missing
+        // tail) — the resume executes exactly those and matches again.
+        let mut removed = 0;
+        for (i, entry) in std::fs::read_dir(&dir).unwrap().flatten().enumerate() {
+            if entry.path().extension().is_some_and(|e| e == "cell") && i % 2 == 0 {
+                std::fs::remove_file(entry.path()).unwrap();
+                removed += 1;
+            }
+        }
+        assert!(removed > 0);
+        let resumed = run_campaign_with(&spec, &cfg);
+        assert_eq!(resumed.executed_cells, removed);
+        assert_eq!(cold.deterministic_json(), resumed.deterministic_json());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

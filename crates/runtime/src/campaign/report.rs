@@ -77,7 +77,17 @@ pub struct CellRecord {
     /// trace directory. Volatile provenance like `threads`: emitted only
     /// in the full artifact (and omitted, not null, when absent), so
     /// deterministic reports stay byte-identical trace-on vs trace-off.
+    /// Cells whose result was shared through dedup point at their
+    /// representative's trace; cache-served cells carry none.
     pub trace_path: Option<String>,
+    /// Descriptor-hash label of the cell's dedup equivalence class, set
+    /// only when the class had more than one member (i.e. the result was
+    /// actually shared). Volatile provenance: full artifact only.
+    pub dedup_class: Option<String>,
+    /// Whether the result was replayed from the persistent cell cache
+    /// instead of executing. Volatile provenance: emitted (as `true`)
+    /// in the full artifact only, and only when set.
+    pub cache_hit: bool,
 }
 
 impl CellRecord {
@@ -107,6 +117,10 @@ pub struct CampaignReport {
     /// Both modes produce identical results, so this never belongs in
     /// [`CampaignReport::deterministic_json`] and the schema stays v2.
     pub engine_mode: Option<String>,
+    /// How many cells actually executed (after dedup collapsed equivalence
+    /// classes and the cache replayed stored ones) — volatile provenance;
+    /// a fully warm rerun reports 0 here.
+    pub executed_cells: usize,
     /// Probed node-to-node bandwidth matrix, if the spec requested
     /// installation-time profiling (Fig. 1a).
     pub bw_matrix: Option<BwMatrix>,
@@ -192,6 +206,7 @@ impl CampaignReport {
         if volatile {
             field(&mut s, 1, "threads", &self.threads.to_string());
             field(&mut s, 1, "wall_time_s", &json_f64(self.wall_time_s));
+            field(&mut s, 1, "executed_cells", &self.executed_cells.to_string());
             if let Some(mode) = &self.engine_mode {
                 field(&mut s, 1, "engine_mode", &json_str(mode));
             }
@@ -366,6 +381,15 @@ fn cell_json(s: &mut String, c: &CellRecord, volatile: bool) {
         if let Some(p) = &c.trace_path {
             field(s, 3, "trace_path", &json_str(p));
         }
+        // Memoization provenance, omitted-not-null like `trace_path`: the
+        // deterministic report is byte-identical whether the result was
+        // executed, shared through dedup, or replayed from the cache.
+        if let Some(class) = &c.dedup_class {
+            field(s, 3, "dedup_class", &json_str(class));
+        }
+        if c.cache_hit {
+            field(s, 3, "cache_hit", "true");
+        }
     }
     match &c.outcome {
         Ok(r) => {
@@ -429,6 +453,8 @@ mod tests {
             seed: 7,
             outcome,
             trace_path: None,
+            dedup_class: None,
+            cache_hit: false,
         }
     }
 
@@ -459,6 +485,7 @@ mod tests {
             threads: 4,
             wall_time_s: 0.25,
             engine_mode: None,
+            executed_cells: cells.len(),
             bw_matrix: None,
             node_tiers: None,
             cells,
@@ -569,6 +596,29 @@ mod tests {
         let traced = report(vec![c]);
         assert!(traced.to_json().contains("\"trace_path\": \"results/traces/trace-cell0.json\""));
         assert_eq!(plain.deterministic_json(), traced.deterministic_json());
+    }
+
+    #[test]
+    fn memoization_provenance_is_volatile_and_omitted_when_absent() {
+        // A cold, unshared cell: none of the names appear anywhere.
+        let cold = report(vec![record(0, Ok(result()))]);
+        for name in ["dedup_class", "cache_hit"] {
+            assert!(!cold.to_json().contains(name), "{name} leaked into a cold report");
+        }
+        assert!(cold.to_json().contains("\"executed_cells\": 1"));
+        assert!(!cold.deterministic_json().contains("executed_cells"));
+        // A shared, cache-served cell: full artifact carries the
+        // provenance, deterministic payload is byte-identical to cold.
+        let mut c = record(0, Ok(result()));
+        c.dedup_class = Some("00interlocking00".into());
+        c.cache_hit = true;
+        let mut warm = report(vec![c]);
+        warm.executed_cells = 0;
+        let j = warm.to_json();
+        assert!(j.contains("\"dedup_class\": \"00interlocking00\""));
+        assert!(j.contains("\"cache_hit\": true"));
+        assert!(j.contains("\"executed_cells\": 0"));
+        assert_eq!(cold.deterministic_json(), warm.deterministic_json());
     }
 
     #[test]

@@ -46,8 +46,9 @@ pub use apply::apply_weights;
 pub use baselines::PlacementPolicy;
 pub use bwap_daemon::{BwapDaemon, TunerHandle};
 pub use campaign::{
-    run_campaign, run_campaign_with, run_parallel, run_parallel_with, CampaignConfig,
-    CampaignReport, CampaignSpec, CellRecord, DwpPoint, NodeTierRecord, ScenarioKind,
+    cell_descriptor, effective_policy, run_campaign, run_campaign_with, run_cell_for, run_parallel,
+    run_parallel_with, CampaignConfig, CampaignReport, CampaignSpec, CellCache, CellRecord,
+    DwpPoint, NodeTierRecord, ScenarioKind,
 };
 pub use cosched_daemon::CoschedDaemon;
 pub use error::RuntimeError;

@@ -1,0 +1,129 @@
+//! Integration tests for content-addressed campaign memoization: golden
+//! byte-identity with dedup on/off and cache cold/warm, kill-and-resume
+//! (a partially populated cache completes to the exact same bytes), and
+//! corrupt-cache tolerance.
+
+use bwap_bench::experiments::{dwp_dedup_spec, fig4_spec};
+use bwap_runtime::{run_campaign_with, CampaignConfig, CampaignSpec};
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("bwap-memo-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn det(spec: &CampaignSpec, cfg: &CampaignConfig) -> String {
+    run_campaign_with(spec, cfg).deterministic_json()
+}
+
+/// The report the rest of the suite sees is invariant under every
+/// execution strategy: dedup on (default), dedup off, cold cache, warm
+/// cache. `fig4_quick` is a real paper campaign with a genuine overlap
+/// axis (the online point repeats nothing, but the static grid re-runs
+/// the same tuner-off config at each point for two worker counts).
+#[test]
+fn fig4_reports_are_invariant_under_dedup_and_cache() {
+    let spec = fig4_spec(true);
+    let baseline = det(&spec, &CampaignConfig { dedup: false, ..Default::default() });
+    assert_eq!(baseline, det(&spec, &CampaignConfig::default()), "dedup on == dedup off");
+
+    let cache_dir = tmp("fig4");
+    let cached = CampaignConfig { cache_dir: Some(cache_dir.clone()), ..Default::default() };
+    assert_eq!(baseline, det(&spec, &cached), "cold cache run");
+    let warm = run_campaign_with(&spec, &cached);
+    assert_eq!(warm.executed_cells, 0, "warm rerun executes nothing");
+    assert!(warm.cells.iter().all(|c| c.cache_hit));
+    assert_eq!(baseline, warm.deterministic_json(), "warm cache run");
+    let _ = std::fs::remove_dir_all(cache_dir);
+}
+
+/// Kill-and-resume: interrupt a campaign (simulated by deleting a subset
+/// of its cache entries — exactly the state after a mid-run kill, which
+/// only persists completed cells), then resume. The resumed campaign
+/// executes only the missing classes and its report is byte-identical.
+#[test]
+fn killed_campaign_resumes_to_byte_identical_report() {
+    let spec = dwp_dedup_spec(true);
+    let cache_dir = tmp("resume");
+    let cfg = CampaignConfig { cache_dir: Some(cache_dir.clone()), ..Default::default() };
+
+    let full = run_campaign_with(&spec, &cfg);
+    assert!(full.executed_cells > 0);
+    let reference = full.deterministic_json();
+
+    // "Kill" the first run after some cells completed: drop every other
+    // stored entry.
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&cache_dir)
+        .expect("cache dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cell"))
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), full.executed_cells, "one entry per executed class");
+    let removed: Vec<&PathBuf> = entries.iter().step_by(2).collect();
+    for path in &removed {
+        std::fs::remove_file(path).expect("simulate lost entry");
+    }
+
+    let resumed = run_campaign_with(&spec, &cfg);
+    assert_eq!(
+        resumed.executed_cells,
+        removed.len(),
+        "resume executes exactly the missing classes"
+    );
+    assert_eq!(reference, resumed.deterministic_json(), "resumed report is byte-identical");
+    let _ = std::fs::remove_dir_all(cache_dir);
+}
+
+/// Cache corruption (torn writes, stray files, version skew) silently
+/// degrades to re-execution — never to a wrong or failing report.
+#[test]
+fn corrupt_cache_entries_degrade_to_reexecution() {
+    let spec = dwp_dedup_spec(true);
+    let cache_dir = tmp("corrupt");
+    let cfg = CampaignConfig { cache_dir: Some(cache_dir.clone()), ..Default::default() };
+    let reference = det(&spec, &cfg);
+
+    for (i, entry) in std::fs::read_dir(&cache_dir)
+        .expect("cache dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cell"))
+        .enumerate()
+    {
+        match i % 3 {
+            0 => std::fs::write(&entry, "garbage, not an entry").expect("corrupt"),
+            1 => {
+                let text = std::fs::read_to_string(&entry).expect("entry");
+                std::fs::write(&entry, &text[..text.len() / 3]).expect("truncate");
+            }
+            _ => {} // leave valid
+        }
+    }
+
+    let recovered = run_campaign_with(&spec, &cfg);
+    assert!(recovered.executed_cells > 0, "corrupt entries must re-execute");
+    assert!(recovered.cells.iter().all(|c| c.outcome.is_ok()));
+    assert_eq!(reference, recovered.deterministic_json());
+    let _ = std::fs::remove_dir_all(cache_dir);
+}
+
+/// The dedup sweep collapses the `dwp_dedup` campaign's 24 declared cells
+/// onto 12 distinct simulations, and a dedup-off run of the same spec
+/// executes all 24 — with identical reported results.
+#[test]
+fn dedup_halves_the_dwp_dedup_campaign() {
+    let spec = dwp_dedup_spec(true);
+    let on = run_campaign_with(&spec, &CampaignConfig::default());
+    let off = run_campaign_with(&spec, &CampaignConfig { dedup: false, ..Default::default() });
+    assert_eq!(on.cells.len(), 24);
+    assert_eq!(on.executed_cells, 12, "exact dedup finds the 12 equivalence classes");
+    assert_eq!(off.executed_cells, 24, "dedup off executes every declared cell");
+    assert!(
+        on.cells.iter().filter(|c| c.dedup_class.is_some()).count() >= 12 * 2 - 1,
+        "shared classes carry provenance"
+    );
+    assert_eq!(on.deterministic_json(), off.deterministic_json());
+}

@@ -49,7 +49,11 @@ fn traced_run_mode(
 ) -> (String, BTreeMap<String, String>) {
     let dir = tmp(tag);
     let _ = std::fs::remove_dir_all(&dir);
-    let cfg = CampaignConfig { threads: Some(threads), trace_dir: Some(dir.clone()) };
+    let cfg = CampaignConfig {
+        threads: Some(threads),
+        trace_dir: Some(dir.clone()),
+        ..Default::default()
+    };
     let report = run_campaign_with(&spec().engine_mode(mode), &cfg);
     let mut files = BTreeMap::new();
     for cell in &report.cells {

@@ -100,6 +100,8 @@ tuple_strategy!(S0.0, S1.1, S2.2);
 tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
 tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
 tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
 
 /// Uniform choice among strategies producing the same value type; built by
 /// [`prop_oneof!`](crate::prop_oneof) (the real crate's weighted arms are
