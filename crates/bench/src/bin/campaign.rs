@@ -36,9 +36,9 @@
 //! report (`*.deterministic.json`) for byte-for-byte comparison in CI.
 
 use bwap_bench::cli::SpecArgs;
-use bwap_bench::{worker, ResultTable};
-use bwap_runtime::campaign::cache::decode_entry;
-use bwap_runtime::{cell_descriptor, run_campaign_with, CampaignConfig, CellCache};
+use bwap_bench::worker::{coordinate, SupervisionConfig};
+use bwap_bench::ResultTable;
+use bwap_runtime::{run_campaign_with, CampaignConfig, CellCache, FaultPlan};
 
 fn usage() -> ! {
     eprintln!(
@@ -49,11 +49,11 @@ fn usage() -> ! {
                 [--dwps online,0.0,0.5,...] [--seed N] [--threads N]
                 [--engine stepped|event] [--out DIR] [--trace DIR]
                 [--cache-dir DIR] [--dedup on|off] [--remote host:port,...]
-                [--deterministic] [--probe] [--quick]
+                [--faults SPEC] [--deterministic] [--probe] [--quick]
        campaign --spec fig1a|fig4|table1|fig_tiered|fig_phases|dwp_dedup [--seed N]
                 [--threads N] [--engine stepped|event] [--out DIR] [--trace DIR]
                 [--cache-dir DIR] [--dedup on|off] [--remote host:port,...]
-                [--deterministic] [--quick]
+                [--faults SPEC] [--deterministic] [--quick]
 
 --spec renders a canned experiment campaign (its axes are fixed by the
 spec); all other axis flags only apply to ad-hoc campaigns. --phased adds
@@ -65,7 +65,12 @@ DIR (Perfetto / chrome://tracing; see docs/TRACING.md). --cache-dir
 memoizes cell outcomes on disk (warm reruns and kill-and-resume replay
 them byte-identically); --dedup off disables exact intra-campaign
 deduplication; --remote farms uncached cells out to campaign_worker
-processes (see docs/PERFORMANCE.md)."
+processes under supervision — timeouts, bounded retries with backoff,
+partial-batch salvage and worker quarantine (see docs/PERFORMANCE.md and
+docs/ROBUSTNESS.md). --faults injects a seeded, replayable fault schedule
+(e.g. 'disconnect=0.5,cache-flip=0.25,seed=7'; seed defaults to the
+campaign seed) for chaos runs — recoverable faults never change the
+deterministic report."
     );
     std::process::exit(2);
 }
@@ -82,6 +87,7 @@ fn main() {
     let mut dedup = true;
     let mut remote: Vec<String> = Vec::new();
     let mut deterministic = false;
+    let mut faults_spec: Option<String> = None;
 
     let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
@@ -113,6 +119,7 @@ fn main() {
                 remote = value("--remote").split(',').map(str::to_string).collect();
             }
             "--deterministic" => deterministic = true,
+            "--faults" => faults_spec = Some(value("--faults")),
             other => {
                 let mut take = || value(other);
                 match sa.apply(other, &mut take) {
@@ -137,6 +144,18 @@ fn main() {
     let n_cells = spec.cells().len();
     println!("campaign {:?}: {n_cells} cells on {}", spec.name, spec.machine.name());
 
+    // The fault plan's seed defaults to the campaign seed, so a chaos run
+    // is replayable from the campaign coordinates alone.
+    let faults = faults_spec.map(|s| {
+        FaultPlan::parse(&s, spec.seed).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage()
+        })
+    });
+    if let Some(plan) = &faults {
+        println!("fault injection on (seed {}): chaos run, report must not change", plan.seed());
+    }
+
     // Remote execution needs a cache to merge worker results through;
     // without an explicit --cache-dir it uses a run-private scratch cache.
     let mut scratch_cache: Option<std::path::PathBuf> = None;
@@ -146,10 +165,40 @@ fn main() {
         cache_dir = Some(dir);
     }
     if !remote.is_empty() {
-        run_remote(&spec, &sa, &remote, cache_dir.as_deref().expect("cache dir set"), dedup);
+        let dir = cache_dir.as_deref().expect("cache dir set");
+        match CellCache::open_with(dir, faults.clone()) {
+            Some(cache) => {
+                let outcome = coordinate(
+                    &spec,
+                    &sa.to_args(),
+                    &remote,
+                    &cache,
+                    dedup,
+                    &SupervisionConfig::default(),
+                    faults.as_ref(),
+                );
+                println!(
+                    "remote: accepted {} cell(s) ({} salvaged from dying workers), \
+                     {} batch failure(s), {} left for local execution",
+                    outcome.accepted, outcome.salvaged, outcome.failed_batches, outcome.remaining
+                );
+                for addr in &outcome.quarantined {
+                    eprintln!("worker {addr}: quarantined after repeated failures");
+                }
+            }
+            None => {
+                eprintln!("cache dir {} unusable; running everything locally", dir.display())
+            }
+        }
     }
 
-    let cfg = CampaignConfig { threads, trace_dir, dedup, cache_dir: cache_dir.clone() };
+    let cfg = CampaignConfig {
+        threads,
+        trace_dir,
+        dedup,
+        cache_dir: cache_dir.clone(),
+        faults: faults.clone(),
+    };
     let report = run_campaign_with(&spec, &cfg);
     println!(
         "executed {} of {} cells ({} served by dedup or cache)",
@@ -206,84 +255,4 @@ fn main() {
         eprintln!("{failed} cell(s) failed");
         std::process::exit(1);
     }
-}
-
-/// Farm the cells that would actually execute (deduped, not yet cached)
-/// out to remote workers, verifying and storing their results in the
-/// cache so the subsequent local `run_campaign_with` replays them. Any
-/// worker failure just leaves its cells for local execution.
-fn run_remote(
-    spec: &bwap_runtime::CampaignSpec,
-    sa: &SpecArgs,
-    workers: &[String],
-    cache_dir: &std::path::Path,
-    dedup: bool,
-) {
-    let Some(cache) = CellCache::open(cache_dir) else {
-        eprintln!("cache dir {} unusable; running everything locally", cache_dir.display());
-        return;
-    };
-    let cells = spec.cells();
-    let descs: Vec<_> = cells.iter().map(|c| cell_descriptor(spec, c)).collect();
-    // One representative per descriptor class (all of them when dedup is
-    // off — then equal cells are fetched redundantly, exactly as they
-    // would execute redundantly locally), minus what the cache already
-    // holds.
-    let mut seen = std::collections::HashSet::new();
-    let pending: Vec<usize> = cells
-        .iter()
-        .map(|c| c.id)
-        .filter(|&id| !dedup || seen.insert(descs[id].text().to_string()))
-        .filter(|&id| cache.load(&descs[id]).is_none())
-        .collect();
-    if pending.is_empty() {
-        return;
-    }
-    // Round-robin the pending cells across workers; each worker runs in
-    // its own thread so slow workers overlap.
-    let spec_args = sa.to_args();
-    let shards: Vec<(String, Vec<usize>)> = workers
-        .iter()
-        .enumerate()
-        .map(|(wi, addr)| {
-            let ids: Vec<usize> = pending.iter().copied().skip(wi).step_by(workers.len()).collect();
-            (addr.clone(), ids)
-        })
-        .filter(|(_, ids)| !ids.is_empty())
-        .collect();
-    println!("dispatching {} cell(s) to {} remote worker(s)", pending.len(), shards.len());
-    type Fetched = Vec<(String, Result<Vec<(usize, String)>, String>)>;
-    let fetched: Fetched = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|(addr, ids)| {
-                let spec_args = &spec_args;
-                scope.spawn(move || (addr.clone(), worker::fetch_cells(addr, spec_args, ids)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("fetch thread")).collect()
-    });
-    let mut accepted = 0usize;
-    for (addr, result) in fetched {
-        match result {
-            Ok(entries) => {
-                for (id, entry) in entries {
-                    // The worker's embedded descriptor must equal ours
-                    // byte-for-byte — a skewed worker build cannot inject
-                    // results for a cell it computed differently.
-                    match decode_entry(&entry) {
-                        Some((desc_text, outcome)) if desc_text == descs[id].text() => {
-                            cache.store(&descs[id], &outcome);
-                            accepted += 1;
-                        }
-                        _ => eprintln!(
-                            "worker {addr}: cell {id} descriptor mismatch; will run locally"
-                        ),
-                    }
-                }
-            }
-            Err(e) => eprintln!("worker {addr}: {e}; its cells will run locally"),
-        }
-    }
-    println!("accepted {accepted} remote result(s) into the cache");
 }

@@ -16,15 +16,19 @@
 
 use bwap_bench::worker::serve;
 use std::net::TcpListener;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign_worker [--listen ADDR:PORT] [--threads N] [--once]
+                       [--io-timeout SECS]
 
---listen  address to bind (default 127.0.0.1:7431); port 0 picks a free
-          port, printed as `listening on ADDR` at startup
---threads cap on concurrent cell executions (default: all cores)
---once    serve exactly one connection, then exit"
+--listen     address to bind (default 127.0.0.1:7431); port 0 picks a free
+             port, printed as `listening on ADDR` at startup
+--threads    cap on concurrent cell executions (default: all cores)
+--once       serve exactly one connection, then exit
+--io-timeout per-read/per-write socket timeout in seconds (default 10):
+             a silent or wedged peer never blocks the worker past this"
     );
     std::process::exit(2);
 }
@@ -34,6 +38,7 @@ fn main() {
     let mut listen = "127.0.0.1:7431".to_string();
     let mut threads: Option<usize> = None;
     let mut once = false;
+    let mut io_timeout = Duration::from_secs(10);
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -50,6 +55,10 @@ fn main() {
             "--listen" => listen = value("--listen").to_string(),
             "--threads" => threads = Some(value("--threads").parse().unwrap_or_else(|_| usage())),
             "--once" => once = true,
+            "--io-timeout" => {
+                io_timeout =
+                    Duration::from_secs(value("--io-timeout").parse().unwrap_or_else(|_| usage()))
+            }
             other => {
                 eprintln!("unknown flag {other:?}");
                 usage()
@@ -67,7 +76,7 @@ fn main() {
         Ok(addr) => println!("listening on {addr}"),
         Err(_) => println!("listening on {listen}"),
     }
-    if let Err(e) = serve(&listener, threads, once) {
+    if let Err(e) = serve(&listener, threads, once, io_timeout) {
         eprintln!("campaign_worker: {e}");
         std::process::exit(1);
     }

@@ -13,6 +13,11 @@
 //! * `dwp_dedup_quick_dedup_on` / `dwp_dedup_quick_dedup_off` — the
 //!   overlap-heavy DWP-grid campaign with exact intra-sweep dedup on
 //!   (default: 24 declared cells, 12 executed) and off (24 executed).
+//! * `dwp_dedup_quick_supervised` — dedup-on again with a fault plan
+//!   attached whose rules all fire at rate 0: the chaos/supervision
+//!   machinery (per-cell fault decisions, executor panic isolation) is
+//!   pinned to add no measurable overhead on a fault-free run (see
+//!   `docs/ROBUSTNESS.md`).
 //! * `ocxl_campaign_quick` — an OC.XL-only campaign cell matrix on
 //!   `machine_tiered` (capacity spill + weighted interleave on ~1.6M
 //!   pages).
@@ -191,6 +196,28 @@ fn main() {
         "dedup must execute strictly fewer cells ({} vs {})",
         executed.0,
         executed.1
+    );
+
+    // Supervision overhead guard: the same dedup-on campaign with a fault
+    // plan attached whose every rule fires at rate 0 — every cell still
+    // consults the plan and runs under the executor's panic isolation,
+    // but no fault ever fires. This must cost nothing measurable.
+    let plan = bwap_runtime::FaultPlan::new(9)
+        .with(bwap_runtime::FaultKind::CellPanic, 0.0)
+        .with(bwap_runtime::FaultKind::CellDelay, 0.0)
+        .with(bwap_runtime::FaultKind::CacheFlip, 0.0);
+    let t_sup = time_best(1, || {
+        let r = bwap_runtime::run_campaign_with(
+            &experiments::dwp_dedup_spec(true),
+            &bwap_runtime::CampaignConfig { faults: Some(plan.clone()), ..Default::default() },
+        );
+        assert_eq!(r.executed_cells, executed.0, "a rate-0 plan changes nothing");
+    });
+    entries.push(("dwp_dedup_quick_supervised", t_sup));
+    println!("dwp_dedup_quick_supervised: {t_sup:.3} s");
+    assert!(
+        t_sup <= t_on * 1.5 + 0.05,
+        "supervision must add no measurable overhead ({t_sup:.3}s vs {t_on:.3}s fault-free)"
     );
 
     let t = time_best(1, ocxl_campaign_quick);

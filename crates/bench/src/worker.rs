@@ -1,47 +1,100 @@
-//! Remote campaign workers: a minimal length-prefixed TCP protocol for
-//! serving cells to a distributed campaign.
+//! Remote campaign workers: a supervised length-prefixed TCP protocol
+//! for serving cells to a distributed campaign.
 //!
 //! The coordinator (`campaign --remote host:port,...`) never ships code
 //! or binary state — it ships the *spec argument vector* (the
 //! [`crate::cli::SpecArgs`] round-trip) plus the cell ids it wants, and
-//! the worker rebuilds the identical [`bwap_runtime::CampaignSpec`] from the shared CLI
-//! vocabulary and runs those cells. Results travel back as cell-cache
-//! entry encodings ([`bwap_runtime::campaign::cache`]): each one embeds
-//! the worker's full cell descriptor, which the coordinator verifies
-//! byte-for-byte against its own before accepting — version skew between
-//! coordinator and worker builds degrades to local re-execution, never to
-//! silently merged foreign results.
+//! the worker rebuilds the identical [`bwap_runtime::CampaignSpec`] from
+//! the shared CLI vocabulary and runs those cells. Results travel back as
+//! cell-cache entry encodings ([`bwap_runtime::campaign::cache`]): each
+//! one embeds the worker's full cell descriptor, which the coordinator
+//! verifies byte-for-byte against its own before accepting — version skew
+//! between coordinator and worker builds degrades to local re-execution,
+//! never to silently merged foreign results.
 //!
 //! Framing: every message is one frame — a big-endian `u32` byte length
-//! followed by that many bytes of UTF-8 text. Requests and responses are
-//! line-oriented inside the frame:
+//! followed by that many bytes of UTF-8 text, each frame starting with
+//! the protocol magic. v2 streams responses *per cell* so a worker that
+//! dies mid-batch still delivers everything it finished (the
+//! coordinator's salvage path):
 //!
 //! ```text
-//! request:  bwap-campaign-rpc v1
-//!           args <spec args joined with US (0x1f)>
-//!           cells <id> <id> ...
-//! response: bwap-campaign-rpc v1
-//!           ok <n>                      (or: err <message>)
-//!           cell <id> <entry byte len>
-//!           <entry bytes> ...repeated n times
+//! request:   bwap-campaign-rpc v2
+//!            args <spec args joined with US (0x1f)>
+//!            cells <id> <id> ...
+//! response:  one frame per finished cell, then a terminator —
+//!            bwap-campaign-rpc v2          bwap-campaign-rpc v2
+//!            cell <id> <entry byte len>    done <n>   (or: err <message>)
+//!            <entry bytes>
 //! ```
+//!
+//! Supervision (see `docs/ROBUSTNESS.md`): the coordinator runs batches
+//! under per-connection read/write timeouts and a per-batch deadline
+//! ([`SupervisionConfig`]), retries failed workers a bounded number of
+//! rounds with deterministic exponential backoff, salvages the
+//! descriptor-verified cells a dying worker returned and re-shards only
+//! the remainder, and quarantines a worker after repeated consecutive
+//! failures. Whatever remains after the last round falls back to local
+//! execution — a fault schedule can slow a campaign down, never change
+//! its report. A seeded [`FaultPlan`] injects transport chaos on the
+//! coordinator side (connect refusal, mid-batch disconnect, frame
+//! corruption/truncation, latency, hangs), keyed by `worker#attempt` so
+//! every retry re-draws its fate deterministically.
 
 use crate::cli::SpecArgs;
 use bwap_runtime::campaign::cache::{decode_entry, encode_entry};
-use bwap_runtime::{cell_descriptor, run_cell_for, run_parallel_with};
+use bwap_runtime::campaign::executor::effective_workers;
+use bwap_runtime::campaign::CellSpec;
+use bwap_runtime::{cell_descriptor, run_cell_for, CampaignSpec, CellCache, FaultKind, FaultPlan};
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
-/// First line of every request and response frame.
-pub const PROTOCOL_MAGIC: &str = "bwap-campaign-rpc v1";
+/// First line of every request and response frame. v2 replaced the
+/// monolithic response of v1 with per-cell streaming frames; a v1 peer
+/// fails the magic check and degrades to local execution.
+pub const PROTOCOL_MAGIC: &str = "bwap-campaign-rpc v2";
 
 /// Unit separator joining spec args inside the request (no spec flag or
 /// value can contain it — they come from a command line).
 const ARG_SEP: char = '\x1f';
 
-/// Upper bound on a frame we are willing to buffer (a whole campaign
-/// response is far below this; anything larger is a protocol error).
-const MAX_FRAME: usize = 64 << 20;
+/// Upper bound on a frame we are willing to buffer (a single cell entry
+/// is far below this; anything larger is a protocol error).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Coordinator-side supervision knobs. The defaults suit real
+/// deployments; tests shrink the timeouts to keep chaos runs fast.
+#[derive(Debug, Clone)]
+pub struct SupervisionConfig {
+    /// Per-read/per-write socket timeout on both sides of the protocol.
+    pub io_timeout: Duration,
+    /// Deadline for one whole batch fetch (connect to `done`).
+    pub batch_deadline: Duration,
+    /// Bounded retry rounds: after this many dispatch rounds, whatever is
+    /// still pending falls back to local execution.
+    pub max_rounds: usize,
+    /// Base of the deterministic exponential backoff a previously-failed
+    /// worker waits before its next attempt
+    /// (`backoff_base * 2^min(consecutive_failures - 1, 6)`).
+    pub backoff_base: Duration,
+    /// Consecutive failures after which a worker is quarantined for the
+    /// rest of the campaign.
+    pub quarantine_after: usize,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            io_timeout: Duration::from_secs(10),
+            batch_deadline: Duration::from_secs(120),
+            max_rounds: 4,
+            backoff_base: Duration::from_millis(25),
+            quarantine_after: 2,
+        }
+    }
+}
 
 /// Write one length-prefixed frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
@@ -78,9 +131,12 @@ pub fn encode_request(spec_args: &[String], cell_ids: &[usize]) -> String {
 /// Parse a request frame payload into `(spec args, cell ids)`.
 pub fn decode_request(text: &str) -> Result<(Vec<String>, Vec<usize>), String> {
     let mut lines = text.lines();
-    match lines.next() {
-        Some(PROTOCOL_MAGIC) => {}
-        other => return Err(format!("bad protocol magic {other:?}")),
+    let first = lines.next().unwrap_or("");
+    if first != PROTOCOL_MAGIC {
+        // Echo only a prefix: a garbage frame can be MAX_FRAME long, and
+        // the error travels back inside a frame of its own.
+        let shown: String = first.chars().take(48).collect();
+        return Err(format!("bad protocol magic {shown:?}"));
     }
     let args_line = lines.next().and_then(|l| l.strip_prefix("args ")).ok_or("missing args")?;
     let cells_line = lines.next().and_then(|l| l.strip_prefix("cells ")).ok_or("missing cells")?;
@@ -96,73 +152,61 @@ pub fn decode_request(text: &str) -> Result<(Vec<String>, Vec<usize>), String> {
     Ok((args, ids))
 }
 
-/// Build a success-response payload from `(id, entry text)` pairs.
-pub fn encode_response(entries: &[(usize, String)]) -> String {
-    let mut s = format!("{PROTOCOL_MAGIC}\nok {}\n", entries.len());
-    for (id, entry) in entries {
-        s.push_str(&format!("cell {id} {}\n", entry.len()));
-        s.push_str(entry);
-    }
-    s
+/// One frame of a v2 response stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseFrame {
+    /// One finished cell: id + its cache-entry encoding.
+    Cell(usize, String),
+    /// Clean end of stream, carrying the number of cell frames sent.
+    Done(usize),
+    /// Worker-side failure; terminates the stream.
+    Err(String),
 }
 
-/// Build an error-response payload.
+/// Build a per-cell response frame payload.
+pub fn encode_cell_frame(id: usize, entry: &str) -> String {
+    format!("{PROTOCOL_MAGIC}\ncell {id} {}\n{entry}", entry.len())
+}
+
+/// Build the end-of-stream terminator payload.
+pub fn encode_done(n: usize) -> String {
+    format!("{PROTOCOL_MAGIC}\ndone {n}\n")
+}
+
+/// Build an error frame payload.
 pub fn encode_error(message: &str) -> String {
     format!("{PROTOCOL_MAGIC}\nerr {}\n", message.replace('\n', " "))
 }
 
-/// Parse a response payload into `(id, entry text)` pairs.
-pub fn decode_response(text: &str) -> Result<Vec<(usize, String)>, String> {
+/// Parse one response frame payload.
+pub fn decode_response_frame(text: &str) -> Result<ResponseFrame, String> {
     let rest = text
         .strip_prefix(PROTOCOL_MAGIC)
         .and_then(|r| r.strip_prefix('\n'))
         .ok_or("bad protocol magic")?;
-    let (status, mut rest) = rest.split_once('\n').ok_or("truncated response")?;
-    if let Some(msg) = status.strip_prefix("err ") {
-        return Err(format!("worker error: {msg}"));
+    let (line, tail) = rest.split_once('\n').ok_or("truncated frame")?;
+    if let Some(msg) = line.strip_prefix("err ") {
+        return Ok(ResponseFrame::Err(msg.to_string()));
     }
-    let n: usize =
-        status.strip_prefix("ok ").and_then(|v| v.parse().ok()).ok_or("bad status line")?;
-    let mut entries = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (header, tail) = rest.split_once('\n').ok_or("truncated cell header")?;
-        let mut parts = header.split(' ');
-        if parts.next() != Some("cell") {
-            return Err(format!("bad cell header {header:?}"));
-        }
-        let id: usize =
-            parts.next().and_then(|v| v.parse().ok()).ok_or("bad cell id in response")?;
-        let len: usize =
-            parts.next().and_then(|v| v.parse().ok()).ok_or("bad cell length in response")?;
-        if tail.len() < len || !tail.is_char_boundary(len) {
-            return Err("truncated cell entry".into());
-        }
-        let (entry, next) = tail.split_at(len);
-        entries.push((id, entry.to_string()));
-        rest = next;
+    if let Some(n) = line.strip_prefix("done ") {
+        return n.parse().map(ResponseFrame::Done).map_err(|_| format!("bad done count {n:?}"));
     }
-    Ok(entries)
+    let mut parts = line.split(' ');
+    if parts.next() != Some("cell") {
+        return Err(format!("bad frame header {line:?}"));
+    }
+    let id: usize = parts.next().and_then(|v| v.parse().ok()).ok_or("bad cell id in frame")?;
+    let len: usize = parts.next().and_then(|v| v.parse().ok()).ok_or("bad cell length")?;
+    if tail.len() != len || !tail.is_char_boundary(len) {
+        return Err("cell entry length mismatch".into());
+    }
+    Ok(ResponseFrame::Cell(id, tail.to_string()))
 }
 
-/// Serve one request on an accepted connection: rebuild the spec, run the
-/// requested cells (bounded by `threads`), reply with their cache-entry
-/// encodings. Protocol or spec errors become an `err` response.
-fn handle(stream: &mut TcpStream, threads: Option<usize>) -> std::io::Result<()> {
-    let payload = read_frame(stream)?;
-    let reply = match std::str::from_utf8(&payload) {
-        Ok(text) => match serve_request(text, threads) {
-            Ok(ok) => ok,
-            Err(e) => encode_error(&e),
-        },
-        Err(_) => encode_error("request is not UTF-8"),
-    };
-    write_frame(stream, reply.as_bytes())
-}
-
-/// The worker-side computation, separated from socket I/O so tests can
-/// drive it directly: parse a request payload, run the cells, encode the
-/// response payload.
-pub fn serve_request(text: &str, threads: Option<usize>) -> Result<String, String> {
+/// Parse a request payload and rebuild the spec it names, validating the
+/// requested cell ids. The worker-side front half of connection
+/// handling, separated from socket I/O so tests can drive it directly.
+pub fn parse_request_spec(text: &str) -> Result<(CampaignSpec, Vec<CellSpec>, Vec<usize>), String> {
     let (args, ids) = decode_request(text)?;
     let spec = SpecArgs::parse(&args)?.build()?;
     let cells = spec.cells();
@@ -171,67 +215,400 @@ pub fn serve_request(text: &str, threads: Option<usize>) -> Result<String, Strin
             return Err(format!("cell id {id} out of range (spec has {} cells)", cells.len()));
         }
     }
-    let jobs: Vec<_> = ids
-        .iter()
-        .map(|&id| {
-            let spec = &spec;
-            let cell = cells[id].clone();
-            move || {
-                let desc = cell_descriptor(spec, &cell);
-                let outcome = run_cell_for(spec, &cell).map_err(|e| e.to_string());
-                encode_entry(&desc, &outcome)
+    Ok((spec, cells, ids))
+}
+
+/// Best-effort text of a panic payload (mirrors the executor's isolation:
+/// a panicking cell becomes an error entry, never a dead worker).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run the requested cells and stream one frame per finished cell,
+/// followed by the `done` terminator. Cells run under `catch_unwind`, so
+/// a panicking cell becomes an error entry in the stream while the rest
+/// complete. A dead peer stops the writes but the remaining cells still
+/// finish (their results are simply dropped).
+fn stream_cells(
+    stream: &mut TcpStream,
+    spec: &CampaignSpec,
+    cells: &[CellSpec],
+    ids: &[usize],
+    threads: Option<usize>,
+) -> std::io::Result<()> {
+    let workers = effective_workers(threads, ids.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, String)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&id) = ids.get(i) else { break };
+                let cell = &cells[id];
+                let desc = cell_descriptor(spec, cell);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_cell_for(spec, cell).map_err(|e| e.to_string())
+                }))
+                .unwrap_or_else(|p| Err(format!("cell panicked: {}", panic_text(p.as_ref()))));
+                if tx.send((id, encode_entry(&desc, &outcome))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut sent = 0usize;
+        let mut io: std::io::Result<()> = Ok(());
+        for (id, entry) in rx {
+            // Keep draining after a write failure so the executor threads
+            // never block on a full channel; their work is just dropped.
+            if io.is_ok() {
+                io = write_frame(stream, encode_cell_frame(id, &entry).as_bytes());
+                if io.is_ok() {
+                    sent += 1;
+                }
             }
-        })
-        .collect();
-    let entries: Vec<(usize, String)> =
-        ids.iter().copied().zip(run_parallel_with(threads, jobs)).collect();
-    Ok(encode_response(&entries))
+        }
+        io.and_then(|()| write_frame(stream, encode_done(sent).as_bytes()))
+    })
+}
+
+/// Serve one request on an accepted connection. Protocol errors get a
+/// clean `err` frame back where the transport still allows one; spec
+/// errors always do.
+fn handle(
+    stream: &mut TcpStream,
+    threads: Option<usize>,
+    io_timeout: Duration,
+) -> std::io::Result<()> {
+    // A silent or stuck peer must not wedge the worker: both directions
+    // time out.
+    stream.set_read_timeout(Some(io_timeout)).ok();
+    stream.set_write_timeout(Some(io_timeout)).ok();
+    let payload = match read_frame(stream) {
+        Ok(p) => p,
+        Err(e) => {
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                let _ =
+                    write_frame(stream, encode_error(&format!("protocol error: {e}")).as_bytes());
+            }
+            return Err(e);
+        }
+    };
+    let text = match std::str::from_utf8(&payload) {
+        Ok(t) => t,
+        Err(_) => return write_frame(stream, encode_error("request is not UTF-8").as_bytes()),
+    };
+    match parse_request_spec(text) {
+        Ok((spec, cells, ids)) => stream_cells(stream, &spec, &cells, &ids, threads),
+        Err(e) => write_frame(stream, encode_error(&e).as_bytes()),
+    }
 }
 
 /// Accept loop for the `campaign_worker` binary. With `once`, serve a
-/// single connection and return (CI smoke runs use this); otherwise serve
-/// until the process is killed. Per-connection failures are reported and
-/// do not take the worker down.
-pub fn serve(listener: &TcpListener, threads: Option<usize>, once: bool) -> std::io::Result<()> {
-    for stream in listener.incoming() {
-        match stream {
-            Ok(mut s) => {
-                if let Err(e) = handle(&mut s, threads) {
-                    eprintln!("campaign_worker: connection failed: {e}");
+/// single connection sequentially and return (CI smoke runs use this);
+/// otherwise each connection gets its own thread, so one hung peer never
+/// blocks the next coordinator attempt. Per-connection failures are
+/// reported and do not take the worker down.
+pub fn serve(
+    listener: &TcpListener,
+    threads: Option<usize>,
+    once: bool,
+    io_timeout: Duration,
+) -> std::io::Result<()> {
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            match stream {
+                Ok(mut s) => {
+                    if once {
+                        if let Err(e) = handle(&mut s, threads, io_timeout) {
+                            eprintln!("campaign_worker: connection failed: {e}");
+                        }
+                        break;
+                    }
+                    scope.spawn(move || {
+                        if let Err(e) = handle(&mut s, threads, io_timeout) {
+                            eprintln!("campaign_worker: connection failed: {e}");
+                        }
+                    });
+                }
+                Err(e) => {
+                    eprintln!("campaign_worker: accept failed: {e}");
+                    if once {
+                        break;
+                    }
                 }
             }
-            Err(e) => eprintln!("campaign_worker: accept failed: {e}"),
         }
-        if once {
-            break;
-        }
-    }
+    });
     Ok(())
 }
 
-/// Coordinator side: send `cell_ids` of the spec described by `spec_args`
-/// to the worker at `addr`, returning verified-decodable `(id, entry)`
-/// pairs. Any transport or protocol failure is an `Err`; the caller falls
-/// back to local execution for the affected cells.
-pub fn fetch_cells(
+/// What one batch fetch produced: every decodable entry received before
+/// the stream ended (cleanly or not), plus the failure if there was one.
+/// A failed batch with entries is the salvage path: the coordinator
+/// keeps the verified cells and re-shards only the remainder.
+#[derive(Debug, Default)]
+pub struct BatchOutcome {
+    /// Decodable `(cell id, entry)` pairs received, in arrival order.
+    pub entries: Vec<(usize, String)>,
+    /// Why the stream ended early, if it did.
+    pub error: Option<String>,
+}
+
+impl BatchOutcome {
+    fn fail(entries: Vec<(usize, String)>, error: String) -> BatchOutcome {
+        BatchOutcome { entries, error: Some(error) }
+    }
+}
+
+/// Coordinator side: stream `cell_ids` of the spec described by
+/// `spec_args` from the worker at `addr`, under `sup`'s timeouts and
+/// batch deadline. Never panics and never blocks past the deadline; any
+/// transport, protocol or injected failure ends the batch with whatever
+/// was salvaged so far. `attempt` keys the fault schedule so every retry
+/// re-draws its fate.
+pub fn fetch_batch(
     addr: &str,
     spec_args: &[String],
     cell_ids: &[usize],
-) -> Result<Vec<(usize, String)>, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    write_frame(&mut stream, encode_request(spec_args, cell_ids).as_bytes())
-        .map_err(|e| format!("send to {addr}: {e}"))?;
-    let payload = read_frame(&mut stream).map_err(|e| format!("receive from {addr}: {e}"))?;
-    let text = String::from_utf8(payload).map_err(|_| format!("{addr}: response not UTF-8"))?;
-    let entries = decode_response(&text)?;
-    // Entries must at least decode; descriptor verification against the
-    // local spec happens in the coordinator, which owns the descriptors.
-    for (id, entry) in &entries {
-        if decode_entry(entry).is_none() {
-            return Err(format!("{addr}: cell {id} entry is malformed"));
+    sup: &SupervisionConfig,
+    faults: Option<&FaultPlan>,
+    attempt: usize,
+) -> BatchOutcome {
+    let fkey = format!("{addr}#{attempt}");
+    let fault = |k: FaultKind| faults.and_then(|p| p.decide(k, &fkey));
+    let roll = |k: FaultKind, key: &str, n: u64| faults.map_or(0, |p| p.roll(k, key, n));
+    if fault(FaultKind::ConnectRefuse).is_some() {
+        return BatchOutcome::fail(Vec::new(), format!("{addr}: injected connect refusal"));
+    }
+    let Some(sock) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+        return BatchOutcome::fail(Vec::new(), format!("{addr}: cannot resolve address"));
+    };
+    let mut stream = match TcpStream::connect_timeout(&sock, sup.io_timeout) {
+        Ok(s) => s,
+        Err(e) => return BatchOutcome::fail(Vec::new(), format!("connect {addr}: {e}")),
+    };
+    stream.set_read_timeout(Some(sup.io_timeout)).ok();
+    stream.set_write_timeout(Some(sup.io_timeout)).ok();
+    let deadline = Instant::now() + sup.batch_deadline;
+    if fault(FaultKind::Hang).is_none() {
+        let req = encode_request(spec_args, cell_ids);
+        if let Err(e) = write_frame(&mut stream, req.as_bytes()) {
+            return BatchOutcome::fail(Vec::new(), format!("send to {addr}: {e}"));
         }
     }
-    Ok(entries)
+    // else: injected hang — connected, but the request never goes out;
+    // the read timeout below is what saves us, exactly as it would
+    // against a genuinely wedged worker.
+    if let Some(f) = fault(FaultKind::Latency) {
+        std::thread::sleep(Duration::from_millis(f.param_ms).min(sup.io_timeout));
+    }
+    let n = cell_ids.len() as u64;
+    let cut = fault(FaultKind::Disconnect).map(|_| roll(FaultKind::Disconnect, &fkey, n));
+    let corrupt = fault(FaultKind::CorruptFrame).map(|_| roll(FaultKind::CorruptFrame, &fkey, n));
+    let trunc = fault(FaultKind::TruncateFrame).map(|_| roll(FaultKind::TruncateFrame, &fkey, n));
+
+    let mut entries: Vec<(usize, String)> = Vec::new();
+    let mut frame_idx = 0u64;
+    loop {
+        if cut == Some(frame_idx) {
+            // Injected mid-batch kill: everything already received stays
+            // salvaged; the stream just dies here.
+            return BatchOutcome::fail(entries, format!("{addr}: injected mid-batch disconnect"));
+        }
+        let Some(remaining) =
+            deadline.checked_duration_since(Instant::now()).filter(|r| !r.is_zero())
+        else {
+            return BatchOutcome::fail(entries, format!("{addr}: batch deadline exceeded"));
+        };
+        stream.set_read_timeout(Some(sup.io_timeout.min(remaining))).ok();
+        let mut payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(e) => return BatchOutcome::fail(entries, format!("receive from {addr}: {e}")),
+        };
+        if corrupt == Some(frame_idx) && !payload.is_empty() {
+            let i = roll(FaultKind::CorruptFrame, &format!("{fkey}/byte"), payload.len() as u64);
+            payload[i as usize] ^= 0x04;
+        }
+        if trunc == Some(frame_idx) {
+            payload.truncate(payload.len() / 2);
+        }
+        let text = match std::str::from_utf8(&payload) {
+            Ok(t) => t,
+            Err(_) => return BatchOutcome::fail(entries, format!("{addr}: frame is not UTF-8")),
+        };
+        match decode_response_frame(text) {
+            Ok(ResponseFrame::Cell(id, entry)) => {
+                if decode_entry(&entry).is_none() {
+                    return BatchOutcome::fail(
+                        entries,
+                        format!("{addr}: cell {id} entry is malformed"),
+                    );
+                }
+                entries.push((id, entry));
+                if entries.len() > cell_ids.len() {
+                    return BatchOutcome::fail(entries, format!("{addr}: more frames than cells"));
+                }
+            }
+            Ok(ResponseFrame::Done(sent)) => {
+                if sent != entries.len() {
+                    let msg = format!("{addr}: done count {sent} != {} received", entries.len());
+                    return BatchOutcome::fail(entries, msg);
+                }
+                return BatchOutcome { entries, error: None };
+            }
+            Ok(ResponseFrame::Err(msg)) => {
+                return BatchOutcome::fail(entries, format!("worker {addr} error: {msg}"));
+            }
+            Err(e) => return BatchOutcome::fail(entries, format!("{addr}: {e}")),
+        }
+        frame_idx += 1;
+    }
+}
+
+/// What a supervised remote campaign round-trip did, for operator output
+/// and tests.
+#[derive(Debug, Default)]
+pub struct CoordinatorOutcome {
+    /// Descriptor-verified entries stored into the cache.
+    pub accepted: usize,
+    /// Subset of `accepted` that came from batches which then failed —
+    /// the cells salvaged from dying workers.
+    pub salvaged: usize,
+    /// Batch fetches that ended in an error (before or after salvage).
+    pub failed_batches: usize,
+    /// Workers quarantined after repeated consecutive failures.
+    pub quarantined: Vec<String>,
+    /// Cells still unserved after the last round — the local-execution
+    /// fallback picks these up.
+    pub remaining: usize,
+}
+
+/// The supervised coordinator loop behind `campaign --remote`: shard the
+/// pending (deduped, uncached) cells round-robin across healthy workers,
+/// fetch every shard concurrently, verify each returned entry's embedded
+/// descriptor byte-for-byte before storing it in `cache`, then re-shard
+/// whatever is left across the workers that are still healthy — with
+/// deterministic exponential backoff per failed worker and quarantine
+/// after [`SupervisionConfig::quarantine_after`] consecutive failures.
+/// Anything unserved when the rounds run out stays pending; the caller's
+/// local `run_campaign_with` executes it, so the campaign completes under
+/// any fault schedule.
+pub fn coordinate(
+    spec: &CampaignSpec,
+    spec_args: &[String],
+    workers: &[String],
+    cache: &CellCache,
+    dedup: bool,
+    sup: &SupervisionConfig,
+    faults: Option<&FaultPlan>,
+) -> CoordinatorOutcome {
+    let cells = spec.cells();
+    let descs: Vec<_> = cells.iter().map(|c| cell_descriptor(spec, c)).collect();
+    // One representative per descriptor class (all of them when dedup is
+    // off — then equal cells are fetched redundantly, exactly as they
+    // would execute redundantly locally), minus what the cache holds.
+    let mut seen = std::collections::HashSet::new();
+    let mut pending: Vec<usize> = cells
+        .iter()
+        .map(|c| c.id)
+        .filter(|&id| !dedup || seen.insert(descs[id].text().to_string()))
+        .filter(|&id| cache.load(&descs[id]).is_none())
+        .collect();
+    let mut outcome = CoordinatorOutcome::default();
+    if workers.is_empty() || pending.is_empty() {
+        outcome.remaining = pending.len();
+        return outcome;
+    }
+    let mut fails = vec![0usize; workers.len()];
+    let mut attempts = vec![0usize; workers.len()];
+    for _round in 0..sup.max_rounds {
+        if pending.is_empty() {
+            break;
+        }
+        let healthy: Vec<usize> =
+            (0..workers.len()).filter(|&w| fails[w] < sup.quarantine_after).collect();
+        if healthy.is_empty() {
+            break;
+        }
+        let shards: Vec<(usize, Vec<usize>)> = healthy
+            .iter()
+            .enumerate()
+            .map(|(si, &w)| {
+                (w, pending.iter().copied().skip(si).step_by(healthy.len()).collect::<Vec<_>>())
+            })
+            .filter(|(_, ids)| !ids.is_empty())
+            .collect();
+        let batches: Vec<(usize, BatchOutcome)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|(w, ids)| {
+                    let w = *w;
+                    attempts[w] += 1;
+                    let attempt = attempts[w];
+                    // Deterministic exponential backoff: a worker that just
+                    // failed waits before its retry; the sleeps overlap
+                    // because each shard fetch runs in its own thread.
+                    let backoff = match fails[w] {
+                        0 => Duration::ZERO,
+                        f => sup.backoff_base * 2u32.pow((f - 1).min(6) as u32),
+                    };
+                    let addr = workers[w].clone();
+                    scope.spawn(move || {
+                        std::thread::sleep(backoff);
+                        (w, fetch_batch(&addr, spec_args, ids, sup, faults, attempt))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("fetch thread")).collect()
+        });
+        for (w, batch) in batches {
+            let mut accepted_here = 0usize;
+            for (id, entry) in &batch.entries {
+                // The worker's embedded descriptor must equal ours
+                // byte-for-byte — a skewed worker build cannot inject
+                // results for a cell it computed differently.
+                match decode_entry(entry) {
+                    Some((desc_text, cell_outcome)) if desc_text == descs[*id].text() => {
+                        cache.store(&descs[*id], &cell_outcome);
+                        accepted_here += 1;
+                    }
+                    _ => eprintln!(
+                        "worker {}: cell {id} descriptor mismatch; will re-shard",
+                        workers[w]
+                    ),
+                }
+            }
+            outcome.accepted += accepted_here;
+            match &batch.error {
+                Some(e) => {
+                    outcome.salvaged += accepted_here;
+                    outcome.failed_batches += 1;
+                    fails[w] += 1;
+                    eprintln!(
+                        "worker {}: {e} ({accepted_here} cell(s) salvaged, failure {} of {})",
+                        workers[w], fails[w], sup.quarantine_after
+                    );
+                }
+                None => fails[w] = 0,
+            }
+        }
+        pending.retain(|&id| cache.load(&descs[id]).is_none());
+    }
+    outcome.quarantined = (0..workers.len())
+        .filter(|&w| fails[w] >= sup.quarantine_after)
+        .map(|w| workers[w].clone())
+        .collect();
+    outcome.remaining = pending.len();
+    outcome
 }
 
 #[cfg(test)]
@@ -246,16 +623,19 @@ mod tests {
         assert_eq!(a, args);
         assert_eq!(i, ids);
         assert!(decode_request("not-a-protocol\n").is_err());
+        assert!(decode_request("bwap-campaign-rpc v1\nargs \ncells 0\n").is_err(), "v1 is skew");
     }
 
     #[test]
-    fn response_round_trips_and_propagates_errors() {
-        let entries = vec![(2usize, "payload\nwith\nnewlines".to_string()), (5, String::new())];
-        let back = decode_response(&encode_response(&entries)).expect("round trip");
-        assert_eq!(back, entries);
-        let err = decode_response(&encode_error("no such spec")).unwrap_err();
-        assert!(err.contains("no such spec"), "{err}");
-        assert!(decode_response("garbage").is_err());
+    fn response_frames_round_trip_and_propagate_errors() {
+        let cell = decode_response_frame(&encode_cell_frame(7, "entry\nbytes")).expect("cell");
+        assert_eq!(cell, ResponseFrame::Cell(7, "entry\nbytes".to_string()));
+        assert_eq!(decode_response_frame(&encode_done(3)).expect("done"), ResponseFrame::Done(3));
+        let err = decode_response_frame(&encode_error("no such\nspec")).expect("err");
+        assert_eq!(err, ResponseFrame::Err("no such spec".to_string()));
+        assert!(decode_response_frame("garbage").is_err());
+        // A length that disagrees with the actual tail is a clean error.
+        assert!(decode_response_frame(&format!("{PROTOCOL_MAGIC}\ncell 0 99\nshort")).is_err());
     }
 
     #[test]
@@ -270,29 +650,34 @@ mod tests {
     }
 
     #[test]
-    fn serve_request_runs_cells_and_embeds_descriptors() {
+    fn parse_request_spec_runs_the_shared_vocabulary() {
         let sa = crate::cli::SpecArgs { quick: true, ..Default::default() };
-        let spec = sa.build().expect("spec");
-        let cells = spec.cells();
-        assert!(!cells.is_empty());
         let req = encode_request(&sa.to_args(), &[0]);
-        let resp = serve_request(&req, Some(1)).expect("served");
-        let entries = decode_response(&resp).expect("decodes");
-        assert_eq!(entries.len(), 1);
-        let (id, entry) = &entries[0];
-        assert_eq!(*id, 0);
-        let (desc_text, outcome) = decode_entry(entry).expect("entry decodes");
-        assert_eq!(desc_text, cell_descriptor(&spec, &cells[0]).text());
-        assert!(outcome.is_ok());
+        let (spec, cells, ids) = parse_request_spec(&req).expect("parses");
+        assert!(!cells.is_empty());
+        assert_eq!(ids, vec![0]);
+        assert_eq!(spec.cells().len(), cells.len());
     }
 
     #[test]
-    fn serve_request_rejects_bad_specs_and_ids() {
+    fn parse_request_spec_rejects_bad_specs_and_ids() {
         let req = encode_request(&["--bogus".to_string()], &[0]);
-        assert!(serve_request(&req, Some(1)).is_err());
+        assert!(parse_request_spec(&req).is_err());
         let sa = crate::cli::SpecArgs { quick: true, ..Default::default() };
         let req = encode_request(&sa.to_args(), &[999]);
-        let err = serve_request(&req, Some(1)).unwrap_err();
+        let err = parse_request_spec(&req).unwrap_err();
         assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn injected_connect_refusal_fails_before_touching_the_network() {
+        let plan = FaultPlan::new(1).with(FaultKind::ConnectRefuse, 1.0);
+        // A worker address that would hang if dialled: the fault must fire
+        // first, instantly.
+        let out =
+            fetch_batch("203.0.113.1:9", &[], &[0], &SupervisionConfig::default(), Some(&plan), 0);
+        let e = out.error.expect("refused");
+        assert!(e.contains("injected connect refusal"), "{e}");
+        assert!(out.entries.is_empty());
     }
 }

@@ -1,15 +1,23 @@
-//! End-to-end loopback test of the distributed campaign path: a real
-//! `campaign_worker` serve loop on 127.0.0.1, a coordinator that ships
-//! the spec args and cell ids over TCP, verifies the returned descriptors
-//! and merges through the cell cache — and a report byte-identical to a
-//! purely local run.
+//! End-to-end loopback tests of the distributed campaign path: a real
+//! `campaign_worker` serve loop on 127.0.0.1, a supervised coordinator
+//! that ships the spec args and cell ids over TCP, verifies the returned
+//! descriptors and merges through the cell cache — and a report
+//! byte-identical to a purely local run. Plus the protocol's edge frames
+//! and the supervision paths (salvage, retry, quarantine) under injected
+//! faults.
 
 use bwap_bench::cli::SpecArgs;
-use bwap_bench::worker::{fetch_cells, serve};
+use bwap_bench::worker::{
+    coordinate, fetch_batch, serve, write_frame, SupervisionConfig, MAX_FRAME, PROTOCOL_MAGIC,
+};
 use bwap_runtime::campaign::cache::decode_entry;
-use bwap_runtime::{cell_descriptor, run_campaign_with, CampaignConfig, CellCache};
-use std::net::TcpListener;
+use bwap_runtime::{
+    cell_descriptor, run_campaign_with, CampaignConfig, CellCache, FaultKind, FaultPlan,
+};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn spec_args() -> SpecArgs {
     SpecArgs {
@@ -29,36 +37,44 @@ fn tmp(tag: &str) -> PathBuf {
     d
 }
 
+/// Tight supervision for tests: chaos runs finish in seconds, not the
+/// production timescales.
+fn quick_sup() -> SupervisionConfig {
+    SupervisionConfig {
+        io_timeout: Duration::from_secs(5),
+        batch_deadline: Duration::from_secs(60),
+        max_rounds: 4,
+        backoff_base: Duration::from_millis(5),
+        quarantine_after: 2,
+    }
+}
+
+/// Spawn a worker serve loop on an OS-assigned loopback port. The serve
+/// thread lives until the process exits (accept has no shutdown channel);
+/// tests just stop talking to it.
+fn spawn_worker() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("addr").to_string();
+    std::thread::spawn(move || {
+        let _ = serve(&listener, Some(2), false, Duration::from_secs(5));
+    });
+    addr
+}
+
 #[test]
 fn remote_worker_results_merge_into_a_byte_identical_report() {
     let sa = spec_args();
     let spec = sa.build().expect("spec");
-    let cells = spec.cells();
-    assert!(cells.len() >= 3, "needs a real matrix, got {}", cells.len());
+    assert!(spec.cells().len() >= 3, "needs a real matrix, got {}", spec.cells().len());
 
-    // The worker: a real TCP serve loop on an OS-assigned port, one
-    // connection (exactly how the CI smoke step runs the binary).
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-    let addr = listener.local_addr().expect("addr").to_string();
-    let server = std::thread::spawn(move || serve(&listener, Some(2), true).expect("serve"));
-
-    // The coordinator: request every deduped cell, verify each returned
-    // entry embeds our exact descriptor, merge through the cache.
-    let descs: Vec<_> = cells.iter().map(|c| cell_descriptor(&spec, c)).collect();
-    let mut seen = std::collections::HashSet::new();
-    let pending: Vec<usize> =
-        cells.iter().map(|c| c.id).filter(|&id| seen.insert(descs[id].text())).collect();
-    let entries = fetch_cells(&addr, &sa.to_args(), &pending).expect("fetch");
-    server.join().expect("server thread");
-    assert_eq!(entries.len(), pending.len());
-
+    let addr = spawn_worker();
     let cache_dir = tmp("merge");
     let cache = CellCache::open(&cache_dir).expect("cache");
-    for (id, entry) in &entries {
-        let (desc_text, outcome) = decode_entry(entry).expect("entry decodes");
-        assert_eq!(desc_text, descs[*id].text(), "worker descriptor must match ours");
-        cache.store(&descs[*id], &outcome);
-    }
+    let outcome = coordinate(&spec, &sa.to_args(), &[addr], &cache, true, &quick_sup(), None);
+    assert_eq!(outcome.remaining, 0, "every cell served remotely");
+    assert!(outcome.accepted > 0);
+    assert_eq!(outcome.failed_batches, 0);
+    assert!(outcome.quarantined.is_empty());
 
     // Replaying through the cache executes nothing locally and produces
     // the same bytes as an all-local run.
@@ -82,6 +98,137 @@ fn unreachable_workers_fail_cleanly_for_local_fallback() {
     // Port 1 on loopback is essentially never listening; the coordinator
     // must get a clean error (its cue to run the cells locally), not a
     // panic or a hang.
-    let err = fetch_cells("127.0.0.1:1", &sa.to_args(), &[0]).unwrap_err();
+    let out = fetch_batch("127.0.0.1:1", &sa.to_args(), &[0], &quick_sup(), None, 0);
+    let err = out.error.expect("refused");
     assert!(err.contains("connect"), "{err}");
+    assert!(out.entries.is_empty());
+}
+
+#[test]
+fn mid_batch_disconnect_salvages_finished_cells_and_reshards_the_rest() {
+    let sa = spec_args();
+    let spec = sa.build().expect("spec");
+    let addr = spawn_worker();
+    let cache_dir = tmp("salvage");
+    let cache = CellCache::open(&cache_dir).expect("cache");
+    // Every batch dies mid-stream — completion is carried entirely by
+    // salvage + re-sharding across rounds.
+    let plan = FaultPlan::new(11).with(FaultKind::Disconnect, 1.0);
+    let sup = SupervisionConfig { max_rounds: 8, quarantine_after: 100, ..quick_sup() };
+    let outcome = coordinate(&spec, &sa.to_args(), &[addr], &cache, true, &sup, Some(&plan));
+    assert!(outcome.failed_batches > 0, "disconnect at rate 1.0 must fail batches");
+    assert!(outcome.salvaged > 0, "frames received before the kill must be kept");
+    // Salvage must lose nothing that was verified: accepted cells are in
+    // the cache, and the campaign completes byte-identically through the
+    // local fallback for whatever is left.
+    let cfg = CampaignConfig { cache_dir: Some(cache_dir.clone()), ..Default::default() };
+    let merged = run_campaign_with(&spec, &cfg);
+    let local = run_campaign_with(&spec, &CampaignConfig::default());
+    assert_eq!(local.deterministic_json(), merged.deterministic_json());
+    let _ = std::fs::remove_dir_all(cache_dir);
+}
+
+#[test]
+fn failing_workers_are_quarantined_and_healthy_ones_finish_the_job() {
+    let sa = spec_args();
+    let spec = sa.build().expect("spec");
+    let good = spawn_worker();
+    // The bad worker is an address that refuses every connect.
+    let bad = "127.0.0.1:1".to_string();
+    let cache_dir = tmp("quarantine");
+    let cache = CellCache::open(&cache_dir).expect("cache");
+    let outcome =
+        coordinate(&spec, &sa.to_args(), &[bad.clone(), good], &cache, true, &quick_sup(), None);
+    assert_eq!(outcome.remaining, 0, "the healthy worker absorbs the bad one's shards");
+    assert_eq!(outcome.quarantined, vec![bad]);
+    let _ = std::fs::remove_dir_all(cache_dir);
+}
+
+// ---- protocol edge frames -------------------------------------------------
+
+/// Open a raw connection to a fresh worker, run `send` against it, and
+/// return the worker's first response frame payload (or the IO error).
+fn raw_exchange(send: impl FnOnce(&mut TcpStream)) -> std::io::Result<Vec<u8>> {
+    let addr = spawn_worker();
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    send(&mut stream);
+    bwap_bench::worker::read_frame(&mut stream)
+}
+
+#[test]
+fn zero_length_frame_gets_a_clean_protocol_error() {
+    let payload = raw_exchange(|s| {
+        write_frame(s, b"").expect("send empty frame");
+    })
+    .expect("worker replies");
+    let text = String::from_utf8(payload).expect("utf8");
+    assert!(text.starts_with(PROTOCOL_MAGIC), "{text}");
+    assert!(text.contains("err "), "an empty request is an error, not a crash: {text}");
+}
+
+#[test]
+fn oversized_frame_claim_gets_a_clean_protocol_error() {
+    // Claim MAX_FRAME + 1 bytes without sending them: the worker must
+    // reject the length up front (it never tries to buffer it) and still
+    // answer with a clean error frame.
+    let claim = (MAX_FRAME as u32) + 1;
+    let payload = raw_exchange(|s| {
+        s.write_all(&claim.to_be_bytes()).expect("send length prefix");
+        s.flush().expect("flush");
+    })
+    .expect("worker replies");
+    let text = String::from_utf8(payload).expect("utf8");
+    assert!(text.contains("err ") && text.contains("protocol error"), "{text}");
+}
+
+#[test]
+fn exactly_max_frame_is_read_not_rejected() {
+    // A frame of exactly MAX_FRAME bytes is legal at the framing layer —
+    // the worker reads it fully and rejects it one layer up (it is not a
+    // valid request), answering with a clean error frame rather than
+    // cutting the connection on a length check.
+    let body = vec![b'x'; MAX_FRAME];
+    let payload = raw_exchange(move |s| {
+        write_frame(s, &body).expect("send max frame");
+    })
+    .expect("worker replies");
+    let text = String::from_utf8(payload).expect("utf8");
+    assert!(text.contains("err "), "{text}");
+    assert!(!text.contains("oversized"), "MAX_FRAME exactly is not oversized: {text}");
+}
+
+#[test]
+fn eof_mid_length_prefix_closes_cleanly() {
+    // Send half a length prefix and hang up. The worker can't answer
+    // anyone — the peer is gone — but it must treat the dangling read as
+    // a clean connection failure: the next connection is served normally.
+    let addr = spawn_worker();
+    {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.write_all(&[0u8, 0]).expect("half a prefix");
+        // Dropping the stream closes it mid-prefix.
+    }
+    // The same worker must still be alive and serving.
+    let sa = spec_args();
+    let out = fetch_batch(&addr, &sa.to_args(), &[0], &quick_sup(), None, 0);
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.entries.len(), 1);
+    assert!(decode_entry(&out.entries[0].1).is_some());
+}
+
+#[test]
+fn worker_descriptors_match_the_coordinator_bytes() {
+    let sa = spec_args();
+    let spec = sa.build().expect("spec");
+    let cells = spec.cells();
+    let addr = spawn_worker();
+    let out = fetch_batch(&addr, &sa.to_args(), &[0, 1], &quick_sup(), None, 0);
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.entries.len(), 2);
+    for (id, entry) in &out.entries {
+        let (desc_text, outcome) = decode_entry(entry).expect("entry decodes");
+        assert_eq!(desc_text, cell_descriptor(&spec, &cells[*id]).text());
+        assert!(outcome.is_ok());
+    }
 }

@@ -7,6 +7,7 @@
 //! results in submission order, which makes results independent of the
 //! worker count and of scheduling order.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -30,20 +31,40 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    run_parallel_catch(threads, jobs)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|p| panic!("job panicked: {p}")))
+        .collect()
+}
+
+/// [`run_parallel_with`] with panic *isolation* instead of propagation:
+/// each job runs under [`catch_unwind`], and a panicking job becomes
+/// `Err(panic message)` in its own result slot while every other job
+/// completes normally. This is how one poisoned campaign cell becomes an
+/// error cell in the report instead of a dead campaign (see
+/// `docs/ROBUSTNESS.md`).
+pub fn run_parallel_catch<T, F>(threads: Option<usize>, jobs: Vec<F>) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
     let n_jobs = jobs.len();
     if n_jobs == 0 {
         return Vec::new();
     }
     let workers = effective_workers(threads, n_jobs);
+    // `p.as_ref()`, not `&p`: a `&Box<dyn Any>` unsize-coerces to a
+    // `&dyn Any` *of the box itself*, which downcasts to nothing useful.
+    let run = |job: F| catch_unwind(AssertUnwindSafe(job)).map_err(|p| panic_message(p.as_ref()));
     if workers == 1 {
         // Serial on the calling thread: no spawn/join overhead for
         // single-candidate batches or single-core hosts.
-        return jobs.into_iter().map(|j| j()).collect();
+        return jobs.into_iter().map(run).collect();
     }
+    type Slot<T> = Mutex<Option<Result<T, String>>>;
     let job_slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let result_slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let result_slots: Vec<Slot<T>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    // std scoped threads: a panicking job propagates when the scope joins.
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -52,7 +73,7 @@ where
                     break;
                 }
                 let job = job_slots[i].lock().expect("job lock").take().expect("job runs once");
-                let result = job();
+                let result = run(job);
                 *result_slots[i].lock().expect("result lock") = Some(result);
             });
         }
@@ -61,6 +82,18 @@ where
         .into_iter()
         .map(|m| m.into_inner().expect("poisoned").expect("job completed"))
         .collect()
+}
+
+/// Best-effort text of a panic payload (`panic!` with a string literal or
+/// a formatted message covers everything this workspace throws).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Default worker count: one per available core.
@@ -99,6 +132,41 @@ mod tests {
         let serial = run_parallel_with(Some(1), mk());
         let wide = run_parallel_with(Some(8), mk());
         assert_eq!(serial, wide);
+    }
+
+    #[test]
+    fn catch_isolates_panics_to_their_own_slot() {
+        for threads in [Some(1), Some(4)] {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+                .map(|i| {
+                    Box::new(move || {
+                        if i % 5 == 3 {
+                            panic!("injected panic in job {i}");
+                        }
+                        i * 10
+                    }) as Box<dyn FnOnce() -> usize + Send>
+                })
+                .collect();
+            let out = run_parallel_catch(threads, jobs);
+            assert_eq!(out.len(), 16);
+            for (i, r) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    let e = r.as_ref().unwrap_err();
+                    assert!(e.contains(&format!("injected panic in job {i}")), "{e}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plain_run_parallel_still_propagates_panics() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom"))];
+        let caught =
+            std::panic::catch_unwind(AssertUnwindSafe(|| run_parallel_with(Some(1), jobs)));
+        assert!(caught.is_err(), "non-catch API keeps abort-the-batch semantics");
     }
 
     #[test]

@@ -34,11 +34,13 @@
 pub mod cache;
 pub mod descriptor;
 pub mod executor;
+pub mod faults;
 pub mod report;
 
 pub use cache::CellCache;
 pub use descriptor::{cell_descriptor, effective_policy};
-pub use executor::{run_parallel, run_parallel_with};
+pub use executor::{run_parallel, run_parallel_catch, run_parallel_with};
+pub use faults::{Fault, FaultKind, FaultPlan};
 pub use report::{results_dir, CampaignReport, CellRecord, NodeTierRecord, SCHEMA_VERSION};
 
 use crate::baselines::PlacementPolicy;
@@ -373,11 +375,22 @@ pub struct CampaignConfig {
     /// replay them (see [`cache::CellCache`]), giving warm reruns
     /// near-zero cost and kill-and-resume for free.
     pub cache_dir: Option<PathBuf>,
+    /// Seeded chaos schedule (see [`faults`]): injects cache corruption,
+    /// delayed cells and panicking cells into this run. `None` (the
+    /// default) in production. Recoverable faults never change the
+    /// deterministic report — see `docs/ROBUSTNESS.md`.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { threads: None, trace_dir: None, dedup: true, cache_dir: None }
+        CampaignConfig {
+            threads: None,
+            trace_dir: None,
+            dedup: true,
+            cache_dir: None,
+            faults: None,
+        }
     }
 }
 
@@ -455,7 +468,7 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
     // Replay whatever the persistent cache already holds, then execute
     // only the remaining classes. `(outcome, trace_path, cache_hit)`.
     type ClassOutcome = (Result<RunResult, String>, Option<String>, bool);
-    let cache = cfg.cache_dir.as_deref().and_then(CellCache::open);
+    let cache = cfg.cache_dir.as_deref().and_then(|d| CellCache::open_with(d, cfg.faults.clone()));
     let mut class_outcomes: Vec<Option<ClassOutcome>> = reps
         .iter()
         .map(|&rep| cache.as_ref().and_then(|c| c.load(&descs[rep])).map(|o| (o, None, true)))
@@ -468,7 +481,16 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
         .map(|&k| {
             let cell = cells[reps[k]].clone();
             let trace_dir = cfg.trace_dir.clone();
+            let faults = cfg.faults.clone();
             move || {
+                if let Some(plan) = &faults {
+                    if let Some(f) = plan.decide(FaultKind::CellDelay, &cell.key) {
+                        std::thread::sleep(std::time::Duration::from_millis(f.param_ms));
+                    }
+                    if plan.decide(FaultKind::CellPanic, &cell.key).is_some() {
+                        panic!("injected cell-panic fault at {}", cell.key);
+                    }
+                }
                 let mut sink = None;
                 let outcome = run_cell(spec, &cell, trace_dir.is_some().then_some(&mut sink));
                 let trace_path = match (&trace_dir, sink) {
@@ -479,12 +501,29 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
             }
         })
         .collect();
-    let fresh = run_parallel_with(cfg.threads, jobs);
-    for (&k, (outcome, trace_path)) in pending.iter().zip(fresh) {
-        if let Some(c) = &cache {
-            c.store(&descs[reps[k]], &outcome);
-        }
-        class_outcomes[k] = Some((outcome, trace_path, false));
+    // Panic isolation: a poisoned cell becomes an error cell for its
+    // whole dedup class instead of killing the campaign. Panicked
+    // outcomes are *never* cached — a later warm run must re-execute,
+    // not replay an injected failure.
+    let fresh = run_parallel_catch(cfg.threads, jobs);
+    for (&k, caught) in pending.iter().zip(fresh) {
+        class_outcomes[k] = Some(match caught {
+            Ok((outcome, trace_path)) => {
+                if let Some(c) = &cache {
+                    c.store(&descs[reps[k]], &outcome);
+                }
+                (outcome, trace_path, false)
+            }
+            Err(panic_msg) => (Err(format!("cell panicked: {panic_msg}")), None, false),
+        });
+    }
+    let journal_errors = cache.as_ref().map_or(0, |c| c.journal_errors());
+    if journal_errors > 0 {
+        eprintln!(
+            "warning: campaign {:?}: {journal_errors} cache journal append(s) failed \
+             (cache entries are unaffected; post-mortem journal is incomplete)",
+            spec.name
+        );
     }
 
     // Fan each class outcome out to its members. Cloned results are
@@ -492,12 +531,17 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
     // so an in-memory consumer cannot tell a shared result from a fresh
     // one; the serialized result fields are bit-identical by the
     // determinism contract.
+    let unresolved: ClassOutcome =
+        (Err("internal: dedup class never resolved".to_string()), None, false);
     let records = cells
         .into_iter()
         .map(|cell| {
             let k = class_of[cell.id];
+            // Defensive: an unresolved class (impossible today, since every
+            // pending class gets a slot above) degrades to a per-cell error
+            // instead of panicking the whole campaign out.
             let (outcome, trace_path, cache_hit) =
-                class_outcomes[k].as_ref().expect("class resolved");
+                class_outcomes[k].as_ref().unwrap_or(&unresolved);
             let mut outcome = outcome.clone();
             if let Ok(r) = &mut outcome {
                 r.policy = effective_policy(spec, &cell).label();
@@ -531,6 +575,7 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
         engine_mode: (spec.sim_cfg.mode != EngineMode::default())
             .then(|| spec.sim_cfg.mode.label().to_string()),
         executed_cells,
+        journal_errors,
         bw_matrix,
         node_tiers,
         cells: records,
@@ -791,6 +836,71 @@ mod tests {
         let resumed = run_campaign_with(&spec, &cfg);
         assert_eq!(resumed.executed_cells, removed);
         assert_eq!(cold.deterministic_json(), resumed.deterministic_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_cell_panics_become_error_cells_and_never_poison_the_cache() {
+        let dir =
+            std::env::temp_dir().join(format!("bwap-campaign-panic-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec();
+        let baseline = run_campaign_with(&spec, &CampaignConfig::default());
+        // Panic exactly one representative, deterministically: pick the
+        // first cell's key at rate 1.0 via a plan that only knows it.
+        let victim = spec.cells()[0].key.clone();
+        let plan = FaultPlan::new(spec.seed).with(FaultKind::CellPanic, 1.0);
+        let chaos_cfg = CampaignConfig {
+            cache_dir: Some(dir.clone()),
+            faults: Some(plan.clone()),
+            ..Default::default()
+        };
+        let chaos = run_campaign_with(&spec, &chaos_cfg);
+        assert_eq!(chaos.cells.len(), baseline.cells.len());
+        let err = chaos.cells[0].outcome.as_ref().unwrap_err();
+        assert!(err.contains("cell panicked"), "{err}");
+        assert!(err.contains(&victim), "{err}");
+        // Every cell whose class representative panicked shares the error;
+        // at rate 1.0 that is every cell — nothing escaped, nothing died.
+        assert!(chaos.cells.iter().all(|c| c.outcome.is_err()));
+        // Panicked outcomes must never reach the cache: a fault-free rerun
+        // over the same directory re-executes and matches the baseline.
+        let clean_cfg = CampaignConfig { cache_dir: Some(dir.clone()), ..Default::default() };
+        let healed = run_campaign_with(&spec, &clean_cfg);
+        assert_eq!(healed.executed_cells, baseline.executed_cells, "no poisoned cache entries");
+        assert_eq!(healed.deterministic_json(), baseline.deterministic_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delayed_cells_change_nothing_but_wall_time() {
+        let spec = small_spec().worker_counts(vec![1]).scenarios(vec![ScenarioKind::Standalone]);
+        let baseline = run_campaign_with(&spec, &CampaignConfig::default());
+        let plan = FaultPlan::new(spec.seed).with_param(FaultKind::CellDelay, 1.0, 1);
+        let delayed =
+            run_campaign_with(&spec, &CampaignConfig { faults: Some(plan), ..Default::default() });
+        assert_eq!(baseline.deterministic_json(), delayed.deterministic_json());
+    }
+
+    #[test]
+    fn journal_faults_surface_in_the_report_but_not_its_deterministic_bytes() {
+        let dir =
+            std::env::temp_dir().join(format!("bwap-campaign-journal-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec().worker_counts(vec![1]).scenarios(vec![ScenarioKind::Standalone]);
+        let baseline = run_campaign_with(&spec, &CampaignConfig::default());
+        let plan = FaultPlan::new(spec.seed).with(FaultKind::JournalDrop, 1.0);
+        let lossy = run_campaign_with(
+            &spec,
+            &CampaignConfig {
+                cache_dir: Some(dir.clone()),
+                faults: Some(plan),
+                ..Default::default()
+            },
+        );
+        assert!(lossy.journal_errors > 0);
+        assert!(lossy.to_json().contains("\"journal_errors\""));
+        assert_eq!(baseline.deterministic_json(), lossy.deterministic_json());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -47,8 +47,8 @@ pub use baselines::PlacementPolicy;
 pub use bwap_daemon::{BwapDaemon, TunerHandle};
 pub use campaign::{
     cell_descriptor, effective_policy, run_campaign, run_campaign_with, run_cell_for, run_parallel,
-    run_parallel_with, CampaignConfig, CampaignReport, CampaignSpec, CellCache, CellRecord,
-    DwpPoint, NodeTierRecord, ScenarioKind,
+    run_parallel_catch, run_parallel_with, CampaignConfig, CampaignReport, CampaignSpec, CellCache,
+    CellRecord, DwpPoint, Fault, FaultKind, FaultPlan, NodeTierRecord, ScenarioKind,
 };
 pub use cosched_daemon::CoschedDaemon;
 pub use error::RuntimeError;

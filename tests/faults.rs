@@ -1,0 +1,177 @@
+//! Chaos property tests — the robustness headline (`docs/ROBUSTNESS.md`):
+//! for any seeded fault schedule under which a campaign completes, the
+//! deterministic report is byte-identical to the fault-free run.
+//! Recoverable faults (cache corruption, journal loss, transport chaos,
+//! delayed cells) move cells between the remote / cached / local
+//! execution paths but never change what a cell computes; the one
+//! deliberate exception, a panicking cell, becomes an error cell in its
+//! own slot while every other cell completes.
+
+use bwap_bench::worker::{coordinate, serve, SupervisionConfig};
+use bwap_runtime::{CellCache, FaultKind, FaultPlan};
+use bwap_suite::prelude::*;
+use proptest::prelude::*;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A small but real matrix: two policies and two DWP points give dedup
+/// classes, error fan-out and cache traffic something to act on.
+fn chaos_spec(seed: u64) -> CampaignSpec {
+    CampaignSpec::new("chaos", machines::machine_b())
+        .workloads(vec![workloads::streamcluster().scaled_down(32.0)])
+        .policies(vec![
+            PlacementPolicy::UniformWorkers,
+            PlacementPolicy::Bwap(BwapConfig::default()),
+        ])
+        .scenarios(vec![ScenarioKind::Standalone])
+        .worker_counts(vec![1])
+        .dwp_grid(vec![DwpPoint::AsConfigured, DwpPoint::Static(0.5)])
+        .seed(seed)
+}
+
+fn tmp(tag: &str, case: u64) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("bwap-chaos-{tag}-{case}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random recoverable fault plans against the in-process pipeline
+    /// (cache corruption, journal loss, delayed cells): the campaign
+    /// always completes and its deterministic bytes never move. A warm
+    /// rerun over the chaos-scarred cache directory is identical too —
+    /// corrupted entries degrade to misses, never to wrong results.
+    #[test]
+    fn recoverable_fault_plans_never_change_the_report(
+        plan_seed in 0u64..10_000,
+        torn in 0.0f64..1.0,
+        flip in 0.0f64..1.0,
+        journal in 0.0f64..1.0,
+        delay in 0.0f64..1.0,
+    ) {
+        let spec = chaos_spec(41);
+        let golden = run_campaign(&spec).deterministic_json();
+        let dir = tmp("local", plan_seed);
+        let plan = FaultPlan::new(plan_seed)
+            .with(FaultKind::CacheTorn, torn)
+            .with(FaultKind::CacheFlip, flip)
+            .with(FaultKind::JournalDrop, journal)
+            .with_param(FaultKind::CellDelay, delay, 2);
+        let cfg = CampaignConfig {
+            cache_dir: Some(dir.clone()),
+            faults: Some(plan),
+            ..Default::default()
+        };
+        let chaos = run_campaign_with(&spec, &cfg);
+        prop_assert_eq!(chaos.deterministic_json(), golden.clone());
+        let warm = run_campaign_with(&spec, &cfg);
+        prop_assert_eq!(warm.deterministic_json(), golden);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Random transport fault schedules against a real loopback worker:
+    /// whatever the supervised coordinator cannot serve remotely falls
+    /// back to local execution, and the merged report is byte-identical
+    /// to the fault-free golden. Mid-batch kills lose no verified cells —
+    /// every accepted (descriptor-verified) entry replays from the cache
+    /// instead of re-executing.
+    #[test]
+    fn supervised_remote_chaos_completes_byte_identically(
+        plan_seed in 0u64..10_000,
+        refuse in 0.0f64..0.5,
+        disconnect in 0.0f64..0.9,
+        corrupt in 0.0f64..0.9,
+        truncate in 0.0f64..0.9,
+    ) {
+        // The spec must travel through the CLI vocabulary: the worker
+        // rebuilds it from `sa.to_args()`, and descriptors only match if
+        // both sides built the identical spec.
+        let sa = bwap_bench::cli::SpecArgs {
+            name: "chaos".into(),
+            workloads: "SC".into(),
+            policies: "uniform-workers,bwap".into(),
+            dwps: "online,0.5".into(),
+            seed: 43,
+            quick: true,
+            ..Default::default()
+        };
+        let spec = sa.build().expect("spec");
+        let golden = run_campaign(&spec).deterministic_json();
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::spawn(move || {
+            let _ = serve(&listener, Some(2), false, Duration::from_secs(5));
+        });
+
+        let plan = FaultPlan::new(plan_seed)
+            .with(FaultKind::ConnectRefuse, refuse)
+            .with(FaultKind::Disconnect, disconnect)
+            .with(FaultKind::CorruptFrame, corrupt)
+            .with(FaultKind::TruncateFrame, truncate)
+            .with_param(FaultKind::Latency, 0.5, 3);
+        let sup = SupervisionConfig {
+            io_timeout: Duration::from_secs(5),
+            batch_deadline: Duration::from_secs(60),
+            max_rounds: 3,
+            backoff_base: Duration::from_millis(2),
+            quarantine_after: 100,
+        };
+        let dir = tmp("remote", plan_seed);
+        let cache = CellCache::open(&dir).expect("cache");
+        let outcome =
+            coordinate(&spec, &sa.to_args(), &[addr], &cache, true, &sup, Some(&plan));
+
+        let cfg = CampaignConfig { cache_dir: Some(dir.clone()), ..Default::default() };
+        let merged = run_campaign_with(&spec, &cfg);
+        prop_assert_eq!(merged.deterministic_json(), golden);
+        // No verified cell was lost to a dying worker: each accepted
+        // representative serves at least one cache hit in the merge.
+        let hits = merged.cells.iter().filter(|c| c.cache_hit).count();
+        prop_assert!(
+            hits >= outcome.accepted,
+            "{} accepted but only {hits} cache hits",
+            outcome.accepted
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// CellPanic is the one non-recoverable fault: with dedup off (so the
+    /// fault keys on each cell's own key), exactly the cells the plan
+    /// selects become error cells carrying the panic message, every other
+    /// cell completes with results identical to the fault-free baseline —
+    /// and the chaos run itself is replayable bit-for-bit.
+    #[test]
+    fn panicking_cells_become_error_cells_while_others_complete(
+        plan_seed in 0u64..10_000,
+        rate in 0.05f64..0.95,
+    ) {
+        let spec = chaos_spec(47);
+        let baseline = run_campaign(&spec);
+        let plan = FaultPlan::new(plan_seed).with(FaultKind::CellPanic, rate);
+        let cfg = CampaignConfig { dedup: false, faults: Some(plan.clone()), ..Default::default() };
+        let chaos = run_campaign_with(&spec, &cfg);
+        prop_assert_eq!(baseline.cells.len(), chaos.cells.len());
+        for (b, c) in baseline.cells.iter().zip(&chaos.cells) {
+            prop_assert_eq!(&b.key, &c.key);
+            let hit = plan.decide(FaultKind::CellPanic, &c.key).is_some();
+            match &c.outcome {
+                Err(e) => {
+                    prop_assert!(hit, "cell {} errored without a panic fault: {e}", c.key);
+                    prop_assert!(e.contains("cell panicked"), "{e}");
+                    prop_assert!(e.contains(&c.key), "panic message names the victim: {e}");
+                }
+                Ok(r) => {
+                    prop_assert!(!hit, "cell {} ignored its panic fault", c.key);
+                    let br = b.result().expect("baseline cell succeeds");
+                    prop_assert_eq!(br.exec_time_s.to_bits(), r.exec_time_s.to_bits());
+                }
+            }
+        }
+        let again = run_campaign_with(&spec, &cfg);
+        prop_assert_eq!(chaos.deterministic_json(), again.deterministic_json());
+    }
+}
