@@ -14,7 +14,7 @@
 //! times per cell; the full per-cell data (chosen DWPs, stall fractions,
 //! migrations, traffic, per-cell seeds) is in the JSON report.
 //!
-//! `--spec fig1a|fig4|table1|fig_tiered|fig_phases|dwp_dedup` renders a
+//! `--spec fig1a|fig4|table1|fig_tiered|fig_phases|fig_fleet|dwp_dedup` renders a
 //! canned experiment campaign instead of an ad-hoc matrix (`fig_tiered`
 //! is the heterogeneous-tier scenario on the CPU-less-expander machine),
 //! and `--out DIR` redirects the report from `results/` — for CI artifact
@@ -46,11 +46,15 @@ fn usage() -> ! {
                 [--policies first-touch,uniform-workers,uniform-all,autonuma,bwap-uniform,bwap,bwap-adaptive]
                 [--phased SC.FLIP,FT.SWING,OC.SWING] [--phase-periods 10,30]
                 [--scenarios standalone,coscheduled] [--workers 1,2,...]
-                [--dwps online,0.0,0.5,...] [--seed N] [--threads N]
+                [--dwps online,0.0,0.5,...] [--fleet b,tiered,...]
+                [--schedulers round-robin,least-loaded,tier-aware]
+                [--arrival-rates 0.5,2,...] [--fleet-jobs N]
+                [--seed N] [--threads N]
                 [--engine stepped|event] [--out DIR] [--trace DIR]
                 [--cache-dir DIR] [--dedup on|off] [--remote host:port,...]
                 [--faults SPEC] [--deterministic] [--probe] [--quick]
-       campaign --spec fig1a|fig4|table1|fig_tiered|fig_phases|dwp_dedup [--seed N]
+       campaign --spec fig1a|fig4|table1|fig_tiered|fig_phases|fig_fleet|dwp_dedup
+                [--seed N]
                 [--threads N] [--engine stepped|event] [--out DIR] [--trace DIR]
                 [--cache-dir DIR] [--dedup on|off] [--remote host:port,...]
                 [--faults SPEC] [--deterministic] [--quick]
@@ -67,7 +71,11 @@ them byte-identically); --dedup off disables exact intra-campaign
 deduplication; --remote farms uncached cells out to campaign_worker
 processes under supervision — timeouts, bounded retries with backoff,
 partial-batch salvage and worker quarantine (see docs/PERFORMANCE.md and
-docs/ROBUSTNESS.md). --faults injects a seeded, replayable fault schedule
+docs/ROBUSTNESS.md). --fleet appends a fleet axis: an open-loop Poisson
+stream of jobs drawn from the plain workload catalog arrives at the listed
+machine mix, swept over --schedulers and --arrival-rates (jobs/s), with
+--fleet-jobs jobs per stream; fleet cells report slowdown-vs-solo tail
+percentiles (see docs/FLEET.md). --faults injects a seeded, replayable fault schedule
 (e.g. 'disconnect=0.5,cache-flip=0.25,seed=7'; seed defaults to the
 campaign seed) for chaos runs — recoverable faults never change the
 deterministic report."

@@ -39,6 +39,13 @@
 //!   steady phase (no migrations, no retunes) stepped epoch-by-epoch vs
 //!   strided in one jump per run; the event run must be >= 5x faster and
 //!   finish at the bit-identical clock and progress.
+//! * `fleet_quick_stepped` / `fleet_quick_event` — a sparse open-loop
+//!   fleet stream (`docs/FLEET.md`): short jobs separated by long idle
+//!   gaps, exactly the regime where the event engine strides from one
+//!   arrival to the next while the stepped engine burns an epoch solve
+//!   every 5 simulated milliseconds of idle fleet. The event run must
+//!   be at least 2x faster and finish at the bit-identical makespan
+//!   (`tests/fleet.rs` pins the full campaign reports byte-identical).
 //!
 //! Usage: `cargo run --release -p bwap-bench --bin perf_smoke`
 //! (`BWAP_BENCH_OUT` overrides the output path.)
@@ -114,6 +121,28 @@ fn steady_phase_long(mode: EngineMode) -> (f64, f64) {
         .expect("spawn steady-long");
     sim.run_until_finished(pid, 200.0).expect("steady-long finishes");
     (sim.clock(), sim.process(pid).expect("process").work_done_gb)
+}
+
+/// The sparse-fleet microbench: a seeded Poisson stream of short jobs at
+/// a rate low enough that the fleet sits idle most of the simulated run —
+/// the stepped engine pays full price for every idle epoch, the event
+/// engine strides straight to the next arrival. Returns the makespan so
+/// the caller can pin the two engines to bit-identical results.
+fn fleet_sparse(mode: EngineMode) -> f64 {
+    let catalog = vec![bwap_workloads::streamcluster().scaled_down(256.0)];
+    // Mean inter-arrival 20 s vs job runtimes well under a second: the
+    // stream is ~99% idle gap.
+    let jobs = bwap_runtime::poisson_jobs(11, 0.05, 24, &catalog);
+    let cfg = bwap_runtime::FleetConfig {
+        machines: vec![machines::machine_b()],
+        scheduler: bwap_runtime::SchedulerKind::RoundRobin,
+        policy: PlacementPolicy::UniformWorkers,
+        workers: 1,
+        sim_cfg: SimConfig { mode, ..SimConfig::default() },
+    };
+    let out = bwap_runtime::run_fleet(&cfg, &jobs, None).expect("sparse fleet run");
+    assert_eq!(out.jobs.len(), 24, "every job completes");
+    out.makespan_s
 }
 
 fn ocxl_campaign_quick() {
@@ -281,6 +310,32 @@ fn main() {
     assert!(
         speedup >= 5.0,
         "the event engine must stride a long steady phase >= 5x faster, got {speedup:.1}x"
+    );
+
+    let fleet_stepped_makespan = fleet_sparse(EngineMode::Stepped);
+    let t_fleet_stepped = time_best(RUNS, || {
+        fleet_sparse(EngineMode::Stepped);
+    });
+    entries.push(("fleet_quick_stepped", t_fleet_stepped));
+    println!("fleet_quick_stepped: {t_fleet_stepped:.3} s");
+
+    let fleet_event_makespan = fleet_sparse(EngineMode::EventDriven);
+    let t_fleet_event = time_best(RUNS, || {
+        fleet_sparse(EngineMode::EventDriven);
+    });
+    entries.push(("fleet_quick_event", t_fleet_event));
+    println!("fleet_quick_event: {t_fleet_event:.3} s");
+
+    assert_eq!(
+        fleet_stepped_makespan.to_bits(),
+        fleet_event_makespan.to_bits(),
+        "sparse-fleet makespan must be bit-identical across engines"
+    );
+    let fleet_speedup = t_fleet_stepped / t_fleet_event;
+    println!("fleet_quick speedup (stepped/event): {fleet_speedup:.1}x");
+    assert!(
+        fleet_speedup >= 2.0,
+        "the event engine must stride sparse arrivals >= 2x faster, got {fleet_speedup:.1}x"
     );
 
     let mut json = String::from("{\n");

@@ -15,7 +15,8 @@
 
 use bwap::BwapConfig;
 use bwap_runtime::{
-    AdaptiveConfig, CampaignSpec, DwpPoint, EngineMode, PlacementPolicy, ScenarioKind,
+    AdaptiveConfig, CampaignSpec, DwpPoint, EngineMode, FleetAxis, MachineKind, PlacementPolicy,
+    ScenarioKind, SchedulerKind,
 };
 use bwap_topology::{machines, MachineTopology};
 use bwap_workloads::{PhasedWorkload, WorkloadSpec};
@@ -44,6 +45,18 @@ pub struct SpecArgs {
     pub workers: String,
     /// `--dwps` (comma list of `online` / values).
     pub dwps: String,
+    /// `--fleet` (comma list of machine kinds, e.g. `b,tiered`), empty =
+    /// no fleet axis. The plain workload axis doubles as the job catalog.
+    pub fleet: String,
+    /// `--schedulers` (comma list), empty = every scheduler. Requires
+    /// `--fleet`.
+    pub schedulers: String,
+    /// `--arrival-rates` (comma list of jobs/s), empty = `1`. Requires
+    /// `--fleet`.
+    pub arrival_rates: String,
+    /// `--fleet-jobs` (jobs per Poisson stream), empty = `8`. Requires
+    /// `--fleet`.
+    pub fleet_jobs: String,
     /// `--seed`.
     pub seed: u64,
     /// `--engine` (`stepped` / `event`).
@@ -69,6 +82,10 @@ impl Default for SpecArgs {
             scenarios: "standalone".into(),
             workers: "1".into(),
             dwps: "online".into(),
+            fleet: String::new(),
+            schedulers: String::new(),
+            arrival_rates: String::new(),
+            fleet_jobs: String::new(),
             seed: 0,
             engine: "stepped".into(),
             probe: false,
@@ -93,6 +110,10 @@ impl SpecArgs {
             "--scenarios" => self.scenarios = value(),
             "--workers" => self.workers = value(),
             "--dwps" => self.dwps = value(),
+            "--fleet" => self.fleet = value(),
+            "--schedulers" => self.schedulers = value(),
+            "--arrival-rates" => self.arrival_rates = value(),
+            "--fleet-jobs" => self.fleet_jobs = value(),
             "--seed" => {
                 self.seed = value().parse().map_err(|_| "bad --seed (expected u64)".to_string())?
             }
@@ -130,6 +151,18 @@ impl SpecArgs {
             push("--scenarios", &self.scenarios);
             push("--workers", &self.workers);
             push("--dwps", &self.dwps);
+            if !self.fleet.is_empty() {
+                push("--fleet", &self.fleet);
+            }
+            if !self.schedulers.is_empty() {
+                push("--schedulers", &self.schedulers);
+            }
+            if !self.arrival_rates.is_empty() {
+                push("--arrival-rates", &self.arrival_rates);
+            }
+            if !self.fleet_jobs.is_empty() {
+                push("--fleet-jobs", &self.fleet_jobs);
+            }
         }
         push("--seed", &self.seed.to_string());
         push("--engine", &self.engine);
@@ -194,7 +227,8 @@ impl SpecArgs {
             .split(',')
             .map(|k| k.parse().map_err(|_| format!("bad worker count {k:?}")))
             .collect::<Result<_, String>>()?;
-        Ok(CampaignSpec::new(&self.name, parse_machine(&self.machine)?)
+        let fleet = self.parse_fleet_axis()?;
+        let mut spec = CampaignSpec::new(&self.name, parse_machine(&self.machine)?)
             .workloads(parse_workloads(&self.workloads, self.quick)?)
             .phased_workloads(if self.phased.is_empty() {
                 Vec::new()
@@ -210,7 +244,69 @@ impl SpecArgs {
             .dwp_grid(self.dwps.split(',').map(parse_dwp).collect::<Result<_, String>>()?)
             .seed(self.seed)
             .engine_mode(engine)
-            .probe_bandwidth(self.probe))
+            .probe_bandwidth(self.probe);
+        if let Some(axis) = fleet {
+            spec = spec.fleet(axis);
+        }
+        Ok(spec)
+    }
+
+    /// The fleet axis the fleet flags describe, if any. Fleet-only flags
+    /// without `--fleet` are an error (they would be silently ignored).
+    fn parse_fleet_axis(&self) -> Result<Option<FleetAxis>, String> {
+        if self.fleet.is_empty() {
+            for (flag, v) in [
+                ("--schedulers", &self.schedulers),
+                ("--arrival-rates", &self.arrival_rates),
+                ("--fleet-jobs", &self.fleet_jobs),
+            ] {
+                if !v.is_empty() {
+                    return Err(format!("{flag} requires --fleet"));
+                }
+            }
+            return Ok(None);
+        }
+        let machines: Vec<MachineKind> = self
+            .fleet
+            .split(',')
+            .map(|m| {
+                MachineKind::parse(m)
+                    .ok_or_else(|| format!("unknown fleet machine {m:?} (expected b or tiered)"))
+            })
+            .collect::<Result<_, String>>()?;
+        let schedulers: Vec<SchedulerKind> = if self.schedulers.is_empty() {
+            SchedulerKind::all().to_vec()
+        } else {
+            self.schedulers
+                .split(',')
+                .map(|s| SchedulerKind::parse(s).ok_or_else(|| format!("unknown scheduler {s:?}")))
+                .collect::<Result<_, String>>()?
+        };
+        let arrival_rates: Vec<f64> = if self.arrival_rates.is_empty() {
+            vec![1.0]
+        } else {
+            self.arrival_rates
+                .split(',')
+                .map(|r| match r.parse::<f64>() {
+                    Ok(v) if v > 0.0 && v.is_finite() => Ok(v),
+                    _ => Err(format!("bad arrival rate {r:?} (expected positive jobs/s)")),
+                })
+                .collect::<Result<_, String>>()?
+        };
+        let jobs: usize = if self.fleet_jobs.is_empty() {
+            8
+        } else {
+            match self.fleet_jobs.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    return Err(format!(
+                        "bad --fleet-jobs {:?} (expected a positive count)",
+                        self.fleet_jobs
+                    ))
+                }
+            }
+        };
+        Ok(Some(FleetAxis { machines, schedulers, arrival_rates, jobs, trace: None }))
     }
 }
 
@@ -233,6 +329,7 @@ pub fn canned_spec(name: &str, quick: bool) -> Result<CampaignSpec, String> {
         "table1" => Ok(experiments::table1_spec(quick)),
         "fig_tiered" => Ok(experiments::fig_tiered_spec(quick)),
         "fig_phases" => Ok(experiments::fig_phases_spec(quick)),
+        "fig_fleet" => Ok(experiments::fig_fleet_spec(quick)),
         "dwp_dedup" => Ok(experiments::dwp_dedup_spec(quick)),
         other => Err(format!("unknown spec {other:?}")),
     }
@@ -327,6 +424,157 @@ mod tests {
         let back = SpecArgs::parse(&canned.to_args()).expect("round trip");
         assert_eq!(back.spec, "fig_phases");
         assert!(back.quick);
+    }
+
+    /// Every spec-defining flag added since the worker protocol landed —
+    /// `--engine`, the phase axes, and the whole fleet vocabulary — must
+    /// survive the coordinator-to-worker round trip verbatim: `parse`
+    /// of `to_args` is identity on the raw textual form.
+    #[test]
+    fn to_args_round_trips_every_flag_since_the_worker_protocol() {
+        let sa = SpecArgs {
+            name: "everything".into(),
+            machine: "tiered".into(),
+            workloads: "SC,OC".into(),
+            phased: "phased-stream".into(),
+            phase_periods: "0.5,2".into(),
+            policies: "bwap,first-touch".into(),
+            scenarios: "standalone,coscheduled".into(),
+            workers: "1,2".into(),
+            dwps: "online,0.25".into(),
+            fleet: "b,tiered".into(),
+            schedulers: "round-robin,tier-aware".into(),
+            arrival_rates: "0.5,2".into(),
+            fleet_jobs: "6".into(),
+            seed: 1234,
+            engine: "event".into(),
+            probe: true,
+            quick: true,
+            spec: String::new(),
+        };
+        let back = SpecArgs::parse(&sa.to_args()).expect("round trip");
+        assert_eq!(sa, back);
+        // And a second hop is a fixpoint: to_args is canonical.
+        assert_eq!(sa.to_args(), back.to_args());
+        // Empty fleet flags stay absent from the canonical vector rather
+        // than round-tripping as empty strings.
+        let plain = SpecArgs::default();
+        let args = plain.to_args();
+        for fleet_flag in ["--fleet", "--schedulers", "--arrival-rates", "--fleet-jobs"] {
+            assert!(!args.contains(&fleet_flag.to_string()), "{fleet_flag} leaked into {args:?}");
+        }
+        assert_eq!(SpecArgs::parse(&args).expect("round trip"), plain);
+    }
+
+    /// Executor knobs never travel to workers: the pure spec vocabulary
+    /// rejects them outright instead of silently absorbing them.
+    #[test]
+    fn executor_knobs_are_rejected_by_the_spec_vocabulary() {
+        for knob in [
+            "--threads",
+            "--out",
+            "--trace",
+            "--cache-dir",
+            "--dedup",
+            "--remote",
+            "--deterministic",
+            "--faults",
+        ] {
+            let err = SpecArgs::parse(&[knob.to_string(), "x".to_string()])
+                .expect_err("executor knob must not parse as spec");
+            assert!(err.contains("unknown spec flag"), "{knob}: {err}");
+        }
+    }
+
+    /// The fleet axis flags: defaults, validation, and the guard against
+    /// fleet-only flags without `--fleet`.
+    #[test]
+    fn fleet_flags_build_validate_and_default() {
+        // Defaults: every scheduler, one job/s, eight jobs.
+        let sa = SpecArgs { fleet: "b".into(), quick: true, ..Default::default() };
+        let spec = sa.build().expect("fleet spec");
+        let axis = spec.fleet.as_ref().expect("axis present");
+        assert_eq!(axis.machines, vec![MachineKind::B]);
+        assert_eq!(axis.schedulers, SchedulerKind::all().to_vec());
+        assert_eq!(axis.arrival_rates, vec![1.0]);
+        assert_eq!(axis.jobs, 8);
+        // Explicit values parse into the axis.
+        let sa = SpecArgs {
+            fleet: "b,tiered".into(),
+            schedulers: "least-loaded".into(),
+            arrival_rates: "0.25,4".into(),
+            fleet_jobs: "3".into(),
+            quick: true,
+            ..Default::default()
+        };
+        let axis = sa.build().expect("fleet spec").fleet.expect("axis");
+        assert_eq!(axis.machines, vec![MachineKind::B, MachineKind::Tiered]);
+        assert_eq!(axis.schedulers, vec![SchedulerKind::LeastLoaded]);
+        assert_eq!(axis.arrival_rates, vec![0.25, 4.0]);
+        assert_eq!(axis.jobs, 3);
+        // Fleet-dependent flags without --fleet are errors, not no-ops.
+        for (field, value) in
+            [("schedulers", "round-robin"), ("arrival_rates", "1"), ("fleet_jobs", "4")]
+        {
+            let mut sa = SpecArgs::default();
+            match field {
+                "schedulers" => sa.schedulers = value.into(),
+                "arrival_rates" => sa.arrival_rates = value.into(),
+                _ => sa.fleet_jobs = value.into(),
+            }
+            let err = sa.build().expect_err("fleet-only flag without --fleet");
+            assert!(err.contains("requires --fleet"), "{field}: {err}");
+        }
+        // Malformed axis values are typed errors.
+        for (sa, needle) in [
+            (SpecArgs { fleet: "z".into(), ..Default::default() }, "unknown fleet machine"),
+            (
+                SpecArgs { fleet: "b".into(), schedulers: "fifo".into(), ..Default::default() },
+                "unknown scheduler",
+            ),
+            (
+                SpecArgs { fleet: "b".into(), arrival_rates: "-1".into(), ..Default::default() },
+                "bad arrival rate",
+            ),
+            (
+                SpecArgs { fleet: "b".into(), arrival_rates: "inf".into(), ..Default::default() },
+                "bad arrival rate",
+            ),
+            (
+                SpecArgs { fleet: "b".into(), fleet_jobs: "0".into(), ..Default::default() },
+                "bad --fleet-jobs",
+            ),
+        ] {
+            let err = sa.build().expect_err("malformed fleet axis");
+            assert!(err.contains(needle), "{err}");
+        }
+    }
+
+    /// A fleet spec built on the coordinator and rebuilt on a worker from
+    /// the canonical argument vector enumerates identical cells —
+    /// including the fleet cells and their resolved descriptors.
+    #[test]
+    fn fleet_specs_agree_between_coordinator_and_worker() {
+        let sa = SpecArgs {
+            fleet: "b".into(),
+            schedulers: "round-robin".into(),
+            arrival_rates: "2".into(),
+            fleet_jobs: "2".into(),
+            quick: true,
+            ..Default::default()
+        };
+        let a = sa.build().expect("build");
+        let b = SpecArgs::parse(&sa.to_args()).expect("parse").build().expect("rebuild");
+        let (ca, cb) = (a.cells(), b.cells());
+        assert_eq!(ca.len(), cb.len());
+        assert!(ca.iter().any(|c| c.scheduler.is_some()), "fleet cells enumerated");
+        for (x, y) in ca.iter().zip(&cb) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(
+                bwap_runtime::cell_descriptor(&a, x).text(),
+                bwap_runtime::cell_descriptor(&b, y).text()
+            );
+        }
     }
 
     #[test]

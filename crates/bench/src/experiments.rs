@@ -13,7 +13,8 @@ use crate::report::ResultTable;
 use bwap::{BwapConfig, DwpTunerConfig};
 use bwap_runtime::{
     run_campaign, run_coscheduled, run_coscheduled_with, run_parallel, AdaptiveConfig,
-    CampaignReport, CampaignSpec, DwpPoint, PlacementPolicy, RunResult, ScenarioKind,
+    CampaignReport, CampaignSpec, DwpPoint, FleetAxis, MachineKind, PlacementPolicy, RunResult,
+    ScenarioKind, SchedulerKind,
 };
 use bwap_search::{hill_climb, HillClimbConfig, SimEvaluator};
 use bwap_topology::{machines, MachineTopology};
@@ -593,6 +594,82 @@ pub fn fig_phases_from_report(
     }
     let speedups = times.normalized_to("first-touch");
     (times, speedups, adaptive_stats)
+}
+
+/// Fig. F campaign: fleet-scale serving. An open-loop Poisson stream of
+/// jobs drawn from a two-app catalog arrives at a heterogeneous two
+/// machine fleet (one machine B, one tiered machine with CPU-less
+/// expanders); every cluster scheduler is swept at each arrival rate and
+/// each fleet cell reports slowdown-vs-solo tail percentiles. The plain
+/// workload axis doubles as the fleet's job catalog, so the report also
+/// carries each app's machine-local solo run for context.
+pub fn fig_fleet_spec(quick: bool) -> CampaignSpec {
+    let catalog = vec![streamcluster(quick), {
+        let oc = bwap_workloads::ocean_cp();
+        if quick {
+            oc.scaled_down(QUICK_FACTOR)
+        } else {
+            oc
+        }
+    }];
+    let (rates, jobs) = if quick { (vec![0.5, 2.0], 4) } else { (vec![0.25, 1.0, 4.0], 16) };
+    CampaignSpec::new("fig_fleet", machines::machine_b())
+        .workloads(catalog)
+        .policies(vec![PlacementPolicy::UniformWorkers])
+        .worker_counts(vec![1])
+        .fleet(FleetAxis {
+            machines: vec![MachineKind::B, MachineKind::Tiered],
+            schedulers: SchedulerKind::all().to_vec(),
+            arrival_rates: rates,
+            jobs,
+            trace: None,
+        })
+        .seed(7)
+}
+
+/// Fig. F: the slowdown-vs-solo tail table — one row per
+/// (scheduler, arrival rate) fleet cell, columns p50/p95/p99 plus
+/// makespan and job count.
+pub fn fig_fleet(quick: bool) -> ResultTable {
+    let spec = fig_fleet_spec(quick);
+    let report = run_campaign(&spec);
+    fig_fleet_from_report(&spec, &report)
+}
+
+/// Build Fig. F's tail table from its campaign report.
+pub fn fig_fleet_from_report(spec: &CampaignSpec, report: &CampaignReport) -> ResultTable {
+    let mut t = ResultTable::new(
+        "Fig. F: fleet slowdown-vs-solo tails (machine B + tiered, open-loop arrivals)",
+        vec!["p50".into(), "p95".into(), "p99".into(), "makespan [s]".into(), "jobs".into()],
+    );
+    t.precision = 2;
+    let axis = spec.fleet.as_ref().expect("fig_fleet has a fleet axis");
+    for sched in &axis.schedulers {
+        for &rate in &axis.arrival_rates {
+            let c = report
+                .cells
+                .iter()
+                .find(|c| {
+                    c.scheduler.as_deref() == Some(sched.label()) && c.arrival_rate_hz == Some(rate)
+                })
+                .unwrap_or_else(|| panic!("no fleet cell {}/{rate}", sched.label()));
+            let r = match &c.outcome {
+                Ok(r) => r,
+                Err(e) => panic!("cell {} failed: {e}", c.key),
+            };
+            t.push_row(
+                &format!("{} @ {rate}/s", sched.label()),
+                vec![
+                    r.slowdown_p50.unwrap_or(f64::NAN),
+                    r.slowdown_p95.unwrap_or(f64::NAN),
+                    r.slowdown_p99.unwrap_or(f64::NAN),
+                    r.exec_time_s,
+                    r.jobs.unwrap_or(0) as f64,
+                ],
+            );
+        }
+    }
+    t
 }
 
 /// Ablation 1: kernel-level vs user-level weighted interleaving, full

@@ -29,7 +29,13 @@ struct Cell {
     workers: u64,
     static_dwp: Option<f64>,
     phase_period: Option<f64>,
+    scheduler: Option<String>,
+    arrival_rate_hz: Option<f64>,
     exec_time_s: Option<f64>,
+    jobs: Option<u64>,
+    slowdown_p50: Option<f64>,
+    slowdown_p95: Option<f64>,
+    slowdown_p99: Option<f64>,
     error: Option<String>,
     trace_path: Option<String>,
     dedup_class: Option<String>,
@@ -56,9 +62,28 @@ fn parse_cells(cells: &[Json]) -> Result<Vec<Cell>, String> {
                 workers: c.get("workers").and_then(Json::as_f64).unwrap_or(0.0) as u64,
                 static_dwp: c.get("static_dwp").and_then(Json::as_f64),
                 phase_period: c.get("phase_period_s").and_then(Json::as_f64),
+                scheduler: c.get("scheduler").and_then(Json::as_str).map(str::to_string),
+                arrival_rate_hz: c.get("arrival_rate_hz").and_then(Json::as_f64),
                 exec_time_s: c
                     .get("result")
                     .and_then(|r| r.get("exec_time_s"))
+                    .and_then(Json::as_f64),
+                jobs: c
+                    .get("result")
+                    .and_then(|r| r.get("jobs"))
+                    .and_then(Json::as_f64)
+                    .map(|n| n as u64),
+                slowdown_p50: c
+                    .get("result")
+                    .and_then(|r| r.get("slowdown_p50"))
+                    .and_then(Json::as_f64),
+                slowdown_p95: c
+                    .get("result")
+                    .and_then(|r| r.get("slowdown_p95"))
+                    .and_then(Json::as_f64),
+                slowdown_p99: c
+                    .get("result")
+                    .and_then(|r| r.get("slowdown_p99"))
                     .and_then(Json::as_f64),
                 error: c.get("error").and_then(Json::as_str).map(str::to_string),
                 trace_path: c.get("trace_path").and_then(Json::as_str).map(str::to_string),
@@ -90,8 +115,16 @@ fn column_label(c: &Cell) -> String {
     }
 }
 
-/// Row label: workload plus the phase period when swept.
+/// Row label: workload plus the phase period when swept. Fleet cells
+/// (scheduler set) key rows by their (scheduler, arrival rate)
+/// coordinates instead — their workload is always the catalog mix.
 fn row_label(c: &Cell) -> String {
+    if let Some(sched) = &c.scheduler {
+        return match c.arrival_rate_hz {
+            Some(r) => format!("{} · {sched} @ {r}/s", c.workload),
+            None => format!("{} · {sched} @ trace", c.workload),
+        };
+    }
     match c.phase_period {
         Some(t) => format!("{} (T={t}s)", c.workload),
         None => c.workload.clone(),
@@ -287,6 +320,36 @@ pub fn render(report_text: &str, html_dir: Option<&Path>) -> Result<String, Stri
         }
         html.push_str("</table>\n");
     }
+
+    // Fleet cells additionally get a tail-latency table: the
+    // slowdown-vs-solo percentiles the open-loop serving campaign exists
+    // to measure (docs/FLEET.md).
+    let fleet: Vec<&Cell> = cells.iter().filter(|c| c.scheduler.is_some()).collect();
+    if fleet.iter().any(|c| c.slowdown_p50.is_some()) {
+        html.push_str(
+            "<h2>fleet slowdown-vs-solo tails</h2>\n<table>\n\
+             <tr><th class=\"rowhead\">fleet cell</th><th>p50</th><th>p95</th><th>p99</th>\
+             <th>jobs</th><th>makespan</th></tr>\n",
+        );
+        let fmt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.3}"),
+            None => String::new(),
+        };
+        for c in &fleet {
+            html.push_str(&format!(
+                "<tr><td class=\"rowhead\"><span title=\"{}\">{}</span></td>\
+                 <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                esc(&c.key),
+                esc(&format!("{} · {}", row_label(c), c.policy)),
+                fmt(c.slowdown_p50),
+                fmt(c.slowdown_p95),
+                fmt(c.slowdown_p99),
+                c.jobs.map(|n| n.to_string()).unwrap_or_default(),
+                fmt(c.exec_time_s),
+            ));
+        }
+        html.push_str("</table>\n");
+    }
     html.push_str("</body>\n</html>\n");
     Ok(html)
 }
@@ -367,6 +430,37 @@ mod tests {
         let html = render(&plain, None).unwrap();
         assert!(!html.contains("class=\"badge\""));
         assert!(!html.contains("shared dedup classes"));
+    }
+
+    #[test]
+    fn renders_fleet_tail_table() {
+        let report = r#"{
+  "schema_version": 2,
+  "campaign": "fleet",
+  "machine": "machine-b",
+  "seed": 7,
+  "bw_matrix_gbps": null,
+  "cells": [
+    {"id": 0, "key": "SC|uniform-workers|standalone|1w", "workload": "SC",
+     "policy": "uniform-workers", "scenario": "standalone", "workers": 1,
+     "static_dwp": null, "seed": 2, "result": {"exec_time_s": 1.5}, "error": null},
+    {"id": 1, "key": "fleet:b+tiered|p0:uniform-workers|sched=least-loaded|rate=2|1w",
+     "workload": "mix", "policy": "uniform-workers", "scenario": "fleet", "workers": 1,
+     "static_dwp": null, "scheduler": "least-loaded", "arrival_rate_hz": 2, "seed": 3,
+     "result": {"exec_time_s": 4.5, "jobs": 4, "job_slowdowns": [1, 1.25, 2, 3],
+                "slowdown_p50": 1.25, "slowdown_p95": 3, "slowdown_p99": 3},
+     "error": null}
+  ]
+}"#;
+        let html = render(report, None).unwrap();
+        assert!(html.contains("fleet slowdown-vs-solo tails"), "tail table present");
+        assert!(html.contains("mix · least-loaded @ 2/s"), "fleet row keyed by coordinates");
+        assert!(html.contains("<td>1.250</td>"), "p50 rendered");
+        assert!(html.contains("<td>4</td>"), "job count rendered");
+        // Reports without fleet cells render no tail table.
+        let plain = golden("fig4_quick.json");
+        let html = render(&plain, None).unwrap();
+        assert!(!html.contains("fleet slowdown"));
     }
 
     #[test]

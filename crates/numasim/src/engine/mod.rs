@@ -370,6 +370,65 @@ impl Simulator {
         threads_per_node: Option<u16>,
         policy: MemPolicy,
     ) -> Result<ProcessId, SimError> {
+        self.spawn_inner(profile, workers, threads_per_node, policy, None)
+    }
+
+    /// Register a process that arrives at simulated time `at` (>= the
+    /// current clock). Validation and memory placement happen now — pages
+    /// are pre-faulted at submission, so placement policies see the final
+    /// layout — but the process stays [`ProcessState::Pending`] and
+    /// generates no demand until the first epoch boundary at or past `at`,
+    /// when the engine activates it and emits an `"arrival"` trace instant.
+    ///
+    /// An idle event-driven simulator strides across the gap to the next
+    /// arrival instead of stepping through it epoch by epoch.
+    pub fn spawn_at(
+        &mut self,
+        at: f64,
+        profile: AppProfile,
+        workers: NodeSet,
+        threads_per_node: Option<u16>,
+        policy: MemPolicy,
+    ) -> Result<ProcessId, SimError> {
+        if !at.is_finite() || at + 1e-12 < self.clock {
+            return Err(SimError::InvalidTime(format!(
+                "arrival time {at} is before the clock ({})",
+                self.clock
+            )));
+        }
+        self.spawn_inner(profile, workers, threads_per_node, policy, Some(at))
+    }
+
+    /// Schedule `pid` to depart (leave the machine) at simulated time `at`
+    /// (>= the current clock), whether or not its work has completed by
+    /// then. The engine retires the process at the first epoch boundary at
+    /// or past `at`: it stops generating demand, pending migrations are
+    /// dropped (their drain flows close), and a `"departure"` trace
+    /// instant is emitted. A later call replaces an earlier schedule. A
+    /// pending process may depart before it arrives; it then never runs.
+    pub fn depart_at(&mut self, pid: ProcessId, at: f64) -> Result<(), SimError> {
+        if !at.is_finite() || at + 1e-12 < self.clock {
+            return Err(SimError::InvalidTime(format!(
+                "departure time {at} is before the clock ({})",
+                self.clock
+            )));
+        }
+        let p = self.process_mut(pid)?;
+        if matches!(p.state, ProcessState::Finished { .. }) {
+            return Err(SimError::ProcessFinished(pid.0));
+        }
+        p.departs_at = Some(at);
+        Ok(())
+    }
+
+    fn spawn_inner(
+        &mut self,
+        profile: AppProfile,
+        workers: NodeSet,
+        threads_per_node: Option<u16>,
+        policy: MemPolicy,
+        arrival: Option<f64>,
+    ) -> Result<ProcessId, SimError> {
         profile.validate()?;
         policy.validate(self.machine.node_count())?;
         if workers.is_empty() {
@@ -426,6 +485,10 @@ impl Simulator {
             }
         }
         self.counters.register_process(pid);
+        let (state, started_at) = match arrival {
+            Some(at) => (ProcessState::Pending { at }, at),
+            None => (ProcessState::Running, self.clock),
+        };
         self.procs.push(SimProcess {
             id: pid,
             profile,
@@ -435,8 +498,9 @@ impl Simulator {
             shared_seg,
             private_segs,
             work_done_gb: 0.0,
-            state: ProcessState::Running,
-            started_at: self.clock,
+            state,
+            started_at,
+            departs_at: None,
             migrations: MigrationQueue::new(),
             migration_credit: 0.0,
             phases: None,
@@ -695,6 +759,11 @@ impl Simulator {
             tr.begin("epoch", epoch_ts, trace::ENGINE_TRACK);
         }
 
+        // 0a. Lifecycle: activate due arrivals and retire due departures
+        // before demand assembly, so a job arriving this epoch contributes
+        // demand this epoch and a departing one contributes none.
+        let any_lifecycle = self.process_lifecycle(epoch_ts);
+
         // 0. Phase boundaries: swap demand profiles of phase-structured
         // processes. Steady-state epochs only compare the clock; the
         // profile clone happens at boundaries (a handful per run).
@@ -927,10 +996,61 @@ impl Simulator {
         }
         let any_fired = self.fire_due_daemons();
         // Quiescent: no migration traffic in the solve, nobody finished,
-        // no daemon mutated anything, and the utilization feedback is at
-        // its fixed point — so re-running the epoch would reproduce the
-        // same allocation and only accumulate progress at the same rates.
-        self.quiescent = no_migrations && !any_finished && !any_fired && util_fixed;
+        // arrived or departed, no daemon mutated anything, and the
+        // utilization feedback is at its fixed point — so re-running the
+        // epoch would reproduce the same allocation and only accumulate
+        // progress at the same rates.
+        self.quiescent =
+            no_migrations && !any_finished && !any_fired && !any_lifecycle && util_fixed;
+    }
+
+    /// Stage 0a of [`Simulator::step`]: transition pending processes whose
+    /// arrival time the clock has reached to running, and retire processes
+    /// whose scheduled departure is due. Returns whether any transition
+    /// happened (such an epoch is never quiescent).
+    fn process_lifecycle(&mut self, epoch_ts: u64) -> bool {
+        let mut any = false;
+        for i in 0..self.procs.len() {
+            if let ProcessState::Pending { at } = self.procs[i].state {
+                if self.clock + 1e-12 >= at {
+                    self.procs[i].state = ProcessState::Running;
+                    any = true;
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.instant(
+                            "arrival",
+                            epoch_ts,
+                            trace::process_track(self.procs[i].id),
+                            vec![("at_s".into(), ArgValue::F64(at))],
+                        );
+                    }
+                }
+            }
+            let Some(at) = self.procs[i].departs_at else { continue };
+            if self.clock + 1e-12 < at {
+                continue;
+            }
+            self.procs[i].departs_at = None;
+            if matches!(self.procs[i].state, ProcessState::Finished { .. }) {
+                continue;
+            }
+            // Retire at the scheduled time (never before arrival, so
+            // execution time stays non-negative for cancelled jobs).
+            let started_at = self.procs[i].started_at;
+            self.procs[i].state = ProcessState::Finished { at: at.max(started_at) };
+            // Dropped migrations leave the page table as-is; stage 5b
+            // closes any still-open drain flow this same epoch.
+            self.procs[i].migrations.clear();
+            any = true;
+            if let Some(tr) = self.trace.as_mut() {
+                tr.instant(
+                    "departure",
+                    epoch_ts,
+                    trace::process_track(self.procs[i].id),
+                    vec![("at_s".into(), ArgValue::F64(at))],
+                );
+            }
+        }
+        any
     }
 
     /// Stage 4 of [`Simulator::step`]: convert the solved bandwidth
@@ -1058,6 +1178,18 @@ impl Simulator {
         })
     }
 
+    /// Whether any pending arrival or scheduled departure is at or before
+    /// the current clock (stage 0a of the next [`Simulator::step`] would
+    /// transition a process). Breaks an event-driven stride the same way a
+    /// phase boundary does.
+    fn lifecycle_due(&self) -> bool {
+        self.procs.iter().any(|p| {
+            (matches!(p.state, ProcessState::Pending { at } if self.clock + 1e-12 >= at))
+                || (!matches!(p.state, ProcessState::Finished { .. })
+                    && p.departs_at.is_some_and(|at| self.clock + 1e-12 >= at))
+        })
+    }
+
     /// Advance one event-driven stride, never past `limit`: one full
     /// [`Simulator::step`], then — if that epoch was quiescent — replay
     /// its progress accounting over the following epochs until the next
@@ -1071,7 +1203,11 @@ impl Simulator {
     pub fn step_stride(&mut self, limit: f64) -> u64 {
         self.step();
         let mut epochs = 1u64;
-        if !self.quiescent || self.clock + 1e-12 >= limit || self.phase_boundary_due() {
+        if !self.quiescent
+            || self.clock + 1e-12 >= limit
+            || self.phase_boundary_due()
+            || self.lifecycle_due()
+        {
             return epochs;
         }
         let dt = self.cfg.epoch_dt;
@@ -1086,7 +1222,11 @@ impl Simulator {
             self.clock += dt;
             epochs += 1;
             let any_fired = self.fire_due_daemons();
-            if any_finished || any_fired || self.clock + 1e-12 >= limit || self.phase_boundary_due()
+            if any_finished
+                || any_fired
+                || self.clock + 1e-12 >= limit
+                || self.phase_boundary_due()
+                || self.lifecycle_due()
             {
                 break;
             }
@@ -1140,7 +1280,7 @@ impl Simulator {
                 ProcessState::Finished { .. } => {
                     return Ok(self.execution_time(pid).expect("finished"));
                 }
-                ProcessState::Running => {
+                ProcessState::Running | ProcessState::Pending { .. } => {
                     if self.clock >= deadline {
                         return Err(SimError::Timeout { pid: pid.0, deadline });
                     }

@@ -17,6 +17,8 @@ pub enum SimError {
     InvalidWeights(String),
     /// Operation requires a running process but it already finished.
     ProcessFinished(usize),
+    /// An arrival or departure time in the simulated past (or non-finite).
+    InvalidTime(String),
     /// Physical memory exhausted while placing pages.
     OutOfMemory,
     /// A bounded run ended before the awaited process finished.
@@ -39,6 +41,7 @@ impl fmt::Display for SimError {
             SimError::InvalidNodes(s) => write!(f, "invalid node set: {s}"),
             SimError::InvalidWeights(s) => write!(f, "invalid weights: {s}"),
             SimError::ProcessFinished(p) => write!(f, "process {p} already finished"),
+            SimError::InvalidTime(s) => write!(f, "invalid time: {s}"),
             SimError::OutOfMemory => write!(f, "physical memory exhausted"),
             SimError::Timeout { pid, deadline } => {
                 write!(f, "process {pid} did not finish by simulated t={deadline}")

@@ -13,6 +13,13 @@ pub struct ProcessId(pub usize);
 /// Lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProcessState {
+    /// Registered via [`crate::Simulator::spawn_at`] but not yet arrived:
+    /// memory is already placed, threads are pinned, but the process
+    /// generates no demand until the engine activates it at `at`.
+    Pending {
+        /// Simulated arrival time (seconds).
+        at: f64,
+    },
     /// Still executing.
     Running,
     /// Completed its total work at the given simulated time.
@@ -63,8 +70,14 @@ pub struct SimProcess {
     pub work_done_gb: f64,
     /// Lifecycle.
     pub state: ProcessState,
-    /// Simulated spawn time.
+    /// Simulated spawn time. For a [`ProcessState::Pending`] process this
+    /// is the scheduled arrival time, so execution time always measures
+    /// from arrival, not registration.
     pub started_at: f64,
+    /// Scheduled departure time, if any. The engine retires the process at
+    /// the first epoch boundary at or past this time, whether or not its
+    /// work completed.
+    pub departs_at: Option<f64>,
     /// Pending page migrations.
     pub migrations: MigrationQueue,
     /// Fractional page-migration credit carried between epochs, so slow
@@ -90,11 +103,12 @@ impl SimProcess {
         matches!(self.state, ProcessState::Running)
     }
 
-    /// Execution time if finished.
+    /// Execution time if finished. Measured from arrival (`started_at`),
+    /// and clamped to zero for a job that departed before it arrived.
     pub fn execution_time(&self) -> Option<f64> {
         match self.state {
-            ProcessState::Finished { at } => Some(at - self.started_at),
-            ProcessState::Running => None,
+            ProcessState::Finished { at } => Some((at - self.started_at).max(0.0)),
+            ProcessState::Running | ProcessState::Pending { .. } => None,
         }
     }
 

@@ -45,6 +45,7 @@ pub struct ScriptDaemon {
 pub type Action = Box<dyn FnMut(&mut Simulator)>;
 
 impl ScriptDaemon {
+    #[allow(dead_code)] // each test binary scripts daemons as it needs
     pub fn new(actions: Vec<Action>) -> Self {
         ScriptDaemon { actions: actions.into() }
     }
@@ -167,6 +168,9 @@ where
         state.push(format!("p{pid_idx}.migration_credit={}", bits(p.migration_credit)));
         match p.state {
             ProcessState::Running => state.push(format!("p{pid_idx}.state=running")),
+            ProcessState::Pending { at } => {
+                state.push(format!("p{pid_idx}.state=pending@{}", bits(at)));
+            }
             ProcessState::Finished { at } => {
                 state.push(format!("p{pid_idx}.state=finished@{}", bits(at)));
             }

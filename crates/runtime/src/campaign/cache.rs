@@ -198,6 +198,21 @@ pub fn encode_entry(desc: &CellDescriptor, outcome: &Result<RunResult, String>) 
                 Some(n) => s.push_str(&format!("phase_switches {n}\n")),
                 None => s.push_str("phase_switches none\n"),
             }
+            match r.jobs {
+                Some(n) => s.push_str(&format!("jobs {n}\n")),
+                None => s.push_str("jobs none\n"),
+            }
+            match &r.job_slowdowns {
+                Some(ss) => {
+                    let hex: Vec<String> =
+                        ss.iter().map(|t| format!("{:016x}", t.to_bits())).collect();
+                    s.push_str(&format!("job_slowdowns {}\n", hex.join(",")));
+                }
+                None => s.push_str("job_slowdowns none\n"),
+            }
+            s.push_str(&opt_bits("slowdown_p50", r.slowdown_p50));
+            s.push_str(&opt_bits("slowdown_p95", r.slowdown_p95));
+            s.push_str(&opt_bits("slowdown_p99", r.slowdown_p99));
         }
         Err(e) => {
             s.push_str("outcome err\n");
@@ -246,6 +261,18 @@ pub fn decode_entry(text: &str) -> Option<(&str, Result<RunResult, String>)> {
                 "none" => None,
                 v => Some(v.parse().ok()?),
             };
+            let jobs = match next("jobs")?.as_str() {
+                "none" => None,
+                v => Some(v.parse().ok()?),
+            };
+            let job_slowdowns = match next("job_slowdowns")?.as_str() {
+                "none" => None,
+                "" => Some(Vec::new()),
+                v => Some(v.split(',').map(bits).collect::<Option<Vec<f64>>>()?),
+            };
+            let slowdown_p50 = opt_bits_parse(&next("slowdown_p50")?)?;
+            let slowdown_p95 = opt_bits_parse(&next("slowdown_p95")?)?;
+            let slowdown_p99 = opt_bits_parse(&next("slowdown_p99")?)?;
             Some((
                 desc_text,
                 Ok(RunResult {
@@ -262,6 +289,11 @@ pub fn decode_entry(text: &str) -> Option<(&str, Result<RunResult, String>)> {
                     retunes,
                     retune_times_s,
                     phase_switches,
+                    jobs,
+                    job_slowdowns,
+                    slowdown_p50,
+                    slowdown_p95,
+                    slowdown_p99,
                 }),
             ))
         }
@@ -345,6 +377,11 @@ mod tests {
             retunes: Some(2),
             retune_times_s: Some(vec![3.5, 9.25]),
             phase_switches: None,
+            jobs: Some(3),
+            job_slowdowns: Some(vec![1.0, 1.25, 2.5]),
+            slowdown_p50: Some(1.25),
+            slowdown_p95: Some(2.5),
+            slowdown_p99: Some(2.5),
         }
     }
 
@@ -370,6 +407,11 @@ mod tests {
                     assert_eq!(a.a_stall_frac, b.a_stall_frac);
                     assert_eq!(a.retunes, b.retunes);
                     assert_eq!(a.phase_switches, b.phase_switches);
+                    assert_eq!(a.jobs, b.jobs);
+                    assert_eq!(a.job_slowdowns, b.job_slowdowns);
+                    assert_eq!(a.slowdown_p50.map(f64::to_bits), b.slowdown_p50.map(f64::to_bits));
+                    assert_eq!(a.slowdown_p95.map(f64::to_bits), b.slowdown_p95.map(f64::to_bits));
+                    assert_eq!(a.slowdown_p99.map(f64::to_bits), b.slowdown_p99.map(f64::to_bits));
                 }
                 (Err(a), Err(b)) => assert_eq!(a, b),
                 _ => panic!("outcome kind flipped"),

@@ -30,9 +30,10 @@
 //!   [`effective_seed`], which re-tightens its classes; the proptest
 //!   invariant is the backstop that catches a policy that forgets.
 
-use super::{CampaignSpec, CellSpec, DwpPoint};
+use super::{CampaignSpec, CellSpec, DwpPoint, ScenarioKind};
 use crate::adaptive::AdaptiveConfig;
 use crate::baselines::PlacementPolicy;
+use crate::fleet::{jobs_from_trace, poisson_jobs};
 use bwap::descriptor::{CellDescriptor, DescriptorBuilder};
 use bwap::{BwapConfig, InterleaveMode};
 use bwap_topology::{MachineTopology, NodeId};
@@ -81,6 +82,9 @@ pub fn effective_seed(policy: &PlacementPolicy, cell_seed: u64) -> u64 {
 
 /// Build the canonical content-addressed descriptor of one cell.
 pub fn cell_descriptor(spec: &CampaignSpec, cell: &CellSpec) -> CellDescriptor {
+    if cell.scenario == ScenarioKind::Fleet {
+        return fleet_descriptor(spec, cell);
+    }
     let mut b = DescriptorBuilder::new("campaign-cell");
     describe_machine(&mut b, &spec.machine);
 
@@ -119,6 +123,63 @@ pub fn cell_descriptor(spec: &CampaignSpec, cell: &CellSpec) -> CellDescriptor {
     b.field_str("sim.engine", spec.sim_cfg.mode.label());
 
     b.field_bool("probe_bandwidth", spec.probe_bandwidth);
+    b.finish()
+}
+
+/// Canonical descriptor of a fleet cell. Everything the fleet run reads
+/// goes in: the full topology of every machine in the mix, the scheduler,
+/// the effective policy, the worker count, the sim config — and the
+/// **resolved arrival schedule**, job by job (arrival/departure times as
+/// raw bits plus each job's full workload spec).
+///
+/// The schedule must be resolved here rather than summarized as
+/// `(rate, seed)` because the Poisson stream *consumes* the cell seed
+/// while [`effective_seed`] normalizes seeds away for deterministic
+/// policies: two cells with the same rate under different root seeds run
+/// different streams, and only the resolved schedule separates their
+/// descriptors. (Conversely, a trace-driven fleet and a Poisson fleet
+/// that happen to produce the same schedule genuinely share a result.)
+fn fleet_descriptor(spec: &CampaignSpec, cell: &CellSpec) -> CellDescriptor {
+    let axis = spec.fleet.as_ref().expect("fleet cells exist only with a fleet axis");
+    let mut b = DescriptorBuilder::new("campaign-fleet-cell");
+    b.section("fleet.machines", axis.machines.len());
+    for (i, kind) in axis.machines.iter().enumerate() {
+        // describe_machine uses fixed field names; the index marker keeps
+        // the (order-sensitive) descriptor text unambiguous across the mix.
+        b.field_u64("fleet.machine_index", i as u64);
+        describe_machine(&mut b, &kind.topology());
+    }
+    b.field_str("fleet.scheduler", cell.scheduler.expect("fleet cell").label());
+
+    let jobs = match &axis.trace {
+        Some(events) => jobs_from_trace(events),
+        None => {
+            poisson_jobs(cell.seed, cell.arrival_rate.unwrap_or(0.0), axis.jobs, &spec.workloads)
+        }
+    };
+    b.section("fleet.jobs", jobs.len());
+    for (i, j) in jobs.iter().enumerate() {
+        let p = format!("job{i}.");
+        b.field_f64(&format!("{p}at_s"), j.at_s);
+        if let Some(d) = j.depart_s {
+            b.field_f64(&format!("{p}depart_s"), d);
+        }
+        describe_workload(&mut b, &p, &j.workload);
+    }
+
+    let policy = effective_policy(spec, cell);
+    describe_policy(&mut b, &policy);
+    b.field_u64("seed", effective_seed(&policy, cell.seed));
+
+    b.field_str("scenario", cell.scenario.label());
+    b.field_u64("workers", cell.workers as u64);
+
+    b.field_f64("sim.epoch_dt", spec.sim_cfg.epoch_dt);
+    b.field_f64("sim.migration_gbps", spec.sim_cfg.migration_gbps);
+    b.field_f64("sim.write_amplification", spec.sim_cfg.ctrl_model.write_amplification);
+    b.field_f64("sim.latency_inflation.a", spec.sim_cfg.latency_inflation.0);
+    b.field_f64("sim.latency_inflation.b", spec.sim_cfg.latency_inflation.1);
+    b.field_str("sim.engine", spec.sim_cfg.mode.label());
     b.finish()
 }
 
@@ -324,6 +385,44 @@ mod tests {
         assert_ne!(d0, cell_descriptor(&event, &event.cells()[0]));
         let probe = spec().probe_bandwidth(true);
         assert_ne!(d0, cell_descriptor(&probe, &probe.cells()[0]));
+    }
+
+    #[test]
+    fn fleet_descriptors_resolve_the_arrival_schedule() {
+        use crate::campaign::FleetAxis;
+        use crate::fleet::{MachineKind, SchedulerKind};
+        let fleet_spec = |seed: u64, trace: Option<Vec<bwap_workloads::arrivals::ArrivalEvent>>| {
+            CampaignSpec::new("fleet-desc", machines::machine_b())
+                .workloads(vec![bwap_workloads::streamcluster().scaled_down(64.0)])
+                .policies(vec![PlacementPolicy::UniformWorkers])
+                .fleet(FleetAxis {
+                    machines: vec![MachineKind::B],
+                    schedulers: vec![SchedulerKind::RoundRobin],
+                    arrival_rates: vec![1.0],
+                    jobs: 3,
+                    trace,
+                })
+                .seed(seed)
+        };
+        let fleet_cell = |s: &CampaignSpec| s.cells().into_iter().find(|c| c.scheduler.is_some());
+        // Poisson fleets: the schedule consumes the cell seed, so two
+        // root seeds must NOT share a descriptor (their streams differ).
+        let (a, b) = (fleet_spec(1, None), fleet_spec(2, None));
+        let (ca, cb) = (fleet_cell(&a).unwrap(), fleet_cell(&b).unwrap());
+        assert_ne!(ca.seed, cb.seed);
+        let (da, db) = (cell_descriptor(&a, &ca), cell_descriptor(&b, &cb));
+        assert_ne!(da, db, "poisson schedules differ, descriptors must too");
+        assert!(da.text().contains("job0.at_s="));
+        // Trace-driven fleets: the schedule is explicit, the seed is
+        // inert — different root seeds share one descriptor.
+        let trace = vec![bwap_workloads::arrivals::ArrivalEvent {
+            at_s: 0.5,
+            workload: bwap_workloads::streamcluster().scaled_down(64.0),
+            depart_s: None,
+        }];
+        let (ta, tb) = (fleet_spec(1, Some(trace.clone())), fleet_spec(2, Some(trace)));
+        let (ca, cb) = (fleet_cell(&ta).unwrap(), fleet_cell(&tb).unwrap());
+        assert_eq!(cell_descriptor(&ta, &ca), cell_descriptor(&tb, &cb));
     }
 
     #[test]

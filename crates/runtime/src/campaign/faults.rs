@@ -219,6 +219,29 @@ impl FaultPlan {
         Ok(plan)
     }
 
+    /// Render the plan back into the `--faults` spec grammar, canonically:
+    /// rules in [`ALL_KINDS`] order, `:param_ms` only when non-zero, and an
+    /// explicit trailing `seed=` term so the string replays identically
+    /// whatever campaign seed it is parsed under. `to_spec` is a fixpoint
+    /// of [`FaultPlan::parse`] — parsing the output (under any default
+    /// seed) and serializing again returns the same string — which makes
+    /// it the replay coordinate to log for a chaos run.
+    pub fn to_spec(&self) -> String {
+        let mut terms: Vec<String> = ALL_KINDS
+            .iter()
+            .filter_map(|k| self.rules.iter().find(|r| r.kind == *k))
+            .map(|r| {
+                if r.param_ms == 0 {
+                    format!("{}={}", r.kind.label(), r.rate)
+                } else {
+                    format!("{}={}:{}", r.kind.label(), r.rate, r.param_ms)
+                }
+            })
+            .collect();
+        terms.push(format!("seed={}", self.seed));
+        terms.join(",")
+    }
+
     /// Decide whether `kind` fires for the instance named by `key`. Pure:
     /// the answer depends only on `(seed, kind, key)`.
     pub fn decide(&self, kind: FaultKind, key: &str) -> Option<Fault> {
@@ -262,6 +285,25 @@ mod tests {
         assert_eq!(FaultPlan::parse("hang=0.1", 42).unwrap().seed(), 42);
         // An empty spec is the empty plan.
         assert!(FaultPlan::parse("", 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn to_spec_is_canonical_and_parse_inverts_it() {
+        // Construction order does not matter: serialization is in
+        // ALL_KINDS order with an explicit seed, params only when set.
+        let plan = FaultPlan::new(7)
+            .with_param(FaultKind::Latency, 1.0, 20)
+            .with(FaultKind::Disconnect, 0.5);
+        assert_eq!(plan.to_spec(), "disconnect=0.5,latency=1:20,seed=7");
+        // Parsing under a *different* default seed restores the plan
+        // exactly — the explicit seed= term wins.
+        let back = FaultPlan::parse(&plan.to_spec(), 999).unwrap();
+        assert_eq!(back.seed(), 7);
+        assert_eq!(back.to_spec(), plan.to_spec());
+        // The empty plan round-trips too (a bare seed term).
+        let empty = FaultPlan::new(3);
+        assert_eq!(empty.to_spec(), "seed=3");
+        assert!(FaultPlan::parse(&empty.to_spec(), 0).unwrap().is_empty());
     }
 
     #[test]

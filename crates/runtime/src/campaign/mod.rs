@@ -45,9 +45,13 @@ pub use report::{results_dir, CampaignReport, CellRecord, NodeTierRecord, SCHEMA
 
 use crate::baselines::PlacementPolicy;
 use crate::error::RuntimeError;
+use crate::fleet::{
+    jobs_from_trace, poisson_jobs, run_fleet, FleetConfig, MachineKind, SchedulerKind,
+};
 use crate::scenario::{coscheduled_impl, standalone_impl, RunResult};
 use bwap::derive_seed;
 use bwap_topology::MachineTopology;
+use bwap_workloads::arrivals::ArrivalEvent;
 use bwap_workloads::{PhasedWorkload, WorkloadSpec};
 use numasim::{EngineMode, SimConfig, TraceSink};
 use std::path::{Path, PathBuf};
@@ -60,6 +64,10 @@ pub enum ScenarioKind {
     /// The measured application shares the machine with the CPU-bound
     /// high-priority Swaptions on the complement of the worker set.
     Coscheduled,
+    /// Fleet-scale serving: an open-loop job stream scheduled across many
+    /// machines (see [`crate::fleet`]). Cells of this kind exist only
+    /// when the spec declares a [`FleetAxis`].
+    Fleet,
 }
 
 impl ScenarioKind {
@@ -68,6 +76,7 @@ impl ScenarioKind {
         match self {
             ScenarioKind::Standalone => "standalone",
             ScenarioKind::Coscheduled => "coscheduled",
+            ScenarioKind::Fleet => "fleet",
         }
     }
 }
@@ -140,6 +149,29 @@ pub struct CampaignSpec {
     /// Also run the installation-time bandwidth probe (Fig. 1a) and
     /// attach the matrix to the report.
     pub probe_bandwidth: bool,
+    /// Fleet axis: when set, fleet cells (policies × schedulers ×
+    /// arrival rates × worker counts × DWP grid) are enumerated *after*
+    /// every machine-local cell, so declaring it never perturbs existing
+    /// keys, seeds or report bytes. The spec's plain `workloads` double
+    /// as the fleet's job catalog.
+    pub fleet: Option<FleetAxis>,
+}
+
+/// The fleet axis of a campaign: which cluster configurations to sweep.
+#[derive(Debug, Clone)]
+pub struct FleetAxis {
+    /// Machine mix, in scheduler index order.
+    pub machines: Vec<MachineKind>,
+    /// Cluster schedulers to sweep.
+    pub schedulers: Vec<SchedulerKind>,
+    /// Poisson arrival rates (jobs per simulated second) to sweep.
+    /// Ignored when an explicit [`FleetAxis::trace`] is set.
+    pub arrival_rates: Vec<f64>,
+    /// Jobs per Poisson stream.
+    pub jobs: usize,
+    /// Explicit arrival trace: replaces the Poisson axis with a single
+    /// `rate=trace` point replaying exactly these events.
+    pub trace: Option<Vec<ArrivalEvent>>,
 }
 
 impl CampaignSpec {
@@ -159,6 +191,7 @@ impl CampaignSpec {
             sim_cfg: SimConfig::default(),
             seed: 0,
             probe_bandwidth: false,
+            fleet: None,
         }
     }
 
@@ -234,10 +267,20 @@ impl CampaignSpec {
         self
     }
 
+    /// Declare the fleet axis (see [`FleetAxis`]).
+    pub fn fleet(mut self, axis: FleetAxis) -> Self {
+        self.fleet = Some(axis);
+        self
+    }
+
     /// The workload name at a combined index (plain workloads first, then
     /// phased ones — [`CellSpec::workload_idx`]'s coordinate space).
+    /// Fleet cells run the whole catalog and carry the sentinel index
+    /// `usize::MAX`, reported as `"mix"`.
     pub fn workload_name(&self, idx: usize) -> &str {
-        if idx < self.workloads.len() {
+        if idx == usize::MAX {
+            "mix"
+        } else if idx < self.workloads.len() {
             self.workloads[idx].name
         } else {
             &self.phased_workloads[idx - self.workloads.len()].name
@@ -260,7 +303,60 @@ impl CampaignSpec {
         for (pj, pw) in self.phased_workloads.iter().enumerate() {
             self.push_cells(&mut cells, self.workloads.len() + pj, &pw.name, &periods);
         }
+        self.push_fleet_cells(&mut cells);
         cells
+    }
+
+    /// Enumerate fleet cells, after every machine-local cell: policies ×
+    /// schedulers × arrival rates (a single `trace` point when an
+    /// explicit trace is declared) × worker counts × DWP grid.
+    fn push_fleet_cells(&self, cells: &mut Vec<CellSpec>) {
+        let Some(axis) = &self.fleet else { return };
+        let mix: Vec<&str> = axis.machines.iter().map(|m| m.label()).collect();
+        let mix = mix.join("+");
+        let rates: Vec<Option<f64>> = if axis.trace.is_some() {
+            vec![None]
+        } else {
+            axis.arrival_rates.iter().map(|&r| Some(r)).collect()
+        };
+        for (pi, p) in self.policies.iter().enumerate() {
+            let has_dwp_knob = matches!(p, PlacementPolicy::Bwap(_));
+            for &sched in &axis.schedulers {
+                for &rate in &rates {
+                    for &k in &self.worker_counts {
+                        for &dwp in &self.dwp_grid {
+                            if dwp.static_value().is_some() && !has_dwp_knob {
+                                continue;
+                            }
+                            let key = format!(
+                                "fleet:{mix}|p{pi}:{}|sched={}|rate={}|{k}w|{}",
+                                p.label(),
+                                sched.label(),
+                                match rate {
+                                    Some(r) => format!("{r}"),
+                                    None => "trace".into(),
+                                },
+                                dwp.label()
+                            );
+                            let seed = derive_seed(self.seed, &key);
+                            cells.push(CellSpec {
+                                id: cells.len(),
+                                workload_idx: usize::MAX,
+                                policy_idx: pi,
+                                scenario: ScenarioKind::Fleet,
+                                workers: k,
+                                dwp,
+                                phase_period: None,
+                                scheduler: Some(sched),
+                                arrival_rate: rate,
+                                key,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn push_cells(
@@ -304,6 +400,8 @@ impl CampaignSpec {
                                     CellPeriod::NotPhased => None,
                                     CellPeriod::Phased(p) => *p,
                                 },
+                                scheduler: None,
+                                arrival_rate: None,
                                 key,
                                 seed,
                             });
@@ -344,6 +442,12 @@ pub struct CellSpec {
     /// Phase-period override for phased-workload cells (`None` for plain
     /// cells and for the native-duration axis point).
     pub phase_period: Option<f64>,
+    /// Cluster scheduler of a fleet cell (`None` for machine-local
+    /// cells). Always `Some` when `scenario == ScenarioKind::Fleet`.
+    pub scheduler: Option<SchedulerKind>,
+    /// Poisson arrival rate of a fleet cell, jobs per simulated second
+    /// (`None` for machine-local cells and trace-driven fleet cells).
+    pub arrival_rate: Option<f64>,
     /// Stable key: seed-derivation input and report identity.
     pub key: String,
     /// Derived seed.
@@ -556,6 +660,8 @@ pub fn run_campaign_with(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignR
                 workers: cell.workers,
                 static_dwp: cell.dwp.static_value(),
                 phase_period: cell.phase_period,
+                scheduler: cell.scheduler.map(|s| s.label().to_string()),
+                arrival_rate_hz: cell.arrival_rate,
                 seed: cell.seed,
                 dedup_class: (class_size[k] > 1).then(|| descs[cell.id].hash_hex()),
                 cache_hit: *cache_hit,
@@ -614,6 +720,9 @@ fn run_cell(
     cell: &CellSpec,
     trace: Option<&mut Option<TraceSink>>,
 ) -> Result<RunResult, RuntimeError> {
+    if cell.scenario == ScenarioKind::Fleet {
+        return run_fleet_cell(spec, cell, trace);
+    }
     // Only worker-capable nodes count: a 4-node tiered machine with two
     // CPU-less expanders supports at most 2 workers.
     let n = spec.machine.worker_node_count();
@@ -652,6 +761,8 @@ fn run_cell(
                 spec.sim_cfg.clone(),
                 trace,
             ),
+            // Dispatched at the top of this function.
+            ScenarioKind::Fleet => unreachable!("fleet cells dispatch to run_fleet_cell"),
         };
     }
     let workload = &spec.workloads[cell.workload_idx];
@@ -676,7 +787,60 @@ fn run_cell(
             spec.sim_cfg.clone(),
             trace,
         ),
+        // Dispatched at the top of this function.
+        ScenarioKind::Fleet => unreachable!("fleet cells dispatch to run_fleet_cell"),
     }
+}
+
+/// Run one fleet cell: build the [`FleetConfig`] from the spec's fleet
+/// axis and the cell's coordinates, materialize the arrival stream (the
+/// declared trace, or a Poisson stream seeded by the *cell* seed over the
+/// spec's workload catalog), run the fleet, and fold the outcome into a
+/// [`RunResult`] — `exec_time_s` holds the makespan and the fleet tail
+/// metrics ride in the optional fields.
+fn run_fleet_cell(
+    spec: &CampaignSpec,
+    cell: &CellSpec,
+    trace: Option<&mut Option<TraceSink>>,
+) -> Result<RunResult, RuntimeError> {
+    let axis = spec.fleet.as_ref().ok_or_else(|| {
+        RuntimeError::Scenario("fleet cell on a spec without a fleet axis".into())
+    })?;
+    let policy = effective_policy(spec, cell);
+    let cfg = FleetConfig {
+        machines: axis.machines.iter().map(|m| m.topology()).collect(),
+        scheduler: cell.scheduler.expect("fleet cells carry a scheduler"),
+        policy: policy.clone(),
+        workers: cell.workers,
+        sim_cfg: spec.sim_cfg.clone(),
+    };
+    let jobs = match &axis.trace {
+        Some(events) => jobs_from_trace(events),
+        None => {
+            poisson_jobs(cell.seed, cell.arrival_rate.unwrap_or(0.0), axis.jobs, &spec.workloads)
+        }
+    };
+    let out = run_fleet(&cfg, &jobs, trace)?;
+    Ok(RunResult {
+        policy: policy.label(),
+        workload: "mix".into(),
+        workers: cell.workers,
+        exec_time_s: out.makespan_s,
+        chosen_dwp: None,
+        migrated_pages: out.migrated_pages,
+        stall_frac: out.stall_frac,
+        a_stall_frac: None,
+        read_bytes: out.read_bytes,
+        traffic_bytes: out.traffic_bytes,
+        retunes: None,
+        retune_times_s: None,
+        phase_switches: None,
+        jobs: Some(out.jobs.len() as u64),
+        job_slowdowns: Some(out.slowdowns),
+        slowdown_p50: out.slowdown_p50,
+        slowdown_p95: out.slowdown_p95,
+        slowdown_p99: out.slowdown_p99,
+    })
 }
 
 #[cfg(test)]
@@ -773,6 +937,74 @@ mod tests {
         let j = report.deterministic_json();
         assert!(j.contains("\"phase_period_s\": 1"));
         assert!(j.contains("\"phase_switches\""));
+    }
+
+    fn fleet_axis() -> FleetAxis {
+        FleetAxis {
+            machines: vec![MachineKind::B, MachineKind::B],
+            schedulers: vec![SchedulerKind::RoundRobin, SchedulerKind::LeastLoaded],
+            arrival_rates: vec![0.5, 2.0],
+            jobs: 3,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn fleet_axis_extends_the_matrix_without_touching_existing_keys() {
+        let plain = small_spec();
+        let with_fleet = plain.clone().fleet(fleet_axis());
+        let a = plain.cells();
+        let b = with_fleet.cells();
+        // The machine-local prefix is identical, key for key.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(y.scheduler, None);
+        }
+        // Fleet cells: 2 policies (uniform-workers: 1 dwp point; bwap: 2)
+        // x 2 schedulers x 2 rates x 2 counts = (1+2) x 2 x 2 x 2 = 24.
+        let fleet: Vec<_> = b.iter().skip(a.len()).collect();
+        assert_eq!(fleet.len(), 24);
+        for c in &fleet {
+            assert_eq!(c.scenario, ScenarioKind::Fleet);
+            assert_eq!(c.workload_idx, usize::MAX);
+            assert!(c.scheduler.is_some() && c.arrival_rate.is_some());
+            assert!(c.key.starts_with("fleet:b+b|"), "{}", c.key);
+        }
+        assert_eq!(with_fleet.workload_name(usize::MAX), "mix");
+    }
+
+    #[test]
+    fn fleet_campaign_runs_end_to_end_with_tail_metrics() {
+        let spec = CampaignSpec::new("fleet-unit", machines::machine_b())
+            .workloads(vec![bwap_workloads::streamcluster().scaled_down(64.0)])
+            .policies(vec![PlacementPolicy::UniformWorkers])
+            .fleet(FleetAxis {
+                machines: vec![MachineKind::B, MachineKind::B],
+                schedulers: vec![SchedulerKind::LeastLoaded],
+                arrival_rates: vec![2.0],
+                jobs: 3,
+                trace: None,
+            })
+            .seed(11);
+        let report =
+            run_campaign_with(&spec, &CampaignConfig { threads: Some(2), ..Default::default() });
+        // One machine-local cell + one fleet cell.
+        assert_eq!(report.cells.len(), 2);
+        let local = report.cells[0].result().expect("local cell ran");
+        assert_eq!(local.jobs, None, "fleet fields stay off machine-local cells");
+        let cell = &report.cells[1];
+        assert_eq!(cell.workload, "mix");
+        assert_eq!(cell.scheduler.as_deref(), Some("least-loaded"));
+        assert_eq!(cell.arrival_rate_hz, Some(2.0));
+        let r = cell.outcome.as_ref().unwrap_or_else(|e| panic!("{}: {e}", cell.key));
+        assert_eq!(r.jobs, Some(3));
+        assert_eq!(r.job_slowdowns.as_ref().map(Vec::len), Some(3));
+        assert!(r.slowdown_p50.is_some() && r.slowdown_p99.is_some());
+        assert!(r.exec_time_s > 0.0, "makespan rides in exec_time_s");
+        let j = report.deterministic_json();
+        assert!(j.contains("\"scenario\": \"fleet\""));
+        assert!(j.contains("\"slowdown_p99\""));
     }
 
     #[test]

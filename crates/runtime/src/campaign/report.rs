@@ -69,6 +69,13 @@ pub struct CellRecord {
     /// for plain-workload cells (the field is omitted from their JSON)
     /// and for native-duration phased cells.
     pub phase_period: Option<f64>,
+    /// Cluster-scheduler label of a fleet cell (omitted, not null, for
+    /// every other cell). Part of the deterministic payload: it is a
+    /// spec coordinate, like `workers`.
+    pub scheduler: Option<String>,
+    /// Poisson arrival rate of a fleet cell, jobs per simulated second
+    /// (`None` — omitted — for non-fleet cells and trace-driven fleets).
+    pub arrival_rate_hz: Option<f64>,
     /// The cell's derived seed (replay input).
     pub seed: u64,
     /// The run's result, or the error that stopped it.
@@ -382,6 +389,14 @@ fn cell_json(s: &mut String, c: &CellRecord, volatile: bool) {
     if let Some(t) = c.phase_period {
         field(s, 3, "phase_period_s", &json_f64(t));
     }
+    // Fleet coordinates, same omitted-not-null discipline: non-fleet
+    // cells serialize byte-identically to their pre-fleet form.
+    if let Some(sch) = &c.scheduler {
+        field(s, 3, "scheduler", &json_str(sch));
+    }
+    if let Some(r) = c.arrival_rate_hz {
+        field(s, 3, "arrival_rate_hz", &json_f64(r));
+    }
     field(s, 3, "seed", &c.seed.to_string());
     // Where a trace landed depends on the executor invocation, not the
     // spec: full artifact only, like `threads` and `wall_time_s`.
@@ -421,6 +436,23 @@ fn cell_json(s: &mut String, c: &CellRecord, volatile: bool) {
             if let Some(n) = r.phase_switches {
                 field(s, 4, "phase_switches", &n.to_string());
             }
+            // Fleet tail metrics (schema v2 optional fields): present
+            // exactly on fleet cells, omitted everywhere else.
+            if let Some(n) = r.jobs {
+                field(s, 4, "jobs", &n.to_string());
+            }
+            if let Some(ss) = &r.job_slowdowns {
+                field(s, 4, "job_slowdowns", &f64_array_json(ss));
+            }
+            if let Some(p) = r.slowdown_p50 {
+                field(s, 4, "slowdown_p50", &json_f64(p));
+            }
+            if let Some(p) = r.slowdown_p95 {
+                field(s, 4, "slowdown_p95", &json_f64(p));
+            }
+            if let Some(p) = r.slowdown_p99 {
+                field(s, 4, "slowdown_p99", &json_f64(p));
+            }
             pop_trailing_comma(s);
             indent(s, 3);
             s.push_str("},\n");
@@ -458,6 +490,8 @@ mod tests {
             workers: 1,
             static_dwp: None,
             phase_period: None,
+            scheduler: None,
+            arrival_rate_hz: None,
             seed: 7,
             outcome,
             trace_path: None,
@@ -481,6 +515,11 @@ mod tests {
             retunes: None,
             retune_times_s: None,
             phase_switches: None,
+            jobs: None,
+            job_slowdowns: None,
+            slowdown_p50: None,
+            slowdown_p95: None,
+            slowdown_p99: None,
         }
     }
 
@@ -591,6 +630,35 @@ mod tests {
         }])
         .deterministic_json();
         assert!(d.contains("\"retunes\": 1"));
+    }
+
+    #[test]
+    fn fleet_fields_are_emitted_only_when_present() {
+        // A non-fleet cell: none of the fleet names appear at all.
+        let plain = report(vec![record(0, Ok(result()))]).to_json();
+        for name in ["scheduler", "arrival_rate_hz", "\"jobs\"", "job_slowdowns", "slowdown_p50"] {
+            assert!(!plain.contains(name), "{name} leaked into a non-fleet report");
+        }
+        // A fleet cell: coordinates and tail metrics ride along.
+        let mut r = result();
+        r.jobs = Some(3);
+        r.job_slowdowns = Some(vec![1.0, 1.5, 2.0]);
+        r.slowdown_p50 = Some(1.5);
+        r.slowdown_p95 = Some(2.0);
+        r.slowdown_p99 = Some(2.0);
+        let mut c = record(0, Ok(r));
+        c.scheduler = Some("least-loaded".into());
+        c.arrival_rate_hz = Some(0.25);
+        let rep = report(vec![c]);
+        let j = rep.to_json();
+        assert!(j.contains("\"scheduler\": \"least-loaded\""));
+        assert!(j.contains("\"arrival_rate_hz\": 0.25"));
+        assert!(j.contains("\"jobs\": 3"));
+        assert!(j.contains("\"job_slowdowns\": [1, 1.5, 2]"));
+        assert!(j.contains("\"slowdown_p95\": 2"));
+        // All of them are part of the deterministic payload.
+        let d = rep.deterministic_json();
+        assert!(d.contains("\"scheduler\"") && d.contains("\"slowdown_p99\""));
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   co-scheduled, §IV-A) as reusable runners — for plain and
 //!   phase-structured workloads — and the worker-count sweep behind
 //!   Fig. 3c/d.
+//! * [`fleet`] — fleet-scale serving: open-loop job arrivals over many
+//!   machines, pluggable cluster schedulers and deterministic tail-latency
+//!   (slowdown-vs-solo) metrics.
 //! * [`sweep`] — static-DWP sweeps (Fig. 4).
 //! * [`campaign`] — the declarative experiment-campaign engine: a
 //!   [`CampaignSpec`] describes the whole evaluation matrix; a sharded
@@ -37,6 +40,7 @@ pub mod bwap_daemon;
 pub mod campaign;
 pub mod cosched_daemon;
 pub mod error;
+pub mod fleet;
 pub mod profiling;
 pub mod scenario;
 pub mod sweep;
@@ -48,10 +52,14 @@ pub use bwap_daemon::{BwapDaemon, TunerHandle};
 pub use campaign::{
     cell_descriptor, effective_policy, run_campaign, run_campaign_with, run_cell_for, run_parallel,
     run_parallel_catch, run_parallel_with, CampaignConfig, CampaignReport, CampaignSpec, CellCache,
-    CellRecord, DwpPoint, Fault, FaultKind, FaultPlan, NodeTierRecord, ScenarioKind,
+    CellRecord, DwpPoint, Fault, FaultKind, FaultPlan, FleetAxis, NodeTierRecord, ScenarioKind,
 };
 pub use cosched_daemon::CoschedDaemon;
 pub use error::RuntimeError;
+pub use fleet::{
+    jobs_from_trace, poisson_jobs, run_fleet, FleetConfig, FleetJob, FleetOutcome, JobOutcome,
+    MachineKind, SchedulerKind,
+};
 pub use numasim::EngineMode;
 pub use profiling::{profile_bandwidth, ProfileBook};
 pub use scenario::{

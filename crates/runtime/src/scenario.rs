@@ -25,7 +25,7 @@ use numasim::{AppProfile, ProcessId, SimConfig, Simulator, TraceSink};
 
 /// Hard ceiling on simulated time per run: generous versus the ~10-60 s
 /// workloads, small enough to catch accidental livelock in tests.
-const MAX_SIM_S: f64 = 3600.0;
+pub(crate) const MAX_SIM_S: f64 = 3600.0;
 
 /// Outcome of one scenario run.
 #[derive(Debug, Clone)]
@@ -60,10 +60,23 @@ pub struct RunResult {
     /// Phase boundaries the measured application crossed (phase-structured
     /// workloads only; `None` for plain specs).
     pub phase_switches: Option<u64>,
+    /// Jobs submitted to the fleet (fleet cells only; for those,
+    /// `exec_time_s` holds the makespan).
+    pub jobs: Option<u64>,
+    /// Per-job slowdown-vs-solo samples in arrival order, completed jobs
+    /// only (fleet cells only).
+    pub job_slowdowns: Option<Vec<f64>>,
+    /// Nearest-rank median of `job_slowdowns` (fleet cells with at least
+    /// one completed job).
+    pub slowdown_p50: Option<f64>,
+    /// Nearest-rank 95th percentile of `job_slowdowns`.
+    pub slowdown_p95: Option<f64>,
+    /// Nearest-rank 99th percentile of `job_slowdowns`.
+    pub slowdown_p99: Option<f64>,
 }
 
 /// `(read bytes, total traffic bytes)` of `pid` over its whole run.
-fn traffic_counters(sim: &Simulator, nodes: usize, pid: ProcessId) -> (f64, f64) {
+pub(crate) fn traffic_counters(sim: &Simulator, nodes: usize, pid: ProcessId) -> (f64, f64) {
     let reads: f64 = (0..nodes)
         .flat_map(|s| (0..nodes).map(move |d| (s, d)))
         .map(|(s, d)| sim.counters().flow_read_bytes(pid, s, d))
@@ -105,7 +118,13 @@ fn retune_extras(
 /// Linux. Under the user-level mode the launch placement is what
 /// Algorithm 1's sub-range plan realizes (including its rounding error)
 /// rather than the exact weights.
-fn launch_measured(
+/// When `arrive_at` is `Some`, the process is registered via
+/// [`Simulator::spawn_at`] instead: memory is placed and daemons attach
+/// now, but the process stays pending (no demand) until the engine
+/// activates it at the given simulated time — the fleet layer's job
+/// submission path (see `crate::fleet`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn launch_measured(
     sim: &mut Simulator,
     machine: &MachineTopology,
     spec: &WorkloadSpec,
@@ -113,6 +132,7 @@ fn launch_measured(
     workers: NodeSet,
     policy: &PlacementPolicy,
     cosched_a: Option<ProcessId>,
+    arrive_at: Option<f64>,
 ) -> Result<(ProcessId, Option<TunerHandle>), RuntimeError> {
     let bwap_launch = |cfg: &bwap::BwapConfig| -> Result<numasim::MemPolicy, RuntimeError> {
         let canonical = if cfg.uniform_canonical {
@@ -136,7 +156,10 @@ fn launch_measured(
         Some(t) => t.first().expect("validated timeline is non-empty").1.clone(),
         None => spec.profile_for(machine),
     };
-    let pid = sim.spawn(profile, workers, None, launch_policy)?;
+    let pid = match arrive_at {
+        Some(at) => sim.spawn_at(at, profile, workers, None, launch_policy)?,
+        None => sim.spawn(profile, workers, None, launch_policy)?,
+    };
     if let Some(t) = timeline {
         sim.set_phase_timeline(pid, t.to_vec())?;
     }
@@ -258,7 +281,7 @@ pub(crate) fn standalone_impl(
         sim.set_trace_sink(TraceSink::default());
     }
     let (pid, handle) =
-        launch_measured(&mut sim, machine, spec, timeline.as_deref(), workers, policy, None)?;
+        launch_measured(&mut sim, machine, spec, timeline.as_deref(), workers, policy, None, None)?;
     let start = sim.sample(pid)?;
     let exec_time_s = sim.run_until_finished(pid, MAX_SIM_S)?;
     if let Some(slot) = trace {
@@ -280,6 +303,11 @@ pub(crate) fn standalone_impl(
         retunes,
         retune_times_s,
         phase_switches: timeline.is_some().then(|| sim.phase_switches(pid)),
+        jobs: None,
+        job_slowdowns: None,
+        slowdown_p50: None,
+        slowdown_p95: None,
+        slowdown_p99: None,
     })
 }
 
@@ -361,8 +389,16 @@ pub(crate) fn coscheduled_impl(
         None,
         numasim::MemPolicy::FirstTouch,
     )?;
-    let (b, handle) =
-        launch_measured(&mut sim, machine, spec, timeline.as_deref(), workers, policy, Some(a))?;
+    let (b, handle) = launch_measured(
+        &mut sim,
+        machine,
+        spec,
+        timeline.as_deref(),
+        workers,
+        policy,
+        Some(a),
+        None,
+    )?;
     let start_a = sim.sample(a)?;
     let start_b = sim.sample(b)?;
     let exec_time_s = sim.run_until_finished(b, MAX_SIM_S)?;
@@ -385,6 +421,11 @@ pub(crate) fn coscheduled_impl(
         retunes,
         retune_times_s,
         phase_switches: timeline.is_some().then(|| sim.phase_switches(b)),
+        jobs: None,
+        job_slowdowns: None,
+        slowdown_p50: None,
+        slowdown_p95: None,
+        slowdown_p99: None,
     })
 }
 

@@ -1,0 +1,307 @@
+//! The JSON arrival-trace format: open-loop job streams as data files.
+//!
+//! An *arrival trace* describes the job stream a fleet serves (see
+//! `docs/FLEET.md`) without writing Rust: each job names a base workload
+//! from the Table-I catalogue ([`crate::by_name`]), the simulated time it
+//! arrives, and optionally a forced departure time and a
+//! [`crate::WorkloadSpec::scaled_down`] divisor. Like the phase-trace
+//! loader ([`crate::trace`]), it reuses the crate's minimal JSON reader
+//! ([`crate::json`]) and maps every malformed input to a typed
+//! [`ArrivalError`] naming exactly what is wrong.
+//!
+//! # Format
+//!
+//! ```json
+//! {
+//!   "jobs": [
+//!     {"at_s": 0.0, "workload": "SC", "scale_down": 32.0},
+//!     {"at_s": 1.5, "workload": "OC", "depart_s": 40.0}
+//!   ]
+//! }
+//! ```
+//!
+//! * `jobs[]` — at least one job; `workload` is a catalogue name (`SC`,
+//!   `OC`, `ON`, `SP.B`, `FT.C`, …), `at_s` a finite non-negative arrival
+//!   time in simulated seconds.
+//! * `depart_s` — optional forced departure time, strictly after `at_s`:
+//!   the job leaves the machine then even if its work is unfinished.
+//! * `scale_down` — optional positive divisor applied via
+//!   [`crate::WorkloadSpec::scaled_down`] (smaller jobs, same ratios).
+//!
+//! Jobs may be listed in any order; the parser sorts them by arrival time
+//! (stably, so equal-time jobs keep their document order).
+//!
+//! # Examples
+//!
+//! ```
+//! let json = r#"{"jobs": [
+//!   {"at_s": 2.0, "workload": "OC", "scale_down": 16.0},
+//!   {"at_s": 0.5, "workload": "SC", "depart_s": 30.0}
+//! ]}"#;
+//! let jobs = bwap_workloads::arrivals::parse_arrival_trace(json)?;
+//! assert_eq!(jobs.len(), 2);
+//! // Sorted by arrival time.
+//! assert_eq!(jobs[0].workload.name, "SC");
+//! assert_eq!(jobs[0].depart_s, Some(30.0));
+//! assert_eq!(jobs[1].at_s, 2.0);
+//! # Ok::<(), bwap_workloads::arrivals::ArrivalError>(())
+//! ```
+
+use crate::json::{Json, JsonError};
+use crate::spec::WorkloadSpec;
+use std::fmt;
+
+/// One job of an arrival trace: a catalogue workload landing at a
+/// simulated time, optionally forced to depart later.
+#[derive(Debug, Clone)]
+pub struct ArrivalEvent {
+    /// Simulated arrival time, seconds (finite, non-negative).
+    pub at_s: f64,
+    /// The resolved workload (catalogue entry, scaled if requested).
+    pub workload: WorkloadSpec,
+    /// Forced departure time, strictly after `at_s`, if any.
+    pub depart_s: Option<f64>,
+}
+
+/// Why an arrival-trace document was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalError {
+    /// The document is not valid JSON.
+    Json {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What the reader expected there.
+        message: String,
+    },
+    /// A required field is missing.
+    MissingField {
+        /// Which object lacks it (`"arrivals"` or `"jobs[i]"`).
+        context: String,
+        /// The absent field.
+        field: &'static str,
+    },
+    /// A field holds the wrong JSON type.
+    WrongType {
+        /// Which object/field.
+        context: String,
+        /// What the format requires.
+        expected: &'static str,
+    },
+    /// A job names a workload the catalogue does not have.
+    UnknownWorkload {
+        /// Job index (document order).
+        job: usize,
+        /// The unknown name.
+        name: String,
+    },
+    /// A time or scale field holds a semantically invalid value.
+    BadValue {
+        /// Job index (document order).
+        job: usize,
+        /// The offending field.
+        field: &'static str,
+        /// What the format requires.
+        requirement: &'static str,
+    },
+    /// The trace declares no jobs at all.
+    NoJobs,
+}
+
+impl fmt::Display for ArrivalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalError::Json { offset, message } => {
+                write!(f, "invalid JSON at byte {offset}: {message}")
+            }
+            ArrivalError::MissingField { context, field } => {
+                write!(f, "{context}: missing field {field:?}")
+            }
+            ArrivalError::WrongType { context, expected } => {
+                write!(f, "{context}: expected {expected}")
+            }
+            ArrivalError::UnknownWorkload { job, name } => {
+                write!(f, "jobs[{job}]: unknown workload {name:?}")
+            }
+            ArrivalError::BadValue { job, field, requirement } => {
+                write!(f, "jobs[{job}].{field}: must be {requirement}")
+            }
+            ArrivalError::NoJobs => write!(f, "arrival trace declares no jobs"),
+        }
+    }
+}
+
+impl std::error::Error for ArrivalError {}
+
+impl From<JsonError> for ArrivalError {
+    fn from(e: JsonError) -> Self {
+        ArrivalError::Json { offset: e.offset, message: e.message }
+    }
+}
+
+/// Parse an arrival-trace JSON document into jobs sorted by arrival time.
+pub fn parse_arrival_trace(json: &str) -> Result<Vec<ArrivalEvent>, ArrivalError> {
+    let doc = Json::parse(json)?;
+    let top = object(&doc, "arrivals")?;
+    let jobs_json = array(get(top, "arrivals", "jobs")?, "arrivals.jobs")?;
+    if jobs_json.is_empty() {
+        return Err(ArrivalError::NoJobs);
+    }
+    let mut jobs = Vec::with_capacity(jobs_json.len());
+    for (i, j) in jobs_json.iter().enumerate() {
+        let ctx = format!("jobs[{i}]");
+        let obj = object(j, &ctx)?;
+        let wname = string(get(obj, &ctx, "workload")?, &format!("{ctx}.workload"))?;
+        let mut workload = crate::by_name(wname)
+            .ok_or_else(|| ArrivalError::UnknownWorkload { job: i, name: wname.to_string() })?;
+        let at_s = number(get(obj, &ctx, "at_s")?, &format!("{ctx}.at_s"))?;
+        if !at_s.is_finite() || at_s < 0.0 {
+            return Err(ArrivalError::BadValue {
+                job: i,
+                field: "at_s",
+                requirement: "a finite non-negative number",
+            });
+        }
+        let depart_s = match obj.iter().find(|(k, _)| k == "depart_s") {
+            Some((_, v)) => {
+                let d = number(v, &format!("{ctx}.depart_s"))?;
+                if !d.is_finite() || d <= at_s {
+                    return Err(ArrivalError::BadValue {
+                        job: i,
+                        field: "depart_s",
+                        requirement: "a finite number strictly after at_s",
+                    });
+                }
+                Some(d)
+            }
+            None => None,
+        };
+        if let Some((_, v)) = obj.iter().find(|(k, _)| k == "scale_down") {
+            let s = number(v, &format!("{ctx}.scale_down"))?;
+            if !s.is_finite() || s <= 0.0 {
+                return Err(ArrivalError::BadValue {
+                    job: i,
+                    field: "scale_down",
+                    requirement: "a finite positive number",
+                });
+            }
+            workload = workload.scaled_down(s);
+        }
+        jobs.push(ArrivalEvent { at_s, workload, depart_s });
+    }
+    jobs.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite arrival times"));
+    Ok(jobs)
+}
+
+/// Load an arrival trace from a file (convenience around
+/// [`parse_arrival_trace`]). I/O failures surface as a JSON error at byte
+/// 0 carrying the OS message.
+pub fn load_arrival_trace(path: &std::path::Path) -> Result<Vec<ArrivalEvent>, ArrivalError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ArrivalError::Json {
+        offset: 0,
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    parse_arrival_trace(&text)
+}
+
+fn object<'a>(v: &'a Json, ctx: &str) -> Result<&'a [(String, Json)], ArrivalError> {
+    v.as_object()
+        .ok_or_else(|| ArrivalError::WrongType { context: ctx.to_string(), expected: "an object" })
+}
+
+fn array<'a>(v: &'a Json, ctx: &str) -> Result<&'a [Json], ArrivalError> {
+    v.as_array()
+        .ok_or_else(|| ArrivalError::WrongType { context: ctx.to_string(), expected: "an array" })
+}
+
+fn string<'a>(v: &'a Json, ctx: &str) -> Result<&'a str, ArrivalError> {
+    v.as_str()
+        .ok_or_else(|| ArrivalError::WrongType { context: ctx.to_string(), expected: "a string" })
+}
+
+fn number(v: &Json, ctx: &str) -> Result<f64, ArrivalError> {
+    v.as_f64()
+        .ok_or_else(|| ArrivalError::WrongType { context: ctx.to_string(), expected: "a number" })
+}
+
+fn get<'a>(
+    obj: &'a [(String, Json)],
+    context: &str,
+    field: &'static str,
+) -> Result<&'a Json, ArrivalError> {
+    obj.iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| v)
+        .ok_or_else(|| ArrivalError::MissingField { context: context.to_string(), field })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{"jobs": [
+      {"at_s": 2.0, "workload": "OC", "scale_down": 16.0},
+      {"at_s": 0.5, "workload": "SC", "depart_s": 30.0},
+      {"at_s": 0.5, "workload": "FT.C"}
+    ]}"#;
+
+    #[test]
+    fn parses_and_sorts_by_arrival() {
+        let jobs = parse_arrival_trace(GOOD).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].workload.name, "SC");
+        // Equal-time jobs keep document order (stable sort).
+        assert_eq!(jobs[1].workload.name, "FT.C");
+        assert_eq!(jobs[2].at_s, 2.0);
+        assert_eq!(jobs[0].depart_s, Some(30.0));
+        assert_eq!(jobs[2].depart_s, None);
+        // scale_down divided the traffic budget.
+        let oc = crate::ocean_cp();
+        assert!(jobs[2].workload.total_traffic_gb < oc.total_traffic_gb);
+    }
+
+    #[test]
+    fn load_from_file_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("bwap-arrivals-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.json");
+        std::fs::write(&path, GOOD).unwrap();
+        assert_eq!(load_arrival_trace(&path).unwrap().len(), 3);
+        assert!(load_arrival_trace(&dir.join("missing.json")).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn malformed_documents_produce_typed_errors() {
+        assert!(matches!(
+            parse_arrival_trace("{\"jobs\": ").unwrap_err(),
+            ArrivalError::Json { .. }
+        ));
+        assert_eq!(parse_arrival_trace(r#"{"jobs": []}"#).unwrap_err(), ArrivalError::NoJobs);
+        assert_eq!(
+            parse_arrival_trace(r#"{}"#).unwrap_err(),
+            ArrivalError::MissingField { context: "arrivals".into(), field: "jobs" }
+        );
+        assert_eq!(
+            parse_arrival_trace(r#"{"jobs": [{"at_s": 0}]}"#).unwrap_err(),
+            ArrivalError::MissingField { context: "jobs[0]".into(), field: "workload" }
+        );
+        assert_eq!(
+            parse_arrival_trace(r#"{"jobs": [{"at_s": 0, "workload": "NOPE"}]}"#).unwrap_err(),
+            ArrivalError::UnknownWorkload { job: 0, name: "NOPE".into() }
+        );
+        let err = parse_arrival_trace(r#"{"jobs": [{"at_s": -1, "workload": "SC"}]}"#).unwrap_err();
+        assert!(matches!(err, ArrivalError::BadValue { job: 0, field: "at_s", .. }), "{err}");
+        let err =
+            parse_arrival_trace(r#"{"jobs": [{"at_s": 5, "workload": "SC", "depart_s": 5}]}"#)
+                .unwrap_err();
+        assert!(matches!(err, ArrivalError::BadValue { job: 0, field: "depart_s", .. }), "{err}");
+        let err =
+            parse_arrival_trace(r#"{"jobs": [{"at_s": 0, "workload": "SC", "scale_down": 0}]}"#)
+                .unwrap_err();
+        assert!(matches!(err, ArrivalError::BadValue { job: 0, field: "scale_down", .. }), "{err}");
+        assert!(matches!(
+            parse_arrival_trace(r#"{"jobs": [{"at_s": "zero", "workload": "SC"}]}"#).unwrap_err(),
+            ArrivalError::WrongType { .. }
+        ));
+    }
+}

@@ -66,6 +66,7 @@
 //! ```
 
 pub mod apps;
+pub mod arrivals;
 pub mod generator;
 pub mod json;
 pub mod phased;

@@ -8,6 +8,7 @@
 //! own slot while every other cell completes.
 
 use bwap_bench::worker::{coordinate, serve, SupervisionConfig};
+use bwap_runtime::campaign::faults::ALL_KINDS;
 use bwap_runtime::{CellCache, FaultKind, FaultPlan};
 use bwap_suite::prelude::*;
 use proptest::prelude::*;
@@ -34,6 +35,74 @@ fn tmp(tag: &str, case: u64) -> PathBuf {
     let d = std::env::temp_dir().join(format!("bwap-chaos-{tag}-{case}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
     d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The `--faults` grammar round-trips: any plan — random rule set in
+    /// random construction order, random seed — serializes via
+    /// `FaultPlan::to_spec` to a string that parses back (under an
+    /// unrelated default seed) into a plan with the same seed, the same
+    /// canonical form, and bit-identical decisions for every kind. This
+    /// is what makes a logged spec string a complete replay coordinate.
+    #[test]
+    fn fault_spec_grammar_round_trips(
+        rules in prop::collection::vec((0usize..ALL_KINDS.len(), 0.0f64..1.0, 0u64..500), 0..8),
+        seed in 0u64..1_000_000,
+        other_default in 0u64..1_000,
+    ) {
+        let mut plan = FaultPlan::new(seed);
+        for &(k, rate, param) in &rules {
+            plan = plan.with_param(ALL_KINDS[k], rate, param);
+        }
+        let spec = plan.to_spec();
+        let back = FaultPlan::parse(&spec, other_default)
+            .unwrap_or_else(|e| panic!("canonical spec {spec:?} must re-parse: {e}"));
+        prop_assert_eq!(back.seed(), plan.seed(), "seed survives in {}", &spec);
+        prop_assert_eq!(back.to_spec(), spec.clone(), "to_spec is a parse fixpoint");
+        prop_assert_eq!(back.is_empty(), plan.is_empty());
+        prop_assert_eq!(back.recoverable(), plan.recoverable());
+        for kind in ALL_KINDS {
+            for key in ["worker-0#attempt-0", "cell-key", "k7"] {
+                prop_assert_eq!(
+                    back.decide(kind, key),
+                    plan.decide(kind, key),
+                    "decision drift for {:?} on {:?} via {}",
+                    kind, key, &spec
+                );
+            }
+        }
+    }
+
+    /// Out-of-range rates are rejected with the typed rate error, on
+    /// either side of [0, 1].
+    #[test]
+    fn fault_rates_outside_unit_interval_are_rejected(
+        above in 1.0001f64..1_000.0,
+        below in -1_000.0f64..-0.0001,
+    ) {
+        for rate in [above, below] {
+            let err = FaultPlan::parse(&format!("disconnect={rate}"), 0).unwrap_err();
+            prop_assert!(err.contains("bad fault rate"), "{rate}: {err}");
+        }
+    }
+}
+
+/// Each malformed spec shape gets its own typed, term-naming error — the
+/// CLI surfaces these verbatim, so they must stay diagnostic.
+#[test]
+fn fault_spec_errors_name_the_offending_term() {
+    for (spec, needle) in [
+        ("warp=0.5", "unknown fault kind"),
+        ("disconnect", "bad fault term"),
+        ("disconnect=half", "bad fault rate"),
+        ("latency=0.5:soon", "bad fault param"),
+        ("seed=banana", "bad fault seed"),
+    ] {
+        let err = FaultPlan::parse(spec, 0).unwrap_err();
+        assert!(err.contains(needle), "{spec:?}: {err}");
+    }
 }
 
 proptest! {

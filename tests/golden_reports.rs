@@ -8,7 +8,7 @@
 //! Regenerate deliberately with:
 //! `BWAP_BLESS=1 cargo test --test golden_reports`.
 
-use bwap_bench::experiments::{fig1a_spec, fig4_spec, table1_spec};
+use bwap_bench::experiments::{fig1a_spec, fig4_spec, fig_fleet_spec, table1_spec};
 use bwap_runtime::run_campaign;
 use std::path::PathBuf;
 
@@ -56,4 +56,9 @@ fn table1_quick_report_matches_golden() {
 #[test]
 fn fig4_quick_report_matches_golden() {
     check("fig4_quick", &run_campaign(&fig4_spec(true)).deterministic_json());
+}
+
+#[test]
+fn fig_fleet_quick_report_matches_golden() {
+    check("fig_fleet_quick", &run_campaign(&fig_fleet_spec(true)).deterministic_json());
 }
